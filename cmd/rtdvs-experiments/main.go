@@ -1,0 +1,163 @@
+// Command rtdvs-experiments regenerates the tables and figures of the
+// paper's evaluation (Sections 3 and 4) as plain-text data tables.
+//
+// Usage:
+//
+//	rtdvs-experiments [-exp all|table1|table4|fig9|fig10|fig11|fig12|fig13|fig16|fig17]
+//	                  [-sets N] [-seed S] [-workers W] [-step U]
+//
+// Each figure's rows are averaged over -sets random task sets per
+// utilization point (the paper averages hundreds; the default here is 20
+// to keep the full run under a minute — raise it for smoother curves).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"rtdvs/internal/core"
+	"rtdvs/internal/experiment"
+	"rtdvs/internal/machine"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rtdvs-experiments: ")
+	exp := flag.String("exp", "all", "experiment to regenerate")
+	sets := flag.Int("sets", 20, "random task sets per utilization point")
+	seed := flag.Int64("seed", 1, "base RNG seed")
+	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	step := flag.Float64("step", 0.05, "utilization axis step")
+	format := flag.String("format", "text", "output format: text, csv, json")
+	flag.Parse()
+	switch *format {
+	case "text", "csv", "json":
+	default:
+		log.Fatalf("unknown format %q", *format)
+	}
+
+	var points []float64
+	for u := *step; u <= 1.0+1e-9; u += *step {
+		points = append(points, u)
+	}
+	o := experiment.Options{Sets: *sets, Seed: *seed, Workers: *workers, Points: points}
+	all := core.Names()
+
+	emit := func(sw *experiment.Sweep, title string, normalized bool) {
+		switch *format {
+		case "csv":
+			fmt.Printf("# %s\n", title)
+			if err := sw.WriteCSV(os.Stdout, normalized, all); err != nil {
+				log.Fatal(err)
+			}
+		case "json":
+			if err := sw.WriteJSON(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+		default:
+			fmt.Println(sw.Render(title, normalized, all))
+			fmt.Println()
+		}
+	}
+	emitPower := func(ps *experiment.PowerSweep) {
+		switch *format {
+		case "csv":
+			fmt.Printf("# %s\n", ps.Title)
+			if err := ps.WriteCSV(os.Stdout, experiment.Figure16Policies); err != nil {
+				log.Fatal(err)
+			}
+		case "json":
+			if err := ps.WriteJSON(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+		default:
+			fmt.Println(ps.Render(experiment.Figure16Policies))
+		}
+	}
+
+	run := func(name string) {
+		switch name {
+		case "table1":
+			fmt.Println(experiment.Table1())
+
+		case "table4":
+			rows, err := experiment.Table4()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(experiment.RenderTable4(rows))
+
+		case "fig9":
+			for _, n := range []int{5, 10, 15} {
+				sw, err := experiment.Figure9(n, o)
+				if err != nil {
+					log.Fatal(err)
+				}
+				emit(sw, fmt.Sprintf("Figure 9: energy consumption with %d tasks", n), false)
+			}
+
+		case "fig10":
+			for _, lvl := range []float64{0.01, 0.1, 1.0} {
+				sw, err := experiment.Figure10(lvl, o)
+				if err != nil {
+					log.Fatal(err)
+				}
+				emit(sw, fmt.Sprintf("Figure 10: normalized energy, idle level %g", lvl), true)
+			}
+
+		case "fig11":
+			for _, spec := range []*machine.Spec{machine.Machine0(), machine.Machine1(), machine.Machine2()} {
+				sw, err := experiment.Figure11(spec, o)
+				if err != nil {
+					log.Fatal(err)
+				}
+				emit(sw, fmt.Sprintf("Figure 11: normalized energy on %s", spec.Name), true)
+			}
+
+		case "fig12":
+			for _, c := range []float64{0.9, 0.7, 0.5} {
+				sw, err := experiment.Figure12(c, o)
+				if err != nil {
+					log.Fatal(err)
+				}
+				emit(sw, fmt.Sprintf("Figure 12: normalized energy, c=%g", c), true)
+			}
+
+		case "fig13":
+			sw, err := experiment.Figure13(o)
+			if err != nil {
+				log.Fatal(err)
+			}
+			emit(sw, "Figure 13: normalized energy, uniform computation", true)
+
+		case "fig16":
+			ps, err := experiment.Figure16(o)
+			if err != nil {
+				log.Fatal(err)
+			}
+			emitPower(ps)
+
+		case "fig17":
+			ps, err := experiment.Figure17(o)
+			if err != nil {
+				log.Fatal(err)
+			}
+			emitPower(ps)
+
+		default:
+			log.Fatalf("unknown experiment %q", name)
+		}
+	}
+
+	if *exp == "all" {
+		for _, name := range strings.Split("table1 table4 fig9 fig10 fig11 fig12 fig13 fig16 fig17", " ") {
+			run(name)
+			fmt.Println()
+		}
+		return
+	}
+	run(*exp)
+}

@@ -1,0 +1,130 @@
+// Command rtdvs-rtos is an interactive shell over the RTOS kernel — the
+// analogue of poking the prototype's /procfs entries with cat and echo.
+// It reads commands from stdin (or from -script) and advances virtual
+// time on demand.
+//
+// Commands:
+//
+//	add <name> <period> <wcet>    register a task (release deferred)
+//	add! <name> <period> <wcet>   register a task (release immediately)
+//	rm <name>                     deregister a task
+//	policy <name>                 hot-swap the RT-DVS policy module
+//	step <ms>                     advance virtual time
+//	status                        dump kernel state
+//	power                         average system power since last `mark`
+//	mark                          start a new power-measurement window
+//	quit                          exit
+//
+// Example session:
+//
+//	$ rtdvs-rtos
+//	> add video 33 10
+//	> add audio 10 2
+//	> step 1000
+//	> power
+//	> policy laEDF
+//	> step 1000
+//	> power
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"rtdvs/internal/core"
+	"rtdvs/internal/machine"
+	"rtdvs/internal/rtos"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rtdvs-rtos: ")
+	mname := flag.String("machine", "k6-2+", "machine spec: "+strings.Join(machine.Names(), ", "))
+	pname := flag.String("policy", "ccEDF", "initial policy: "+strings.Join(core.Names(), ", "))
+	script := flag.String("script", "", "read commands from this file instead of stdin")
+	flag.Parse()
+
+	spec := machine.ByName(*mname)
+	if spec == nil {
+		log.Fatalf("unknown machine %q", *mname)
+	}
+	p, err := core.ByName(*pname)
+	if err != nil {
+		log.Fatal(err)
+	}
+	k, err := rtos.NewKernel(spec, machine.K62SwitchOverhead, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	meter := rtos.NewPowerMeter(k.CPU(), rtos.DefaultSystemPower(), false, false)
+	meter.Mark(0)
+
+	in := os.Stdin
+	interactive := true
+	if *script != "" {
+		f, err := os.Open(*script)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+		interactive = false
+	}
+
+	sc := bufio.NewScanner(in)
+	for {
+		if interactive {
+			fmt.Printf("[t=%.3f ms] > ", k.Now())
+		}
+		if !sc.Scan() {
+			break
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !interactive {
+			fmt.Printf("[t=%.3f ms] > %s\n", k.Now(), line)
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "quit", "exit":
+			return
+		case "status":
+			fmt.Print(k.Status())
+		case "step":
+			if len(fields) != 2 {
+				fmt.Println("usage: step <ms>")
+				continue
+			}
+			ms, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil || ms <= 0 {
+				fmt.Printf("bad duration %q\n", fields[1])
+				continue
+			}
+			k.Step(k.Now() + ms)
+			fmt.Printf("advanced to %.3f ms (misses so far: %d)\n", k.Now(), len(k.Misses()))
+		case "mark":
+			meter.Mark(k.Now())
+			fmt.Println("measurement window restarted")
+		case "power":
+			fmt.Printf("average system power since mark: %.2f W (CPU-only: %.3f units)\n",
+				meter.Average(k.Now()), meter.CPUOnlyAverage(k.Now()))
+		default:
+			out, err := k.Command(line)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Println(out)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+}

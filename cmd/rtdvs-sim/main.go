@@ -1,0 +1,170 @@
+// Command rtdvs-sim runs one RT-DVS simulation and reports energy, timing
+// and deadline outcomes. The task set comes from a JSON file, an inline
+// spec, or the paper's random generator.
+//
+// Examples:
+//
+//	rtdvs-sim -set "3:8,3:10,1:14" -policy laEDF -horizon 16 -trace
+//	rtdvs-sim -n 8 -u 0.7 -seed 42 -policy ccEDF -exec c=0.9
+//	rtdvs-sim -file tasks.json -machine machine2 -json
+//
+// Inline sets are comma-separated "WCET:period" pairs in milliseconds.
+// JSON files hold an array of {"name": ..., "period": ..., "wcet": ...}.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"rtdvs/internal/core"
+	"rtdvs/internal/machine"
+	"rtdvs/internal/sim"
+	"rtdvs/internal/task"
+	"rtdvs/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rtdvs-sim: ")
+	var (
+		file     = flag.String("file", "", "JSON file with the task set")
+		inline   = flag.String("set", "", `inline task set, e.g. "3:8,3:10,1:14" (WCET:period)`)
+		n        = flag.Int("n", 0, "generate a random set with this many tasks")
+		u        = flag.Float64("u", 0.7, "target utilization for -n")
+		seed     = flag.Int64("seed", 1, "RNG seed for -n and uniform execution")
+		policy   = flag.String("policy", "laEDF", "policy: "+strings.Join(core.Names(), ", "))
+		mname    = flag.String("machine", "machine0", "machine spec: "+strings.Join(machine.Names(), ", "))
+		idle     = flag.Float64("idle", 0, "idle level factor in [0,1]")
+		execSpec = flag.String("exec", "wcet", `execution model: "wcet", "c=<frac>", or "uniform"`)
+		horizon  = flag.Float64("horizon", 0, "simulated duration in ms (0 = 20×longest period)")
+		overhead = flag.Bool("overhead", false, "model the K6-2+ switch stop intervals")
+		showTr   = flag.Bool("trace", false, "print the execution trace")
+		asJSON   = flag.Bool("json", false, "emit the result as JSON")
+	)
+	flag.Parse()
+
+	ts, err := loadTaskSet(*file, *inline, *n, *u, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := machine.ByName(*mname)
+	if spec == nil {
+		log.Fatalf("unknown machine %q (have: %s)", *mname, strings.Join(machine.Names(), ", "))
+	}
+	spec = spec.WithIdleLevel(*idle)
+	p, err := core.ByName(*policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exec, err := parseExec(*execSpec, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := sim.Config{Tasks: ts, Machine: spec, Policy: p, Exec: exec, Horizon: *horizon}
+	if *overhead {
+		oh := machine.K62SwitchOverhead
+		cfg.Overhead = &oh
+	}
+	var rec trace.Recorder
+	if *showTr {
+		cfg.Recorder = &rec
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("task set: %s\n", ts)
+	fmt.Printf("machine:  %s\n", spec)
+	fmt.Printf("policy:   %s (guaranteed=%v)\n", res.Policy, res.Guaranteed)
+	fmt.Printf("horizon:  %.6g ms\n", res.Horizon)
+	fmt.Printf("energy:   %.6g (exec %.6g + idle %.6g), avg power %.4g\n",
+		res.TotalEnergy, res.ExecEnergy, res.IdleEnergy, res.AvgPower())
+	fmt.Printf("cycles:   %.6g in %.6g ms busy, %.6g ms idle, %d switches\n",
+		res.CyclesDone, res.BusyTime, res.IdleTime, res.Switches)
+	fmt.Printf("releases: %d, completions: %d, misses: %d\n",
+		res.Releases, res.Completions, res.MissCount())
+	for _, m := range res.Misses {
+		fmt.Printf("  MISS task %d invocation %d at deadline %.4g (%.4g cycles left)\n",
+			m.Task, m.Inv, m.Deadline, m.Remaining)
+	}
+	if *showTr {
+		names := make([]string, ts.Len())
+		for i := range names {
+			names[i] = ts.Task(i).Name
+		}
+		fmt.Println()
+		fmt.Print(trace.Render(rec.Segments(), trace.RenderOptions{Width: 72, TaskNames: names}))
+	}
+}
+
+func loadTaskSet(file, inline string, n int, u float64, seed int64) (*task.Set, error) {
+	switch {
+	case file != "":
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		var tasks []task.Task
+		if err := json.Unmarshal(data, &tasks); err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", file, err)
+		}
+		return task.NewSet(tasks...)
+
+	case inline != "":
+		var tasks []task.Task
+		for _, part := range strings.Split(inline, ",") {
+			cw := strings.SplitN(strings.TrimSpace(part), ":", 2)
+			if len(cw) != 2 {
+				return nil, fmt.Errorf("bad task %q: want WCET:period", part)
+			}
+			c, err := strconv.ParseFloat(cw[0], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad WCET in %q: %w", part, err)
+			}
+			p, err := strconv.ParseFloat(cw[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad period in %q: %w", part, err)
+			}
+			tasks = append(tasks, task.Task{WCET: c, Period: p})
+		}
+		return task.NewSet(tasks...)
+
+	case n > 0:
+		g := task.Generator{N: n, Utilization: u, Rand: rand.New(rand.NewSource(seed))}
+		return g.Generate()
+	}
+	return nil, fmt.Errorf("specify a task set with -file, -set, or -n")
+}
+
+func parseExec(spec string, seed int64) (task.ExecModel, error) {
+	switch {
+	case spec == "wcet" || spec == "":
+		return task.FullWCET{}, nil
+	case spec == "uniform":
+		return task.UniformFraction{Lo: 0, Hi: 1, Rand: rand.New(rand.NewSource(seed + 1))}, nil
+	case strings.HasPrefix(spec, "c="):
+		c, err := strconv.ParseFloat(spec[2:], 64)
+		if err != nil || c <= 0 || c > 1 {
+			return nil, fmt.Errorf("bad execution fraction %q", spec)
+		}
+		return task.ConstantFraction{C: c}, nil
+	}
+	return nil, fmt.Errorf("unknown execution model %q", spec)
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rtdvs/internal/task"
+)
+
+func TestLoadTaskSetInline(t *testing.T) {
+	ts, err := loadTaskSet("", "3:8, 3:10 ,1:14", 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Len() != 3 {
+		t.Fatalf("len = %d", ts.Len())
+	}
+	if got := ts.Task(0); got.WCET != 3 || got.Period != 8 {
+		t.Errorf("task 0 = %+v", got)
+	}
+	if math.Abs(ts.Utilization()-task.PaperExample().Utilization()) > 1e-9 {
+		t.Errorf("utilization = %v", ts.Utilization())
+	}
+}
+
+func TestLoadTaskSetInlineErrors(t *testing.T) {
+	for _, bad := range []string{"", "3", "3:8,xx:10", "3:yy", "9:8", "0:8"} {
+		if _, err := loadTaskSet("", bad, 0, 0, 0); err == nil {
+			t.Errorf("inline %q accepted", bad)
+		}
+	}
+}
+
+func TestLoadTaskSetJSON(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tasks.json")
+	body := `[{"name":"a","period":10,"wcet":2},{"name":"b","period":20,"wcet":5}]`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ts, err := loadTaskSet(path, "", 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Len() != 2 || ts.Task(1).Name != "b" {
+		t.Errorf("parsed %v", ts)
+	}
+
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadTaskSet(path, "", 0, 0, 0); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	if _, err := loadTaskSet(filepath.Join(dir, "missing.json"), "", 0, 0, 0); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestLoadTaskSetGenerated(t *testing.T) {
+	ts, err := loadTaskSet("", "", 6, 0.7, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Len() != 6 || math.Abs(ts.Utilization()-0.7) > 1e-6 {
+		t.Errorf("generated %v", ts)
+	}
+	// Same seed, same set.
+	ts2, _ := loadTaskSet("", "", 6, 0.7, 42)
+	if ts.String() != ts2.String() {
+		t.Error("generation not deterministic")
+	}
+}
+
+func TestLoadTaskSetNoSource(t *testing.T) {
+	if _, err := loadTaskSet("", "", 0, 0.7, 1); err == nil {
+		t.Error("no source accepted")
+	}
+}
+
+func TestParseExec(t *testing.T) {
+	if m, err := parseExec("wcet", 1); err != nil || m.String() != "wcet" {
+		t.Errorf("wcet: %v %v", m, err)
+	}
+	if m, err := parseExec("", 1); err != nil || m.String() != "wcet" {
+		t.Errorf("empty: %v %v", m, err)
+	}
+	if m, err := parseExec("c=0.9", 1); err != nil || m.String() != "c=0.9" {
+		t.Errorf("c=0.9: %v %v", m, err)
+	}
+	if m, err := parseExec("uniform", 1); err != nil || m.String() != "uniform" {
+		t.Errorf("uniform: %v %v", m, err)
+	}
+	for _, bad := range []string{"c=", "c=0", "c=1.5", "c=x", "gauss"} {
+		if _, err := parseExec(bad, 1); err == nil {
+			t.Errorf("exec %q accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+// Command rtdvs-trace reproduces the paper's worked example: the Table 2
+// task set with the Table 3 actual execution times, simulated for 16 ms on
+// machine 0 under each policy. It prints the execution trace of every
+// policy (the panels of Figures 2, 3, 5 and 7) and the resulting
+// normalized energy comparison (Table 4).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"rtdvs/internal/core"
+	"rtdvs/internal/experiment"
+	"rtdvs/internal/task"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rtdvs-trace: ")
+	policy := flag.String("policy", "", "trace only this policy (default: all)")
+	flag.Parse()
+
+	ts := task.PaperExample()
+	fmt.Println("Worked example (paper Tables 2 and 3):")
+	for i := 0; i < ts.Len(); i++ {
+		fmt.Printf("  %s\n", ts.Task(i))
+	}
+	fmt.Printf("  total worst-case utilization: %.3f\n", ts.Utilization())
+	fmt.Println("  actual execution times: T1: 2,1 ms; T2: 1,1 ms; T3: 1,1 ms")
+	fmt.Println()
+
+	names := core.Names()
+	if *policy != "" {
+		names = []string{*policy}
+	}
+	for _, name := range names {
+		_, chart, err := experiment.ExampleTrace(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("--- %s ---\n%s\n", name, chart)
+	}
+
+	rows, err := experiment.Table4()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(experiment.RenderTable4(rows))
+	for _, r := range rows {
+		if r.Misses > 0 {
+			fmt.Fprintf(os.Stderr, "warning: %s missed %d deadlines\n", r.Policy, r.Misses)
+		}
+	}
+}

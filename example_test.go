@@ -1,0 +1,136 @@
+package rtdvs_test
+
+import (
+	"fmt"
+	"log"
+
+	"rtdvs"
+)
+
+// ExampleSimulate reproduces the paper's Table 4 for the worked example:
+// the Table 2 task set with the Table 3 actual execution times, 16 ms on
+// machine 0.
+func ExampleSimulate() {
+	ts := rtdvs.PaperExampleTaskSet()
+	exec := rtdvs.ConstantFraction{C: 1.0} // worst case for a deterministic doc example
+
+	var baseline float64
+	for _, name := range []string{"none", "staticEDF", "laEDF"} {
+		policy, err := rtdvs.NewPolicy(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := rtdvs.Simulate(rtdvs.SimConfig{
+			Tasks:   ts,
+			Machine: rtdvs.Machine0(),
+			Policy:  policy,
+			Exec:    exec,
+			Horizon: 280, // one hyperperiod of the 8/10/14 ms set
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if name == "none" {
+			baseline = res.TotalEnergy
+		}
+		fmt.Printf("%-9s energy=%.2f misses=%d\n", name, res.TotalEnergy/baseline, res.MissCount())
+	}
+	// Output:
+	// none      energy=1.00 misses=0
+	// staticEDF energy=0.64 misses=0
+	// laEDF     energy=0.69 misses=0
+}
+
+// ExampleNewTaskSet shows task-set construction and the schedulability
+// tests of Figure 1.
+func ExampleNewTaskSet() {
+	ts, err := rtdvs.NewTaskSet(
+		rtdvs.Task{Name: "T1", Period: 8, WCET: 3},
+		rtdvs.Task{Name: "T2", Period: 10, WCET: 3},
+		rtdvs.Task{Name: "T3", Period: 14, WCET: 1},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("U=%.3f\n", ts.Utilization())
+	fmt.Println("EDF at 0.75:", rtdvs.EDFSchedulable(ts, 0.75))
+	fmt.Println("RM  at 0.75:", rtdvs.RMSchedulable(ts, 0.75))
+	fmt.Println("RM  at 1.00:", rtdvs.RMSchedulable(ts, 1.0))
+	// Output:
+	// U=0.746
+	// EDF at 0.75: true
+	// RM  at 0.75: false
+	// RM  at 1.00: true
+}
+
+// ExampleLowerBound computes the theoretical minimum energy for a given
+// amount of computation — the reference curve of the paper's figures.
+func ExampleLowerBound() {
+	m := rtdvs.Machine0()
+	// 50 cycles over 100 ms: average rate 0.5, exactly the 0.5@3V point.
+	e, err := rtdvs.LowerBound(m, 50, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bound=%.0f (vs %.0f at full speed)\n", e, 50*25.0)
+	// Output:
+	// bound=450 (vs 1250 at full speed)
+}
+
+// ExampleNewKernel runs the RTOS kernel with a hot policy swap.
+func ExampleNewKernel() {
+	policy, err := rtdvs.NewPolicy("ccEDF")
+	if err != nil {
+		log.Fatal(err)
+	}
+	k, err := rtdvs.NewKernelNoOverhead(rtdvs.Machine0(), policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := k.AddTask(rtdvs.KernelTaskConfig{Name: "ctl", Period: 10, WCET: 4},
+		rtdvs.KernelAddOptions{Immediate: true}); err != nil {
+		log.Fatal(err)
+	}
+	k.Step(1000)
+	la, err := rtdvs.NewPolicy("laEDF")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := k.SetPolicy(la); err != nil {
+		log.Fatal(err)
+	}
+	k.Step(2000)
+	fmt.Printf("policy=%s misses=%d\n", k.Policy().Name(), len(k.Misses()))
+	// Output:
+	// policy=laEDF misses=0
+}
+
+// ExampleKernel_TryAddImmediate demonstrates smart admission: under the
+// phase-robust ccEDF the new task is released immediately; under laEDF
+// the kernel falls back to the paper's deferred-release rule.
+func ExampleKernel_TryAddImmediate() {
+	for _, name := range []string{"ccEDF", "laEDF"} {
+		policy, err := rtdvs.NewExtendedPolicy(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		k, err := rtdvs.NewKernelNoOverhead(rtdvs.Machine0(), policy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := k.AddTask(rtdvs.KernelTaskConfig{Name: "base", Period: 10, WCET: 5},
+			rtdvs.KernelAddOptions{Immediate: true}); err != nil {
+			log.Fatal(err)
+		}
+		k.Step(17)
+		_, immediate, err := k.TryAddImmediate(rtdvs.KernelTaskConfig{Name: "new", Period: 20, WCET: 6})
+		if err != nil {
+			log.Fatal(err)
+		}
+		k.Step(500)
+		fmt.Printf("%-6s immediate=%-5v misses=%d\n", name, immediate, len(k.Misses()))
+	}
+	// Output:
+	// ccEDF  immediate=true  misses=0
+	// laEDF  immediate=false misses=0
+}

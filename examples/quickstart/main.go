@@ -1,0 +1,79 @@
+// Quickstart: simulate one task set under every RT-DVS policy and compare
+// energy use against the non-DVS baseline and the theoretical lower
+// bound.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rtdvs"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A small embedded workload: a 30 Hz control loop, a sensor filter,
+	// and a housekeeping task. Times in milliseconds; WCET at full speed.
+	ts, err := rtdvs.NewTaskSet(
+		rtdvs.Task{Name: "control", Period: 33, WCET: 8},
+		rtdvs.Task{Name: "filter", Period: 10, WCET: 2},
+		rtdvs.Task{Name: "house", Period: 250, WCET: 40},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("task set: %s\n", ts)
+	fmt.Printf("EDF-schedulable at full speed: %v\n\n", rtdvs.EDFSchedulable(ts, 1))
+
+	// Tasks typically use ~60% of their worst case per invocation.
+	exec := rtdvs.ConstantFraction{C: 0.6}
+	m := rtdvs.Machine0()
+
+	var baseline float64
+	fmt.Printf("%-10s %12s %10s %8s %s\n", "policy", "energy", "vs none", "switches", "misses")
+	for _, name := range rtdvs.PolicyNames() {
+		policy, err := rtdvs.NewPolicy(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := rtdvs.Simulate(rtdvs.SimConfig{
+			Tasks:   ts,
+			Machine: m,
+			Policy:  policy,
+			Exec:    exec,
+			Horizon: 5000,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if name == "none" {
+			baseline = res.TotalEnergy
+		}
+		fmt.Printf("%-10s %12.0f %9.0f%% %8d %d\n",
+			name, res.TotalEnergy, 100*res.TotalEnergy/baseline, res.Switches, res.MissCount())
+	}
+
+	// How close can any algorithm possibly get?
+	base, err := rtdvs.Simulate(rtdvs.SimConfig{
+		Tasks: ts, Machine: m, Policy: mustPolicy("none"), Exec: exec, Horizon: 5000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	lb, err := rtdvs.LowerBound(m, base.CyclesDone, base.Horizon)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntheoretical lower bound: %.0f (%.0f%% of baseline)\n", lb, 100*lb/baseline)
+}
+
+func mustPolicy(name string) rtdvs.Policy {
+	p, err := rtdvs.NewPolicy(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p
+}

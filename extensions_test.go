@@ -1,0 +1,145 @@
+package rtdvs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFacadeExtendedPolicies(t *testing.T) {
+	for _, name := range ExtendedPolicyNames() {
+		if _, err := NewExtendedPolicy(name); err != nil {
+			t.Errorf("NewExtendedPolicy(%q): %v", name, err)
+		}
+	}
+	if _, err := NewExtendedPolicy("bogus"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if _, err := IntervalDVS(0, 0.7); err == nil {
+		t.Error("bad governor window accepted")
+	}
+	if _, err := StatisticalEDF(2); err == nil {
+		t.Error("bad quantile accepted")
+	}
+}
+
+func TestFacadePhaseRobustMarker(t *testing.T) {
+	cc, err := NewPolicy("ccEDF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cc.(PhaseRobustPolicy); !ok {
+		t.Error("ccEDF should be phase robust")
+	}
+	la, err := NewPolicy("laEDF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := la.(PhaseRobustPolicy); ok {
+		t.Error("laEDF must not be phase robust")
+	}
+}
+
+func TestFacadeClairvoyantBound(t *testing.T) {
+	ts := PaperExampleTaskSet()
+	m := Machine0()
+	cb, err := ClairvoyantBound(m, ts, ConstantFraction{C: 0.9}, 280)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sandwiched between the throughput bound and the best policy.
+	lb, err := LowerBound(m, 0.9*(35*3+28*3+20*1), 280)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cb < lb-1e-6 {
+		t.Errorf("clairvoyant %v below throughput bound %v", cb, lb)
+	}
+	la, err := NewPolicy("laEDF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(SimConfig{Tasks: ts, Machine: m, Policy: la, Exec: ConstantFraction{C: 0.9}, Horizon: 280})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalEnergy < cb-1e-6 {
+		t.Errorf("laEDF %v beats the clairvoyant bound %v", res.TotalEnergy, cb)
+	}
+}
+
+func TestFacadeBatteryAndThermal(t *testing.T) {
+	b, err := NewBattery(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := b.Lifetime(5); h <= 0 || math.IsInf(h, 1) {
+		t.Errorf("lifetime = %v", h)
+	}
+	th, err := NewThermal(25, 3, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th.Step(10, 1000)
+	if th.Temperature() <= 25 {
+		t.Error("no heating")
+	}
+}
+
+func TestFacadeDeferrableServerAndWorkload(t *testing.T) {
+	p, err := NewPolicy("ccEDF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := NewKernelNoOverhead(Machine0(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.AddTask(KernelTaskConfig{Name: "hard", Period: 10, WCET: 3},
+		KernelAddOptions{Immediate: true}); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewDeferrableServer(k, "ds", 40, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := AperiodicWorkload{MeanInterarrival: 100, MeanCycles: 2, Rand: rand.New(rand.NewSource(6))}
+	arrivals, err := w.Generate(3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, err := ReplayAperiodic(k, srv, arrivals, 3200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(mean) || mean <= 0 {
+		t.Errorf("mean response = %v", mean)
+	}
+	if len(k.Misses()) != 0 {
+		t.Errorf("hard misses: %v", k.Misses())
+	}
+}
+
+func TestFacadeEventLogAndSporadic(t *testing.T) {
+	p, err := NewPolicy("ccEDF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := NewKernelNoOverhead(Machine0(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := NewEventLog(128)
+	k.SetEventLog(log)
+	id, err := k.AddSporadic(KernelTaskConfig{Name: "alarm", Period: 50, WCET: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Trigger(id); err != nil {
+		t.Fatal(err)
+	}
+	k.Step(100)
+	if log.Len() == 0 {
+		t.Error("no events traced")
+	}
+}

@@ -1,0 +1,3 @@
+module rtdvs
+
+go 1.22

@@ -1,0 +1,107 @@
+// Package bound computes the theoretical lower bound on energy used as
+// the reference curve in the paper's figures (Section 3.2). The bound
+// reflects execution throughput only: given the total number of task
+// computation cycles in a simulation, it is the absolute minimum energy
+// with which those cycles can be executed over the simulation duration on
+// the given platform, ignoring all timing constraints. No real algorithm
+// can do better.
+package bound
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rtdvs/internal/machine"
+)
+
+// point is one option on the rate/power plane: executing at rate f costs
+// power p per unit time.
+type point struct {
+	f, p float64
+}
+
+// hull returns the lower convex hull of the platform's rate/power options,
+// including the idle pseudo-option (rate 0 at the cheapest halted power).
+// Mixing two options time-wise achieves any rate between them at the
+// linear interpolation of their powers, so the achievable minimum power at
+// rate r is the hull evaluated at r.
+func hull(spec *machine.Spec) []point {
+	pts := make([]point, 0, len(spec.Points)+1)
+	// Idle option: halted at the cheapest point (dynamic policies halt at
+	// the platform minimum).
+	idle := math.Inf(1)
+	for _, op := range spec.Points {
+		if p := spec.IdlePower(op); p < idle {
+			idle = p
+		}
+	}
+	pts = append(pts, point{0, idle})
+	for _, op := range spec.Points {
+		pts = append(pts, point{op.Freq, op.Power()})
+	}
+	sort.Slice(pts, func(a, b int) bool { return pts[a].f < pts[b].f })
+
+	// Monotone-chain lower hull.
+	h := pts[:0:0]
+	for _, p := range pts {
+		for len(h) >= 2 && cross(h[len(h)-2], h[len(h)-1], p) <= 0 {
+			h = h[:len(h)-1]
+		}
+		h = append(h, p)
+	}
+	return h
+}
+
+// cross returns the z-component of (b−a)×(c−a); ≤ 0 means b is not below
+// the a–c chord.
+func cross(a, b, c point) float64 {
+	return (b.f-a.f)*(c.p-a.p) - (b.p-a.p)*(c.f-a.f)
+}
+
+// MinPower returns the minimum achievable average power while sustaining
+// the given average execution rate (cycles per millisecond, relative to
+// full speed) on the platform.
+func MinPower(spec *machine.Spec, rate float64) (float64, error) {
+	if err := spec.Validate(); err != nil {
+		return 0, err
+	}
+	if rate < 0 {
+		return 0, fmt.Errorf("bound: negative rate %v", rate)
+	}
+	h := hull(spec)
+	if rate > h[len(h)-1].f+1e-9 {
+		return 0, fmt.Errorf("bound: rate %v exceeds platform capacity %v", rate, h[len(h)-1].f)
+	}
+	if rate >= h[len(h)-1].f {
+		return h[len(h)-1].p, nil
+	}
+	// Find the hull segment containing the rate and interpolate.
+	for i := 0; i+1 < len(h); i++ {
+		a, b := h[i], h[i+1]
+		if rate <= b.f+1e-12 {
+			if b.f == a.f {
+				return a.p, nil
+			}
+			t := (rate - a.f) / (b.f - a.f)
+			if t < 0 {
+				t = 0
+			}
+			return a.p + t*(b.p-a.p), nil
+		}
+	}
+	return h[len(h)-1].p, nil
+}
+
+// Energy returns the theoretical minimum energy for executing `cycles`
+// cycles over `duration` milliseconds on the platform.
+func Energy(spec *machine.Spec, cycles, duration float64) (float64, error) {
+	if duration <= 0 {
+		return 0, fmt.Errorf("bound: non-positive duration %v", duration)
+	}
+	p, err := MinPower(spec, cycles/duration)
+	if err != nil {
+		return 0, err
+	}
+	return p * duration, nil
+}

@@ -1,0 +1,170 @@
+package bound
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rtdvs/internal/machine"
+)
+
+func TestMinPowerAtOperatingPoints(t *testing.T) {
+	m := machine.Machine0()
+	// At an exact hull vertex the bound equals the point's power.
+	cases := []struct {
+		rate float64
+		want float64
+	}{
+		{0, 0},       // idle (perfect halt)
+		{0.5, 4.5},   // 0.5 × 9
+		{1.0, 25},    // 1.0 × 25
+		{0.25, 2.25}, // half idle, half at 0.5
+		{0.1, 0.9},   // linear from idle to 0.5
+	}
+	for _, c := range cases {
+		got, err := MinPower(m, c.rate)
+		if err != nil {
+			t.Fatalf("rate %v: %v", c.rate, err)
+		}
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("MinPower(%v) = %v, want %v", c.rate, got, c.want)
+		}
+	}
+}
+
+// The 0.75 point on machine 0 is above the hull chord between 0.5 and 1.0:
+// chord power at 0.75 = (4.5+25)/2 = 14.75 > 12, so the point IS on the
+// hull and the bound uses it.
+func TestMinPowerUsesIntermediatePoint(t *testing.T) {
+	m := machine.Machine0()
+	got, err := MinPower(m, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-12) > 1e-9 {
+		t.Errorf("MinPower(0.75) = %v, want 12 (the 0.75@4V point)", got)
+	}
+}
+
+// A deliberately bad intermediate point must be hulled away.
+func TestMinPowerHullsAwayBadPoints(t *testing.T) {
+	m := &machine.Spec{
+		Name: "bad-mid",
+		Points: []machine.OperatingPoint{
+			{Freq: 0.5, Voltage: 3},  // power 4.5
+			{Freq: 0.75, Voltage: 5}, // power 18.75 — worse than mixing
+			{Freq: 1.0, Voltage: 5},  // power 25
+		},
+	}
+	got, err := MinPower(m, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (4.5 + 25) / 2 // mix 0.5 and 1.0 half-time each
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("MinPower(0.75) = %v, want chord %v", got, want)
+	}
+}
+
+func TestMinPowerErrors(t *testing.T) {
+	m := machine.Machine0()
+	if _, err := MinPower(m, -0.1); err == nil {
+		t.Error("negative rate should fail")
+	}
+	if _, err := MinPower(m, 1.1); err == nil {
+		t.Error("rate beyond capacity should fail")
+	}
+	if _, err := MinPower(&machine.Spec{}, 0.5); err == nil {
+		t.Error("invalid spec should fail")
+	}
+}
+
+func TestEnergyScalesWithDuration(t *testing.T) {
+	m := machine.Machine0()
+	e1, err := Energy(m, 50, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Energy(m, 100, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(2*e1-e2) > 1e-9 {
+		t.Errorf("Energy not linear in (cycles, duration): %v vs %v", e1, e2)
+	}
+	if _, err := Energy(m, 10, 0); err == nil {
+		t.Error("zero duration should fail")
+	}
+}
+
+// With a non-zero idle level the idle pseudo-point costs the cheapest
+// halted power, raising the bound at low rates.
+func TestIdleLevelRaisesBound(t *testing.T) {
+	m0 := machine.Machine0()
+	m5 := machine.Machine0().WithIdleLevel(0.5)
+	lo, err := MinPower(m0, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := MinPower(m5, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi <= lo {
+		t.Errorf("idle level 0.5 bound %v not above perfect-halt bound %v", hi, lo)
+	}
+	// At rate 0 the bound is exactly the cheapest idle power: 0.5 × 4.5 × 0.5.
+	idle, err := MinPower(m5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(idle-0.5*4.5) > 1e-9 {
+		t.Errorf("idle bound = %v, want 2.25", idle)
+	}
+}
+
+// MinPower must be monotone non-decreasing and convex in the rate.
+func TestMinPowerMonotoneConvexProperty(t *testing.T) {
+	m := machine.Machine2()
+	f := func(a, b float64) bool {
+		ra := math.Mod(math.Abs(a), 1.0)
+		rb := math.Mod(math.Abs(b), 1.0)
+		if ra > rb {
+			ra, rb = rb, ra
+		}
+		pa, err1 := MinPower(m, ra)
+		pb, err2 := MinPower(m, rb)
+		pm, err3 := MinPower(m, (ra+rb)/2)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		if pa > pb+1e-9 {
+			return false // monotonicity
+		}
+		return pm <= (pa+pb)/2+1e-9 // convexity
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The bound can never exceed "run everything at the frequency just
+// covering the rate", the naive strategy of the static policies.
+func TestBoundBelowNaiveStaticStrategy(t *testing.T) {
+	for _, m := range []*machine.Spec{machine.Machine0(), machine.Machine1(), machine.Machine2(), machine.LaptopK62()} {
+		for rate := 0.05; rate <= 1.0; rate += 0.05 {
+			op, err := m.LowestAtLeast(rate)
+			if err != nil {
+				t.Fatal(err)
+			}
+			naive := rate * op.EnergyPerCycle() // cycles/ms × V², idle free
+			got, err := MinPower(m, rate)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got > naive+1e-9 {
+				t.Errorf("%s rate %v: bound %v above naive %v", m.Name, rate, got, naive)
+			}
+		}
+	}
+}

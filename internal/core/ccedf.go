@@ -1,0 +1,75 @@
+package core
+
+import (
+	"rtdvs/internal/machine"
+	"rtdvs/internal/sched"
+	"rtdvs/internal/task"
+)
+
+// ccEDF implements cycle-conserving EDF (Section 2.4, Figure 4).
+//
+// The policy tracks a per-task utilization U_i. When task i is released,
+// the conservative worst case must be assumed, so U_i = C_i/P_i; when it
+// completes after consuming cc_i cycles, U_i is lowered to cc_i/P_i until
+// the next release. At every release and completion the operating
+// frequency is set to the lowest fi with ΣU_j ≤ fi. Because a completed
+// task cannot exceed its (lowered) bound before its next release, the EDF
+// schedulability test keeps holding and deadline guarantees are preserved.
+type ccEDF struct {
+	base
+	util []float64 // U_i, per task
+}
+
+// CycleConservingEDF returns the cycle-conserving EDF policy.
+func CycleConservingEDF() Policy { return &ccEDF{} }
+
+func (p *ccEDF) Name() string          { return "ccEDF" }
+func (p *ccEDF) Scheduler() sched.Kind { return sched.EDF }
+
+func (p *ccEDF) Attach(ts *task.Set, m *machine.Spec) error {
+	if err := p.attach(ts, m); err != nil {
+		return err
+	}
+	p.guaranteed = sched.EDFTest(ts, 1)
+	p.util = make([]float64, ts.Len())
+	for i := range p.util {
+		// Before the first release each task is charged its worst case,
+		// matching the static starting point.
+		p.util[i] = ts.Task(i).Utilization()
+	}
+	p.selectFrequency()
+	return nil
+}
+
+// selectFrequency implements Figure 4's select_frequency(): lowest fi such
+// that U_1 + ... + U_n ≤ fi/fm.
+func (p *ccEDF) selectFrequency() {
+	var sum float64
+	for _, u := range p.util {
+		sum += u
+	}
+	p.setLowestAtLeast(sum)
+}
+
+func (p *ccEDF) OnRelease(_ System, i int) {
+	p.util[i] = p.ts.Task(i).Utilization()
+	p.selectFrequency()
+}
+
+func (p *ccEDF) OnCompletion(_ System, i int, used float64) {
+	p.util[i] = used / p.ts.Task(i).Period
+	p.selectFrequency()
+}
+
+func (p *ccEDF) OnExecute(int, float64) {}
+
+// IdlePoint drops to the platform minimum while halted: the dynamic
+// schemes switch to the lowest frequency and voltage during idle
+// (Section 3.2).
+func (p *ccEDF) IdlePoint() machine.OperatingPoint { return p.m.Min() }
+
+// PhaseRobust marks ccEDF as safe under arbitrary phasing: the selected
+// frequency always covers every task's reserved utilization, and a
+// completed task cannot exceed its lowered reservation before its next
+// release.
+func (p *ccEDF) PhaseRobust() {}

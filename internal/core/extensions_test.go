@@ -1,0 +1,195 @@
+package core
+
+import (
+	"testing"
+
+	"rtdvs/internal/machine"
+	"rtdvs/internal/sched"
+	"rtdvs/internal/task"
+)
+
+func TestIntervalDVSValidation(t *testing.T) {
+	if _, err := IntervalDVS(0, 0.7); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := IntervalDVS(-5, 0.7); err == nil {
+		t.Error("negative window accepted")
+	}
+	if _, err := IntervalDVS(20, 0); err == nil {
+		t.Error("zero target accepted")
+	}
+	if _, err := IntervalDVS(20, 1.5); err == nil {
+		t.Error("target above 1 accepted")
+	}
+}
+
+func TestIntervalDVSNeverGuaranteed(t *testing.T) {
+	p, err := IntervalDVS(20, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Attach(task.PaperExample(), machine.Machine0()); err != nil {
+		t.Fatal(err)
+	}
+	if p.Guaranteed() {
+		t.Error("an average-throughput governor must never claim deadline guarantees")
+	}
+	if p.Scheduler() != sched.EDF {
+		t.Errorf("scheduler = %v", p.Scheduler())
+	}
+}
+
+func TestIntervalDVSTracksLoad(t *testing.T) {
+	p, err := IntervalDVS(10, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := task.MustSet(task.Task{Period: 10, WCET: 5})
+	if err := p.Attach(ts, machine.Machine0()); err != nil {
+		t.Fatal(err)
+	}
+	if p.Point().Freq != 1.0 {
+		t.Fatalf("governor should start at full speed, got %v", p.Point().Freq)
+	}
+	sys := &fakeSystem{deadlines: []float64{10}}
+
+	// Window 1: 4 cycles of work observed → rate 0.4 → frequency 0.5.
+	p.OnExecute(0, 4)
+	sys.now = 10
+	p.OnRelease(sys, 0)
+	if p.Point().Freq != 0.5 {
+		t.Errorf("after 0.4 load window: freq %v, want 0.5", p.Point().Freq)
+	}
+
+	// Window 2: heavy (7 cycles) → rate 0.7 → frequency 0.75.
+	p.OnExecute(0, 7)
+	sys.now = 20
+	p.OnRelease(sys, 0)
+	if p.Point().Freq != 0.75 {
+		t.Errorf("after 0.7 load window: freq %v, want 0.75", p.Point().Freq)
+	}
+
+	// Idle windows: rate 0 → minimum.
+	sys.now = 50
+	p.OnRelease(sys, 0)
+	if p.Point().Freq != 0.5 {
+		t.Errorf("after idle windows: freq %v, want 0.5", p.Point().Freq)
+	}
+}
+
+func TestStatisticalEDFValidation(t *testing.T) {
+	for _, q := range []float64{0, 1, -0.2, 1.2} {
+		if _, err := StatisticalEDF(q); err == nil {
+			t.Errorf("quantile %v accepted", q)
+		}
+	}
+}
+
+func TestStatisticalEDFWarmupIsWorstCase(t *testing.T) {
+	p, err := StatisticalEDF(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Attach(task.PaperExample(), machine.Machine0()); err != nil {
+		t.Fatal(err)
+	}
+	if p.Guaranteed() {
+		t.Error("statistical guarantees must not be reported as absolute")
+	}
+	sys := &fakeSystem{deadlines: []float64{8, 10, 14}}
+	for i := 0; i < 3; i++ {
+		p.OnRelease(sys, i)
+	}
+	// During warmup the reservations equal the worst case: U=0.746 → 0.75,
+	// exactly like ccEDF.
+	if p.Point().Freq != 0.75 {
+		t.Errorf("warmup frequency = %v, want 0.75", p.Point().Freq)
+	}
+}
+
+func TestStatisticalEDFLearnsAndReservesLess(t *testing.T) {
+	// One task with WCET 8 of period 10, but actual demand always 2.
+	ts := task.MustSet(task.Task{Period: 10, WCET: 8})
+	p, err := StatisticalEDF(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Attach(ts, machine.Machine0()); err != nil {
+		t.Fatal(err)
+	}
+	sys := &fakeSystem{deadlines: []float64{10}}
+	// Feed 20 invocations of demand 2.
+	for i := 0; i < 20; i++ {
+		p.OnRelease(sys, 0)
+		p.OnExecute(0, 2)
+		p.OnCompletion(sys, 0, 2)
+	}
+	// Post-warmup release: reservation ≈ 2 cycles → U ≈ 0.2 → min point.
+	p.OnRelease(sys, 0)
+	if p.Point().Freq != 0.5 {
+		t.Errorf("learned release frequency = %v, want 0.5 (ccEDF would need 1.0)", p.Point().Freq)
+	}
+
+	// Overrun: executing beyond the learned budget restores the worst
+	// case immediately (U = 0.8 → 1.0).
+	p.OnExecute(0, 5)
+	if p.Point().Freq != 1.0 {
+		t.Errorf("post-overrun frequency = %v, want 1.0", p.Point().Freq)
+	}
+}
+
+func TestExtendedByName(t *testing.T) {
+	for _, name := range ExtendedNames() {
+		p, err := ExtendedByName(name)
+		if err != nil {
+			t.Fatalf("ExtendedByName(%q): %v", name, err)
+		}
+		if p.Name() != name && name != "none" {
+			t.Errorf("ExtendedByName(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if _, err := ExtendedByName("bogus"); err == nil {
+		t.Error("unknown extension accepted")
+	}
+	if len(ExtendedNames()) != len(Names())+2 {
+		t.Errorf("ExtendedNames = %v", ExtendedNames())
+	}
+}
+
+func TestExtensionPolicyPlumbing(t *testing.T) {
+	m := machine.Machine0()
+	gov, err := IntervalDVS(20, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gov.Attach(task.PaperExample(), m); err != nil {
+		t.Fatal(err)
+	}
+	// The governor holds its current choice across idle (it reacts only
+	// at window boundaries).
+	if gov.IdlePoint() != gov.Point() {
+		t.Errorf("governor idle point %v != current %v", gov.IdlePoint(), gov.Point())
+	}
+	sys := &fakeSystem{now: 1, deadlines: []float64{8, 10, 14}}
+	gov.OnCompletion(sys, 0, 1) // mid-window: no adjustment yet
+	if gov.Point() != m.Max() {
+		t.Error("governor adjusted before the window elapsed")
+	}
+
+	st, err := StatisticalEDF(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Attach(task.PaperExample(), m); err != nil {
+		t.Fatal(err)
+	}
+	if st.Scheduler() != sched.EDF {
+		t.Errorf("stEDF scheduler = %v", st.Scheduler())
+	}
+	if st.IdlePoint() != m.Min() {
+		t.Errorf("stEDF idle point = %v, want min", st.IdlePoint())
+	}
+	if st.Name() != "stEDF" {
+		t.Errorf("name = %q", st.Name())
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+
+	"rtdvs/internal/machine"
+	"rtdvs/internal/sched"
+	"rtdvs/internal/task"
+)
+
+// intervalDVS is the average-throughput governor the paper argues against
+// (Section 2.2; Weiser et al. [30], Govil et al. [7], Pering & Brodersen
+// [23]): every Window milliseconds it measures the achieved execution
+// rate and picks the lowest frequency that would have served that load at
+// the Target busy fraction. It is completely ignorant of deadlines and
+// periods — "none of the average throughput-based DVS algorithms found in
+// literature can provide real-time deadline guarantees" — and exists here
+// as the quantitative baseline for that claim: under bursty worst-case
+// demand it slows down exactly when speed is needed, and tasks miss
+// deadlines.
+//
+// It is not part of core.Names() (the paper's Table 4 policies); construct
+// it with IntervalDVS or ByName-style lookup via ExtendedByName.
+type intervalDVS struct {
+	base
+	window float64 // measurement interval, ms
+	target float64 // desired busy fraction at the chosen frequency
+
+	windowStart  float64
+	cyclesWindow float64 // cycles retired in the current window
+}
+
+// IntervalDVS returns an interval-based average-throughput governor with
+// the given measurement window (ms) and utilization target in (0, 1].
+// Typical literature values: 10–50 ms windows, 0.5–0.7 targets.
+func IntervalDVS(window, target float64) (Policy, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("core: interval window must be positive, got %v", window)
+	}
+	if !(target > 0 && target <= 1) {
+		return nil, fmt.Errorf("core: interval target must be in (0, 1], got %v", target)
+	}
+	return &intervalDVS{window: window, target: target}, nil
+}
+
+func (p *intervalDVS) Name() string          { return "interval" }
+func (p *intervalDVS) Scheduler() sched.Kind { return sched.EDF }
+
+func (p *intervalDVS) Attach(ts *task.Set, m *machine.Spec) error {
+	if err := p.attach(ts, m); err != nil {
+		return err
+	}
+	// Never guaranteed: the governor has no notion of deadlines.
+	p.guaranteed = false
+	p.windowStart = 0
+	p.cyclesWindow = 0
+	p.point = m.Max() // conventional governors start fast and back off
+	return nil
+}
+
+// maybeAdjust closes out any elapsed measurement windows and retunes the
+// frequency from the observed average rate. Scheduling events are the
+// only time source a policy sees, so windows are evaluated lazily — the
+// same approximation a tick-driven kernel governor makes.
+func (p *intervalDVS) maybeAdjust(now float64) {
+	for now-p.windowStart >= p.window {
+		rate := p.cyclesWindow / p.window
+		p.setLowestAtLeast(rate / p.target)
+		p.cyclesWindow = 0
+		p.windowStart += p.window
+		if now-p.windowStart >= p.window {
+			// Windows with no scheduling events were fully idle beyond
+			// the cycles already counted; skip them at zero rate.
+			p.setLowestAtLeast(0)
+			p.windowStart += p.window * float64(int((now-p.windowStart)/p.window))
+		}
+	}
+}
+
+func (p *intervalDVS) OnRelease(sys System, _ int)               { p.maybeAdjust(sys.Now()) }
+func (p *intervalDVS) OnCompletion(sys System, _ int, _ float64) { p.maybeAdjust(sys.Now()) }
+
+func (p *intervalDVS) OnExecute(_ int, cycles float64) {
+	p.cyclesWindow += cycles
+}
+
+// IdlePoint keeps the governor's current choice: interval governors react
+// to idleness only at the next window boundary.
+func (p *intervalDVS) IdlePoint() machine.OperatingPoint { return p.point }

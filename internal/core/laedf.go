@@ -1,0 +1,140 @@
+package core
+
+import (
+	"sort"
+
+	"rtdvs/internal/machine"
+	"rtdvs/internal/sched"
+	"rtdvs/internal/task"
+)
+
+// laEDF implements look-ahead EDF (Section 2.5, Figure 8), the paper's
+// most aggressive policy.
+//
+// Where the cycle-conserving schemes assume the worst case up front and
+// relax after early completions, look-ahead EDF inverts the bet: it defers
+// as much work as possible past the earliest deadline in the system (D_n)
+// and runs just fast enough to finish the minimum that must happen before
+// D_n for all future deadlines to remain feasible. If tasks keep finishing
+// early, the deferred peak never materializes and the processor dwells at
+// low voltage.
+//
+// The deferral computation walks the tasks in reverse-EDF order (latest
+// deadline first), maintaining a cumulative utilization U that reserves
+// worst-case capacity for earlier-deadline tasks. For each task, the
+// cycles that cannot fit into the spare capacity (1−U) of the window
+// (D_i − D_n) spill into the pre-D_n budget:
+//
+//	U = ΣC_j/P_j
+//	s = 0
+//	for each task i, latest deadline first:
+//	    U -= C_i/P_i
+//	    x  = max(0, c_left_i − (1−U)·(D_i − D_n))
+//	    U += (c_left_i − x)/(D_i − D_n)
+//	    s += x
+//	select lowest f ≥ s/(D_n − now)
+type laEDF struct {
+	base
+	cleft []float64 // worst-case remaining cycles of the current invocation
+	order []int     // scratch: indices sorted by deadline, reused per call
+}
+
+// LookAheadEDF returns the look-ahead EDF policy.
+func LookAheadEDF() Policy { return &laEDF{} }
+
+func (p *laEDF) Name() string          { return "laEDF" }
+func (p *laEDF) Scheduler() sched.Kind { return sched.EDF }
+
+func (p *laEDF) Attach(ts *task.Set, m *machine.Spec) error {
+	if err := p.attach(ts, m); err != nil {
+		return err
+	}
+	p.guaranteed = sched.EDFTest(ts, 1)
+	p.cleft = make([]float64, ts.Len())
+	p.order = make([]int, ts.Len())
+	p.point = m.Min() // nothing to do before the first release
+	return nil
+}
+
+// defer_ implements Figure 8's defer(): compute s, the minimum number of
+// cycles that must execute before the next deadline D_n, and set the
+// frequency to pace s over the remaining window.
+func (p *laEDF) defer_(sys System) {
+	n := p.ts.Len()
+	now := sys.Now()
+
+	// D_n: the earliest deadline in the system.
+	dn := sys.Deadline(0)
+	for i := 1; i < n; i++ {
+		if d := sys.Deadline(i); d < dn {
+			dn = d
+		}
+	}
+
+	// Tasks in reverse EDF order (latest deadline first).
+	for i := range p.order {
+		p.order[i] = i
+	}
+	sort.SliceStable(p.order, func(a, b int) bool {
+		return sys.Deadline(p.order[a]) > sys.Deadline(p.order[b])
+	})
+
+	u := p.ts.Utilization()
+	var s float64
+	for _, i := range p.order {
+		t := p.ts.Task(i)
+		u -= t.Utilization()
+		window := sys.Deadline(i) - dn
+		var x float64
+		if window <= 1e-12 {
+			// The earliest-deadline task(s): every remaining cycle must
+			// run before D_n; no capacity adjustment is possible or
+			// needed for a zero-width window.
+			x = p.cleft[i]
+		} else {
+			x = p.cleft[i] - (1-u)*window
+			if x < 0 {
+				x = 0
+			}
+			if x > p.cleft[i] {
+				// Only reachable when U has been driven past 1 by an
+				// unschedulable set; never defer negative work.
+				x = p.cleft[i]
+			}
+			u += (p.cleft[i] - x) / window
+		}
+		s += x
+	}
+
+	interval := dn - now
+	switch {
+	case s <= 1e-12:
+		// Nothing must happen before D_n; EDF is work-conserving, so any
+		// ready task simply runs at the minimum point (Figure 7d).
+		p.point = p.m.Min()
+	case interval <= 1e-12:
+		p.point = p.m.Max()
+	default:
+		p.setLowestAtLeast(s / interval)
+	}
+}
+
+func (p *laEDF) OnRelease(sys System, i int) {
+	p.cleft[i] = p.ts.Task(i).WCET
+	p.defer_(sys)
+}
+
+func (p *laEDF) OnCompletion(sys System, i int, _ float64) {
+	p.cleft[i] = 0
+	p.defer_(sys)
+}
+
+func (p *laEDF) OnExecute(i int, cycles float64) {
+	p.cleft[i] -= cycles
+	if p.cleft[i] < 0 {
+		p.cleft[i] = 0
+	}
+}
+
+// IdlePoint drops to the platform minimum while halted (dynamic scheme).
+func (p *laEDF) IdlePoint() machine.OperatingPoint { return p.m.Min() }

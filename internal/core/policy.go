@@ -1,0 +1,191 @@
+// Package core implements the paper's contribution: the RT-DVS
+// frequency/voltage-selection policies that couple dynamic voltage
+// scaling with the real-time scheduler while preserving deadline
+// guarantees (Section 2).
+//
+// Six policies are provided, matching the rows of Table 4:
+//
+//   - none          — plain EDF/RM at full speed (the non-DVS baseline)
+//   - staticEDF     — statically-scaled EDF (Section 2.3)
+//   - staticRM      — statically-scaled RM (Section 2.3)
+//   - ccEDF         — cycle-conserving EDF (Section 2.4, Figure 4)
+//   - ccRM          — cycle-conserving RM (Section 2.4, Figure 6)
+//   - laEDF         — look-ahead EDF (Section 2.5, Figure 8)
+//
+// A policy is driven by the execution substrate (the simulator in
+// internal/sim or the RTOS kernel in internal/rtos) through release,
+// completion, and execution-progress callbacks, and in return dictates the
+// operating point the processor must run at. All policies change frequency
+// only at task release or completion, so at most two switches occur per
+// task per invocation, as the paper argues when accounting for switch
+// overheads.
+package core
+
+import (
+	"fmt"
+
+	"rtdvs/internal/machine"
+	"rtdvs/internal/sched"
+	"rtdvs/internal/task"
+)
+
+// System is the read-only view of runtime state a policy may consult in
+// its callbacks. The invariant deadline = end of period = next release
+// (Section 2.2) means Deadline(i) is well defined for both running and
+// completed invocations.
+type System interface {
+	// Now returns the current time in milliseconds.
+	Now() float64
+	// Deadline returns the absolute deadline of task i's current
+	// invocation; for a completed invocation this equals the next release
+	// time.
+	Deadline(i int) float64
+}
+
+// Policy selects the processor operating point in response to scheduler
+// events. Implementations are stateful and not safe for concurrent use;
+// Attach resets all state, so an instance may be reused across sequential
+// runs.
+type Policy interface {
+	// Name returns the policy's short name as used in the paper's figures
+	// ("ccEDF", "laEDF", ...).
+	Name() string
+
+	// Scheduler returns the scheduling discipline the policy is designed
+	// for. Running a policy under the other scheduler voids its
+	// guarantees.
+	Scheduler() sched.Kind
+
+	// Attach binds the policy to a task set and machine specification,
+	// resetting all dynamic state. It returns an error only for invalid
+	// inputs; an unschedulable task set is reported through Guaranteed
+	// instead, and the policy degrades to full speed.
+	Attach(ts *task.Set, m *machine.Spec) error
+
+	// Guaranteed reports whether the policy's schedulability test admitted
+	// the task set at full speed, i.e. whether deadline guarantees hold.
+	Guaranteed() bool
+
+	// OnRelease is invoked after task i is released (its deadline and the
+	// deadlines of simultaneously released tasks are already updated).
+	OnRelease(sys System, i int)
+
+	// OnCompletion is invoked when task i finishes an invocation that
+	// consumed `used` cycles (milliseconds at maximum frequency).
+	OnCompletion(sys System, i int, used float64)
+
+	// OnExecute informs the policy that task i has executed `cycles`
+	// cycles since the last callback.
+	OnExecute(i int, cycles float64)
+
+	// Point returns the operating point the processor must use now.
+	Point() machine.OperatingPoint
+
+	// IdlePoint returns the operating point the processor rests at while
+	// halted. Dynamic policies drop to the platform minimum during idle;
+	// static ones hold their fixed point (Section 3.2, "Varying idle
+	// level").
+	IdlePoint() machine.OperatingPoint
+}
+
+// PhaseRobustPolicy marks policies whose deadline guarantee holds for
+// arbitrary release phasing AND across task-set changes, not just the
+// synchronous (critical-instant) pattern the paper's simulations use.
+// The utilization-reserving EDF policies (none, staticEDF, ccEDF)
+// qualify by the classical demand-bound argument: with deadline =
+// period, the demand of any task in any window is at most its reserved
+// utilization times the window, so running at the reserved-utilization
+// speed suffices at every phasing and from any reachable state.
+// Look-ahead EDF does NOT qualify: work it deferred before a task was
+// admitted reserved nothing for the newcomer, and a mid-schedule
+// insertion can transiently miss (the Section 4.3 hazard, pinned by
+// rtos.TestLAEDFPhaseSensitivity; with a-priori knowledge of the same
+// phased task laEDF is clean — see sim.TestLAEDFHandlesAPrioriPhases).
+// The kernel's smart admission releases new tasks immediately only under
+// phase-robust policies.
+type PhaseRobustPolicy interface {
+	Policy
+	// PhaseRobust is a marker; implementations guarantee deadlines for
+	// arbitrary task phasing whenever Guaranteed() is true.
+	PhaseRobust()
+}
+
+// ByName constructs a fresh policy instance by its paper name. The
+// baseline accepts both "none" (EDF, as in the figures) and the explicit
+// "noneEDF"/"noneRM".
+func ByName(name string) (Policy, error) {
+	switch name {
+	case "none", "noneEDF", "EDF":
+		return None(sched.EDF), nil
+	case "noneRM", "RM":
+		return None(sched.RM), nil
+	case "staticEDF":
+		return StaticEDF(), nil
+	case "staticRM":
+		return StaticRM(), nil
+	case "ccEDF":
+		return CycleConservingEDF(), nil
+	case "ccRM":
+		return CycleConservingRM(), nil
+	case "laEDF":
+		return LookAheadEDF(), nil
+	}
+	return nil, fmt.Errorf("core: unknown policy %q", name)
+}
+
+// Names lists the policy names in the order of the paper's Table 4.
+func Names() []string {
+	return []string{"none", "staticRM", "staticEDF", "ccEDF", "ccRM", "laEDF"}
+}
+
+// All returns fresh instances of the six policies in Table 4 order.
+func All() []Policy {
+	names := Names()
+	ps := make([]Policy, len(names))
+	for i, n := range names {
+		p, err := ByName(n)
+		if err != nil {
+			panic(err) // unreachable: Names and ByName agree
+		}
+		ps[i] = p
+	}
+	return ps
+}
+
+// base carries the state common to every policy: the attached task set,
+// machine, and currently selected operating point.
+type base struct {
+	ts         *task.Set
+	m          *machine.Spec
+	point      machine.OperatingPoint
+	guaranteed bool
+}
+
+func (b *base) attach(ts *task.Set, m *machine.Spec) error {
+	if ts == nil || ts.Len() == 0 {
+		return task.ErrEmptySet
+	}
+	if m == nil {
+		return fmt.Errorf("core: nil machine spec")
+	}
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	b.ts, b.m = ts, m
+	b.point = m.Max()
+	b.guaranteed = false
+	return nil
+}
+
+func (b *base) Guaranteed() bool              { return b.guaranteed }
+func (b *base) Point() machine.OperatingPoint { return b.point }
+
+// setLowestAtLeast moves the operating point to the lowest one meeting
+// the required relative frequency, saturating at full speed.
+func (b *base) setLowestAtLeast(f float64) {
+	op, err := b.m.LowestAtLeast(f)
+	if err != nil {
+		op = b.m.Max()
+	}
+	b.point = op
+}

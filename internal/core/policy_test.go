@@ -1,0 +1,394 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"rtdvs/internal/machine"
+	"rtdvs/internal/sched"
+	"rtdvs/internal/task"
+)
+
+// fakeSystem lets policy unit tests drive the callbacks with hand-chosen
+// times and deadlines.
+type fakeSystem struct {
+	now       float64
+	deadlines []float64
+}
+
+func (s *fakeSystem) Now() float64           { return s.now }
+func (s *fakeSystem) Deadline(i int) float64 { return s.deadlines[i] }
+
+func TestByNameAndNames(t *testing.T) {
+	for _, name := range Names() {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if _, err := ByName("turbo"); err == nil {
+		t.Error("ByName(turbo) should fail")
+	}
+	// Aliases.
+	for alias, want := range map[string]string{
+		"EDF": "none", "noneEDF": "none", "RM": "noneRM", "noneRM": "noneRM",
+	} {
+		p, err := ByName(alias)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", alias, err)
+		}
+		if p.Name() != want {
+			t.Errorf("ByName(%q).Name() = %q, want %q", alias, p.Name(), want)
+		}
+	}
+}
+
+func TestAllReturnsFreshInstances(t *testing.T) {
+	a, b := All(), All()
+	if len(a) != len(Names()) {
+		t.Fatalf("All() returned %d policies", len(a))
+	}
+	for i := range a {
+		if a[i] == b[i] {
+			t.Errorf("All() reuses instance %d (%s)", i, a[i].Name())
+		}
+	}
+}
+
+func TestSchedulerKinds(t *testing.T) {
+	want := map[string]sched.Kind{
+		"none": sched.EDF, "noneRM": sched.RM,
+		"staticEDF": sched.EDF, "staticRM": sched.RM,
+		"ccEDF": sched.EDF, "ccRM": sched.RM,
+		"laEDF": sched.EDF,
+	}
+	for name, kind := range want {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Scheduler() != kind {
+			t.Errorf("%s scheduler = %v, want %v", name, p.Scheduler(), kind)
+		}
+	}
+}
+
+func TestAttachErrors(t *testing.T) {
+	ts := task.PaperExample()
+	m := machine.Machine0()
+	for _, name := range Names() {
+		p, _ := ByName(name)
+		if err := p.Attach(nil, m); err == nil {
+			t.Errorf("%s: Attach(nil set) should fail", name)
+		}
+		p, _ = ByName(name)
+		if err := p.Attach(ts, nil); err == nil {
+			t.Errorf("%s: Attach(nil machine) should fail", name)
+		}
+		p, _ = ByName(name)
+		bad := &machine.Spec{Points: []machine.OperatingPoint{{Freq: 0.5, Voltage: 3}}}
+		if err := p.Attach(ts, bad); err == nil {
+			t.Errorf("%s: Attach(invalid machine) should fail", name)
+		}
+	}
+}
+
+func attach(t *testing.T, name string, ts *task.Set, m *machine.Spec) Policy {
+	t.Helper()
+	p, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Attach(ts, m); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// Static scaling on the worked example: EDF picks 0.75, RM needs 1.0
+// (Figure 2).
+func TestStaticPointsOnPaperExample(t *testing.T) {
+	ts := task.PaperExample()
+	m := machine.Machine0()
+
+	se := attach(t, "staticEDF", ts, m)
+	if f := se.Point().Freq; f != 0.75 {
+		t.Errorf("staticEDF frequency = %v, want 0.75", f)
+	}
+	if !se.Guaranteed() {
+		t.Error("staticEDF should be guaranteed")
+	}
+
+	sr := attach(t, "staticRM", ts, m)
+	if f := sr.Point().Freq; f != 1.0 {
+		t.Errorf("staticRM frequency = %v, want 1.0", f)
+	}
+	if !sr.Guaranteed() {
+		t.Error("staticRM should be guaranteed at 1.0")
+	}
+}
+
+func TestStaticUnschedulableDegradesToFullSpeed(t *testing.T) {
+	// U > 1: nothing passes; the policy degrades gracefully.
+	ts := task.MustSet(task.Task{Period: 2, WCET: 2}, task.Task{Period: 4, WCET: 2})
+	for _, name := range []string{"staticEDF", "staticRM", "ccEDF", "ccRM", "laEDF", "none"} {
+		p := attach(t, name, ts, machine.Machine0())
+		if p.Guaranteed() {
+			t.Errorf("%s: guaranteed for U=1.5 set", name)
+		}
+	}
+}
+
+func TestNonePolicyFixedAtMax(t *testing.T) {
+	ts := task.PaperExample()
+	m := machine.Machine0()
+	p := attach(t, "none", ts, m)
+	if p.Point() != m.Max() {
+		t.Errorf("none point = %v, want max", p.Point())
+	}
+	if p.IdlePoint() != m.Max() {
+		t.Errorf("none idle point = %v, want max (no DVS hardware control)", p.IdlePoint())
+	}
+	sys := &fakeSystem{now: 0, deadlines: []float64{8, 10, 14}}
+	p.OnRelease(sys, 0)
+	p.OnExecute(0, 1)
+	p.OnCompletion(sys, 0, 1)
+	if p.Point() != m.Max() {
+		t.Error("none policy moved off the max point")
+	}
+}
+
+func TestStaticIdleHoldsPoint(t *testing.T) {
+	p := attach(t, "staticEDF", task.PaperExample(), machine.Machine0())
+	if p.IdlePoint() != p.Point() {
+		t.Errorf("static idle point %v != selected %v", p.IdlePoint(), p.Point())
+	}
+}
+
+func TestDynamicIdleDropsToMin(t *testing.T) {
+	m := machine.Machine0()
+	for _, name := range []string{"ccEDF", "ccRM", "laEDF"} {
+		p := attach(t, name, task.PaperExample(), m)
+		if p.IdlePoint() != m.Min() {
+			t.Errorf("%s idle point = %v, want min", name, p.IdlePoint())
+		}
+	}
+}
+
+// ccEDF's utilization bookkeeping, following Figure 3's annotations:
+// release at worst case, completion lowers U_i to cc_i/P_i.
+func TestCCEDFUtilizationTracking(t *testing.T) {
+	ts := task.PaperExample()
+	m := machine.Machine0()
+	p := attach(t, "ccEDF", ts, m)
+	sys := &fakeSystem{now: 0, deadlines: []float64{8, 10, 14}}
+
+	// At attach, all tasks charged worst case: U = 0.746 → 0.75.
+	if f := p.Point().Freq; f != 0.75 {
+		t.Fatalf("initial frequency = %v, want 0.75", f)
+	}
+	for i := 0; i < 3; i++ {
+		p.OnRelease(sys, i)
+	}
+	if f := p.Point().Freq; f != 0.75 {
+		t.Fatalf("post-release frequency = %v, want 0.75", f)
+	}
+
+	// T1 completes with 2 of 3 cycles: U = 2/8+3/10+1/14 = 0.621 → 0.75.
+	sys.now = 2.67
+	p.OnCompletion(sys, 0, 2)
+	if f := p.Point().Freq; f != 0.75 {
+		t.Errorf("after T1 completion: %v, want 0.75 (U=0.621)", f)
+	}
+
+	// T2 completes with 1 of 3: U = 0.25+0.1+0.0714 = 0.421 → 0.5.
+	sys.now = 4
+	p.OnCompletion(sys, 1, 1)
+	if f := p.Point().Freq; f != 0.5 {
+		t.Errorf("after T2 completion: %v, want 0.5 (U=0.421)", f)
+	}
+
+	// T1 re-released: back to worst case. U = 0.546 → 0.75.
+	sys.now = 8
+	sys.deadlines[0] = 16
+	p.OnRelease(sys, 0)
+	if f := p.Point().Freq; f != 0.75 {
+		t.Errorf("after T1 re-release: %v, want 0.75 (U=0.546)", f)
+	}
+
+	// T1 completes with 1: U = 0.125+0.1+0.0714 = 0.296 → 0.5.
+	sys.now = 9.33
+	p.OnCompletion(sys, 0, 1)
+	if f := p.Point().Freq; f != 0.5 {
+		t.Errorf("after second T1 completion: %v, want 0.5 (U=0.296)", f)
+	}
+}
+
+// ccRM's pacing on the worked example, following Figure 5: the allocation
+// paces against the statically-scaled (here: full-speed) RM schedule.
+func TestCCRMPacing(t *testing.T) {
+	ts := task.PaperExample()
+	m := machine.Machine0()
+	p := attach(t, "ccRM", ts, m)
+	sys := &fakeSystem{now: 0, deadlines: []float64{8, 10, 14}}
+
+	// Releases at time 0: d = (3, 3, 1), s_m = 8 → 7/8 → round to 1.0.
+	for i := 0; i < 3; i++ {
+		p.OnRelease(sys, i)
+	}
+	if f := p.Point().Freq; f != 1.0 {
+		t.Fatalf("initial frequency = %v, want 1.0 (Figure 5b)", f)
+	}
+
+	// T1 runs 2 cycles and completes at t=2: Σd = 4 over 6 ms → 0.75.
+	p.OnExecute(0, 2)
+	sys.now = 2
+	p.OnCompletion(sys, 0, 2)
+	if f := p.Point().Freq; f != 0.75 {
+		t.Errorf("after T1: %v, want 0.75 (Figure 5c)", f)
+	}
+
+	// T2 runs 1 cycle, completes at t=3.33: Σd = 1 over 4.67 → 0.5.
+	p.OnExecute(1, 1)
+	sys.now = 10.0 / 3
+	p.OnCompletion(sys, 1, 1)
+	if f := p.Point().Freq; f != 0.5 {
+		t.Errorf("after T2: %v, want 0.5 (Figure 5d)", f)
+	}
+
+	// T3 runs 1 cycle, completes at 5.33: nothing allotted → idle at min.
+	p.OnExecute(2, 1)
+	sys.now = 16.0 / 3
+	p.OnCompletion(sys, 2, 1)
+	if f := p.Point().Freq; f != 0.5 {
+		t.Errorf("after T3: %v, want 0.5 (idle at min)", f)
+	}
+
+	// T1 re-released at t=8; next deadline D2=10; budget 2 ms at static
+	// 1.0 → d1 = 2, Σd/s_m = 1.0 (Figure 5e).
+	sys.now = 8
+	sys.deadlines[0] = 16
+	p.OnRelease(sys, 0)
+	if f := p.Point().Freq; f != 1.0 {
+		t.Errorf("after T1 re-release: %v, want 1.0 (Figure 5e)", f)
+	}
+}
+
+// laEDF's deferral arithmetic on the worked example, following Figure 7
+// and the hand-computed values: s = 5.083 over 8 ms → 0.635 → 0.75.
+func TestLAEDFDeferral(t *testing.T) {
+	ts := task.PaperExample()
+	m := machine.Machine0()
+	p := attach(t, "laEDF", ts, m)
+	sys := &fakeSystem{now: 0, deadlines: []float64{8, 10, 14}}
+
+	for i := 0; i < 3; i++ {
+		p.OnRelease(sys, i)
+	}
+	if f := p.Point().Freq; f != 0.75 {
+		t.Fatalf("initial frequency = %v, want 0.75 (Figure 7b)", f)
+	}
+
+	// T1 completes at 2.67 having used 2: s = 2.083 over 5.33 → 0.39 → 0.5.
+	p.OnExecute(0, 2)
+	sys.now = 8.0 / 3
+	p.OnCompletion(sys, 0, 2)
+	if f := p.Point().Freq; f != 0.5 {
+		t.Errorf("after T1: %v, want 0.5 (Figure 7c)", f)
+	}
+
+	// T2 completes at 4.67: s = 0 → minimum point (Figure 7d).
+	p.OnExecute(1, 1)
+	sys.now = 14.0 / 3
+	p.OnCompletion(sys, 1, 1)
+	if f := p.Point().Freq; f != 0.5 {
+		t.Errorf("after T2: %v, want 0.5 (Figure 7d)", f)
+	}
+
+	// T1 re-released at 8 (deadline 16): deferral leaves s = 0 → min
+	// (Figure 7e).
+	sys.now = 8
+	sys.deadlines[0] = 16
+	p.OnRelease(sys, 0)
+	if f := p.Point().Freq; f != 0.5 {
+		t.Errorf("after T1 re-release: %v, want 0.5 (Figure 7e)", f)
+	}
+}
+
+// The deferral must reserve capacity: with all tasks at their worst case
+// and utilization 1, laEDF must select full speed at the critical instant.
+func TestLAEDFFullUtilizationNeedsFullSpeed(t *testing.T) {
+	ts := task.MustSet(
+		task.Task{Period: 10, WCET: 5},
+		task.Task{Period: 10, WCET: 5},
+	)
+	p := attach(t, "laEDF", ts, machine.Machine0())
+	sys := &fakeSystem{now: 0, deadlines: []float64{10, 10}}
+	p.OnRelease(sys, 0)
+	p.OnRelease(sys, 1)
+	if f := p.Point().Freq; f != 1.0 {
+		t.Errorf("U=1 critical instant frequency = %v, want 1.0", f)
+	}
+}
+
+func TestCCEDFCompletionUsesActualOverWorst(t *testing.T) {
+	// A task that uses its full worst case leaves utilization unchanged.
+	ts := task.MustSet(task.Task{Period: 10, WCET: 6})
+	p := attach(t, "ccEDF", ts, machine.Machine0())
+	sys := &fakeSystem{now: 0, deadlines: []float64{10}}
+	p.OnRelease(sys, 0)
+	before := p.Point()
+	sys.now = 6
+	p.OnCompletion(sys, 0, 6)
+	if p.Point() != before {
+		t.Errorf("full-WCET completion moved the point: %v -> %v", before, p.Point())
+	}
+}
+
+func TestPoliciesReusableAcrossAttach(t *testing.T) {
+	// Attach must fully reset dynamic state.
+	m := machine.Machine0()
+	for _, name := range []string{"ccEDF", "ccRM", "laEDF"} {
+		p := attach(t, name, task.PaperExample(), m)
+		sys := &fakeSystem{now: 0, deadlines: []float64{8, 10, 14}}
+		for i := 0; i < 3; i++ {
+			p.OnRelease(sys, i)
+		}
+		p.OnExecute(0, 1)
+		first := p.Point()
+
+		if err := p.Attach(task.PaperExample(), m); err != nil {
+			t.Fatal(err)
+		}
+		sys2 := &fakeSystem{now: 0, deadlines: []float64{8, 10, 14}}
+		for i := 0; i < 3; i++ {
+			p.OnRelease(sys2, i)
+		}
+		p.OnExecute(0, 1)
+		if p.Point() != first {
+			t.Errorf("%s: state not reset by Attach: %v vs %v", name, p.Point(), first)
+		}
+	}
+}
+
+func TestOnExecuteClampsAtZero(t *testing.T) {
+	// Executing more cycles than tracked (rounding slop) must not drive
+	// counters negative.
+	for _, name := range []string{"ccRM", "laEDF"} {
+		p := attach(t, name, task.PaperExample(), machine.Machine0())
+		sys := &fakeSystem{now: 0, deadlines: []float64{8, 10, 14}}
+		for i := 0; i < 3; i++ {
+			p.OnRelease(sys, i)
+		}
+		p.OnExecute(0, 100) // far more than C1=3
+		sys.now = 3
+		p.OnCompletion(sys, 0, 3)
+		f := p.Point().Freq
+		if math.IsNaN(f) || f <= 0 {
+			t.Errorf("%s: frequency %v after over-execution", name, f)
+		}
+	}
+}

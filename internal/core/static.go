@@ -1,0 +1,112 @@
+package core
+
+import (
+	"rtdvs/internal/machine"
+	"rtdvs/internal/sched"
+	"rtdvs/internal/task"
+)
+
+// nonePolicy is the non-DVS baseline: the processor runs flat out at the
+// maximum operating point under plain EDF or RM scheduling. Without DVS,
+// energy consumption is identical for both disciplines (paper footnote 3),
+// but both are provided so RM-schedulability can be verified.
+type nonePolicy struct {
+	base
+	kind sched.Kind
+}
+
+// None returns the plain (non-DVS) baseline policy for the given
+// scheduling discipline.
+func None(kind sched.Kind) Policy { return &nonePolicy{kind: kind} }
+
+func (p *nonePolicy) Name() string {
+	if p.kind == sched.RM {
+		return "noneRM"
+	}
+	return "none"
+}
+
+func (p *nonePolicy) Scheduler() sched.Kind { return p.kind }
+
+func (p *nonePolicy) Attach(ts *task.Set, m *machine.Spec) error {
+	if err := p.attach(ts, m); err != nil {
+		return err
+	}
+	p.guaranteed = sched.Test(p.kind)(ts, 1)
+	p.point = m.Max()
+	return nil
+}
+
+func (p *nonePolicy) OnRelease(System, int)             {}
+func (p *nonePolicy) OnCompletion(System, int, float64) {}
+func (p *nonePolicy) OnExecute(int, float64)            {}
+
+// IdlePoint keeps the maximum point: without DVS support the clock never
+// changes, only the halt feature saves energy while idle.
+func (p *nonePolicy) IdlePoint() machine.OperatingPoint { return p.m.Max() }
+
+// staticPolicy implements the static voltage scaling of Section 2.3: pick
+// the lowest operating frequency at which the (scaled) schedulability test
+// for the chosen discipline admits the task set, and never change it while
+// the task set is unchanged. It needs no coupling with task management,
+// which is why the paper presents it as the simplest mechanism.
+type staticPolicy struct {
+	base
+	kind sched.Kind
+}
+
+// StaticEDF returns the statically-scaled EDF policy: lowest fi with
+// ΣCi/Pi ≤ fi.
+func StaticEDF() Policy { return &staticPolicy{kind: sched.EDF} }
+
+// StaticRM returns the statically-scaled RM policy: lowest fi passing the
+// scaled sufficient RM test of Figure 1.
+func StaticRM() Policy { return &staticPolicy{kind: sched.RM} }
+
+func (p *staticPolicy) Name() string {
+	if p.kind == sched.RM {
+		return "staticRM"
+	}
+	return "staticEDF"
+}
+
+func (p *staticPolicy) Scheduler() sched.Kind { return p.kind }
+
+func (p *staticPolicy) Attach(ts *task.Set, m *machine.Spec) error {
+	if err := p.attach(ts, m); err != nil {
+		return err
+	}
+	p.point, p.guaranteed = staticPoint(ts, m, p.kind)
+	return nil
+}
+
+// staticPoint selects the lowest operating point admitting ts under the
+// scaled schedulability test for kind. When even full speed fails the
+// (sufficient) test, it returns the maximum point and false: the system
+// degrades to plain scheduling without a guarantee, exactly what a
+// deployed system would do.
+func staticPoint(ts *task.Set, m *machine.Spec, kind sched.Kind) (machine.OperatingPoint, bool) {
+	test := sched.Test(kind)
+	for _, op := range m.Points {
+		if test(ts, op.Freq) {
+			return op, true
+		}
+	}
+	return m.Max(), false
+}
+
+func (p *staticPolicy) OnRelease(System, int)             {}
+func (p *staticPolicy) OnCompletion(System, int, float64) {}
+func (p *staticPolicy) OnExecute(int, float64)            {}
+
+// IdlePoint holds the statically selected point: the static mechanism is
+// decoupled from task management and does not react to idleness.
+func (p *staticPolicy) IdlePoint() machine.OperatingPoint { return p.point }
+
+// PhaseRobust marks the baseline as safe under arbitrary phasing: it
+// always runs at full speed.
+func (p *nonePolicy) PhaseRobust() {}
+
+// PhaseRobust marks static scaling as safe under arbitrary phasing: the
+// selected frequency covers the full worst-case utilization permanently.
+func (p *staticPolicy) PhaseRobust() {}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+
+	"rtdvs/internal/machine"
+	"rtdvs/internal/sched"
+	"rtdvs/internal/stats"
+	"rtdvs/internal/task"
+)
+
+// stEDF is the statistical RT-DVS extension the paper's conclusion points
+// at ("we will investigate DVS with probabilistic or statistical deadline
+// guarantees"), in the spirit of Gruian's stochastic scheme [8].
+//
+// Where ccEDF reserves each released task's full worst case until it
+// completes, stEDF reserves only an online estimate of the q-th quantile
+// of the task's actual demand (learned per task with a P² estimator). As
+// long as an invocation stays within its estimated budget, the reserved
+// utilization — and hence the operating frequency and voltage — is lower
+// than ccEDF's. If an invocation overruns the estimate, the policy
+// immediately restores the task's worst-case reservation, so exposure is
+// limited to the window between the overrun and the next scheduling
+// event.
+//
+// The resulting guarantee is statistical: a deadline can be missed only
+// in an interval where some invocation exceeds its q-th-quantile budget,
+// so with independent demands the per-invocation miss probability is
+// bounded by roughly (1−q) times the probability that the lost capacity
+// mattered. The hard variants of the paper never miss; this one trades a
+// tunable, small miss probability for extra energy savings — exactly the
+// trade the future-work section contemplates.
+type stEDF struct {
+	base
+	q float64
+
+	est    []*stats.Quantile // learned demand distribution, per task
+	budget []float64         // reserved cycles for the current invocation
+	used   []float64         // cycles consumed this invocation
+	util   []float64         // reserved utilization per task
+}
+
+// StatisticalEDF returns an stEDF policy targeting the q-th demand
+// quantile, 0 < q < 1 (e.g. 0.95 reserves the estimated 95th percentile).
+func StatisticalEDF(q float64) (Policy, error) {
+	if !(q > 0 && q < 1) {
+		return nil, fmt.Errorf("core: stEDF quantile %v outside (0, 1)", q)
+	}
+	return &stEDF{q: q}, nil
+}
+
+func (p *stEDF) Name() string          { return "stEDF" }
+func (p *stEDF) Scheduler() sched.Kind { return sched.EDF }
+
+func (p *stEDF) Attach(ts *task.Set, m *machine.Spec) error {
+	if err := p.attach(ts, m); err != nil {
+		return err
+	}
+	// The deadline guarantee is statistical by design, never absolute.
+	p.guaranteed = false
+	n := ts.Len()
+	p.est = make([]*stats.Quantile, n)
+	p.budget = make([]float64, n)
+	p.used = make([]float64, n)
+	p.util = make([]float64, n)
+	for i := 0; i < n; i++ {
+		est, err := stats.NewQuantile(p.q)
+		if err != nil {
+			return err
+		}
+		p.est[i] = est
+		p.util[i] = ts.Task(i).Utilization()
+	}
+	p.selectFrequency()
+	return nil
+}
+
+func (p *stEDF) selectFrequency() {
+	var sum float64
+	for _, u := range p.util {
+		sum += u
+	}
+	p.setLowestAtLeast(sum)
+}
+
+// reserve returns the cycles to reserve for a fresh invocation of task i:
+// the learned q-th quantile once enough history exists, the worst case
+// before that (and never more than the worst case).
+func (p *stEDF) reserve(i int) float64 {
+	wcet := p.ts.Task(i).WCET
+	const warmup = 10 // invocations before trusting the estimate
+	if p.est[i].N() < warmup {
+		return wcet
+	}
+	b := p.est[i].Value()
+	if b > wcet {
+		b = wcet
+	}
+	if b <= 0 {
+		b = wcet
+	}
+	return b
+}
+
+func (p *stEDF) OnRelease(_ System, i int) {
+	p.budget[i] = p.reserve(i)
+	p.used[i] = 0
+	p.util[i] = p.budget[i] / p.ts.Task(i).Period
+	p.selectFrequency()
+}
+
+func (p *stEDF) OnCompletion(_ System, i int, used float64) {
+	p.est[i].Add(used)
+	p.used[i] = 0
+	p.util[i] = used / p.ts.Task(i).Period
+	p.selectFrequency()
+}
+
+// OnExecute watches for budget overruns: the moment an invocation is seen
+// to exceed its statistical reservation, the task's full worst case is
+// restored so subsequent capacity planning is conservative again.
+func (p *stEDF) OnExecute(i int, cycles float64) {
+	p.used[i] += cycles
+	if p.used[i] > p.budget[i]+1e-12 {
+		wcet := p.ts.Task(i).WCET
+		if p.budget[i] != wcet {
+			p.budget[i] = wcet
+			p.util[i] = wcet / p.ts.Task(i).Period
+			p.selectFrequency()
+		}
+	}
+}
+
+// IdlePoint drops to the platform minimum while halted (dynamic scheme).
+func (p *stEDF) IdlePoint() machine.OperatingPoint { return p.m.Min() }
+
+// ExtendedByName resolves the extension policies that are not part of the
+// paper's Table 4 set: "interval" (average-throughput governor, 20 ms
+// window, 0.7 target) and "stEDF" (statistical EDF at the 95th
+// percentile). Paper policies fall through to ByName.
+func ExtendedByName(name string) (Policy, error) {
+	switch name {
+	case "interval":
+		return IntervalDVS(20, 0.7)
+	case "stEDF":
+		return StatisticalEDF(0.95)
+	}
+	return ByName(name)
+}
+
+// ExtendedNames lists every available policy: the Table 4 set plus the
+// extensions.
+func ExtendedNames() []string {
+	return append(Names(), "interval", "stEDF")
+}

@@ -1,0 +1,80 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV emits the sweep as CSV: one row per utilization point with one
+// column per policy plus the bound. When normalized is true the values
+// are relative to plain EDF.
+func (s *Sweep) WriteCSV(w io.Writer, normalized bool, policies []string) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"utilization"}, policies...)
+	header = append(header, "bound")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	src, bnd := s.Energy, s.Bound
+	if normalized {
+		src, bnd = s.Normalized, s.BoundNorm
+	}
+	for i, u := range s.Utilizations {
+		row := make([]string, 0, len(header))
+		row = append(row, strconv.FormatFloat(u, 'g', -1, 64))
+		for _, p := range policies {
+			col, ok := src[p]
+			if !ok {
+				return fmt.Errorf("experiment: no data for policy %q", p)
+			}
+			row = append(row, strconv.FormatFloat(col[i], 'g', -1, 64))
+		}
+		row = append(row, strconv.FormatFloat(bnd[i], 'g', -1, 64))
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON emits the sweep as indented JSON.
+func (s *Sweep) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteCSV emits the power sweep as CSV: utilization plus one power
+// column per policy.
+func (s *PowerSweep) WriteCSV(w io.Writer, policies []string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(append([]string{"utilization"}, policies...)); err != nil {
+		return err
+	}
+	for i, u := range s.Utilizations {
+		row := []string{strconv.FormatFloat(u, 'g', -1, 64)}
+		for _, p := range policies {
+			col, ok := s.Power[p]
+			if !ok {
+				return fmt.Errorf("experiment: no data for policy %q", p)
+			}
+			row = append(row, strconv.FormatFloat(col[i], 'g', -1, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON emits the power sweep as indented JSON.
+func (s *PowerSweep) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -1,0 +1,127 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"rtdvs/internal/machine"
+	"rtdvs/internal/stats"
+)
+
+// Options tunes how much work a figure regeneration does. The zero value
+// selects the defaults (20 sets per point, seed 1, full utilization axis).
+type Options struct {
+	Sets    int
+	Seed    int64
+	Points  []float64 // utilization axis override
+	Workers int
+}
+
+func (o Options) config(base Config) Config {
+	if o.Sets > 0 {
+		base.Sets = o.Sets
+	}
+	base.Seed = o.Seed
+	if o.Points != nil {
+		base.Utilizations = o.Points
+	}
+	base.Workers = o.Workers
+	return base
+}
+
+// Figure9 regenerates one panel of Figure 9: absolute energy consumption
+// versus worst-case utilization for the given task count, all policies
+// plus the bound, machine 0, perfect halt, tasks consuming full WCET.
+func Figure9(nTasks int, o Options) (*Sweep, error) {
+	return Run(o.config(Config{
+		NTasks:  nTasks,
+		Machine: machine.Machine0(),
+		Exec:    WCETExec(),
+	}))
+}
+
+// Figure10 regenerates one panel of Figure 10: normalized energy with an
+// imperfect halt feature at the given idle level, 8 tasks, machine 0.
+func Figure10(idleLevel float64, o Options) (*Sweep, error) {
+	return Run(o.config(Config{
+		NTasks:  8,
+		Machine: machine.Machine0().WithIdleLevel(idleLevel),
+		Exec:    WCETExec(),
+	}))
+}
+
+// Figure11 regenerates one panel of Figure 11: normalized energy on the
+// given platform specification, 8 tasks, perfect halt, full WCET.
+func Figure11(spec *machine.Spec, o Options) (*Sweep, error) {
+	return Run(o.config(Config{
+		NTasks:  8,
+		Machine: spec,
+		Exec:    WCETExec(),
+	}))
+}
+
+// Figure12 regenerates one panel of Figure 12: normalized energy when
+// every invocation consumes the constant fraction c of its worst case,
+// 8 tasks, machine 0.
+func Figure12(c float64, o Options) (*Sweep, error) {
+	return Run(o.config(Config{
+		NTasks:  8,
+		Machine: machine.Machine0(),
+		Exec:    ConstantExec(c),
+	}))
+}
+
+// Figure13 regenerates Figure 13: normalized energy with per-invocation
+// computation drawn uniformly from (0, WCET], 8 tasks, machine 0.
+func Figure13(o Options) (*Sweep, error) {
+	return Run(o.config(Config{
+		NTasks:  8,
+		Machine: machine.Machine0(),
+		Exec:    UniformExec(),
+	}))
+}
+
+// Render formats the sweep as a plain-text table, one row per utilization.
+// When normalized is true the columns show energy relative to plain EDF
+// (Figures 10–13); otherwise mean absolute energy (Figure 9).
+func (s *Sweep) Render(title string, normalized bool, policies []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n(machine=%s, %d tasks, %d sets/point, exec=%s)\n\n",
+		title, s.Machine, s.NTasks, s.Sets, s.ExecDesc)
+	var t stats.Table
+	header := append([]string{"U"}, policies...)
+	header = append(header, "bound")
+	t.Header(header...)
+	src := s.Energy
+	bnd := s.Bound
+	if normalized {
+		src = s.Normalized
+		bnd = s.BoundNorm
+	}
+	for i, u := range s.Utilizations {
+		row := make([]string, 0, len(policies)+2)
+		row = append(row, fmt.Sprintf("%.2f", u))
+		for _, p := range policies {
+			row = append(row, fmt.Sprintf("%.3f", src[p][i]))
+		}
+		row = append(row, fmt.Sprintf("%.3f", bnd[i]))
+		t.Rowf(row...)
+	}
+	b.WriteString(t.String())
+
+	var missNote []string
+	for _, p := range policies {
+		total := 0
+		for _, m := range s.Misses[p] {
+			total += m
+		}
+		if total > 0 {
+			missNote = append(missNote, fmt.Sprintf("%s:%d", p, total))
+		}
+	}
+	if len(missNote) > 0 {
+		fmt.Fprintf(&b, "\ndeadline misses (RM-unschedulable sets at high U): %s\n",
+			strings.Join(missNote, " "))
+	}
+	return b.String()
+}

@@ -1,0 +1,285 @@
+// Package experiment regenerates the paper's evaluation: every figure and
+// table of Sections 3 and 4 has a function here that sweeps worst-case
+// utilization over randomly generated task sets (averaging hundreds of
+// sets per point, as the paper does) and reports energy per policy
+// together with the theoretical lower bound.
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"rtdvs/internal/bound"
+	"rtdvs/internal/core"
+	"rtdvs/internal/machine"
+	"rtdvs/internal/sim"
+	"rtdvs/internal/stats"
+	"rtdvs/internal/task"
+)
+
+// ExecFactory builds the actual-computation model for one generated task
+// set; r is a dedicated, deterministic source for that set.
+type ExecFactory func(r *rand.Rand) task.ExecModel
+
+// WCETExec makes every invocation use its worst case (Figures 9–11).
+func WCETExec() ExecFactory {
+	return func(*rand.Rand) task.ExecModel { return task.FullWCET{} }
+}
+
+// ConstantExec makes every invocation use fraction c of its worst case
+// (Figures 12, 16, 17).
+func ConstantExec(c float64) ExecFactory {
+	return func(*rand.Rand) task.ExecModel { return task.ConstantFraction{C: c} }
+}
+
+// UniformExec draws each invocation uniformly from (0, WCET] (Figure 13).
+func UniformExec() ExecFactory {
+	return func(r *rand.Rand) task.ExecModel { return task.UniformFraction{Lo: 0, Hi: 1, Rand: r} }
+}
+
+// Config parameterizes a utilization sweep.
+type Config struct {
+	// Policies to evaluate; nil means core.Names(). The plain-EDF
+	// baseline is always run (it normalizes the results and anchors the
+	// lower bound), whether or not it is listed.
+	Policies []string
+	// NTasks is the number of tasks per generated set.
+	NTasks int
+	// Machine is the platform; nil means machine 0.
+	Machine *machine.Spec
+	// Exec builds the actual-computation model; nil means full WCET.
+	Exec ExecFactory
+	// Utilizations are the worst-case utilization targets; nil means
+	// 0.05..1.00 in steps of 0.05.
+	Utilizations []float64
+	// Sets is the number of random task sets per utilization (default 20).
+	Sets int
+	// Seed makes the sweep reproducible.
+	Seed int64
+	// Horizon is the simulated duration per run; 0 selects
+	// 10 × the longest period of each set.
+	Horizon float64
+	// Workers bounds concurrency; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Sweep is the result of a utilization sweep: one row per utilization,
+// one column per policy.
+type Sweep struct {
+	Machine      string
+	NTasks       int
+	Sets         int
+	ExecDesc     string
+	Utilizations []float64
+	// Energy is the mean absolute energy per policy (cycle·V² units).
+	Energy map[string][]float64
+	// Normalized is the mean per-set energy ratio versus plain EDF.
+	Normalized map[string][]float64
+	// Bound and BoundNorm are the theoretical lower bound (absolute and
+	// normalized against plain EDF).
+	Bound     []float64
+	BoundNorm []float64
+	// Misses counts deadline misses per policy across all sets at each
+	// utilization. RT-DVS policies miss only when the plain scheduler
+	// itself cannot schedule the set (high-U RM).
+	Misses map[string][]int
+}
+
+// DefaultUtilizations returns the paper's x-axis: 0.05 to 1.00.
+func DefaultUtilizations() []float64 {
+	us := make([]float64, 20)
+	for i := range us {
+		us[i] = 0.05 * float64(i+1)
+	}
+	return us
+}
+
+// Run executes the sweep.
+func Run(cfg Config) (*Sweep, error) {
+	if cfg.Policies == nil {
+		cfg.Policies = core.Names()
+	}
+	if cfg.NTasks <= 0 {
+		return nil, fmt.Errorf("experiment: NTasks must be positive, got %d", cfg.NTasks)
+	}
+	if cfg.Machine == nil {
+		cfg.Machine = machine.Machine0()
+	}
+	if cfg.Exec == nil {
+		cfg.Exec = WCETExec()
+	}
+	if cfg.Utilizations == nil {
+		cfg.Utilizations = DefaultUtilizations()
+	}
+	if cfg.Sets <= 0 {
+		cfg.Sets = 20
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	policies := ensureBaseline(cfg.Policies)
+	nu := len(cfg.Utilizations)
+
+	type cell struct {
+		energy map[string]*stats.Accumulator
+		norm   map[string]*stats.Accumulator
+		bnd    *stats.Accumulator
+		bndN   *stats.Accumulator
+		misses map[string]int
+	}
+	cells := make([]cell, nu)
+	for i := range cells {
+		cells[i] = cell{
+			energy: map[string]*stats.Accumulator{},
+			norm:   map[string]*stats.Accumulator{},
+			bnd:    &stats.Accumulator{},
+			bndN:   &stats.Accumulator{},
+			misses: map[string]int{},
+		}
+		for _, p := range policies {
+			cells[i].energy[p] = &stats.Accumulator{}
+			cells[i].norm[p] = &stats.Accumulator{}
+		}
+	}
+
+	type job struct{ ui, si int }
+	jobs := make(chan job)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var firstErr error
+
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				u := cfg.Utilizations[j.ui]
+				seed := cfg.Seed + int64(j.ui)*1_000_003 + int64(j.si)*7919
+				r := rand.New(rand.NewSource(seed))
+				g := task.Generator{N: cfg.NTasks, Utilization: u, Rand: r}
+				ts, err := g.Generate()
+				if err != nil {
+					fail(err)
+					continue
+				}
+				horizon := cfg.Horizon
+				if horizon <= 0 {
+					horizon = 10 * ts.MaxPeriod()
+				}
+
+				results := make(map[string]*sim.Result, len(policies))
+				ok := true
+				for _, pname := range policies {
+					p, err := core.ByName(pname)
+					if err != nil {
+						fail(err)
+						ok = false
+						break
+					}
+					// Each policy sees the same per-set randomness for
+					// its execution-time draws.
+					execR := rand.New(rand.NewSource(seed ^ 0x5DEECE66D))
+					res, err := sim.Run(sim.Config{
+						Tasks:   ts,
+						Machine: cfg.Machine,
+						Policy:  p,
+						Exec:    cfg.Exec(execR),
+						Horizon: horizon,
+					})
+					if err != nil {
+						fail(err)
+						ok = false
+						break
+					}
+					results[pname] = res
+				}
+				if !ok {
+					continue
+				}
+				base := results["none"]
+				bnd, err := bound.Energy(cfg.Machine, base.CyclesDone, horizon)
+				if err != nil {
+					fail(err)
+					continue
+				}
+
+				mu.Lock()
+				c := &cells[j.ui]
+				for _, pname := range policies {
+					res := results[pname]
+					c.energy[pname].Add(res.TotalEnergy)
+					if base.TotalEnergy > 0 {
+						c.norm[pname].Add(res.TotalEnergy / base.TotalEnergy)
+					}
+					c.misses[pname] += res.MissCount()
+				}
+				c.bnd.Add(bnd)
+				if base.TotalEnergy > 0 {
+					c.bndN.Add(bnd / base.TotalEnergy)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+
+	for ui := 0; ui < nu; ui++ {
+		for si := 0; si < cfg.Sets; si++ {
+			jobs <- job{ui, si}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	sw := &Sweep{
+		Machine:      cfg.Machine.Name,
+		NTasks:       cfg.NTasks,
+		Sets:         cfg.Sets,
+		ExecDesc:     cfg.Exec(rand.New(rand.NewSource(1))).String(),
+		Utilizations: append([]float64(nil), cfg.Utilizations...),
+		Energy:       map[string][]float64{},
+		Normalized:   map[string][]float64{},
+		Bound:        make([]float64, nu),
+		BoundNorm:    make([]float64, nu),
+		Misses:       map[string][]int{},
+	}
+	for _, p := range policies {
+		sw.Energy[p] = make([]float64, nu)
+		sw.Normalized[p] = make([]float64, nu)
+		sw.Misses[p] = make([]int, nu)
+	}
+	for i := range cells {
+		for _, p := range policies {
+			sw.Energy[p][i] = cells[i].energy[p].Mean()
+			sw.Normalized[p][i] = cells[i].norm[p].Mean()
+			sw.Misses[p][i] = cells[i].misses[p]
+		}
+		sw.Bound[i] = cells[i].bnd.Mean()
+		sw.BoundNorm[i] = cells[i].bndN.Mean()
+	}
+	return sw, nil
+}
+
+// ensureBaseline returns the policy list with "none" included.
+func ensureBaseline(ps []string) []string {
+	for _, p := range ps {
+		if p == "none" {
+			return ps
+		}
+	}
+	return append([]string{"none"}, ps...)
+}

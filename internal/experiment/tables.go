@@ -1,0 +1,115 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"rtdvs/internal/core"
+	"rtdvs/internal/machine"
+	"rtdvs/internal/rtos"
+	"rtdvs/internal/sim"
+	"rtdvs/internal/stats"
+	"rtdvs/internal/task"
+	"rtdvs/internal/trace"
+)
+
+// Table1 renders the laptop component power states (Table 1 of the
+// paper) from the calibrated system power model.
+func Table1() string {
+	var b strings.Builder
+	b.WriteString("Table 1: power consumption of the prototype platform\n\n")
+	var t stats.Table
+	t.Header("Screen", "Disk", "CPU", "Power")
+	for _, row := range rtos.DefaultSystemPower().Table1() {
+		t.Rowf(row.Screen, row.Disk, row.CPU, fmt.Sprintf("%.1f W", row.PowerW))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// Table4Row is one row of the worked example's energy comparison.
+type Table4Row struct {
+	Policy     string  `json:"policy"`
+	Energy     float64 `json:"energy"`
+	Normalized float64 `json:"normalized"`
+	Misses     int     `json:"misses"`
+}
+
+// Table4 simulates the paper's worked example — the Table 2 task set with
+// the Table 3 actual execution times, 16 ms on machine 0 — and returns the
+// normalized energy for each policy (Table 4).
+func Table4() ([]Table4Row, error) {
+	ts := task.PaperExample()
+	var rows []Table4Row
+	var baseline float64
+	for _, name := range core.Names() {
+		p, err := core.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.Run(sim.Config{
+			Tasks:   ts,
+			Machine: machine.Machine0(),
+			Policy:  p,
+			Exec:    task.PaperExampleExec(),
+			Horizon: 16,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if name == "none" {
+			baseline = res.TotalEnergy
+		}
+		rows = append(rows, Table4Row{Policy: name, Energy: res.TotalEnergy, Misses: res.MissCount()})
+	}
+	for i := range rows {
+		rows[i].Normalized = rows[i].Energy / baseline
+	}
+	return rows, nil
+}
+
+// RenderTable4 formats Table 4 with the paper's reference column.
+func RenderTable4(rows []Table4Row) string {
+	paper := map[string]float64{
+		"none": 1.00, "staticRM": 1.00, "staticEDF": 0.64,
+		"ccEDF": 0.52, "ccRM": 0.71, "laEDF": 0.44,
+	}
+	var b strings.Builder
+	b.WriteString("Table 4: normalized energy for the example task set (first 16 ms)\n\n")
+	var t stats.Table
+	t.Header("RT-DVS method", "energy", "paper")
+	for _, r := range rows {
+		t.Rowf(r.Policy, fmt.Sprintf("%.2f", r.Normalized), fmt.Sprintf("%.2f", paper[r.Policy]))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// ExampleTrace runs the worked example under the named policy and returns
+// the recorded execution trace plus the rendered Gantt chart, reproducing
+// the panels of Figures 2, 3, 5 and 7.
+func ExampleTrace(policy string) ([]trace.Segment, string, error) {
+	p, err := core.ByName(policy)
+	if err != nil {
+		return nil, "", err
+	}
+	ts := task.PaperExample()
+	var rec trace.Recorder
+	if _, err = sim.Run(sim.Config{
+		Tasks:    ts,
+		Machine:  machine.Machine0(),
+		Policy:   p,
+		Exec:     task.PaperExampleExec(),
+		Horizon:  16,
+		Recorder: &rec,
+	}); err != nil {
+		return nil, "", err
+	}
+	names := make([]string, ts.Len())
+	for i := range names {
+		names[i] = ts.Task(i).Name
+	}
+	segs := rec.Segments()
+	chart := trace.Render(segs, trace.RenderOptions{Width: 64, TaskNames: names, End: 16})
+	return segs, chart, nil
+}

@@ -1,0 +1,220 @@
+package machine
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOperatingPointEnergyAndPower(t *testing.T) {
+	op := OperatingPoint{Freq: 0.5, Voltage: 3}
+	if got := op.EnergyPerCycle(); got != 9 {
+		t.Errorf("EnergyPerCycle = %v, want 9", got)
+	}
+	if got := op.Power(); got != 4.5 {
+		t.Errorf("Power = %v, want 4.5", got)
+	}
+}
+
+func TestOperatingPointString(t *testing.T) {
+	op := OperatingPoint{Freq: 0.75, Voltage: 4}
+	if got := op.String(); got != "0.75@4V" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestSpecValidateAcceptsPredefined(t *testing.T) {
+	for _, name := range Names() {
+		spec := ByName(name)
+		if spec == nil {
+			t.Fatalf("ByName(%q) = nil", name)
+		}
+		if err := spec.Validate(); err != nil {
+			t.Errorf("%s: Validate() = %v", name, err)
+		}
+		if spec.Max().Freq != 1.0 {
+			t.Errorf("%s: max freq = %v, want 1.0", name, spec.Max().Freq)
+		}
+	}
+}
+
+func TestSpecValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		want error
+	}{
+		{"empty", Spec{}, ErrNoPoints},
+		{"unsorted", Spec{Points: []OperatingPoint{{0.8, 4}, {0.5, 3}, {1, 5}}}, ErrUnsortedPoints},
+		{"duplicate freq", Spec{Points: []OperatingPoint{{0.5, 3}, {0.5, 4}, {1, 5}}}, ErrUnsortedPoints},
+		{"zero freq", Spec{Points: []OperatingPoint{{0, 3}, {1, 5}}}, ErrBadFrequency},
+		{"freq above 1", Spec{Points: []OperatingPoint{{0.5, 3}, {1.5, 5}}}, ErrBadFrequency},
+		{"max below 1", Spec{Points: []OperatingPoint{{0.5, 3}, {0.9, 5}}}, ErrBadFrequency},
+		{"zero voltage", Spec{Points: []OperatingPoint{{0.5, 0}, {1, 5}}}, ErrBadVoltage},
+		{"voltage drops", Spec{Points: []OperatingPoint{{0.5, 5}, {1, 3}}}, ErrBadVoltage},
+		{"idle too high", Spec{IdleLevel: 1.5, Points: []OperatingPoint{{1, 5}}}, ErrBadIdleLevel},
+		{"idle negative", Spec{IdleLevel: -0.1, Points: []OperatingPoint{{1, 5}}}, ErrBadIdleLevel},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.spec.Validate()
+			if err == nil {
+				t.Fatal("Validate() = nil, want error")
+			}
+			if c.want != nil && !strings.Contains(err.Error(), c.want.Error()) {
+				t.Errorf("Validate() = %v, want wrapping %v", err, c.want)
+			}
+		})
+	}
+}
+
+func TestLowestAtLeast(t *testing.T) {
+	m := Machine0()
+	cases := []struct {
+		req  float64
+		want float64
+	}{
+		{-1, 0.5}, {0, 0.5}, {0.1, 0.5}, {0.5, 0.5},
+		{0.50000000001, 0.5}, // within tolerance
+		{0.51, 0.75}, {0.75, 0.75}, {0.76, 1.0}, {1.0, 1.0},
+	}
+	for _, c := range cases {
+		op, err := m.LowestAtLeast(c.req)
+		if err != nil {
+			t.Errorf("LowestAtLeast(%v) error: %v", c.req, err)
+		}
+		if op.Freq != c.want {
+			t.Errorf("LowestAtLeast(%v) = %v, want %v", c.req, op.Freq, c.want)
+		}
+	}
+}
+
+func TestLowestAtLeastUnreachable(t *testing.T) {
+	m := Machine0()
+	op, err := m.LowestAtLeast(1.2)
+	if err == nil {
+		t.Fatal("want error for unreachable frequency")
+	}
+	if op != m.Max() {
+		t.Errorf("saturation point = %v, want max %v", op, m.Max())
+	}
+}
+
+// LowestAtLeast must return the lowest point satisfying the request, for
+// any request within range.
+func TestLowestAtLeastProperty(t *testing.T) {
+	m := Machine2()
+	f := func(raw float64) bool {
+		req := math.Mod(math.Abs(raw), 1.0)
+		op, err := m.LowestAtLeast(req)
+		if err != nil {
+			return false
+		}
+		if op.Freq+1e-9 < req {
+			return false // must satisfy the request
+		}
+		for _, p := range m.Points {
+			if p.Freq+1e-9 >= req && p.Freq < op.Freq {
+				return false // a lower point would have sufficed
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIdlePower(t *testing.T) {
+	m := Machine0().WithIdleLevel(0.5)
+	op := m.Min() // 0.5 @ 3V: power 4.5
+	if got := m.IdlePower(op); math.Abs(got-2.25) > 1e-12 {
+		t.Errorf("IdlePower = %v, want 2.25", got)
+	}
+	if got := Machine0().IdlePower(op); got != 0 {
+		t.Errorf("perfect halt IdlePower = %v, want 0", got)
+	}
+}
+
+func TestWithIdleLevelDoesNotAliasPoints(t *testing.T) {
+	a := Machine0()
+	b := a.WithIdleLevel(0.3)
+	b.Points[0].Voltage = 99
+	if a.Points[0].Voltage == 99 {
+		t.Error("WithIdleLevel shares the points slice with the original")
+	}
+	if b.IdleLevel != 0.3 || a.IdleLevel != 0 {
+		t.Errorf("idle levels: a=%v b=%v", a.IdleLevel, b.IdleLevel)
+	}
+}
+
+func TestFrequencies(t *testing.T) {
+	fs := Machine1().Frequencies()
+	want := []float64{0.5, 0.75, 0.83, 1.0}
+	if len(fs) != len(want) {
+		t.Fatalf("got %d frequencies, want %d", len(fs), len(want))
+	}
+	for i := range fs {
+		if fs[i] != want[i] {
+			t.Errorf("freq[%d] = %v, want %v", i, fs[i], want[i])
+		}
+	}
+}
+
+func TestLaptopK62Spec(t *testing.T) {
+	m := LaptopK62()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Points) != 7 {
+		t.Fatalf("K6-2+ has %d points, want 7 (200–550 MHz skipping 250)", len(m.Points))
+	}
+	// Only two voltage levels: 1.4 V up to 450 MHz, 2.0 V above.
+	for _, p := range m.Points {
+		wantV := 1.4
+		if p.Freq > 450.0/550.0+1e-9 {
+			wantV = 2.0
+		}
+		if p.Voltage != wantV {
+			t.Errorf("point %v: voltage %v, want %v", p.Freq, p.Voltage, wantV)
+		}
+	}
+	if m.Min().Freq < 0.36 || m.Min().Freq > 0.37 {
+		t.Errorf("min freq = %v, want 200/550", m.Min().Freq)
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if ByName("pentium") != nil {
+		t.Error("ByName(pentium) should be nil")
+	}
+}
+
+func TestSwitchOverheadHalt(t *testing.T) {
+	o := K62SwitchOverhead
+	m := LaptopK62()
+	lo, hi := m.Min(), m.Max()
+	mid := m.Points[2] // 1.4 V like lo
+	if got := o.Halt(lo, lo); got != 0 {
+		t.Errorf("same-point halt = %v, want 0", got)
+	}
+	if got := o.Halt(lo, mid); got != 0.041 {
+		t.Errorf("frequency-only halt = %v, want 0.041", got)
+	}
+	if got := o.Halt(lo, hi); got != 0.4 {
+		t.Errorf("voltage-change halt = %v, want 0.4", got)
+	}
+	if got := o.WorstCase(); got != 0.4 {
+		t.Errorf("WorstCase = %v, want 0.4", got)
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	s := Machine0().String()
+	for _, want := range []string{"machine0", "0.5@3V", "0.75@4V", "1@5V", "idle=0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package machine
+
+// Predefined platform specifications from the paper's evaluation
+// (Section 3.2, "Varying machine specifications", and Section 4.1).
+
+// Machine0 is the baseline spec used for most simulations: three relative
+// frequencies 0.5/0.75/1.0 at 3/4/5 volts (PC-motherboard-like settings;
+// the voltages were arbitrarily selected by the authors).
+func Machine0() *Spec {
+	return &Spec{
+		Name: "machine0",
+		Points: []OperatingPoint{
+			{Freq: 0.50, Voltage: 3},
+			{Freq: 0.75, Voltage: 4},
+			{Freq: 1.00, Voltage: 5},
+		},
+	}
+}
+
+// Machine1 is machine 0 plus an extra 0.83 setting at 4.5 V. The extra
+// point near the ccEDF/ccRM crossover shifts the crossover toward full
+// utilization.
+func Machine1() *Spec {
+	return &Spec{
+		Name: "machine1",
+		Points: []OperatingPoint{
+			{Freq: 0.50, Voltage: 3},
+			{Freq: 0.75, Voltage: 4},
+			{Freq: 0.83, Voltage: 4.5},
+			{Freq: 1.00, Voltage: 5},
+		},
+	}
+}
+
+// Machine2 reflects an AMD K6 with PowerNow!: seven settings over a
+// narrow 1.4–2.0 V range (voltages speculated by the authors). Its many
+// closely-spaced points let ccEDF/staticEDF track the bound, and make
+// ccEDF outperform laEDF.
+func Machine2() *Spec {
+	return &Spec{
+		Name: "machine2",
+		Points: []OperatingPoint{
+			{Freq: 0.36, Voltage: 1.4},
+			{Freq: 0.55, Voltage: 1.5},
+			{Freq: 0.64, Voltage: 1.6},
+			{Freq: 0.73, Voltage: 1.7},
+			{Freq: 0.82, Voltage: 1.8},
+			{Freq: 0.91, Voltage: 1.9},
+			{Freq: 1.00, Voltage: 2.0},
+		},
+	}
+}
+
+// LaptopK62 is the prototype platform of Section 4: an AMD K6-2+ at
+// 550 MHz max, clock steps 200–550 MHz in 50 MHz increments (skipping
+// 250), with only the two voltage settings HP wired up — 1.4 V (stable up
+// to 450 MHz, determined experimentally) and 2.0 V above. This is the
+// "2 voltage-level machine specification" behind Figures 16 and 17.
+func LaptopK62() *Spec {
+	const maxMHz = 550.0
+	mhz := []float64{200, 300, 350, 400, 450, 500, 550}
+	pts := make([]OperatingPoint, len(mhz))
+	for i, m := range mhz {
+		v := 1.4
+		if m > 450 {
+			v = 2.0
+		}
+		pts[i] = OperatingPoint{Freq: m / maxMHz, Voltage: v}
+	}
+	return &Spec{Name: "k6-2+", Points: pts}
+}
+
+// ByName returns a predefined spec by name ("machine0", "machine1",
+// "machine2", "k6-2+"), or nil if unknown.
+func ByName(name string) *Spec {
+	switch name {
+	case "machine0":
+		return Machine0()
+	case "machine1":
+		return Machine1()
+	case "machine2":
+		return Machine2()
+	case "k6-2+", "laptop":
+		return LaptopK62()
+	}
+	return nil
+}
+
+// Names lists the predefined spec names accepted by ByName.
+func Names() []string {
+	return []string{"machine0", "machine1", "machine2", "k6-2+"}
+}

@@ -1,0 +1,191 @@
+package platform
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewBatteryValidation(t *testing.T) {
+	if _, err := NewBattery(0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := NewBattery(-5); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	b, err := NewBattery(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(); err != nil {
+		t.Error(err)
+	}
+	if b.CapacityJ != 50*3600 {
+		t.Errorf("capacity = %v J", b.CapacityJ)
+	}
+}
+
+func TestBatteryValidateErrors(t *testing.T) {
+	cases := []Battery{
+		{CapacityJ: 0, Efficiency: 0.9, ReferenceW: 10, LoadExponent: 1},
+		{CapacityJ: 100, Efficiency: 0, ReferenceW: 10, LoadExponent: 1},
+		{CapacityJ: 100, Efficiency: 1.2, ReferenceW: 10, LoadExponent: 1},
+		{CapacityJ: 100, Efficiency: 0.9, ReferenceW: 0, LoadExponent: 1},
+		{CapacityJ: 100, Efficiency: 0.9, ReferenceW: 10, LoadExponent: 0.5},
+	}
+	for i, b := range cases {
+		if err := b.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, b)
+		}
+	}
+}
+
+func TestBatteryLinearDischarge(t *testing.T) {
+	// Ideal battery: 100% efficient, exponent 1 → drain == delivered power.
+	b := &Battery{CapacityJ: 3600, Efficiency: 1, ReferenceW: 10, LoadExponent: 1}
+	if got := b.Lifetime(1); math.Abs(got-1) > 1e-12 {
+		t.Errorf("1 Wh at 1 W lasts %v h, want 1", got)
+	}
+	alive := b.Drain(1, 1800*1000) // 30 min at 1 W
+	if !alive {
+		t.Fatal("battery died early")
+	}
+	if got := b.Remaining(); math.Abs(got-1800) > 1e-6 {
+		t.Errorf("remaining = %v J, want 1800", got)
+	}
+	if b.Drain(1, 1900*1000) {
+		t.Error("battery should be empty")
+	}
+	if !b.Empty() || b.Remaining() != 0 {
+		t.Error("empty-state accounting wrong")
+	}
+}
+
+func TestBatteryZeroPower(t *testing.T) {
+	b := &Battery{CapacityJ: 100, Efficiency: 1, ReferenceW: 10, LoadExponent: 1}
+	if b.DrainRate(0) != 0 || b.DrainRate(-3) != 0 {
+		t.Error("non-positive power should not drain")
+	}
+	if !math.IsInf(b.Lifetime(0), 1) {
+		t.Error("zero draw should last forever")
+	}
+}
+
+// The paper's headline: 20–40% power reduction. With load derating, the
+// battery-life gain must exceed the naive power ratio.
+func TestBatteryLifetimeGainSuperlinear(t *testing.T) {
+	b, err := NewBattery(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, after := 16.7, 11.8 // rtosdemo's measured none vs ccEDF watts
+	gain := b.LifetimeGain(before, after)
+	naive := before / after
+	if gain <= naive {
+		t.Errorf("gain %v not above naive ratio %v despite load derating", gain, naive)
+	}
+	if gain > naive*1.2 {
+		t.Errorf("gain %v implausibly large versus naive %v", gain, naive)
+	}
+}
+
+// Lifetime must be monotone decreasing in power.
+func TestBatteryLifetimeMonotoneProperty(t *testing.T) {
+	b, err := NewBattery(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, c float64) bool {
+		pa := 1 + math.Mod(math.Abs(a), 30)
+		pc := 1 + math.Mod(math.Abs(c), 30)
+		if pa > pc {
+			pa, pc = pc, pa
+		}
+		return b.Lifetime(pa) >= b.Lifetime(pc)-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewThermalValidation(t *testing.T) {
+	if _, err := NewThermal(25, 0, 1000); err == nil {
+		t.Error("zero Rθ accepted")
+	}
+	if _, err := NewThermal(25, 5, 0); err == nil {
+		t.Error("zero τ accepted")
+	}
+}
+
+func TestThermalSteadyState(t *testing.T) {
+	th, err := NewThermal(25, 4, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := th.SteadyState(10); got != 65 {
+		t.Errorf("steady state at 10 W = %v, want 65", got)
+	}
+	// Run ten time constants at 10 W: within a fraction of a degree of
+	// steady state.
+	for i := 0; i < 100; i++ {
+		th.Step(10, 100)
+	}
+	if math.Abs(th.Temperature()-65) > 0.01 {
+		t.Errorf("temperature = %v, want ≈65", th.Temperature())
+	}
+	if th.Peak() < th.Temperature()-1e-9 {
+		t.Error("peak below current temperature")
+	}
+}
+
+func TestThermalExactExponential(t *testing.T) {
+	th, err := NewThermal(20, 2, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One step of exactly τ at 5 W from ambient: T = 30 − 10·e⁻¹.
+	got := th.Step(5, 500)
+	want := 30 - 10*math.Exp(-1)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("T(τ) = %v, want %v", got, want)
+	}
+}
+
+// Step-size independence: the exact update must give identical results
+// for one big step and many small ones.
+func TestThermalStepSizeInvariant(t *testing.T) {
+	a, _ := NewThermal(25, 3, 800)
+	b, _ := NewThermal(25, 3, 800)
+	a.Step(8, 1000)
+	for i := 0; i < 1000; i++ {
+		b.Step(8, 1)
+	}
+	if math.Abs(a.Temperature()-b.Temperature()) > 1e-9 {
+		t.Errorf("step-size dependent: %v vs %v", a.Temperature(), b.Temperature())
+	}
+}
+
+func TestThermalCoolsWhenIdle(t *testing.T) {
+	th, _ := NewThermal(25, 4, 1000)
+	th.Step(10, 5000) // heat up
+	hot := th.Temperature()
+	th.Step(0, 5000) // cool down
+	if th.Temperature() >= hot {
+		t.Error("no cooling at zero power")
+	}
+	if th.Peak() < hot {
+		t.Error("peak lost during cooling")
+	}
+	th.Reset()
+	if th.Temperature() != 25 || th.Peak() != 25 {
+		t.Error("reset incomplete")
+	}
+}
+
+func TestThermalNegativeDurationIgnored(t *testing.T) {
+	th, _ := NewThermal(25, 4, 1000)
+	before := th.Temperature()
+	if got := th.Step(10, -5); got != before {
+		t.Errorf("negative duration changed temperature to %v", got)
+	}
+}

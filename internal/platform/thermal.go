@@ -1,0 +1,71 @@
+package platform
+
+import (
+	"fmt"
+	"math"
+)
+
+// Thermal is a lumped-parameter (single RC) thermal model of the
+// processor package: temperature relaxes toward ambient plus P·Rθ with
+// time constant τ. Stepping with the exact exponential solution keeps the
+// model stable for any step size, so the simulator can feed it its
+// variable-length execution segments directly.
+//
+//	T(t+dt) = T∞ + (T(t) − T∞)·exp(−dt/τ),  T∞ = Tambient + P·Rθ
+type Thermal struct {
+	// AmbientC is the ambient temperature, °C.
+	AmbientC float64
+	// RThetaCPerW is the junction-to-ambient thermal resistance, °C/W.
+	RThetaCPerW float64
+	// TauMs is the thermal time constant, milliseconds.
+	TauMs float64
+
+	temp float64
+	peak float64
+}
+
+// NewThermal returns a model initialized at ambient. Typical embedded
+// values: Rθ 1–20 °C/W, τ in the seconds range.
+func NewThermal(ambientC, rTheta, tauMs float64) (*Thermal, error) {
+	if rTheta <= 0 || tauMs <= 0 {
+		return nil, fmt.Errorf("platform: thermal parameters must be positive (Rθ=%v, τ=%v)", rTheta, tauMs)
+	}
+	return &Thermal{
+		AmbientC:    ambientC,
+		RThetaCPerW: rTheta,
+		TauMs:       tauMs,
+		temp:        ambientC,
+		peak:        ambientC,
+	}, nil
+}
+
+// Step advances the model durMs milliseconds at the given dissipated
+// power (watts) and returns the new temperature.
+func (t *Thermal) Step(powerW, durMs float64) float64 {
+	if durMs < 0 {
+		return t.temp
+	}
+	tInf := t.AmbientC + powerW*t.RThetaCPerW
+	t.temp = tInf + (t.temp-tInf)*math.Exp(-durMs/t.TauMs)
+	if t.temp > t.peak {
+		t.peak = t.temp
+	}
+	return t.temp
+}
+
+// Temperature returns the current temperature, °C.
+func (t *Thermal) Temperature() float64 { return t.temp }
+
+// Peak returns the highest temperature observed, °C.
+func (t *Thermal) Peak() float64 { return t.peak }
+
+// SteadyState returns the equilibrium temperature at a constant power.
+func (t *Thermal) SteadyState(powerW float64) float64 {
+	return t.AmbientC + powerW*t.RThetaCPerW
+}
+
+// Reset returns the model to ambient and clears the peak.
+func (t *Thermal) Reset() {
+	t.temp = t.AmbientC
+	t.peak = t.AmbientC
+}

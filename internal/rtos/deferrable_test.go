@@ -1,0 +1,283 @@
+package rtos
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDeferrableServerValidation(t *testing.T) {
+	k := newTestKernel(t, "ccEDF")
+	if _, err := NewDeferrableServer(k, "bad", 10, 0); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if _, err := NewDeferrableServer(k, "bad", 10, 11); err == nil {
+		t.Error("budget beyond period accepted")
+	}
+	s, err := NewDeferrableServer(k, "ok", 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit("none", 0); err == nil {
+		t.Error("zero-cycle job accepted")
+	}
+}
+
+// A job arriving mid-period with budget remaining must be served before
+// the period ends — the whole point of budget preservation.
+func TestDeferrableServesMidPeriod(t *testing.T) {
+	k := newTestKernel(t, "ccEDF")
+	addPaperExample(t, k, 0.5)
+	s, err := NewDeferrableServer(k, "ds", 50, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Step(55) // into the second server period (releases at 0, 50, ...)
+	j, err := s.Submit("midperiod", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Step(100) // still before the next server release at 100
+	if !j.Done {
+		t.Fatal("mid-period job not served before the next server release")
+	}
+	if j.CompletedAt >= 100 {
+		t.Errorf("served only at the next period: %v", j.CompletedAt)
+	}
+}
+
+// The polling server makes the same job wait for its next release.
+func TestPollingWaitsForRelease(t *testing.T) {
+	k := newTestKernel(t, "ccEDF")
+	addPaperExample(t, k, 0.5)
+	s, err := NewServer(k, "ps", 50, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Step(55)
+	j, err := s.Submit("midperiod", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Step(99)
+	if j.Done {
+		t.Fatal("polling server served a job before its release")
+	}
+	k.Step(150)
+	if !j.Done {
+		t.Fatal("polling server never served the job")
+	}
+	if j.CompletedAt < 100 {
+		t.Errorf("polling completion %v precedes the release at 100", j.CompletedAt)
+	}
+}
+
+// Budget exhaustion defers the excess to the next period.
+func TestDeferrableBudgetExhaustion(t *testing.T) {
+	k := newTestKernel(t, "ccEDF")
+	s, err := NewDeferrableServer(k, "ds", 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Step(1)
+	j, err := s.Submit("big", 8) // needs three periods of budget
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Step(15)
+	if j.Done {
+		t.Error("8-cycle job done within one 3-cycle budget")
+	}
+	k.Step(200)
+	if !j.Done {
+		t.Fatalf("job never finished: backlog %v", s.Backlog())
+	}
+	if j.CompletedAt < 40 {
+		t.Errorf("completed at %v, impossible with 3 cycles per 20 ms", j.CompletedAt)
+	}
+	if s.Pending() != 0 || s.Backlog() > 1e-9 {
+		t.Errorf("pending=%d backlog=%v", s.Pending(), s.Backlog())
+	}
+}
+
+// Deferrable service must not break the hard tasks' deadlines in a
+// generously provisioned system.
+func TestDeferrableKeepsHardDeadlines(t *testing.T) {
+	for _, policy := range []string{"ccEDF", "laEDF", "staticEDF"} {
+		k := newTestKernel(t, policy)
+		addPaperExample(t, k, 0.9)
+		s, err := NewDeferrableServer(k, "ds", 70, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rand.New(rand.NewSource(3))
+		w := AperiodicWorkload{MeanInterarrival: 40, MeanCycles: 2, Rand: r}
+		arrivals, err := w.Generate(3000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Replay(k, s, arrivals, 3500); err != nil {
+			t.Fatal(err)
+		}
+		if n := len(k.Misses()); n != 0 {
+			t.Errorf("%s: %d hard misses with deferrable service", policy, n)
+		}
+	}
+}
+
+// The headline comparison: for sparse aperiodic arrivals the deferrable
+// server's mean response time beats the polling server's by a wide
+// margin, at identical reservation.
+func TestDeferrableBeatsPollingOnResponseTime(t *testing.T) {
+	run := func(deferrable bool) float64 {
+		k := newTestKernel(t, "ccEDF")
+		addPaperExample(t, k, 0.5)
+		var sink JobSink
+		var err error
+		if deferrable {
+			sink, err = NewDeferrableServer(k, "srv", 50, 4)
+		} else {
+			sink, err = NewServer(k, "srv", 50, 4)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := AperiodicWorkload{MeanInterarrival: 200, MeanCycles: 1.5, Rand: rand.New(rand.NewSource(9))}
+		arrivals, err := w.Generate(20000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mean, err := Replay(k, sink, arrivals, 21000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.IsNaN(mean) {
+			t.Fatal("no jobs completed")
+		}
+		return mean
+	}
+	ds, ps := run(true), run(false)
+	if ds >= ps {
+		t.Errorf("deferrable mean response %v not below polling %v", ds, ps)
+	}
+	if ds > 0.6*ps {
+		t.Logf("note: deferrable %v vs polling %v (improvement smaller than typical)", ds, ps)
+	}
+}
+
+func TestAperiodicWorkloadGenerator(t *testing.T) {
+	w := AperiodicWorkload{MeanInterarrival: 10, MeanCycles: 2, Rand: rand.New(rand.NewSource(4))}
+	arr, err := w.Generate(10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arr) < 700 || len(arr) > 1300 {
+		t.Errorf("%d arrivals over 10 s at mean gap 10 ms", len(arr))
+	}
+	var sum float64
+	for i, a := range arr {
+		if a.Time < 0 || a.Time >= 10000 {
+			t.Fatalf("arrival %d outside horizon: %v", i, a.Time)
+		}
+		if i > 0 && arr[i-1].Time > a.Time {
+			t.Fatal("arrivals not sorted")
+		}
+		if a.Cycles <= 0 || a.Cycles > 20+1e-9 {
+			t.Fatalf("demand %v outside (0, 10×mean]", a.Cycles)
+		}
+		sum += a.Cycles
+	}
+	if mean := sum / float64(len(arr)); mean < 1.5 || mean > 2.5 {
+		t.Errorf("mean demand %v, want ≈2", mean)
+	}
+}
+
+func TestAperiodicWorkloadValidation(t *testing.T) {
+	bad := []AperiodicWorkload{
+		{MeanInterarrival: 0, MeanCycles: 1, Rand: rand.New(rand.NewSource(1))},
+		{MeanInterarrival: 1, MeanCycles: 0, Rand: rand.New(rand.NewSource(1))},
+		{MeanInterarrival: 1, MeanCycles: 1},
+	}
+	for i, w := range bad {
+		if _, err := w.Generate(100); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestAddDemandValidation(t *testing.T) {
+	k := newTestKernel(t, "ccEDF")
+	addPaperExample(t, k, 0.5)
+	if _, err := k.AddDemand(999, 1); err == nil {
+		t.Error("unknown task accepted")
+	}
+	if _, err := k.AddDemand(0, -1); err == nil {
+		t.Error("negative demand accepted")
+	}
+	// Before first release: politely deferred.
+	k2 := newTestKernel(t, "ccEDF")
+	id, err := k2.AddTask(TaskConfig{Name: "x", Period: 100, WCET: 10}, AddOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := k2.AddDemand(id, 5)
+	if err != nil || got != 0 {
+		t.Errorf("pre-start AddDemand = %v, %v; want 0, nil", got, err)
+	}
+}
+
+func TestAddDemandClampsToWCET(t *testing.T) {
+	k := newTestKernel(t, "ccEDF")
+	id, err := k.AddTask(TaskConfig{
+		Name: "srvish", Period: 100, WCET: 10,
+		Work: func(int) float64 { return 4 },
+	}, AddOptions{Immediate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Step(30) // invocation done (used 4), period runs to 100
+	got, err := k.AddDemand(id, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-6) > 1e-9 {
+		t.Errorf("accepted %v, want 6 (WCET 10 − used 4)", got)
+	}
+	k.Step(400)
+	if n := len(k.Overruns()); n != 0 {
+		t.Errorf("clamped demand still overran: %d", n)
+	}
+	if n := len(k.Misses()); n != 0 {
+		t.Errorf("%d misses", n)
+	}
+}
+
+func TestServerAccessors(t *testing.T) {
+	k := newTestKernel(t, "ccEDF")
+	ps, err := NewServer(k, "ps", 20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := NewDeferrableServer(k, "ds", 20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.ID() == ds.ID() {
+		t.Error("servers share a task id")
+	}
+	k.Step(1)
+	if _, err := ds.Submit("j", 1); err != nil {
+		t.Fatal(err)
+	}
+	if ds.BudgetLeft() >= 2 {
+		t.Errorf("budget not consumed by mid-period submission: %v", ds.BudgetLeft())
+	}
+	// Pending job's response time is NaN until served.
+	j, err := ps.Submit("pending", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(j.ResponseTime()) {
+		t.Error("pending job has a response time")
+	}
+}

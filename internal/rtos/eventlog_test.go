@@ -1,0 +1,125 @@
+package rtos
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEventLogRingBuffer(t *testing.T) {
+	l := NewEventLog(3)
+	for i := 0; i < 5; i++ {
+		l.Add(Event{Time: float64(i), Kind: EvRelease})
+	}
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", l.Len())
+	}
+	if l.Dropped() != 2 {
+		t.Errorf("Dropped = %d, want 2", l.Dropped())
+	}
+	evs := l.Events()
+	for i, want := range []float64{2, 3, 4} {
+		if evs[i].Time != want {
+			t.Errorf("event %d time = %v, want %v", i, evs[i].Time, want)
+		}
+	}
+}
+
+func TestEventLogDefaultCapacity(t *testing.T) {
+	l := NewEventLog(0)
+	for i := 0; i < 1024; i++ {
+		l.Add(Event{Time: float64(i)})
+	}
+	if l.Len() != 1024 || l.Dropped() != 0 {
+		t.Errorf("len/dropped = %d/%d", l.Len(), l.Dropped())
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := map[EventKind]string{
+		EvRelease: "release", EvComplete: "complete", EvMiss: "MISS",
+		EvOverrun: "overrun", EvSwitch: "switch", EvTaskAdded: "task+",
+		EvTaskRemoved: "task-", EvPolicySwap: "policy",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if EventKind(99).String() != "EventKind(99)" {
+		t.Error("unknown kind string")
+	}
+}
+
+// End-to-end: the kernel trace must contain matching release/completion
+// pairs, the lifecycle events, and switches at plausible frequencies.
+func TestKernelTracing(t *testing.T) {
+	k := newTestKernel(t, "ccEDF")
+	log := NewEventLog(4096)
+	k.SetEventLog(log)
+	if k.EventLog() != log {
+		t.Fatal("EventLog not attached")
+	}
+	addPaperExample(t, k, 0.9)
+	k.Step(80) // one T1 period short of 88 so counts are deterministic
+	if err := k.SetPolicy(mustPolicy(t, "laEDF")); err != nil {
+		t.Fatal(err)
+	}
+	k.Step(160)
+
+	releases := log.Filter(EvRelease)
+	completes := log.Filter(EvComplete)
+	if len(releases) == 0 || len(completes) == 0 {
+		t.Fatal("no release/complete events traced")
+	}
+	if len(releases) < len(completes) {
+		t.Errorf("%d releases < %d completions", len(releases), len(completes))
+	}
+	if got := len(log.Filter(EvTaskAdded)); got != 3 {
+		t.Errorf("task+ events = %d, want 3", got)
+	}
+	if got := len(log.Filter(EvPolicySwap)); got != 1 {
+		t.Errorf("policy events = %d, want 1", got)
+	}
+	if len(log.Filter(EvMiss)) != 0 {
+		t.Error("unexpected miss events")
+	}
+	for _, e := range log.Filter(EvSwitch) {
+		if e.Value < 0.5 || e.Value > 1.0 {
+			t.Errorf("switch to frequency %v outside machine range", e.Value)
+		}
+	}
+	// Chronological order.
+	evs := log.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Time < evs[i-1].Time-1e-9 {
+			t.Fatalf("events out of order at %d", i)
+		}
+	}
+	dump := log.String()
+	for _, want := range []string{"release", "complete", "policy", "T1"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("trace dump missing %q", want)
+		}
+	}
+}
+
+func TestKernelTraceRecordsMissAndOverrun(t *testing.T) {
+	k := newTestKernel(t, "none")
+	log := NewEventLog(256)
+	k.SetEventLog(log)
+	k.SetAdmitAll(true)
+	if _, err := k.AddTask(TaskConfig{
+		Name: "hog", Period: 10, WCET: 10,
+		Work:           func(int) float64 { return 9 },
+		ColdStartExtra: 5, // first invocation demands 14 > WCET and > period
+	}, AddOptions{Immediate: true}); err != nil {
+		t.Fatal(err)
+	}
+	k.Step(50)
+	if len(log.Filter(EvOverrun)) != 1 {
+		t.Errorf("overrun events = %d, want 1", len(log.Filter(EvOverrun)))
+	}
+	if len(log.Filter(EvMiss)) == 0 {
+		t.Error("no miss event for the overrunning first invocation")
+	}
+}

@@ -1,0 +1,575 @@
+package rtos
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rtdvs/internal/core"
+	"rtdvs/internal/machine"
+	"rtdvs/internal/sched"
+	"rtdvs/internal/task"
+)
+
+// timeEps absorbs floating-point drift when comparing event times.
+const timeEps = 1e-9
+
+// TaskID identifies a registered task for the lifetime of the kernel.
+type TaskID int
+
+// WorkModel yields the actual computation demand (cycles, i.e.
+// milliseconds at maximum frequency) of a task's inv-th invocation. A nil
+// model consumes the full worst case.
+type WorkModel func(inv int) float64
+
+// TaskConfig registers a periodic real-time task, the analogue of a task
+// writing its period and maximum computing bound into the /procfs
+// interface of the prototype.
+type TaskConfig struct {
+	Name   string
+	Period float64 // ms
+	WCET   float64 // ms at maximum frequency
+	// Work models actual demand per invocation; nil means full WCET.
+	Work WorkModel
+	// ColdStartExtra adds this many cycles to the first invocation only,
+	// modeling the cold cache/TLB/page-fault overruns the paper observed
+	// on first invocations (Section 4.3). The demand may then exceed the
+	// declared WCET, which is recorded as an overrun.
+	ColdStartExtra float64
+	// OnComplete, when non-nil, is called at each invocation completion
+	// with the virtual time and invocation index (used by the periodic
+	// server to retire aperiodic jobs).
+	OnComplete func(now float64, inv int)
+	// Soft marks a task whose work has no hard deadline of its own (the
+	// aperiodic servers): an invocation still unfinished at the period
+	// end is quietly abandoned — its backlog rolls into the next period's
+	// plan — instead of being recorded as a deadline miss.
+	Soft bool
+}
+
+// MissEvent records a deadline miss observed by the kernel.
+type MissEvent struct {
+	Task     TaskID  `json:"task"`
+	Name     string  `json:"name"`
+	Inv      int     `json:"inv"`
+	Deadline float64 `json:"deadline"`
+}
+
+// OverrunEvent records an invocation whose actual demand exceeded the
+// declared worst case (condition C2 violated).
+type OverrunEvent struct {
+	Task   TaskID  `json:"task"`
+	Name   string  `json:"name"`
+	Inv    int     `json:"inv"`
+	Demand float64 `json:"demand"`
+	WCET   float64 `json:"wcet"`
+}
+
+// ktask is the kernel's per-task control block.
+type ktask struct {
+	id  TaskID
+	cfg TaskConfig
+
+	startAt     float64 // first release time (deferred admission)
+	nextRelease float64
+	deadline    float64
+	remaining   float64
+	used        float64
+	active      bool
+	inv         int
+	releasedAt  float64
+
+	releases    int
+	completions int
+	misses      int
+	overruns    int
+
+	// sporadic tasks are released by Trigger, never by the clock;
+	// lastRelease enforces the minimum inter-arrival time.
+	sporadic    bool
+	lastRelease float64
+}
+
+// Kernel is the real-time executive: it owns the task registry, drives the
+// CPU device in virtual time, and delegates frequency selection to a
+// hot-swappable RT-DVS policy module.
+type Kernel struct {
+	cpu    *CPU
+	policy core.Policy
+	sch    sched.Scheduler
+	now    float64
+	tasks  []*ktask
+	nextID TaskID
+
+	misses   []MissEvent
+	overruns []OverrunEvent
+	log      *EventLog
+	// haltUntil marks the end of an in-progress transition stop interval;
+	// no task executes before it, even across Step boundaries.
+	haltUntil float64
+	// admitAll disables admission control (used to demonstrate transient
+	// misses from unguarded task addition).
+	admitAll bool
+}
+
+// NewKernel creates a kernel on the given platform with the given initial
+// policy module.
+func NewKernel(spec *machine.Spec, overhead machine.SwitchOverhead, policy core.Policy) (*Kernel, error) {
+	cpu, err := NewCPU(spec, overhead)
+	if err != nil {
+		return nil, err
+	}
+	if policy == nil {
+		return nil, fmt.Errorf("rtos: nil policy module")
+	}
+	k := &Kernel{cpu: cpu, policy: policy, sch: sched.New(policy.Scheduler())}
+	return k, nil
+}
+
+// Now returns the current virtual time in milliseconds.
+func (k *Kernel) Now() float64 { return k.now }
+
+// CPU returns the processor device.
+func (k *Kernel) CPU() *CPU { return k.cpu }
+
+// Policy returns the active policy module.
+func (k *Kernel) Policy() core.Policy { return k.policy }
+
+// Misses returns all deadline misses observed so far.
+func (k *Kernel) Misses() []MissEvent { return append([]MissEvent(nil), k.misses...) }
+
+// Overruns returns all WCET overruns observed so far.
+func (k *Kernel) Overruns() []OverrunEvent { return append([]OverrunEvent(nil), k.overruns...) }
+
+// SetAdmitAll disables (true) or enables (false) admission control.
+func (k *Kernel) SetAdmitAll(v bool) { k.admitAll = v }
+
+// taskSet snapshots the registry as a task.Set for policy attachment.
+func (k *Kernel) taskSet() (*task.Set, error) {
+	ts := make([]task.Task, len(k.tasks))
+	for i, t := range k.tasks {
+		ts[i] = task.Task{Name: t.cfg.Name, Period: t.cfg.Period, WCET: t.cfg.WCET}
+	}
+	return task.NewSet(ts...)
+}
+
+// reattach rebuilds the policy's view after any task-set or policy change:
+// the policy is re-attached to the new set and the in-flight invocations
+// are re-declared (a release followed by the progress already made), so
+// DVS decisions immediately reflect the new system characteristics. The
+// redeclared frequency choice can only err high (the last re-declared
+// release is selected before its progress is credited), which is the safe
+// direction; it self-corrects at the next scheduling point.
+func (k *Kernel) reattach() error {
+	if len(k.tasks) == 0 {
+		return nil
+	}
+	ts, err := k.taskSet()
+	if err != nil {
+		return err
+	}
+	if err := k.policy.Attach(ts, k.cpu.spec); err != nil {
+		return err
+	}
+	for i, t := range k.tasks {
+		if !t.active {
+			continue
+		}
+		k.policy.OnRelease(k, i)
+		if t.used > 0 {
+			k.policy.OnExecute(i, t.used)
+		}
+	}
+	return nil
+}
+
+// AddOptions controls task admission.
+type AddOptions struct {
+	// Immediate releases the task right away instead of deferring its
+	// first release until the in-flight invocations of all existing tasks
+	// have completed. The paper warns that immediate release can cause
+	// transient misses with the aggressive policies (Section 4.3).
+	Immediate bool
+}
+
+// AddTask registers a periodic task. The task joins the policy's task set
+// immediately (so DVS decisions account for it), but unless opts.Immediate
+// is set its first release is deferred until every invocation currently in
+// flight has completed — bounded by those invocations' deadlines — which
+// ensures the effects of past DVS decisions based on the old task set have
+// expired.
+//
+// Admission control rejects a set that fails the policy's schedulability
+// test at full speed unless SetAdmitAll(true) was called.
+func (k *Kernel) AddTask(cfg TaskConfig, opts AddOptions) (TaskID, error) {
+	nt := task.Task{Name: cfg.Name, Period: cfg.Period, WCET: cfg.WCET}
+	if err := nt.Validate(); err != nil {
+		return 0, err
+	}
+	if !k.admitAll {
+		probe := make([]task.Task, 0, len(k.tasks)+1)
+		for _, t := range k.tasks {
+			probe = append(probe, task.Task{Name: t.cfg.Name, Period: t.cfg.Period, WCET: t.cfg.WCET})
+		}
+		probe = append(probe, nt)
+		ps, err := task.NewSet(probe...)
+		if err != nil {
+			return 0, err
+		}
+		if !sched.Test(k.policy.Scheduler())(ps, 1) {
+			return 0, fmt.Errorf("rtos: admission denied: %v fails %s schedulability at full speed", ps, k.policy.Scheduler())
+		}
+	}
+
+	start := k.now
+	if !opts.Immediate {
+		for _, t := range k.tasks {
+			if t.active && t.deadline > start {
+				start = t.deadline
+			}
+		}
+	}
+	kt := &ktask{
+		id:          k.nextID,
+		cfg:         cfg,
+		startAt:     start,
+		nextRelease: start,
+		deadline:    start,
+	}
+	k.nextID++
+	k.tasks = append(k.tasks, kt)
+	if err := k.reattach(); err != nil {
+		k.tasks = k.tasks[:len(k.tasks)-1]
+		return 0, err
+	}
+	k.logEvent(Event{Kind: EvTaskAdded, Task: kt.id, Name: cfg.Name, Value: start})
+	return kt.id, nil
+}
+
+// RemoveTask deregisters a task (a task closing its /procfs handle in the
+// prototype). An in-flight invocation is aborted.
+func (k *Kernel) RemoveTask(id TaskID) error {
+	for i, t := range k.tasks {
+		if t.id == id {
+			k.tasks = append(k.tasks[:i], k.tasks[i+1:]...)
+			k.logEvent(Event{Kind: EvTaskRemoved, Task: t.id, Name: t.cfg.Name})
+			return k.reattach()
+		}
+	}
+	return fmt.Errorf("rtos: no task with id %d", id)
+}
+
+// SetPolicy hot-swaps the scheduler/RT-DVS policy module without shutting
+// down running tasks, as the prototype's module architecture allows.
+func (k *Kernel) SetPolicy(p core.Policy) error {
+	if p == nil {
+		return fmt.Errorf("rtos: nil policy module")
+	}
+	old, oldSch := k.policy, k.sch
+	k.policy = p
+	k.sch = sched.New(p.Scheduler())
+	if err := k.reattach(); err != nil {
+		k.policy, k.sch = old, oldSch
+		return err
+	}
+	k.logEvent(Event{Kind: EvPolicySwap, Name: p.Name()})
+	return nil
+}
+
+// findByName returns the task with the given name, or nil.
+func (k *Kernel) findByName(name string) *ktask {
+	for _, t := range k.tasks {
+		if t.cfg.Name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// --- core.System and sched.TaskView ---
+
+// Deadline implements core.System: for a task whose first release is
+// still pending, the first invocation's deadline is reported so the
+// policies' reservations see a consistent timeline.
+func (k *Kernel) Deadline(i int) float64 {
+	t := k.tasks[i]
+	if t.active {
+		return t.deadline
+	}
+	if t.inv == 0 {
+		return t.startAt + t.cfg.Period
+	}
+	return t.nextRelease
+}
+
+// NumTasks implements sched.TaskView.
+func (k *Kernel) NumTasks() int { return len(k.tasks) }
+
+// Task implements sched.TaskView.
+func (k *Kernel) Task(i int) task.Task {
+	t := k.tasks[i]
+	return task.Task{Name: t.cfg.Name, Period: t.cfg.Period, WCET: t.cfg.WCET}
+}
+
+// Ready implements sched.TaskView.
+func (k *Kernel) Ready(i int) bool { return k.tasks[i].active }
+
+// --- engine ---
+
+func (k *Kernel) demand(t *ktask) float64 {
+	c := t.cfg.WCET
+	if t.cfg.Work != nil {
+		c = t.cfg.Work(t.inv)
+	}
+	if t.inv == 0 {
+		c += t.cfg.ColdStartExtra
+	}
+	if c <= 0 {
+		c = math.SmallestNonzeroFloat64
+	}
+	if c > t.cfg.WCET+timeEps {
+		t.overruns++
+		k.overruns = append(k.overruns, OverrunEvent{
+			Task: t.id, Name: t.cfg.Name, Inv: t.inv, Demand: c, WCET: t.cfg.WCET,
+		})
+		k.logEvent(Event{Kind: EvOverrun, Task: t.id, Name: t.cfg.Name, Value: c})
+	}
+	return c
+}
+
+func (k *Kernel) nextReleaseTime() float64 {
+	t := math.Inf(1)
+	for _, kt := range k.tasks {
+		if kt.nextRelease < t {
+			t = kt.nextRelease
+		}
+		// A running sporadic invocation has no follow-on release to
+		// expose a deadline overrun, so its deadline is an event too.
+		if kt.sporadic && kt.active && kt.deadline < t {
+			t = kt.deadline
+		}
+	}
+	return t
+}
+
+func (k *Kernel) processReleases() {
+	released := make([]int, 0, 4)
+	// Sporadic invocations have no follow-on release to catch an overrun,
+	// so their deadlines are checked directly.
+	for i, t := range k.tasks {
+		if t.sporadic && t.active && t.deadline <= k.now+timeEps {
+			if !t.cfg.Soft {
+				t.misses++
+				k.misses = append(k.misses, MissEvent{Task: t.id, Name: t.cfg.Name, Inv: t.inv - 1, Deadline: t.deadline})
+				k.logEvent(Event{Kind: EvMiss, Task: t.id, Name: t.cfg.Name, Value: float64(t.inv - 1)})
+			}
+			t.active = false
+			k.policy.OnCompletion(k, i, t.used) // close out the aborted invocation
+		}
+	}
+	for i, t := range k.tasks {
+		for t.nextRelease <= k.now+timeEps {
+			if t.active {
+				if !t.cfg.Soft {
+					t.misses++
+					k.misses = append(k.misses, MissEvent{Task: t.id, Name: t.cfg.Name, Inv: t.inv - 1, Deadline: t.deadline})
+					k.logEvent(Event{Kind: EvMiss, Task: t.id, Name: t.cfg.Name, Value: float64(t.inv - 1)})
+				}
+				t.active = false
+			}
+			rel := t.nextRelease
+			t.remaining = k.demand(t)
+			t.used = 0
+			t.releasedAt = rel
+			t.deadline = rel + t.cfg.Period
+			t.lastRelease = rel
+			if t.sporadic {
+				t.nextRelease = math.Inf(1) // armed again by the next Trigger
+			} else {
+				t.nextRelease = rel + t.cfg.Period
+			}
+			t.active = true
+			t.inv++
+			t.releases++
+			released = append(released, i)
+			k.logEvent(Event{Kind: EvRelease, Task: t.id, Name: t.cfg.Name, Value: float64(t.inv - 1)})
+		}
+	}
+	for _, i := range released {
+		k.policy.OnRelease(k, i)
+	}
+}
+
+// setPoint moves the CPU to the requested operating point, tracing the
+// transition when an event log is attached.
+func (k *Kernel) setPoint(op machine.OperatingPoint) float64 {
+	if op != k.cpu.Point() {
+		k.logEvent(Event{Kind: EvSwitch, Value: op.Freq})
+	}
+	halt := k.cpu.SetPoint(op)
+	if halt > 0 {
+		k.haltUntil = k.now + halt
+	}
+	return halt
+}
+
+// Step advances virtual time to `until`, executing tasks, switching
+// operating points as the policy dictates, and accounting energy in the
+// CPU device. It may be called repeatedly, with registry and policy
+// changes between calls.
+func (k *Kernel) Step(until float64) {
+	for k.now < until-timeEps {
+		// Finish any in-progress transition stop interval first; it may
+		// have been started near the end of a previous Step.
+		if k.now < k.haltUntil-timeEps {
+			span := math.Min(k.haltUntil, until) - k.now
+			k.cpu.AccountHalt(span)
+			k.now += span
+			continue
+		}
+		if len(k.tasks) == 0 {
+			k.cpu.Idle(until - k.now)
+			k.now = until
+			return
+		}
+		k.processReleases()
+
+		nextRel := math.Min(k.nextReleaseTime(), until)
+		pick := k.sch.Pick(k)
+
+		if pick < 0 {
+			if halt := k.setPoint(k.policy.IdlePoint()); halt > 0 {
+				continue // elapse the stop interval at the loop top
+			}
+			if nextRel > k.now {
+				k.cpu.Idle(nextRel - k.now)
+				k.now = nextRel
+			} else {
+				k.now = nextRel
+			}
+			continue
+		}
+
+		if halt := k.setPoint(k.policy.Point()); halt > 0 {
+			continue // elapse the stop interval at the loop top
+		}
+		if k.nextReleaseTime() <= k.now+timeEps {
+			continue // release became due during a stop interval
+		}
+		nextRel = math.Min(k.nextReleaseTime(), until)
+
+		t := k.tasks[pick]
+		f := k.cpu.Point().Freq
+		finish := k.now + t.remaining/f
+		end := math.Min(finish, nextRel)
+		dur := end - k.now
+		if dur < 0 {
+			dur = 0
+		}
+		cycles := k.cpu.Execute(dur)
+		if cycles > t.remaining || finish <= end+timeEps {
+			cycles = t.remaining
+		}
+		t.remaining -= cycles
+		t.used += cycles
+		k.now = end
+		k.policy.OnExecute(pick, cycles)
+
+		if t.remaining <= timeEps {
+			t.remaining = 0
+			t.active = false
+			t.completions++
+			k.logEvent(Event{Kind: EvComplete, Task: t.id, Name: t.cfg.Name, Value: float64(t.inv - 1)})
+			k.policy.OnCompletion(k, pick, t.used)
+			if t.cfg.OnComplete != nil {
+				t.cfg.OnComplete(k.now, t.inv-1)
+			}
+		}
+	}
+	k.now = until
+}
+
+// AddDemand injects extra computation into task id's *current* period —
+// the kernel mechanism behind the deferrable server, which may serve
+// aperiodic work at any point inside its period while budget remains.
+//
+// The demand is clamped so the invocation's total never exceeds the
+// declared WCET (the reservation admission control granted), and is
+// rejected entirely once the current period's deadline has passed (the
+// caller retries after the next release). A completed invocation is
+// re-activated; the policy is re-notified conservatively (a release at
+// worst case, with prior progress credited), which can only raise the
+// operating frequency.
+//
+// Note the classic deferrable-server caveat: preserving budget across the
+// period makes the worst-case interference on lower-priority work
+// slightly larger than an ordinary periodic task's (the back-to-back
+// "double hit"). Reservations sized with the plain periodic tests remain
+// safe in practice for the modest budgets servers use, but hard
+// guarantees require the server-aware bounds; the polling Server keeps
+// the unmodified guarantee.
+func (k *Kernel) AddDemand(id TaskID, cycles float64) (accepted float64, err error) {
+	if cycles <= 0 {
+		return 0, fmt.Errorf("rtos: demand must be positive, got %v", cycles)
+	}
+	var t *ktask
+	var idx int
+	for i, kt := range k.tasks {
+		if kt.id == id {
+			t, idx = kt, i
+			break
+		}
+	}
+	if t == nil {
+		return 0, fmt.Errorf("rtos: no task with id %d", id)
+	}
+	if t.inv == 0 || k.now >= t.deadline-timeEps {
+		return 0, nil // not yet started, or period over: wait for release
+	}
+	room := t.cfg.WCET - (t.used + t.remaining)
+	if room <= timeEps {
+		return 0, nil
+	}
+	accepted = math.Min(cycles, room)
+	wasActive := t.active
+	t.remaining += accepted
+	t.active = true
+	if !wasActive {
+		// Conservative policy re-notification: a fresh worst-case release
+		// with progress credited.
+		k.policy.OnRelease(k, idx)
+		if t.used > 0 {
+			k.policy.OnExecute(idx, t.used)
+		}
+	}
+	return accepted, nil
+}
+
+// TaskStatus is one row of the kernel's /proc-style status output.
+type TaskStatus struct {
+	ID          TaskID  `json:"id"`
+	Name        string  `json:"name"`
+	Period      float64 `json:"period"`
+	WCET        float64 `json:"wcet"`
+	Active      bool    `json:"active"`
+	Deadline    float64 `json:"deadline"`
+	Releases    int     `json:"releases"`
+	Completions int     `json:"completions"`
+	Misses      int     `json:"misses"`
+	Overruns    int     `json:"overruns"`
+}
+
+// Tasks returns the status of every registered task, sorted by id.
+func (k *Kernel) Tasks() []TaskStatus {
+	out := make([]TaskStatus, 0, len(k.tasks))
+	for _, t := range k.tasks {
+		out = append(out, TaskStatus{
+			ID: t.id, Name: t.cfg.Name, Period: t.cfg.Period, WCET: t.cfg.WCET,
+			Active: t.active, Deadline: t.deadline,
+			Releases: t.releases, Completions: t.completions,
+			Misses: t.misses, Overruns: t.overruns,
+		})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}

@@ -1,0 +1,94 @@
+// Package rtos is the Go counterpart of the paper's prototype
+// implementation (Section 4): a small real-time executive with periodic
+// task support, hot-swappable scheduler/RT-DVS policy modules, a
+// PowerNow!-like CPU device with a mandatory stop interval on operating
+// point changes, a /proc-style textual interface, and an
+// oscilloscope-style power meter that measures whole-system power
+// including the irreducible board overheads.
+//
+// Where the paper runs on a Hewlett-Packard N3350 laptop (AMD K6-2+,
+// Linux 2.2.16 kernel modules), this package runs the same architecture in
+// deterministic virtual time: the kernel advances a virtual clock, tasks
+// are workloads measured in cycles, and the power meter integrates a
+// component power model calibrated against the paper's Table 1.
+package rtos
+
+import "fmt"
+
+// SystemPower is the component power model of the prototype laptop, in
+// watts. The defaults are calibrated so the four states of Table 1
+// reproduce exactly, and the CPU subsystem accounts for "nearly 60%" of
+// max-load power as the paper observes.
+type SystemPower struct {
+	// BoardW is the irreducible system-board draw (always present).
+	BoardW float64 `json:"boardW"`
+	// ScreenW is the display backlighting draw when the screen is on.
+	ScreenW float64 `json:"screenW"`
+	// DiskW is the extra draw while the disk is spinning.
+	DiskW float64 `json:"diskW"`
+	// CPUIdleW is the processor subsystem draw while halted.
+	CPUIdleW float64 `json:"cpuIdleW"`
+	// CPUMaxW is the processor subsystem draw at maximum load and the
+	// highest operating point.
+	CPUMaxW float64 `json:"cpuMaxW"`
+}
+
+// DefaultSystemPower returns the Table 1 calibration:
+//
+//	screen on,  disk spinning, idle: 13.5 W
+//	screen on,  disk standby,  idle: 13.0 W
+//	screen off, disk standby,  idle:  7.1 W
+//	screen on,  disk standby,  max load: 27.3 W
+func DefaultSystemPower() SystemPower {
+	return SystemPower{
+		BoardW:   5.0,
+		ScreenW:  5.9,
+		DiskW:    0.5,
+		CPUIdleW: 2.1,
+		CPUMaxW:  16.4,
+	}
+}
+
+// Power returns total system power for the given peripheral states and
+// CPU dynamic load in [0, 1], where load 1 means continuous execution at
+// the highest operating point.
+func (s SystemPower) Power(screenOn, diskSpinning bool, cpuLoad float64) float64 {
+	p := s.BoardW + s.CPUIdleW + cpuLoad*(s.CPUMaxW-s.CPUIdleW)
+	if screenOn {
+		p += s.ScreenW
+	}
+	if diskSpinning {
+		p += s.DiskW
+	}
+	return p
+}
+
+// Baseline returns the constant (CPU-load-independent) part of system
+// power for the given peripheral states.
+func (s SystemPower) Baseline(screenOn, diskSpinning bool) float64 {
+	return s.Power(screenOn, diskSpinning, 0)
+}
+
+// Table1State is one row of Table 1.
+type Table1State struct {
+	Screen string  `json:"screen"`
+	Disk   string  `json:"disk"`
+	CPU    string  `json:"cpu"`
+	PowerW float64 `json:"powerW"`
+}
+
+// Table1 reproduces the measured power consumption table of the paper.
+func (s SystemPower) Table1() []Table1State {
+	return []Table1State{
+		{"On", "Spinning", "Idle", s.Power(true, true, 0)},
+		{"On", "Standby", "Idle", s.Power(true, false, 0)},
+		{"Off", "Standby", "Idle", s.Power(false, false, 0)},
+		{"On", "Standby", "Max. Load", s.Power(true, false, 1)},
+	}
+}
+
+// String formats the model.
+func (s SystemPower) String() string {
+	return fmt.Sprintf("board=%.1fW screen=%.1fW disk=%.1fW cpu=[%.1f..%.1f]W",
+		s.BoardW, s.ScreenW, s.DiskW, s.CPUIdleW, s.CPUMaxW)
+}

@@ -1,0 +1,148 @@
+package rtos
+
+import (
+	"fmt"
+	"math"
+)
+
+// Server is a polling periodic server for aperiodic and sporadic work
+// (paper footnote 1: "aperiodic and sporadic tasks can be handled by a
+// periodic or deferred server"; the same approach provisions processor
+// time for non-real-time tasks).
+//
+// The server appears to the scheduler and the RT-DVS policy as an ordinary
+// periodic task with period Ps and worst-case budget Cs, so all deadline
+// and energy machinery applies unchanged. At each release it serves as
+// much queued aperiodic work as fits in the budget; work beyond the budget
+// waits for later server invocations.
+type Server struct {
+	kernel *Kernel
+	id     TaskID
+	period float64
+	budget float64
+
+	queue     []*Job
+	planned   []plannedSlice // work assigned to the in-flight invocation
+	completed []*Job
+}
+
+// plannedSlice records how much of a job the current invocation serves.
+type plannedSlice struct {
+	job    *Job
+	cycles float64
+}
+
+// Job is one unit of aperiodic work.
+type Job struct {
+	Name    string
+	Arrival float64 // submission time (informational)
+	Cycles  float64 // demand in ms at maximum frequency
+
+	remaining float64
+	// Done reports completion; CompletedAt is the server invocation
+	// completion time that retired the job's last cycle.
+	Done        bool
+	CompletedAt float64
+}
+
+// ResponseTime returns completion time minus arrival (NaN while pending).
+func (j *Job) ResponseTime() float64 {
+	if !j.Done {
+		return math.NaN()
+	}
+	return j.CompletedAt - j.Arrival
+}
+
+// NewServer registers a periodic server with the kernel. Budget and period
+// are subject to the kernel's normal admission control, so the server's
+// worst-case utilization is reserved and hard tasks keep their guarantees.
+func NewServer(k *Kernel, name string, period, budget float64) (*Server, error) {
+	if budget <= 0 || budget > period {
+		return nil, fmt.Errorf("rtos: server budget %v must be in (0, period %v]", budget, period)
+	}
+	s := &Server{kernel: k, period: period, budget: budget}
+	id, err := k.AddTask(TaskConfig{
+		Name:       name,
+		Period:     period,
+		WCET:       budget,
+		Work:       s.work,
+		OnComplete: s.onComplete,
+		Soft:       true,
+	}, AddOptions{})
+	if err != nil {
+		return nil, err
+	}
+	s.id = id
+	return s, nil
+}
+
+// ID returns the server's kernel task id.
+func (s *Server) ID() TaskID { return s.id }
+
+// Submit enqueues an aperiodic job at the current kernel time.
+func (s *Server) Submit(name string, cycles float64) (*Job, error) {
+	if cycles <= 0 {
+		return nil, fmt.Errorf("rtos: job cycles must be positive, got %v", cycles)
+	}
+	j := &Job{Name: name, Arrival: s.kernel.Now(), Cycles: cycles, remaining: cycles}
+	s.queue = append(s.queue, j)
+	return j, nil
+}
+
+// work plans one server invocation: serve queued jobs FIFO up to the
+// budget. A polling server's unused budget is lost, so an empty queue
+// yields a token demand that completes immediately.
+func (s *Server) work(int) float64 {
+	s.planned = s.planned[:0]
+	left := s.budget
+	var total float64
+	for _, j := range s.queue {
+		if left <= 1e-12 {
+			break
+		}
+		c := math.Min(j.remaining, left)
+		s.planned = append(s.planned, plannedSlice{job: j, cycles: c})
+		left -= c
+		total += c
+	}
+	if total <= 0 {
+		return 1e-9 // nothing queued; yield the budget
+	}
+	return total
+}
+
+// onComplete retires the planned slices at the invocation's completion.
+func (s *Server) onComplete(now float64, _ int) {
+	for _, p := range s.planned {
+		p.job.remaining -= p.cycles
+		if p.job.remaining <= 1e-12 {
+			p.job.Done = true
+			p.job.CompletedAt = now
+			s.completed = append(s.completed, p.job)
+		}
+	}
+	s.planned = s.planned[:0]
+	// Compact the queue.
+	alive := s.queue[:0]
+	for _, j := range s.queue {
+		if !j.Done {
+			alive = append(alive, j)
+		}
+	}
+	s.queue = alive
+}
+
+// Pending returns the number of incomplete jobs.
+func (s *Server) Pending() int { return len(s.queue) }
+
+// Completed returns the retired jobs in completion order.
+func (s *Server) Completed() []*Job { return append([]*Job(nil), s.completed...) }
+
+// Backlog returns the total unserved cycles in the queue.
+func (s *Server) Backlog() float64 {
+	var c float64
+	for _, j := range s.queue {
+		c += j.remaining
+	}
+	return c
+}

@@ -1,0 +1,166 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rtdvs/internal/task"
+)
+
+func inflight(p, c, deadline, remaining float64) InflightTask {
+	return InflightTask{
+		Task:      task.Task{Period: p, WCET: c},
+		Deadline:  deadline,
+		Remaining: remaining,
+	}
+}
+
+func TestEDFFeasibleFromCriticalInstant(t *testing.T) {
+	// The synchronous critical instant of the worked example at full
+	// speed is feasible; at 0.7 speed (below U=0.746) it is not.
+	state := []InflightTask{
+		inflight(8, 3, 8, 3),
+		inflight(10, 3, 10, 3),
+		inflight(14, 1, 14, 1),
+	}
+	if !EDFFeasibleFrom(0, state, 1.0) {
+		t.Error("critical instant at full speed must be feasible")
+	}
+	if !EDFFeasibleFrom(0, state, 0.75) {
+		t.Error("U=0.746 must be feasible at 0.75 (staticEDF's choice)")
+	}
+	if EDFFeasibleFrom(0, state, 0.7) {
+		t.Error("0.7 < U must be infeasible")
+	}
+	if EDFFeasibleFrom(0, state, 0) {
+		t.Error("zero speed accepted")
+	}
+}
+
+// A mid-schedule insertion that overloads a window: at t=20, A owes 5 by
+// 30 (plus its next 5 by 40) and B still owes 10 by 40 — feasible alone
+// (demand(40) = 20 = capacity). Inserting N(12, 0.6) due at 32 pushes
+// demand in (20, 40] to 20.6 > 20, infeasible at any speed.
+func TestEDFFeasibleFromDetectsInsertionOverload(t *testing.T) {
+	base := []InflightTask{
+		inflight(10, 5, 30, 5),   // A, re-released at 20
+		inflight(40, 18, 40, 10), // B, 10 of its worst case left
+	}
+	if !EDFFeasibleFrom(20, base, 1.0) {
+		t.Fatal("pre-insertion state must be feasible (demand(40) = 20 = capacity)")
+	}
+	with := append(append([]InflightTask(nil), base...),
+		inflight(12, 0.6, 32, 0.6)) // N released now
+	if EDFFeasibleFrom(20, with, 1.0) {
+		t.Error("insertion overload not detected (demand 20.6 > 20 by t=40)")
+	}
+	if got := DemandAt(40, with); math.Abs(got-20.6) > 1e-9 {
+		t.Errorf("DemandAt(40) = %v, want 20.6", got)
+	}
+}
+
+func TestEDFFeasibleFromCompletedTasks(t *testing.T) {
+	// Everything done, deadlines ahead: trivially feasible at any speed.
+	state := []InflightTask{
+		inflight(10, 5, 12, 0),
+		inflight(20, 8, 25, 0),
+	}
+	if !EDFFeasibleFrom(5, state, 0.9) {
+		t.Error("all-complete state must be feasible")
+	}
+	// U above alpha still fails on the long run.
+	if EDFFeasibleFrom(5, state, 0.85) {
+		t.Error("long-run utilization 0.9 must fail at alpha 0.85")
+	}
+}
+
+func TestEDFFeasibleFromOverrunDeadline(t *testing.T) {
+	// Work outstanding past its deadline is a miss by definition.
+	state := []InflightTask{inflight(10, 5, 4, 1)}
+	if EDFFeasibleFrom(5, state, 1.0) {
+		t.Error("past-deadline remaining work accepted")
+	}
+	// Past deadline with nothing outstanding is fine (stale bookkeeping).
+	ok := []InflightTask{inflight(10, 5, 4, 0)}
+	if !EDFFeasibleFrom(5, ok, 1.0) {
+		t.Error("stale completed deadline rejected")
+	}
+}
+
+func TestEDFFeasibleFromFullUtilizationExcess(t *testing.T) {
+	// U == alpha with genuine excess potential: conservatively rejected.
+	state := []InflightTask{
+		inflight(10, 5, 2, 5), // 5 cycles due in 2 ms — hopeless anyway
+		inflight(10, 5, 10, 5),
+	}
+	if EDFFeasibleFrom(0, state, 1.0) {
+		t.Error("overloaded near-term state accepted")
+	}
+}
+
+// Feasibility must be monotone: more speed can only help, less remaining
+// work can only help.
+func TestEDFFeasibleFromMonotoneProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(5)
+		now := 10 * r.Float64()
+		state := make([]InflightTask, n)
+		for i := range state {
+			p := 1 + 50*r.Float64()
+			c := p * (0.05 + 0.3*r.Float64())
+			d := now + p*r.Float64()
+			rem := c * r.Float64()
+			state[i] = inflight(p, c, d, rem)
+		}
+		lo := 0.3 + 0.5*r.Float64()
+		hi := lo + (1-lo)*r.Float64()
+		if EDFFeasibleFrom(now, state, lo) && !EDFFeasibleFrom(now, state, hi) {
+			t.Fatalf("trial %d: feasible at %v but not at %v", trial, lo, hi)
+		}
+		// Zeroing remaining work keeps feasibility.
+		if EDFFeasibleFrom(now, state, hi) {
+			relaxed := append([]InflightTask(nil), state...)
+			for i := range relaxed {
+				relaxed[i].Remaining = 0
+			}
+			if !EDFFeasibleFrom(now, relaxed, hi) {
+				t.Fatalf("trial %d: removing work broke feasibility", trial)
+			}
+		}
+	}
+}
+
+// Cross-validation against the simulator: for random mid-schedule-like
+// states built from the critical instant, the analysis must agree with
+// what a simulation of the worst case observes.
+func TestEDFFeasibleFromMatchesSimulationAtCriticalInstant(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + r.Intn(5)
+		u := 0.4 + 0.59*r.Float64()
+		g := task.Generator{N: n, Utilization: u, Rand: r}
+		ts, err := g.Generate()
+		if err != nil {
+			continue
+		}
+		state := make([]InflightTask, n)
+		for i := range state {
+			tk := ts.Task(i)
+			state[i] = InflightTask{Task: tk, Deadline: tk.Period, Remaining: tk.WCET}
+		}
+		// At the critical instant the demand criterion must coincide with
+		// the plain EDF utilization test (deadline = period).
+		for _, alpha := range []float64{u * 0.98, u * 1.01, 1.0} {
+			if alpha > 1 {
+				continue
+			}
+			want := EDFTest(ts, alpha)
+			if got := EDFFeasibleFrom(0, state, alpha); got != want {
+				t.Fatalf("trial %d alpha=%v: demand analysis %v, utilization test %v for %s",
+					trial, alpha, got, want, ts)
+			}
+		}
+	}
+}

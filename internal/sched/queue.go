@@ -1,0 +1,123 @@
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// ReadyQueue is a priority queue of ready tasks keyed by scheduling
+// priority. The simulator's default picker scans all tasks per event —
+// fine at the paper's task counts — while a ReadyQueue gives O(log n)
+// insert/extract for larger systems (the RTOS-kernel path of a deployed
+// implementation). Keys follow the discipline: absolute deadline for
+// EDF, period for RM; lower key = higher priority, ties broken by task
+// index for determinism.
+type ReadyQueue struct {
+	h readyHeap
+	// pos maps task index to heap position, enabling O(log n) removal
+	// and key updates.
+	pos map[int]int
+}
+
+type readyItem struct {
+	task int
+	key  float64
+}
+
+type readyHeap struct {
+	items []readyItem
+	pos   map[int]int
+}
+
+func (h readyHeap) Len() int { return len(h.items) }
+func (h readyHeap) Less(a, b int) bool {
+	if h.items[a].key != h.items[b].key {
+		return h.items[a].key < h.items[b].key
+	}
+	return h.items[a].task < h.items[b].task
+}
+func (h readyHeap) Swap(a, b int) {
+	h.items[a], h.items[b] = h.items[b], h.items[a]
+	h.pos[h.items[a].task] = a
+	h.pos[h.items[b].task] = b
+}
+func (h *readyHeap) Push(x interface{}) {
+	it := x.(readyItem)
+	h.pos[it.task] = len(h.items)
+	h.items = append(h.items, it)
+}
+func (h *readyHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	delete(h.pos, it.task)
+	return it
+}
+
+// NewReadyQueue creates an empty queue.
+func NewReadyQueue() *ReadyQueue {
+	pos := map[int]int{}
+	return &ReadyQueue{h: readyHeap{pos: pos}, pos: pos}
+}
+
+// Len returns the number of ready tasks.
+func (q *ReadyQueue) Len() int { return q.h.Len() }
+
+// Push adds task ti with the given priority key. Pushing a task already
+// in the queue is an error (an invocation is released once).
+func (q *ReadyQueue) Push(ti int, key float64) error {
+	if _, ok := q.pos[ti]; ok {
+		return fmt.Errorf("sched: task %d already queued", ti)
+	}
+	heap.Push(&q.h, readyItem{task: ti, key: key})
+	return nil
+}
+
+// Peek returns the highest-priority task without removing it, or -1.
+func (q *ReadyQueue) Peek() int {
+	if q.h.Len() == 0 {
+		return -1
+	}
+	return q.h.items[0].task
+}
+
+// PeekKey returns the highest-priority key; only valid when Len() > 0.
+func (q *ReadyQueue) PeekKey() float64 { return q.h.items[0].key }
+
+// Pop removes and returns the highest-priority task, or -1.
+func (q *ReadyQueue) Pop() int {
+	if q.h.Len() == 0 {
+		return -1
+	}
+	return heap.Pop(&q.h).(readyItem).task
+}
+
+// Remove deletes task ti from the queue (a completion or abort). It
+// reports whether the task was present.
+func (q *ReadyQueue) Remove(ti int) bool {
+	i, ok := q.pos[ti]
+	if !ok {
+		return false
+	}
+	heap.Remove(&q.h, i)
+	return true
+}
+
+// Update changes task ti's key in place (e.g. a deadline recomputation),
+// reporting whether the task was present.
+func (q *ReadyQueue) Update(ti int, key float64) bool {
+	i, ok := q.pos[ti]
+	if !ok {
+		return false
+	}
+	q.h.items[i].key = key
+	heap.Fix(&q.h, i)
+	return true
+}
+
+// Contains reports whether task ti is queued.
+func (q *ReadyQueue) Contains(ti int) bool {
+	_, ok := q.pos[ti]
+	return ok
+}

@@ -1,0 +1,172 @@
+package sched
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"rtdvs/internal/task"
+)
+
+func TestReadyQueueBasics(t *testing.T) {
+	q := NewReadyQueue()
+	if q.Pop() != -1 || q.Peek() != -1 || q.Len() != 0 {
+		t.Fatal("empty queue misbehaves")
+	}
+	for ti, key := range map[int]float64{0: 10, 1: 5, 2: 20} {
+		if err := q.Push(ti, key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	if q.Peek() != 1 || q.PeekKey() != 5 {
+		t.Errorf("Peek = %d/%v, want 1/5", q.Peek(), q.PeekKey())
+	}
+	if got := q.Pop(); got != 1 {
+		t.Errorf("Pop = %d, want 1", got)
+	}
+	if got := q.Pop(); got != 0 {
+		t.Errorf("Pop = %d, want 0", got)
+	}
+	if got := q.Pop(); got != 2 {
+		t.Errorf("Pop = %d, want 2", got)
+	}
+}
+
+func TestReadyQueueDoublePush(t *testing.T) {
+	q := NewReadyQueue()
+	if err := q.Push(3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(3, 2); err == nil {
+		t.Error("double push accepted")
+	}
+}
+
+func TestReadyQueueTieBreaksByIndex(t *testing.T) {
+	q := NewReadyQueue()
+	for _, ti := range []int{5, 2, 9} {
+		if err := q.Push(ti, 7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := q.Pop(); got != 2 {
+		t.Errorf("tie pop = %d, want lowest index 2", got)
+	}
+}
+
+func TestReadyQueueRemoveAndUpdate(t *testing.T) {
+	q := NewReadyQueue()
+	for ti := 0; ti < 5; ti++ {
+		if err := q.Push(ti, float64(10-ti)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !q.Contains(2) || q.Contains(9) {
+		t.Error("Contains wrong")
+	}
+	if !q.Remove(4) || q.Remove(4) {
+		t.Error("Remove semantics wrong")
+	}
+	if !q.Update(0, 0.5) {
+		t.Error("Update failed")
+	}
+	if q.Update(42, 1) {
+		t.Error("Update of absent task succeeded")
+	}
+	if got := q.Pop(); got != 0 {
+		t.Errorf("after update, Pop = %d, want 0", got)
+	}
+}
+
+// The queue must agree with sorting for arbitrary workloads, across
+// interleaved pushes, removals, and updates.
+func TestReadyQueueMatchesSortProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		q := NewReadyQueue()
+		keys := map[int]float64{}
+		next := 0
+		for op := 0; op < 200; op++ {
+			switch r.Intn(4) {
+			case 0, 1:
+				keys[next] = r.Float64() * 100
+				if err := q.Push(next, keys[next]); err != nil {
+					t.Fatal(err)
+				}
+				next++
+			case 2:
+				for ti := range keys {
+					q.Remove(ti)
+					delete(keys, ti)
+					break
+				}
+			case 3:
+				for ti := range keys {
+					keys[ti] = r.Float64() * 100
+					q.Update(ti, keys[ti])
+					break
+				}
+			}
+		}
+		// Drain and compare against a sorted reference.
+		type kv struct {
+			ti  int
+			key float64
+		}
+		ref := make([]kv, 0, len(keys))
+		for ti, k := range keys {
+			ref = append(ref, kv{ti, k})
+		}
+		sort.Slice(ref, func(a, b int) bool {
+			if ref[a].key != ref[b].key {
+				return ref[a].key < ref[b].key
+			}
+			return ref[a].ti < ref[b].ti
+		})
+		for i, want := range ref {
+			if got := q.Pop(); got != want.ti {
+				t.Fatalf("trial %d: drain position %d = task %d, want %d", trial, i, got, want.ti)
+			}
+		}
+		if q.Pop() != -1 {
+			t.Fatal("queue not drained")
+		}
+	}
+}
+
+// The queue-driven pick must agree with the linear scanner for both
+// disciplines on random ready sets.
+func TestReadyQueueAgreesWithLinearPick(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + r.Intn(12)
+		v := &fakeView{
+			tasks:     make([]task.Task, n),
+			ready:     make([]bool, n),
+			deadlines: make([]float64, n),
+		}
+		edfQ, rmQ := NewReadyQueue(), NewReadyQueue()
+		for i := 0; i < n; i++ {
+			v.tasks[i] = task.Task{Period: 1 + r.Float64()*100, WCET: 0.1}
+			v.deadlines[i] = r.Float64() * 100
+			if r.Intn(2) == 0 {
+				v.ready[i] = true
+				if err := edfQ.Push(i, v.deadlines[i]); err != nil {
+					t.Fatal(err)
+				}
+				if err := rmQ.Push(i, v.tasks[i].Period); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if got, want := edfQ.Peek(), New(EDF).Pick(v); got != want {
+			t.Fatalf("trial %d: EDF queue %d vs scan %d", trial, got, want)
+		}
+		if got, want := rmQ.Peek(), New(RM).Pick(v); got != want {
+			t.Fatalf("trial %d: RM queue %d vs scan %d", trial, got, want)
+		}
+	}
+}

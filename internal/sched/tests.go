@@ -1,0 +1,118 @@
+package sched
+
+import (
+	"math"
+
+	"rtdvs/internal/task"
+)
+
+// Tolerance for the boundary of schedulability tests: a demand that equals
+// capacity up to floating-point noise passes.
+const eps = 1e-9
+
+// EDFTest is the necessary-and-sufficient EDF schedulability test of
+// Figure 1 scaled to relative frequency alpha: ΣCi/Pi ≤ alpha. With
+// alpha = 1 it is the classic Liu & Layland utilization bound.
+func EDFTest(s *task.Set, alpha float64) bool {
+	return s.Utilization() <= alpha+eps
+}
+
+// RMTest is the sufficient (but not necessary) RM schedulability test of
+// Figure 1 scaled to relative frequency alpha. For each task Ti in period
+// order it checks that the worst-case demand of Ti and all higher-priority
+// tasks released over [0, Pi] fits into the scaled capacity alpha·Pi:
+//
+//	∀i: Σ_{j: Pj ≤ Pi} Cj·⌈Pi/Pj⌉ ≤ alpha·Pi
+//
+// This is the O(n²) test whose cost motivates the pacing-based design of
+// the cycle-conserving RM algorithm (Section 2.4).
+func RMTest(s *task.Set, alpha float64) bool {
+	order := s.ByPeriod()
+	for i, ti := range order {
+		pi := s.Task(ti).Period
+		var demand float64
+		for _, tj := range order[:i+1] {
+			t := s.Task(tj)
+			demand += t.WCET * math.Ceil(pi/t.Period-eps)
+		}
+		if demand > alpha*pi+eps {
+			return false
+		}
+	}
+	return true
+}
+
+// RMExactTest is the exact (necessary and sufficient) RM schedulability
+// test via response-time analysis (Lehoczky, Sha & Ding), scaled to
+// relative frequency alpha. It is not part of the paper's algorithms —
+// the paper deliberately uses the cheaper sufficient test — but serves as
+// the ablation baseline for how much frequency headroom the sufficient
+// test gives away.
+func RMExactTest(s *task.Set, alpha float64) bool {
+	if alpha <= 0 {
+		return false
+	}
+	order := s.ByPeriod()
+	for i, ti := range order {
+		t := s.Task(ti)
+		// Iterate R = C/alpha + Σ ⌈R/Pj⌉·Cj/alpha to a fixed point.
+		r := t.WCET / alpha
+		for iter := 0; iter < 1000; iter++ {
+			next := t.WCET / alpha
+			for _, tj := range order[:i] {
+				hj := s.Task(tj)
+				next += math.Ceil(r/hj.Period-eps) * hj.WCET / alpha
+			}
+			if next > t.Period+eps {
+				return false
+			}
+			if math.Abs(next-r) < 1e-12 {
+				break
+			}
+			r = next
+		}
+		if r > t.Period+eps {
+			return false
+		}
+	}
+	return true
+}
+
+// Test returns the scaled schedulability test for the given discipline
+// (EDF or RM, the sufficient test).
+func Test(k Kind) func(*task.Set, float64) bool {
+	if k == RM {
+		return RMTest
+	}
+	return EDFTest
+}
+
+// MinFrequency returns the smallest relative frequency alpha in (0,1] for
+// which the given test admits the set, searched to the given precision by
+// bisection (the test functions are monotone in alpha). ok is false when
+// even alpha = 1 fails.
+func MinFrequency(s *task.Set, test func(*task.Set, float64) bool, precision float64) (alpha float64, ok bool) {
+	if !test(s, 1) {
+		return 1, false
+	}
+	lo, hi := 0.0, 1.0
+	for hi-lo > precision {
+		mid := (lo + hi) / 2
+		if test(s, mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, true
+}
+
+// LiuLaylandBound returns the classic RM utilization bound n(2^{1/n}−1):
+// any set of n tasks with total utilization at or below the bound is RM
+// schedulable. Exposed for tests and documentation.
+func LiuLaylandBound(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return float64(n) * (math.Pow(2, 1/float64(n)) - 1)
+}

@@ -1,0 +1,200 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rtdvs/internal/task"
+)
+
+func TestEDFTestOnPaperExample(t *testing.T) {
+	s := task.PaperExample() // U ≈ 0.746
+	if EDFTest(s, 0.5) {
+		t.Error("EDF test should fail at 0.5")
+	}
+	if !EDFTest(s, 0.75) {
+		t.Error("EDF test should pass at 0.75")
+	}
+	if !EDFTest(s, 1.0) {
+		t.Error("EDF test should pass at 1.0")
+	}
+}
+
+func TestEDFTestBoundaryTolerance(t *testing.T) {
+	s := task.MustSet(task.Task{Period: 10, WCET: 5}, task.Task{Period: 10, WCET: 2.5})
+	if !EDFTest(s, 0.75) {
+		t.Error("exact-boundary utilization 0.75 should pass at alpha 0.75")
+	}
+}
+
+// Figure 2's point: the example set fails the RM test at 0.75 (T3 would
+// miss its deadline) but passes at 1.0.
+func TestRMTestOnPaperExample(t *testing.T) {
+	s := task.PaperExample()
+	if RMTest(s, 0.75) {
+		t.Error("RM test should fail at 0.75 (static RM fails at 0.75 in Figure 2)")
+	}
+	if !RMTest(s, 1.0) {
+		t.Error("RM test should pass at 1.0")
+	}
+}
+
+func TestRMTestHarmonicSet(t *testing.T) {
+	// Harmonic periods are RM-schedulable up to full utilization.
+	s := task.MustSet(
+		task.Task{Period: 4, WCET: 2},
+		task.Task{Period: 8, WCET: 2},
+		task.Task{Period: 16, WCET: 4},
+	) // U = 0.5 + 0.25 + 0.25 = 1.0
+	if !RMTest(s, 1.0) {
+		t.Error("harmonic set with U=1 should pass the demand-based RM test")
+	}
+	if RMTest(s, 0.99) {
+		t.Error("harmonic set with U=1 cannot pass below full speed")
+	}
+}
+
+func TestLiuLaylandBound(t *testing.T) {
+	if got := LiuLaylandBound(1); got != 1 {
+		t.Errorf("bound(1) = %v, want 1", got)
+	}
+	if got := LiuLaylandBound(2); math.Abs(got-0.8284) > 1e-3 {
+		t.Errorf("bound(2) = %v, want ≈0.828", got)
+	}
+	// n → ∞ limit is ln 2.
+	if got := LiuLaylandBound(10000); math.Abs(got-math.Ln2) > 1e-4 {
+		t.Errorf("bound(10000) = %v, want ≈ln2", got)
+	}
+	if got := LiuLaylandBound(0); got != 0 {
+		t.Errorf("bound(0) = %v", got)
+	}
+}
+
+// Any set below the Liu & Layland utilization bound is RM-schedulable,
+// so the exact response-time test must accept it at full speed. (The
+// paper's sufficient demand test may legitimately reject such sets — it
+// checks demand only at the period boundary — which is exactly the
+// conservatism the ablation bench quantifies.)
+func TestRMExactAcceptsBelowLiuLayland(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN%8) + 1
+		r := rand.New(rand.NewSource(seed))
+		g := task.Generator{N: n, Utilization: LiuLaylandBound(n) * 0.999, Rand: r}
+		s, err := g.Generate()
+		if err != nil {
+			return true // generator rejection, not a test failure
+		}
+		return RMExactTest(s, 1.0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// A concrete set below the Liu & Layland bound that the sufficient demand
+// test rejects while the exact test accepts: the inflation comes from
+// ⌈Pi/Pj⌉ counting a higher-priority release just before the boundary.
+func TestSufficientTestIsStrictlyConservative(t *testing.T) {
+	s := task.MustSet(
+		task.Task{Period: 4, WCET: 1},
+		task.Task{Period: 4.1, WCET: 2.3},
+	) // U ≈ 0.811 < LL(2) ≈ 0.828; response time of T2 is 3.3 ≤ 4.1
+	if RMTest(s, 1.0) {
+		t.Error("demand test unexpectedly passes (it counts 2 releases of T1 by t=4.1)")
+	}
+	if !RMExactTest(s, 1.0) {
+		t.Error("exact test must accept (R2 = 3.3 ≤ 4.1)")
+	}
+}
+
+// The exact response-time test admits a superset of the sufficient demand
+// test, and both are monotone in alpha.
+func TestRMExactSupersetOfSufficient(t *testing.T) {
+	f := func(seed int64, rawU float64) bool {
+		u := math.Mod(math.Abs(rawU), 0.95) + 0.04
+		r := rand.New(rand.NewSource(seed))
+		g := task.Generator{N: 5, Utilization: u, Rand: r}
+		s, err := g.Generate()
+		if err != nil {
+			return true
+		}
+		for _, alpha := range []float64{0.5, 0.75, 1.0} {
+			if RMTest(s, alpha) && !RMExactTest(s, alpha) {
+				return false // sufficient passed but exact failed: impossible
+			}
+		}
+		// Monotonicity in alpha.
+		if RMTest(s, 0.5) && !RMTest(s, 1.0) {
+			return false
+		}
+		if RMExactTest(s, 0.5) && !RMExactTest(s, 1.0) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRMExactTightCase(t *testing.T) {
+	// Classic example: U ≈ 1.0 but exactly RM-schedulable (response times
+	// meet deadlines with zero slack).
+	s := task.MustSet(
+		task.Task{Period: 4, WCET: 2},
+		task.Task{Period: 6, WCET: 2},
+		task.Task{Period: 12, WCET: 2},
+	) // responses: 2, 4, 12
+	if !RMExactTest(s, 1.0) {
+		t.Error("exact test should accept the zero-slack harmonic-ish set")
+	}
+	if RMExactTest(s, 0.9) {
+		t.Error("exact test should reject below full speed for a zero-slack set")
+	}
+	if RMExactTest(s, 0) {
+		t.Error("alpha=0 must always fail")
+	}
+}
+
+func TestTestSelector(t *testing.T) {
+	s := task.PaperExample()
+	if Test(EDF)(s, 0.75) != EDFTest(s, 0.75) {
+		t.Error("Test(EDF) disagrees with EDFTest")
+	}
+	if Test(RM)(s, 0.75) != RMTest(s, 0.75) {
+		t.Error("Test(RM) disagrees with RMTest")
+	}
+}
+
+func TestMinFrequency(t *testing.T) {
+	s := task.PaperExample()
+	alpha, ok := MinFrequency(s, EDFTest, 1e-6)
+	if !ok {
+		t.Fatal("example must be EDF-schedulable")
+	}
+	if math.Abs(alpha-s.Utilization()) > 1e-5 {
+		t.Errorf("EDF min frequency = %v, want U = %v", alpha, s.Utilization())
+	}
+
+	over := task.MustSet(task.Task{Period: 1, WCET: 1}, task.Task{Period: 2, WCET: 1})
+	if _, ok := MinFrequency(over, EDFTest, 1e-6); ok {
+		t.Error("over-utilized set must report not schedulable")
+	}
+}
+
+func TestRMTestMoreTasksNeedsMoreCapacity(t *testing.T) {
+	// Adding a task can only make the test harder to pass at a given
+	// frequency.
+	s := task.PaperExample()
+	bigger, err := s.WithTask(task.Task{Name: "T4", Period: 20, WCET: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alpha := range []float64{0.5, 0.75, 0.9, 1.0} {
+		if !RMTest(s, alpha) && RMTest(bigger, alpha) {
+			t.Errorf("alpha=%v: superset passes where subset fails", alpha)
+		}
+	}
+}

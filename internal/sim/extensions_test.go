@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"rtdvs/internal/core"
+	"rtdvs/internal/machine"
+	"rtdvs/internal/task"
+)
+
+// burstyExec models the paper's Section 2.2 argument: tasks usually use a
+// third of their worst case, but every 25th invocation demands the full
+// bound (a scene change, a retransmission storm). Average-throughput
+// governors slow down on the quiet stretches and are caught flat-footed
+// by the bursts.
+type burstyExec struct{}
+
+func (burstyExec) Cycles(_, inv int, wcet float64) float64 {
+	if inv%25 == 24 {
+		return wcet
+	}
+	return wcet / 3
+}
+func (burstyExec) String() string { return "bursty" }
+
+// The quantitative version of the paper's camcorder argument: on a
+// deadline-critical task set, the interval governor misses deadlines
+// while every RT-DVS policy stays clean at comparable (or better) energy.
+func TestIntervalGovernorMissesWhereRTDVSDoesNot(t *testing.T) {
+	// The camcorder controller: tight 5 ms sensor deadline, 3 ms WCET.
+	ts := task.MustSet(
+		task.Task{Name: "sensor", Period: 5, WCET: 3},
+		task.Task{Name: "stabilize", Period: 33, WCET: 6},
+		task.Task{Name: "servo", Period: 20, WCET: 2},
+	)
+	m := machine.Machine0()
+
+	gov, err := core.IntervalDVS(20, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Tasks: ts, Machine: m, Policy: gov, Exec: burstyExec{}, Horizon: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MissCount() == 0 {
+		t.Fatal("the average-throughput governor should miss deadlines on bursty load")
+	}
+
+	for _, name := range core.Names() {
+		p, err := core.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := Run(Config{Tasks: ts, Machine: m, Policy: p, Exec: burstyExec{}, Horizon: 5000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rt.MissCount() != 0 {
+			t.Errorf("%s missed %d deadlines on the camcorder workload", name, rt.MissCount())
+		}
+	}
+
+	// The governor's energy advantage comes purely from under-provisioning
+	// (it drops work on the floor at every burst); laEDF pays a bounded
+	// premium — it must reserve worst-case capacity for every invocation —
+	// in exchange for zero misses.
+	la, err := core.ByName("laEDF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	laRes, err := Run(Config{Tasks: ts, Machine: m, Policy: la, Exec: burstyExec{}, Horizon: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if laRes.TotalEnergy > 1.6*res.TotalEnergy {
+		t.Errorf("laEDF energy %v more than 1.6× the governor's %v — premium unexpectedly large",
+			laRes.TotalEnergy, res.TotalEnergy)
+	}
+}
+
+// stEDF end-to-end: on a workload whose demand is usually far below the
+// worst case, the statistical policy beats ccEDF on energy while missing
+// (almost) nothing.
+func TestStatisticalEDFEnergyVsMisses(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	g := task.Generator{N: 6, Utilization: 0.75, Rand: r}
+	ts, err := g.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := func() task.ExecModel {
+		return task.UniformFraction{Lo: 0.1, Hi: 0.6, Rand: rand.New(rand.NewSource(23))}
+	}
+	horizon := 10 * ts.MaxPeriod()
+
+	cc, err := core.ByName("ccEDF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccRes, err := Run(Config{Tasks: ts, Machine: machine.Machine2(), Policy: cc, Exec: exec(), Horizon: horizon})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := core.StatisticalEDF(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stRes, err := Run(Config{Tasks: ts, Machine: machine.Machine2(), Policy: st, Exec: exec(), Horizon: horizon})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if stRes.TotalEnergy >= ccRes.TotalEnergy {
+		t.Errorf("stEDF energy %v not below ccEDF %v", stRes.TotalEnergy, ccRes.TotalEnergy)
+	}
+	// Statistical guarantee: a small number of misses is tolerable, a
+	// large number means the budget-overrun fallback is broken.
+	if frac := float64(stRes.MissCount()) / float64(stRes.Releases); frac > 0.02 {
+		t.Errorf("stEDF miss fraction %.3f too high (%d of %d)",
+			frac, stRes.MissCount(), stRes.Releases)
+	}
+}
+
+// The miss exposure must shrink as the reservation quantile rises.
+func TestStatisticalEDFQuantileControlsRisk(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	g := task.Generator{N: 6, Utilization: 0.9, Rand: r}
+	ts, err := g.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := 15 * ts.MaxPeriod()
+	missAt := func(q float64) (int, float64) {
+		p, err := core.StatisticalEDF(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(Config{
+			Tasks: ts, Machine: machine.Machine2(), Policy: p,
+			Exec:    task.UniformFraction{Lo: 0, Hi: 1, Rand: rand.New(rand.NewSource(31))},
+			Horizon: horizon,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MissCount(), res.TotalEnergy
+	}
+	missLo, energyLo := missAt(0.5)
+	missHi, energyHi := missAt(0.99)
+	if missHi > missLo {
+		t.Errorf("raising the quantile increased misses: q=0.99 %d vs q=0.5 %d", missHi, missLo)
+	}
+	if energyHi < energyLo {
+		t.Errorf("raising the quantile decreased energy: %v vs %v (risk/energy trade inverted)",
+			energyHi, energyLo)
+	}
+}

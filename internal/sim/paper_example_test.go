@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"rtdvs/internal/core"
+	"rtdvs/internal/machine"
+	"rtdvs/internal/task"
+)
+
+// runExample simulates the paper's worked example (Tables 2 and 3) for
+// 16 ms on machine 0 with a perfect halt feature.
+func runExample(t *testing.T, policy string) *Result {
+	t.Helper()
+	p, err := core.ByName(policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := task.PaperExampleExec()
+	res, err := Run(Config{
+		Tasks:   task.PaperExample(),
+		Machine: machine.Machine0(),
+		Policy:  p,
+		Exec:    exec,
+		Horizon: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestTable4 reproduces the normalized energy figures of Table 4 for the
+// first 16 ms of the example task set.
+func TestTable4(t *testing.T) {
+	want := map[string]float64{
+		"none":      1.00,
+		"staticRM":  1.00,
+		"staticEDF": 0.64,
+		"ccEDF":     0.52,
+		"ccRM":      0.71,
+		"laEDF":     0.44,
+	}
+	baseline := runExample(t, "none").TotalEnergy
+	if baseline <= 0 {
+		t.Fatalf("baseline energy = %v, want > 0", baseline)
+	}
+	for policy, w := range want {
+		res := runExample(t, policy)
+		if n := res.MissCount(); n != 0 {
+			t.Errorf("%s: %d deadline misses: %+v", policy, n, res.Misses)
+		}
+		got := res.TotalEnergy / baseline
+		if math.Abs(got-w) > 0.005 {
+			t.Errorf("%s: normalized energy = %.4f, want %.2f (abs %v)", policy, got, w, res.TotalEnergy)
+		}
+	}
+}

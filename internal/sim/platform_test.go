@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"testing"
+
+	"rtdvs/internal/machine"
+	"rtdvs/internal/platform"
+	"rtdvs/internal/task"
+	"rtdvs/internal/trace"
+)
+
+// thermalFromTrace replays an execution trace through the thermal model,
+// mapping operating-point power (native units) to watts with a fixed
+// scale, and returns the peak temperature.
+func thermalFromTrace(t *testing.T, segs []trace.Segment, idle *machine.Spec) float64 {
+	t.Helper()
+	th, err := platform.NewThermal(25, 3, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wattsPerUnit = 0.6 // 25 units (machine 0 max) → 15 W
+	for _, s := range segs {
+		var p float64
+		switch s.Task {
+		case trace.SwitchHalt:
+			p = 0
+		case trace.Idle:
+			p = idle.IdlePower(s.Point) * wattsPerUnit
+		default:
+			p = s.Point.Power() * wattsPerUnit
+		}
+		th.Step(p, s.Duration())
+	}
+	return th.Peak()
+}
+
+// The conclusion's claim, made quantitative: RT-DVS reduces the heat
+// generated — the peak package temperature under laEDF is well below the
+// non-DVS baseline on the same workload.
+func TestRTDVSLowersPeakTemperature(t *testing.T) {
+	m := machine.Machine0()
+	peak := func(policy string) float64 {
+		var rec trace.Recorder
+		_, err := Run(Config{
+			Tasks:    task.PaperExample(),
+			Machine:  m,
+			Policy:   mustPolicy(t, policy),
+			Exec:     task.ConstantFraction{C: 0.7},
+			Horizon:  2000,
+			Recorder: &rec,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return thermalFromTrace(t, rec.Segments(), m)
+	}
+	base := peak("none")
+	la := peak("laEDF")
+	if la >= base {
+		t.Fatalf("laEDF peak %v °C not below baseline %v °C", la, base)
+	}
+	if base-la < 2 {
+		t.Errorf("temperature reduction only %.2f °C; expected a visible drop", base-la)
+	}
+}
+
+// Battery life extends by at least the average-power ratio.
+func TestRTDVSExtendsBatteryLife(t *testing.T) {
+	m := machine.Machine0()
+	power := func(policy string) float64 {
+		res, err := Run(Config{
+			Tasks:   task.PaperExample(),
+			Machine: m,
+			Policy:  mustPolicy(t, policy),
+			Exec:    task.ConstantFraction{C: 0.7},
+			Horizon: 2000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const wattsPerUnit = 0.6
+		return 5 + res.AvgPower()*wattsPerUnit // 5 W of system overhead
+	}
+	b, err := platform.NewBattery(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain := b.LifetimeGain(power("none"), power("ccEDF"))
+	if gain <= 1.05 {
+		t.Errorf("battery-life gain = %v, expected a material extension", gain)
+	}
+}

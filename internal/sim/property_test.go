@@ -1,0 +1,232 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rtdvs/internal/bound"
+	"rtdvs/internal/core"
+	"rtdvs/internal/machine"
+	"rtdvs/internal/task"
+)
+
+// randomCase draws one (task set, machine, exec factory) triple for the
+// property tests. The factory returns a fresh, identically-seeded
+// execution model on each call so every policy in a comparison sees the
+// exact same per-invocation workload draws.
+func randomCase(r *rand.Rand) (*task.Set, *machine.Spec, func() task.ExecModel, error) {
+	n := r.Intn(8) + 2
+	u := 0.05 + 0.95*r.Float64()
+	g := task.Generator{N: n, Utilization: u, Rand: r}
+	ts, err := g.Generate()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	specs := []*machine.Spec{machine.Machine0(), machine.Machine1(), machine.Machine2(), machine.LaptopK62()}
+	m := specs[r.Intn(len(specs))].WithIdleLevel(r.Float64() * 0.5)
+	var exec func() task.ExecModel
+	switch r.Intn(3) {
+	case 0:
+		exec = func() task.ExecModel { return task.FullWCET{} }
+	case 1:
+		c := 0.3 + 0.7*r.Float64()
+		exec = func() task.ExecModel { return task.ConstantFraction{C: c} }
+	default:
+		seed := r.Int63()
+		exec = func() task.ExecModel {
+			return task.UniformFraction{Lo: 0, Hi: 1, Rand: rand.New(rand.NewSource(seed))}
+		}
+	}
+	return ts, m, exec, nil
+}
+
+// TestNoMissesWhenGuaranteed is the central correctness claim of the
+// paper: every RT-DVS policy preserves the deadline guarantees of its
+// underlying scheduler. Whenever the policy reports Guaranteed (its
+// schedulability test admitted the set at full speed), the simulation must
+// complete with zero deadline misses — for any machine, idle level, and
+// actual-computation pattern.
+func TestNoMissesWhenGuaranteed(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	const trials = 120
+	checked := 0
+	for trial := 0; trial < trials; trial++ {
+		ts, m, exec, err := randomCase(r)
+		if err != nil {
+			continue
+		}
+		horizon := math.Min(8*ts.MaxPeriod(), 4000)
+		for _, name := range core.Names() {
+			p, err := core.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(Config{Tasks: ts, Machine: m, Policy: p, Exec: exec(), Horizon: horizon})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Guaranteed {
+				checked++
+				if n := res.MissCount(); n != 0 {
+					t.Fatalf("trial %d: %s missed %d deadlines on %s (first %+v)",
+						trial, name, n, ts, res.Misses[0])
+				}
+			}
+		}
+	}
+	if checked < trials {
+		t.Fatalf("only %d guaranteed runs checked; property under-exercised", checked)
+	}
+}
+
+// The RM-based RT-DVS policies may miss only when plain RM itself cannot
+// schedule the set (paper footnote 3: every set schedulable under RM is
+// also schedulable under the RM-based RT-DVS mechanisms).
+func TestRMPoliciesNoWorseThanPlainRM(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 80; trial++ {
+		n := r.Intn(6) + 2
+		u := 0.6 + 0.4*r.Float64() // the contested region
+		g := task.Generator{N: n, Utilization: u, Rand: r}
+		ts, err := g.Generate()
+		if err != nil {
+			continue
+		}
+		horizon := math.Min(8*ts.MaxPeriod(), 4000)
+		m := machine.Machine0()
+		plain, err := Run(Config{Tasks: ts, Machine: m, Policy: mustCore(t, "noneRM"), Horizon: horizon})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain.MissCount() > 0 {
+			continue // plain RM cannot schedule it; nothing to guarantee
+		}
+		for _, name := range []string{"staticRM", "ccRM"} {
+			res, err := Run(Config{Tasks: ts, Machine: m, Policy: mustCore(t, name), Horizon: horizon})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.MissCount() > 0 {
+				t.Fatalf("trial %d: %s missed %d although plain RM schedules %s",
+					trial, name, res.MissCount(), ts)
+			}
+		}
+	}
+}
+
+func mustCore(t *testing.T, name string) core.Policy {
+	t.Helper()
+	p, err := core.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// No policy can beat the theoretical lower bound computed for the cycles
+// it actually executed.
+func TestBoundDominates(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		ts, m, exec, err := randomCase(r)
+		if err != nil {
+			continue
+		}
+		horizon := math.Min(6*ts.MaxPeriod(), 3000)
+		for _, name := range core.Names() {
+			res, err := Run(Config{Tasks: ts, Machine: m, Policy: mustCore(t, name), Exec: exec(), Horizon: horizon})
+			if err != nil {
+				t.Fatal(err)
+			}
+			lb, err := bound.Energy(m, res.CyclesDone, horizon)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.TotalEnergy < lb-1e-6*math.Max(1, lb) {
+				t.Fatalf("trial %d: %s energy %v beats the bound %v on %s",
+					trial, name, res.TotalEnergy, lb, ts)
+			}
+		}
+	}
+}
+
+// Every DVS policy must consume no more energy than the non-DVS baseline:
+// per cycle it never uses a higher voltage, and while idle never a higher
+// idle power.
+func TestPoliciesNeverExceedBaseline(t *testing.T) {
+	r := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 60; trial++ {
+		ts, m, exec, err := randomCase(r)
+		if err != nil {
+			continue
+		}
+		horizon := math.Min(6*ts.MaxPeriod(), 3000)
+		base, err := Run(Config{Tasks: ts, Machine: m, Policy: mustCore(t, "none"), Exec: exec(), Horizon: horizon})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range []string{"staticEDF", "ccEDF", "laEDF"} {
+			res, err := Run(Config{Tasks: ts, Machine: m, Policy: mustCore(t, name), Exec: exec(), Horizon: horizon})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.TotalEnergy > base.TotalEnergy*(1+1e-9)+1e-9 {
+				t.Fatalf("trial %d: %s energy %v exceeds baseline %v on %s",
+					trial, name, res.TotalEnergy, base.TotalEnergy, ts)
+			}
+		}
+	}
+}
+
+// ccEDF can never select a higher frequency than statically-scaled EDF:
+// its utilization estimate is bounded by the worst case at every
+// scheduling point, so its energy is bounded by staticEDF's.
+func TestCCEDFDominatesStaticEDF(t *testing.T) {
+	r := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 60; trial++ {
+		ts, m, exec, err := randomCase(r)
+		if err != nil {
+			continue
+		}
+		horizon := math.Min(6*ts.MaxPeriod(), 3000)
+		se, err := Run(Config{Tasks: ts, Machine: m, Policy: mustCore(t, "staticEDF"), Exec: exec(), Horizon: horizon})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cc, err := Run(Config{Tasks: ts, Machine: m, Policy: mustCore(t, "ccEDF"), Exec: exec(), Horizon: horizon})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cc.TotalEnergy > se.TotalEnergy*(1+1e-9)+1e-9 {
+			t.Fatalf("trial %d: ccEDF %v > staticEDF %v on %s",
+				trial, cc.TotalEnergy, se.TotalEnergy, ts)
+		}
+	}
+}
+
+// Determinism: identical configurations yield identical results.
+func TestSimulationDeterministic(t *testing.T) {
+	g := task.Generator{N: 6, Utilization: 0.7, Rand: rand.New(rand.NewSource(3))}
+	ts, err := g.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *Result {
+		res, err := Run(Config{
+			Tasks:   ts,
+			Machine: machine.Machine2(),
+			Policy:  mustCore(t, "laEDF"),
+			Exec:    task.ConstantFraction{C: 0.8},
+			Horizon: 2000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.TotalEnergy != b.TotalEnergy || a.Switches != b.Switches || a.CyclesDone != b.CyclesDone {
+		t.Errorf("nondeterministic results: %+v vs %+v", a, b)
+	}
+}

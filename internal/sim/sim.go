@@ -1,0 +1,353 @@
+// Package sim is the discrete-event processor/energy simulator the
+// evaluation runs on — the Go counterpart of the authors' C++ simulator
+// (Section 3.1).
+//
+// The simulator advances virtual time between scheduling events (task
+// releases and completions), executing the scheduler-selected task at the
+// operating point dictated by the attached RT-DVS policy. A constant
+// quantum of energy is charged per cycle of operation, scaled by the
+// square of the operating voltage; halted (idle) cycles are charged the
+// machine's idle-level fraction of a normal cycle. Task execution reduces
+// to counting cycles, so no instruction traces are needed.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"rtdvs/internal/core"
+	"rtdvs/internal/machine"
+	"rtdvs/internal/sched"
+	"rtdvs/internal/task"
+	"rtdvs/internal/trace"
+)
+
+// timeEps absorbs floating-point drift when comparing event times.
+const timeEps = 1e-9
+
+// Config describes one simulation run.
+type Config struct {
+	// Tasks is the periodic task set; each task is first released at its
+	// Phase (time zero — the synchronous critical instant — by default).
+	Tasks *task.Set
+	// Machine is the platform specification.
+	Machine *machine.Spec
+	// Policy is the RT-DVS policy; the simulator calls Attach itself.
+	Policy core.Policy
+	// Exec models actual per-invocation computation; nil means FullWCET.
+	Exec task.ExecModel
+	// Horizon is the simulated duration in milliseconds; 0 selects
+	// 20 × the longest period.
+	Horizon float64
+	// Overhead optionally models the mandatory stop interval of operating
+	// point transitions. Nil means instantaneous switches, the paper's
+	// simulator assumption.
+	Overhead *machine.SwitchOverhead
+	// Recorder optionally captures the execution trace.
+	Recorder *trace.Recorder
+}
+
+// Miss records one deadline miss: invocation inv of task Task was still
+// incomplete at its deadline. The overrunning remainder is aborted, so one
+// invocation produces at most one miss.
+type Miss struct {
+	Task     int     `json:"task"`
+	Inv      int     `json:"inv"`
+	Deadline float64 `json:"deadline"`
+	// Remaining is how many cycles were left unexecuted.
+	Remaining float64 `json:"remaining"`
+}
+
+// TaskStats aggregates per-task outcomes.
+type TaskStats struct {
+	Releases    int     `json:"releases"`
+	Completions int     `json:"completions"`
+	Misses      int     `json:"misses"`
+	Cycles      float64 `json:"cycles"`
+	// MaxResponse is the largest observed response time (completion −
+	// release) in milliseconds.
+	MaxResponse float64 `json:"maxResponse"`
+}
+
+// Result reports the outcome of a run.
+type Result struct {
+	Policy  string  `json:"policy"`
+	Horizon float64 `json:"horizon"`
+
+	// Energy components, in cycle·V² units.
+	ExecEnergy   float64 `json:"execEnergy"`
+	IdleEnergy   float64 `json:"idleEnergy"`
+	TotalEnergy  float64 `json:"totalEnergy"`
+	CyclesDone   float64 `json:"cyclesDone"`
+	BusyTime     float64 `json:"busyTime"`
+	IdleTime     float64 `json:"idleTime"`
+	HaltTime     float64 `json:"haltTime"` // switch stop intervals
+	Switches     int     `json:"switches"`
+	Releases     int     `json:"releases"`
+	Completions  int     `json:"completions"`
+	Misses       []Miss  `json:"misses,omitempty"`
+	Guaranteed   bool    `json:"guaranteed"`
+	PerTask      []TaskStats
+	PointResTime map[machine.OperatingPoint]float64 `json:"-"`
+}
+
+// AvgPower returns the average processor power over the run.
+func (r *Result) AvgPower() float64 {
+	if r.Horizon <= 0 {
+		return 0
+	}
+	return r.TotalEnergy / r.Horizon
+}
+
+// MissCount returns the number of deadline misses.
+func (r *Result) MissCount() int { return len(r.Misses) }
+
+// taskState is per-task runtime state.
+type taskState struct {
+	nextRelease float64 // scheduled time of the next release
+	deadline    float64 // absolute deadline of the current/most recent invocation
+	remaining   float64 // actual cycles left in the current invocation
+	used        float64 // actual cycles consumed so far this invocation
+	active      bool
+	inv         int     // invocations released so far
+	releasedAt  float64 // release time of current invocation
+}
+
+// simulator runs one configuration. It implements core.System and
+// sched.TaskView.
+type simulator struct {
+	cfg    Config
+	ts     *task.Set
+	states []taskState
+	now    float64
+	sch    sched.Scheduler
+	res    Result
+
+	hw machine.OperatingPoint // current hardware operating point
+}
+
+// Run executes the configuration and returns the result.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Tasks == nil || cfg.Tasks.Len() == 0 {
+		return nil, task.ErrEmptySet
+	}
+	if cfg.Machine == nil {
+		return nil, fmt.Errorf("sim: nil machine spec")
+	}
+	if err := cfg.Machine.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("sim: nil policy")
+	}
+	if cfg.Exec == nil {
+		cfg.Exec = task.FullWCET{}
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = 20 * cfg.Tasks.MaxPeriod()
+	}
+	if err := cfg.Policy.Attach(cfg.Tasks, cfg.Machine); err != nil {
+		return nil, err
+	}
+
+	s := &simulator{
+		cfg:    cfg,
+		ts:     cfg.Tasks,
+		states: make([]taskState, cfg.Tasks.Len()),
+		sch:    sched.New(cfg.Policy.Scheduler()),
+	}
+	s.res = Result{
+		Policy:       cfg.Policy.Name(),
+		Horizon:      cfg.Horizon,
+		Guaranteed:   cfg.Policy.Guaranteed(),
+		PerTask:      make([]TaskStats, cfg.Tasks.Len()),
+		PointResTime: map[machine.OperatingPoint]float64{},
+	}
+	for i := range s.states {
+		// Deadline of the "previous" (nonexistent) invocation is the
+		// first release: deadline == next release holds from the start.
+		// A non-zero phase simply delays the first release.
+		phase := cfg.Tasks.Task(i).Phase
+		s.states[i] = taskState{nextRelease: phase, deadline: phase}
+	}
+	s.hw = cfg.Policy.Point()
+	s.run()
+	r := s.res
+	return &r, nil
+}
+
+// --- core.System ---
+
+func (s *simulator) Now() float64 { return s.now }
+
+func (s *simulator) Deadline(i int) float64 {
+	st := &s.states[i]
+	if st.active {
+		return st.deadline
+	}
+	return st.nextRelease
+}
+
+// --- sched.TaskView ---
+
+func (s *simulator) NumTasks() int        { return s.ts.Len() }
+func (s *simulator) Task(i int) task.Task { return s.ts.Task(i) }
+func (s *simulator) Ready(i int) bool     { return s.states[i].active }
+
+// --- engine ---
+
+// nextReleaseTime returns the earliest pending release.
+func (s *simulator) nextReleaseTime() float64 {
+	t := math.Inf(1)
+	for i := range s.states {
+		if s.states[i].nextRelease < t {
+			t = s.states[i].nextRelease
+		}
+	}
+	return t
+}
+
+// processReleases fires every release scheduled at or before now: checks
+// the previous invocation for a deadline miss (aborting any overrun),
+// draws the new invocation's actual demand, updates deadlines, and then
+// notifies the policy once per released task.
+func (s *simulator) processReleases() {
+	released := make([]int, 0, 4)
+	for i := range s.states {
+		st := &s.states[i]
+		for st.nextRelease <= s.now+timeEps {
+			if st.active {
+				// Overrun: the previous invocation failed to finish by its
+				// deadline (== this release). Record and abort it.
+				s.res.Misses = append(s.res.Misses, Miss{
+					Task: i, Inv: st.inv - 1, Deadline: st.deadline, Remaining: st.remaining,
+				})
+				s.res.PerTask[i].Misses++
+				st.active = false
+			}
+			rel := st.nextRelease
+			p := s.ts.Task(i)
+			wcet := p.WCET
+			c := s.cfg.Exec.Cycles(i, st.inv, wcet)
+			if c > wcet {
+				c = wcet
+			}
+			if c <= 0 {
+				c = math.SmallestNonzeroFloat64
+			}
+			st.remaining = c
+			st.used = 0
+			st.releasedAt = rel
+			st.deadline = rel + p.Period
+			st.nextRelease = rel + p.Period
+			st.active = true
+			st.inv++
+			s.res.Releases++
+			s.res.PerTask[i].Releases++
+			released = append(released, i)
+		}
+	}
+	for _, i := range released {
+		s.cfg.Policy.OnRelease(s, i)
+	}
+}
+
+// switchTo moves the hardware to the requested operating point, charging
+// the mandatory stop interval if an overhead model is configured. Time
+// spent halted produces no energy (the processor does not operate during
+// the switching interval) but does elapse.
+func (s *simulator) switchTo(op machine.OperatingPoint) {
+	if op == s.hw {
+		return
+	}
+	s.res.Switches++
+	if s.cfg.Overhead != nil {
+		halt := s.cfg.Overhead.Halt(s.hw, op)
+		if halt > 0 {
+			end := math.Min(s.now+halt, s.cfg.Horizon)
+			s.record(trace.SwitchHalt, s.now, end, op)
+			s.res.HaltTime += end - s.now
+			s.now = end
+		}
+	}
+	s.hw = op
+}
+
+func (s *simulator) record(taskIdx int, start, end float64, op machine.OperatingPoint) {
+	if s.cfg.Recorder != nil {
+		s.cfg.Recorder.Add(trace.Segment{Task: taskIdx, Start: start, End: end, Point: op})
+	}
+	s.res.PointResTime[op] += end - start
+}
+
+// run is the main loop: process releases due now, pick a task, execute it
+// until completion or the next release, and account energy along the way.
+func (s *simulator) run() {
+	for s.now < s.cfg.Horizon-timeEps {
+		s.processReleases()
+
+		nextRel := math.Min(s.nextReleaseTime(), s.cfg.Horizon)
+		pick := s.sch.Pick(s)
+
+		if pick < 0 {
+			// Idle until the next release at the policy's idle point.
+			op := s.cfg.Policy.IdlePoint()
+			s.switchTo(op)
+			start := s.now
+			end := math.Max(nextRel, s.now)
+			if end > start {
+				dur := end - start
+				e := s.cfg.Machine.IdlePower(op) * dur
+				s.res.IdleEnergy += e
+				s.res.IdleTime += dur
+				s.record(trace.Idle, start, end, op)
+				s.now = end
+			} else {
+				s.now = nextRel
+			}
+			continue
+		}
+
+		op := s.cfg.Policy.Point()
+		s.switchTo(op)
+		if s.now >= s.cfg.Horizon-timeEps {
+			break
+		}
+		if s.nextReleaseTime() <= s.now+timeEps {
+			// A release became due during the stop interval; process it
+			// (and let the policy react) before execution resumes.
+			continue
+		}
+		nextRel = math.Min(s.nextReleaseTime(), s.cfg.Horizon)
+
+		st := &s.states[pick]
+		finish := s.now + st.remaining/s.hw.Freq
+		end := math.Min(finish, nextRel)
+		dur := end - s.now
+		cycles := dur * s.hw.Freq
+		if cycles > st.remaining || finish <= end+timeEps {
+			cycles = st.remaining
+		}
+		st.remaining -= cycles
+		st.used += cycles
+		s.res.CyclesDone += cycles
+		s.res.PerTask[pick].Cycles += cycles
+		s.res.ExecEnergy += cycles * s.hw.EnergyPerCycle()
+		s.res.BusyTime += dur
+		s.record(pick, s.now, end, s.hw)
+		s.now = end
+		s.cfg.Policy.OnExecute(pick, cycles)
+
+		if st.remaining <= timeEps {
+			st.remaining = 0
+			st.active = false
+			s.res.Completions++
+			s.res.PerTask[pick].Completions++
+			if resp := s.now - st.releasedAt; resp > s.res.PerTask[pick].MaxResponse {
+				s.res.PerTask[pick].MaxResponse = resp
+			}
+			s.cfg.Policy.OnCompletion(s, pick, st.used)
+		}
+	}
+	s.res.TotalEnergy = s.res.ExecEnergy + s.res.IdleEnergy
+}

@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Quantile is an online quantile estimator implementing the P² algorithm
+// (Jain & Chlamtac, CACM 1985): it tracks a target quantile of a stream
+// in O(1) space by maintaining five markers whose heights approximate the
+// empirical quantile function with piecewise-parabolic interpolation.
+//
+// The statistical RT-DVS extension uses one estimator per task to learn
+// the distribution of actual computation demand, enabling the
+// probabilistic deadline guarantees the paper lists as future work.
+type Quantile struct {
+	p       float64    // target quantile in (0, 1)
+	n       int        // observations seen
+	heights [5]float64 // marker heights
+	pos     [5]float64 // actual marker positions
+	want    [5]float64 // desired marker positions
+	inc     [5]float64 // desired position increments
+	initial []float64  // first five observations, sorted lazily
+}
+
+// NewQuantile creates an estimator for the p-th quantile, 0 < p < 1.
+func NewQuantile(p float64) (*Quantile, error) {
+	if !(p > 0 && p < 1) {
+		return nil, fmt.Errorf("stats: quantile %v outside (0, 1)", p)
+	}
+	return &Quantile{
+		p:       p,
+		inc:     [5]float64{0, p / 2, p, (1 + p) / 2, 1},
+		initial: make([]float64, 0, 5),
+	}, nil
+}
+
+// P returns the target quantile.
+func (q *Quantile) P() float64 { return q.p }
+
+// N returns the number of observations.
+func (q *Quantile) N() int { return q.n }
+
+// Add folds one observation into the estimator.
+func (q *Quantile) Add(x float64) {
+	q.n++
+	if len(q.initial) < 5 {
+		q.initial = append(q.initial, x)
+		if len(q.initial) == 5 {
+			sort.Float64s(q.initial)
+			for i := 0; i < 5; i++ {
+				q.heights[i] = q.initial[i]
+				q.pos[i] = float64(i + 1)
+			}
+			q.want = [5]float64{1, 1 + 2*q.p, 1 + 4*q.p, 3 + 2*q.p, 5}
+		}
+		return
+	}
+
+	// Find the cell containing x and bump marker positions.
+	var k int
+	switch {
+	case x < q.heights[0]:
+		q.heights[0] = x
+		k = 0
+	case x >= q.heights[4]:
+		q.heights[4] = x
+		k = 3
+	default:
+		for k = 0; k < 4; k++ {
+			if x < q.heights[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		q.pos[i]++
+	}
+	for i := 0; i < 5; i++ {
+		q.want[i] += q.inc[i]
+	}
+
+	// Adjust the three interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := q.want[i] - q.pos[i]
+		if (d >= 1 && q.pos[i+1]-q.pos[i] > 1) || (d <= -1 && q.pos[i-1]-q.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1
+			}
+			h := q.parabolic(i, sign)
+			if q.heights[i-1] < h && h < q.heights[i+1] {
+				q.heights[i] = h
+			} else {
+				q.heights[i] = q.linear(i, sign)
+			}
+			q.pos[i] += sign
+		}
+	}
+}
+
+// parabolic is the P² piecewise-parabolic height prediction.
+func (q *Quantile) parabolic(i int, d float64) float64 {
+	return q.heights[i] + d/(q.pos[i+1]-q.pos[i-1])*
+		((q.pos[i]-q.pos[i-1]+d)*(q.heights[i+1]-q.heights[i])/(q.pos[i+1]-q.pos[i])+
+			(q.pos[i+1]-q.pos[i]-d)*(q.heights[i]-q.heights[i-1])/(q.pos[i]-q.pos[i-1]))
+}
+
+// linear is the fallback height prediction.
+func (q *Quantile) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return q.heights[i] + d*(q.heights[j]-q.heights[i])/(q.pos[j]-q.pos[i])
+}
+
+// Value returns the current estimate. With fewer than five observations
+// it falls back to the empirical quantile of what has been seen; with
+// none it returns NaN.
+func (q *Quantile) Value() float64 {
+	if q.n == 0 {
+		return math.NaN()
+	}
+	if len(q.initial) < 5 {
+		s := append([]float64(nil), q.initial...)
+		sort.Float64s(s)
+		idx := int(q.p * float64(len(s)))
+		if idx >= len(s) {
+			idx = len(s) - 1
+		}
+		return s[idx]
+	}
+	return q.heights[2]
+}
+
+// Max returns the largest observation seen (NaN when empty). The
+// statistical policies use it as a conservative cap.
+func (q *Quantile) Max() float64 {
+	if q.n == 0 {
+		return math.NaN()
+	}
+	if len(q.initial) < 5 {
+		m := math.Inf(-1)
+		for _, x := range q.initial {
+			m = math.Max(m, x)
+		}
+		return m
+	}
+	return q.heights[4]
+}

@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestNewQuantileValidation(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 1.5, math.NaN()} {
+		if _, err := NewQuantile(p); err == nil {
+			t.Errorf("NewQuantile(%v) accepted", p)
+		}
+	}
+	q, err := NewQuantile(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.P() != 0.9 {
+		t.Errorf("P = %v", q.P())
+	}
+}
+
+func TestQuantileEmptyAndSmall(t *testing.T) {
+	q, _ := NewQuantile(0.5)
+	if !math.IsNaN(q.Value()) || !math.IsNaN(q.Max()) {
+		t.Error("empty estimator should return NaN")
+	}
+	q.Add(3)
+	q.Add(1)
+	q.Add(2)
+	if q.N() != 3 {
+		t.Errorf("N = %d", q.N())
+	}
+	// Small-sample fallback: empirical quantile of {1,2,3}.
+	if v := q.Value(); v != 2 {
+		t.Errorf("median of 3 = %v, want 2", v)
+	}
+	if m := q.Max(); m != 3 {
+		t.Errorf("max = %v, want 3", m)
+	}
+}
+
+// The classic P² acceptance check: estimates on uniform data converge to
+// the true quantile within a small relative error.
+func TestQuantileUniformConvergence(t *testing.T) {
+	for _, p := range []float64{0.1, 0.5, 0.9, 0.95} {
+		q, _ := NewQuantile(p)
+		r := rand.New(rand.NewSource(int64(p * 1000)))
+		for i := 0; i < 20000; i++ {
+			q.Add(r.Float64())
+		}
+		if got := q.Value(); math.Abs(got-p) > 0.03 {
+			t.Errorf("p=%v: estimate %v", p, got)
+		}
+	}
+}
+
+func TestQuantileExponentialConvergence(t *testing.T) {
+	q, _ := NewQuantile(0.9)
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 30000; i++ {
+		q.Add(r.ExpFloat64())
+	}
+	want := -math.Log(0.1) // 0.9-quantile of Exp(1) ≈ 2.3026
+	if got := q.Value(); math.Abs(got-want)/want > 0.08 {
+		t.Errorf("Exp(1) 0.9-quantile = %v, want ≈%v", got, want)
+	}
+}
+
+// Against a sorted sample the estimate must track the empirical quantile
+// for a variety of seeds and quantiles.
+func TestQuantileTracksEmpiricalProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		p := 0.05 + 0.9*r.Float64()
+		q, _ := NewQuantile(p)
+		n := 2000 + r.Intn(3000)
+		xs := make([]float64, n)
+		for i := range xs {
+			// Mix of scales to stress the parabolic interpolation.
+			xs[i] = r.Float64() * math.Pow(10, float64(r.Intn(3)))
+			q.Add(xs[i])
+		}
+		sort.Float64s(xs)
+		emp := xs[int(p*float64(n))]
+		got := q.Value()
+		// P² is approximate; compare as positions within the sample.
+		rank := sort.SearchFloat64s(xs, got)
+		if math.Abs(float64(rank)/float64(n)-p) > 0.08 {
+			t.Errorf("trial %d p=%.2f: estimate %v sits at rank %.3f (empirical %v)",
+				trial, p, got, float64(rank)/float64(n), emp)
+		}
+	}
+}
+
+func TestQuantileMaxTracksMaximum(t *testing.T) {
+	q, _ := NewQuantile(0.5)
+	r := rand.New(rand.NewSource(9))
+	max := math.Inf(-1)
+	for i := 0; i < 5000; i++ {
+		x := r.NormFloat64()
+		max = math.Max(max, x)
+		q.Add(x)
+	}
+	if q.Max() != max {
+		t.Errorf("Max = %v, want %v", q.Max(), max)
+	}
+}
+
+func TestQuantileMonotoneInP(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = r.Float64()
+	}
+	q1, _ := NewQuantile(0.25)
+	q2, _ := NewQuantile(0.75)
+	for _, x := range xs {
+		q1.Add(x)
+		q2.Add(x)
+	}
+	if q1.Value() >= q2.Value() {
+		t.Errorf("q(0.25)=%v not below q(0.75)=%v", q1.Value(), q2.Value())
+	}
+}
+
+func TestQuantileConstantStream(t *testing.T) {
+	q, _ := NewQuantile(0.9)
+	for i := 0; i < 100; i++ {
+		q.Add(7)
+	}
+	if q.Value() != 7 || q.Max() != 7 {
+		t.Errorf("constant stream: value %v max %v", q.Value(), q.Max())
+	}
+}

@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 || a.N() != 0 || a.Var() != 0 {
+		t.Error("zero-value accumulator not zeroed")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Errorf("N = %d", a.N())
+	}
+	if math.Abs(a.Mean()-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", a.Mean())
+	}
+	// Sample variance of the classic data set: 32/7.
+	if math.Abs(a.Var()-32.0/7) > 1e-12 {
+		t.Errorf("Var = %v, want %v", a.Var(), 32.0/7)
+	}
+	if math.Abs(a.Stddev()-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Errorf("Stddev = %v", a.Stddev())
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Errorf("min/max = %v/%v", a.Min(), a.Max())
+	}
+}
+
+func TestAccumulatorSingleValue(t *testing.T) {
+	var a Accumulator
+	a.Add(3.5)
+	if a.Mean() != 3.5 || a.Var() != 0 || a.Min() != 3.5 || a.Max() != 3.5 {
+		t.Errorf("single value stats wrong: %+v", a)
+	}
+}
+
+// Welford must agree with the naive two-pass computation.
+func TestAccumulatorMatchesNaiveProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e10 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) < 2 {
+			return true
+		}
+		var a Accumulator
+		var sum float64
+		for _, x := range clean {
+			a.Add(x)
+			sum += x
+		}
+		mean := sum / float64(len(clean))
+		var ss float64
+		for _, x := range clean {
+			ss += (x - mean) * (x - mean)
+		}
+		naiveVar := ss / float64(len(clean)-1)
+		scale := math.Max(1, math.Abs(mean))
+		return math.Abs(a.Mean()-mean) < 1e-9*scale &&
+			math.Abs(a.Var()-naiveVar) < 1e-6*math.Max(1, naiveVar)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	var tb Table
+	tb.Header("name", "value")
+	tb.Row("alpha", 1.25)
+	tb.Row("b", 42)
+	tb.Rowf("cell", "preformatted")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // header + rule + 3 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Errorf("header line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Errorf("rule line = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "1.25") {
+		t.Errorf("float row = %q", lines[2])
+	}
+	// Columns must align: every "value" column starts at the same offset.
+	col := strings.Index(lines[0], "value")
+	if !strings.HasPrefix(lines[2][col:], "1.25") {
+		t.Errorf("column misaligned:\n%s", out)
+	}
+}
+
+func TestTableEmpty(t *testing.T) {
+	var tb Table
+	if tb.String() != "" {
+		t.Error("empty table should render empty")
+	}
+}

@@ -1,0 +1,107 @@
+package task
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ExecModel decides how many cycles (milliseconds at maximum frequency)
+// invocation inv of a task actually consumes, given its worst-case bound.
+// The simulator guarantees the result is clamped to (0, wcet].
+//
+// The paper's evaluation uses FullWCET (Figures 9–11), ConstantFraction
+// (Figures 12, 16, 17: c = 0.9, 0.7, 0.5) and UniformFraction (Figure 13).
+type ExecModel interface {
+	// Cycles returns the actual computation demand of invocation inv
+	// (0-based) of the task with index ti and worst case wcet.
+	Cycles(ti, inv int, wcet float64) float64
+	// String describes the model ("c=0.9", "uniform", "wcet").
+	String() string
+}
+
+// FullWCET makes every invocation consume its full worst-case bound.
+type FullWCET struct{}
+
+// Cycles implements ExecModel.
+func (FullWCET) Cycles(_, _ int, wcet float64) float64 { return wcet }
+
+func (FullWCET) String() string { return "wcet" }
+
+// ConstantFraction makes every invocation consume a fixed fraction C of
+// its worst case (e.g. 0.9 means 90% of the specified bound).
+type ConstantFraction struct {
+	C float64
+}
+
+// Cycles implements ExecModel.
+func (m ConstantFraction) Cycles(_, _ int, wcet float64) float64 { return m.C * wcet }
+
+func (m ConstantFraction) String() string { return fmt.Sprintf("c=%g", m.C) }
+
+// UniformFraction draws each invocation's demand uniformly from
+// (Lo, Hi] × WCET. The paper's Figure 13 uses Lo=0, Hi=1.
+type UniformFraction struct {
+	Lo, Hi float64
+	Rand   *rand.Rand
+}
+
+// Cycles implements ExecModel.
+func (m UniformFraction) Cycles(_, _ int, wcet float64) float64 {
+	f := m.Lo + m.Rand.Float64()*(m.Hi-m.Lo)
+	if f <= 0 {
+		// Zero-length invocations degenerate the model (a task that does
+		// nothing); keep a sliver of work so completion events still fire
+		// in order.
+		f = 1e-9
+	}
+	return f * wcet
+}
+
+func (m UniformFraction) String() string {
+	if m.Lo == 0 && m.Hi == 1 {
+		return "uniform"
+	}
+	return fmt.Sprintf("uniform[%g,%g]", m.Lo, m.Hi)
+}
+
+// PerInvocation replays an explicit table of actual computation times:
+// cycles[ti][inv] gives the demand of invocation inv of task ti, and
+// invocations beyond the table's end repeat the last column. It is used to
+// reproduce the paper's worked example (Table 3) exactly.
+type PerInvocation struct {
+	Table [][]float64
+	// Fallback supplies demands for task indices outside the table (for
+	// dynamically added tasks); nil means FullWCET.
+	Fallback ExecModel
+}
+
+// Cycles implements ExecModel.
+func (m PerInvocation) Cycles(ti, inv int, wcet float64) float64 {
+	if ti < 0 || ti >= len(m.Table) || len(m.Table[ti]) == 0 {
+		if m.Fallback != nil {
+			return m.Fallback.Cycles(ti, inv, wcet)
+		}
+		return wcet
+	}
+	row := m.Table[ti]
+	if inv >= len(row) {
+		inv = len(row) - 1
+	}
+	c := row[inv]
+	if c > wcet {
+		c = wcet
+	}
+	return c
+}
+
+func (PerInvocation) String() string { return "per-invocation" }
+
+// PaperExampleExec is the actual-computation table of Table 3 for the
+// worked example: T1 uses 2 then 1 ms, T2 and T3 use 1 ms per invocation.
+func PaperExampleExec() PerInvocation {
+	return PerInvocation{Table: [][]float64{
+		{2, 1},
+		{1, 1},
+		{1, 1},
+	}}
+}

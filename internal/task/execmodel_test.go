@@ -1,0 +1,133 @@
+package task
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFullWCET(t *testing.T) {
+	m := FullWCET{}
+	if got := m.Cycles(0, 0, 7.5); got != 7.5 {
+		t.Errorf("Cycles = %v, want 7.5", got)
+	}
+	if m.String() != "wcet" {
+		t.Errorf("String = %q", m.String())
+	}
+}
+
+func TestConstantFraction(t *testing.T) {
+	m := ConstantFraction{C: 0.9}
+	if got := m.Cycles(3, 12, 10); got != 9 {
+		t.Errorf("Cycles = %v, want 9", got)
+	}
+	if m.String() != "c=0.9" {
+		t.Errorf("String = %q", m.String())
+	}
+}
+
+func TestUniformFractionBounds(t *testing.T) {
+	m := UniformFraction{Lo: 0, Hi: 1, Rand: rand.New(rand.NewSource(3))}
+	for i := 0; i < 1000; i++ {
+		c := m.Cycles(0, i, 10)
+		if c <= 0 || c > 10 {
+			t.Fatalf("draw %d: %v outside (0, 10]", i, c)
+		}
+	}
+	if m.String() != "uniform" {
+		t.Errorf("String = %q", m.String())
+	}
+	sub := UniformFraction{Lo: 0.2, Hi: 0.4, Rand: rand.New(rand.NewSource(3))}
+	if sub.String() != "uniform[0.2,0.4]" {
+		t.Errorf("String = %q", sub.String())
+	}
+	for i := 0; i < 1000; i++ {
+		c := sub.Cycles(0, i, 10)
+		if c < 2 || c > 4 {
+			t.Fatalf("draw %d: %v outside [2, 4]", i, c)
+		}
+	}
+}
+
+// The uniform model's mean must approach (Lo+Hi)/2 × WCET.
+func TestUniformFractionMean(t *testing.T) {
+	m := UniformFraction{Lo: 0, Hi: 1, Rand: rand.New(rand.NewSource(4))}
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += m.Cycles(0, i, 1)
+	}
+	mean := sum / n
+	if mean < 0.48 || mean > 0.52 {
+		t.Errorf("mean = %v, want ≈0.5", mean)
+	}
+}
+
+func TestPerInvocationTable(t *testing.T) {
+	m := PaperExampleExec()
+	cases := []struct {
+		ti, inv int
+		want    float64
+	}{
+		{0, 0, 2}, {0, 1, 1}, {0, 5, 1}, // T1: 2 then 1, repeating the last
+		{1, 0, 1}, {1, 1, 1},
+		{2, 0, 1}, {2, 9, 1},
+	}
+	for _, c := range cases {
+		if got := m.Cycles(c.ti, c.inv, 3); got != c.want {
+			t.Errorf("Cycles(%d,%d) = %v, want %v", c.ti, c.inv, got, c.want)
+		}
+	}
+}
+
+func TestPerInvocationClampsToWCET(t *testing.T) {
+	m := PerInvocation{Table: [][]float64{{5}}}
+	if got := m.Cycles(0, 0, 3); got != 3 {
+		t.Errorf("Cycles = %v, want clamped 3", got)
+	}
+}
+
+func TestPerInvocationFallback(t *testing.T) {
+	m := PerInvocation{Table: [][]float64{{1}}, Fallback: ConstantFraction{C: 0.5}}
+	if got := m.Cycles(5, 0, 10); got != 5 {
+		t.Errorf("fallback Cycles = %v, want 5", got)
+	}
+	noFB := PerInvocation{Table: [][]float64{{1}}}
+	if got := noFB.Cycles(5, 0, 10); got != 10 {
+		t.Errorf("default fallback Cycles = %v, want WCET", got)
+	}
+}
+
+// Every model must stay within (0, wcet] for positive worst cases (after
+// the simulator's clamp, which PerInvocation applies itself).
+func TestModelsRespectBoundsProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	models := []ExecModel{
+		FullWCET{},
+		ConstantFraction{C: 0.7},
+		UniformFraction{Lo: 0, Hi: 1, Rand: r},
+		PaperExampleExec(),
+	}
+	f := func(ti, inv uint8, rawW float64) bool {
+		w := 0.001 + float64(int(rawW*1000)%10000)/100
+		if w <= 0 {
+			w = 1
+		}
+		for _, m := range models {
+			c := m.Cycles(int(ti%3), int(inv), w)
+			if c <= 0 || c > w+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPerInvocationString(t *testing.T) {
+	if got := (PerInvocation{}).String(); got != "per-invocation" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,98 @@
+package task
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Generator produces random task sets by the method of Section 3.1
+// (previously used in the EMERALDS microkernel evaluation): each task has
+// equal probability of a short (1–10 ms), medium (10–100 ms), or long
+// (100–1000 ms) period, uniformly distributed within the range; raw
+// computation times are drawn the same way (clamped to the period) and then
+// the whole set is scaled by a constant so the total worst-case utilization
+// hits the requested target.
+type Generator struct {
+	// N is the number of tasks per set.
+	N int
+	// Utilization is the target worst-case utilization ΣCi/Pi.
+	Utilization float64
+	// Ranges optionally overrides the three period ranges; when nil the
+	// paper's 1–10/10–100/100–1000 ms mix is used.
+	Ranges []Range
+	// Rand is the randomness source. It must be non-nil.
+	Rand *rand.Rand
+}
+
+// Range is a half-open interval [Lo, Hi) of milliseconds.
+type Range struct {
+	Lo, Hi float64
+}
+
+// DefaultRanges is the paper's short/medium/long period mix.
+func DefaultRanges() []Range {
+	return []Range{{1, 10}, {10, 100}, {100, 1000}}
+}
+
+// Generate draws one task set. It returns an error for nonsensical
+// parameters (the target utilization must be in (0, n] since no task may
+// exceed utilization 1; in practice targets are in (0, 1]).
+func (g *Generator) Generate() (*Set, error) {
+	if g.N <= 0 {
+		return nil, fmt.Errorf("task: generator needs N > 0, got %d", g.N)
+	}
+	if !(g.Utilization > 0) || g.Utilization > float64(g.N) {
+		return nil, fmt.Errorf("task: target utilization %v outside (0, %d]", g.Utilization, g.N)
+	}
+	if g.Rand == nil {
+		return nil, fmt.Errorf("task: generator needs a rand source")
+	}
+	ranges := g.Ranges
+	if ranges == nil {
+		ranges = DefaultRanges()
+	}
+
+	// Rejection-sample until the scaled set is valid: scaling to high
+	// target utilizations can push an individual task's computation past
+	// its period, which the model forbids.
+	for attempt := 0; attempt < 1000; attempt++ {
+		tasks := make([]Task, g.N)
+		var raw float64
+		for i := range tasks {
+			p := uniform(g.Rand, ranges[g.Rand.Intn(len(ranges))])
+			c := uniform(g.Rand, ranges[g.Rand.Intn(len(ranges))])
+			if c > p {
+				c = p
+			}
+			tasks[i] = Task{Period: p, WCET: c}
+			raw += c / p
+		}
+		scale := g.Utilization / raw
+		ok := true
+		for i := range tasks {
+			tasks[i].WCET *= scale
+			if tasks[i].WCET > tasks[i].Period || tasks[i].WCET <= 0 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		s, err := NewSet(tasks...)
+		if err != nil {
+			continue
+		}
+		// Guard against floating-point drift on the target.
+		if math.Abs(s.Utilization()-g.Utilization) > 1e-6 {
+			continue
+		}
+		return s, nil
+	}
+	return nil, fmt.Errorf("task: could not generate a valid set for N=%d U=%v", g.N, g.Utilization)
+}
+
+func uniform(r *rand.Rand, rg Range) float64 {
+	return rg.Lo + r.Float64()*(rg.Hi-rg.Lo)
+}

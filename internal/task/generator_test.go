@@ -1,0 +1,109 @@
+package task
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeneratorHitsTargetUtilization(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, u := range []float64{0.1, 0.5, 0.9, 1.0} {
+		g := Generator{N: 8, Utilization: u, Rand: r}
+		s, err := g.Generate()
+		if err != nil {
+			t.Fatalf("u=%v: %v", u, err)
+		}
+		if math.Abs(s.Utilization()-u) > 1e-6 {
+			t.Errorf("u=%v: got %v", u, s.Utilization())
+		}
+		if s.Len() != 8 {
+			t.Errorf("u=%v: %d tasks", u, s.Len())
+		}
+	}
+}
+
+func TestGeneratorPeriodRanges(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	g := Generator{N: 200, Utilization: 0.5, Rand: r}
+	s, err := g.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var short, medium, long int
+	for _, tk := range s.Tasks() {
+		switch {
+		case tk.Period >= 1 && tk.Period < 10:
+			short++
+		case tk.Period >= 10 && tk.Period < 100:
+			medium++
+		case tk.Period >= 100 && tk.Period < 1000:
+			long++
+		default:
+			t.Errorf("period %v outside the 1–1000 ms ranges", tk.Period)
+		}
+	}
+	// Equal probability per range: with 200 draws each bucket should be
+	// populated substantially.
+	for name, n := range map[string]int{"short": short, "medium": medium, "long": long} {
+		if n < 30 {
+			t.Errorf("%s periods: %d of 200, expected roughly a third", name, n)
+		}
+	}
+}
+
+func TestGeneratorDeterministicBySeed(t *testing.T) {
+	g1 := Generator{N: 5, Utilization: 0.6, Rand: rand.New(rand.NewSource(7))}
+	g2 := Generator{N: 5, Utilization: 0.6, Rand: rand.New(rand.NewSource(7))}
+	s1, err1 := g1.Generate()
+	s2, err2 := g2.Generate()
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	for i := 0; i < s1.Len(); i++ {
+		if s1.Task(i) != s2.Task(i) {
+			t.Fatalf("same seed, different sets: %v vs %v", s1, s2)
+		}
+	}
+}
+
+func TestGeneratorErrors(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	cases := []Generator{
+		{N: 0, Utilization: 0.5, Rand: r},
+		{N: -1, Utilization: 0.5, Rand: r},
+		{N: 5, Utilization: 0, Rand: r},
+		{N: 5, Utilization: -0.5, Rand: r},
+		{N: 5, Utilization: 6, Rand: r}, // above N
+		{N: 5, Utilization: 0.5, Rand: nil},
+	}
+	for i, g := range cases {
+		if _, err := g.Generate(); err == nil {
+			t.Errorf("case %d: want error for %+v", i, g)
+		}
+	}
+}
+
+// Every generated set must be valid: positive WCETs no larger than the
+// periods, and total utilization on target.
+func TestGeneratorProperty(t *testing.T) {
+	f := func(seed int64, rawN uint8, rawU float64) bool {
+		n := int(rawN%12) + 1
+		u := math.Mod(math.Abs(rawU), 0.99) + 0.01
+		g := Generator{N: n, Utilization: u, Rand: rand.New(rand.NewSource(seed))}
+		s, err := g.Generate()
+		if err != nil {
+			return false
+		}
+		for _, tk := range s.Tasks() {
+			if tk.WCET <= 0 || tk.WCET > tk.Period {
+				return false
+			}
+		}
+		return math.Abs(s.Utilization()-u) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,222 @@
+// Package task implements the classic periodic real-time task model used
+// throughout the paper (Liu & Layland): each task Ti has a period Pi and a
+// worst-case computation time Ci specified at the maximum processor
+// frequency, is released once per period, and must complete by the end of
+// its period (deadline = next release).
+//
+// It also provides the paper's random task-set generator (Section 3.1) and
+// the actual-computation models used in the evaluation (constant fraction
+// of WCET, and uniformly distributed fractions).
+package task
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Task is one periodic real-time task. Times are in milliseconds; WCET is
+// expressed in milliseconds of execution at maximum frequency.
+type Task struct {
+	// Name is an optional human-readable label ("T1").
+	Name string `json:"name,omitempty"`
+	// Period is the release interval Pi (also the relative deadline).
+	Period float64 `json:"period"`
+	// WCET is the worst-case computation time Ci at maximum frequency.
+	WCET float64 `json:"wcet"`
+	// Phase delays the first release to this absolute time (default 0,
+	// the synchronous critical instant the paper's evaluation uses).
+	// Non-zero phases exercise the offset release patterns that arise
+	// from dynamic task admission.
+	Phase float64 `json:"phase,omitempty"`
+}
+
+// Utilization returns Ci/Pi, the worst-case fraction of full-speed
+// processor time the task can demand.
+func (t Task) Utilization() float64 { return t.WCET / t.Period }
+
+// Validate checks that the task parameters are usable.
+func (t Task) Validate() error {
+	switch {
+	case !(t.Period > 0) || math.IsInf(t.Period, 0):
+		return fmt.Errorf("task %q: period must be positive and finite, got %v", t.Name, t.Period)
+	case !(t.WCET > 0) || math.IsInf(t.WCET, 0):
+		return fmt.Errorf("task %q: WCET must be positive and finite, got %v", t.Name, t.WCET)
+	case t.WCET > t.Period:
+		return fmt.Errorf("task %q: WCET %v exceeds period %v", t.Name, t.WCET, t.Period)
+	case t.Phase < 0 || math.IsInf(t.Phase, 0) || math.IsNaN(t.Phase):
+		return fmt.Errorf("task %q: phase must be non-negative and finite, got %v", t.Name, t.Phase)
+	}
+	return nil
+}
+
+// String formats the task as "T1(C=3, P=8)".
+func (t Task) String() string {
+	name := t.Name
+	if name == "" {
+		name = "task"
+	}
+	return fmt.Sprintf("%s(C=%g, P=%g)", name, t.WCET, t.Period)
+}
+
+// Set is an immutable collection of periodic tasks. The zero value is an
+// empty set. Task order is preserved; schedulers impose their own priority
+// ordering.
+type Set struct {
+	tasks []Task
+}
+
+// ErrEmptySet is returned when an operation requires at least one task.
+var ErrEmptySet = errors.New("task: empty task set")
+
+// NewSet builds a set from the given tasks, assigning names T1..Tn to any
+// unnamed task, and validates every member.
+func NewSet(tasks ...Task) (*Set, error) {
+	if len(tasks) == 0 {
+		return nil, ErrEmptySet
+	}
+	owned := make([]Task, len(tasks))
+	copy(owned, tasks)
+	for i := range owned {
+		if owned[i].Name == "" {
+			owned[i].Name = fmt.Sprintf("T%d", i+1)
+		}
+		if err := owned[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return &Set{tasks: owned}, nil
+}
+
+// MustSet is NewSet that panics on error; intended for tests and examples
+// with literal task sets.
+func MustSet(tasks ...Task) *Set {
+	s, err := NewSet(tasks...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the number of tasks.
+func (s *Set) Len() int { return len(s.tasks) }
+
+// Task returns the i-th task.
+func (s *Set) Task(i int) Task { return s.tasks[i] }
+
+// Tasks returns a copy of the task slice.
+func (s *Set) Tasks() []Task {
+	return append([]Task(nil), s.tasks...)
+}
+
+// Utilization returns the total worst-case utilization ΣCi/Pi.
+func (s *Set) Utilization() float64 {
+	var u float64
+	for _, t := range s.tasks {
+		u += t.Utilization()
+	}
+	return u
+}
+
+// MaxPeriod returns the longest period in the set.
+func (s *Set) MaxPeriod() float64 {
+	var m float64
+	for _, t := range s.tasks {
+		m = math.Max(m, t.Period)
+	}
+	return m
+}
+
+// MinPeriod returns the shortest period in the set.
+func (s *Set) MinPeriod() float64 {
+	m := math.Inf(1)
+	for _, t := range s.tasks {
+		m = math.Min(m, t.Period)
+	}
+	return m
+}
+
+// Hyperperiod returns the least common multiple of the periods when every
+// period is (close to) an integral number of milliseconds, and ok=true.
+// For non-integral or overflowing period sets it returns 0, false; callers
+// fall back to a fixed simulation horizon.
+func (s *Set) Hyperperiod() (float64, bool) {
+	const limit = 1 << 40
+	lcm := int64(1)
+	for _, t := range s.tasks {
+		p := math.Round(t.Period)
+		if math.Abs(p-t.Period) > 1e-9 || p < 1 {
+			return 0, false
+		}
+		g := gcd(lcm, int64(p))
+		l := lcm / g
+		if l > limit/int64(p) {
+			return 0, false
+		}
+		lcm = l * int64(p)
+	}
+	return float64(lcm), true
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// ByPeriod returns the task indices sorted by ascending period (RM
+// priority order), breaking ties by original position.
+func (s *Set) ByPeriod() []int {
+	idx := make([]int, len(s.tasks))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return s.tasks[idx[a]].Period < s.tasks[idx[b]].Period
+	})
+	return idx
+}
+
+// WithTask returns a new set with an extra task appended (used by the
+// RTOS layer's dynamic admission).
+func (s *Set) WithTask(t Task) (*Set, error) {
+	return NewSet(append(s.Tasks(), t)...)
+}
+
+// WithoutTask returns a new set with task i removed.
+func (s *Set) WithoutTask(i int) (*Set, error) {
+	if i < 0 || i >= len(s.tasks) {
+		return nil, fmt.Errorf("task: index %d out of range [0,%d)", i, len(s.tasks))
+	}
+	rest := make([]Task, 0, len(s.tasks)-1)
+	rest = append(rest, s.tasks[:i]...)
+	rest = append(rest, s.tasks[i+1:]...)
+	return NewSet(rest...)
+}
+
+// String renders the set as "{T1(C=3, P=8) T2(C=3, P=10)} U=0.68".
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, t := range s.tasks {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(t.String())
+	}
+	fmt.Fprintf(&b, "} U=%.3f", s.Utilization())
+	return b.String()
+}
+
+// PaperExample returns the 3-task example of Table 2: computing times
+// 3/3/1 ms, periods 8/10/14 ms (U ≈ 0.746).
+func PaperExample() *Set {
+	return MustSet(
+		Task{Name: "T1", Period: 8, WCET: 3},
+		Task{Name: "T2", Period: 10, WCET: 3},
+		Task{Name: "T3", Period: 14, WCET: 1},
+	)
+}

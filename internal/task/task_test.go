@@ -1,0 +1,189 @@
+package task
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTaskValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		task Task
+		ok   bool
+	}{
+		{"valid", Task{Period: 10, WCET: 3}, true},
+		{"wcet equals period", Task{Period: 10, WCET: 10}, true},
+		{"zero period", Task{Period: 0, WCET: 1}, false},
+		{"negative period", Task{Period: -5, WCET: 1}, false},
+		{"zero wcet", Task{Period: 10, WCET: 0}, false},
+		{"negative wcet", Task{Period: 10, WCET: -1}, false},
+		{"wcet over period", Task{Period: 10, WCET: 11}, false},
+		{"inf period", Task{Period: math.Inf(1), WCET: 1}, false},
+		{"nan wcet", Task{Period: 10, WCET: math.NaN()}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.task.Validate()
+			if (err == nil) != c.ok {
+				t.Errorf("Validate() = %v, want ok=%v", err, c.ok)
+			}
+		})
+	}
+}
+
+func TestTaskUtilization(t *testing.T) {
+	if got := (Task{Period: 8, WCET: 3}).Utilization(); math.Abs(got-0.375) > 1e-12 {
+		t.Errorf("Utilization = %v, want 0.375", got)
+	}
+}
+
+func TestNewSetNamesAndValidates(t *testing.T) {
+	s, err := NewSet(Task{Period: 10, WCET: 1}, Task{Name: "io", Period: 20, WCET: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Task(0).Name; got != "T1" {
+		t.Errorf("auto name = %q, want T1", got)
+	}
+	if got := s.Task(1).Name; got != "io" {
+		t.Errorf("explicit name = %q, want io", got)
+	}
+}
+
+func TestNewSetErrors(t *testing.T) {
+	if _, err := NewSet(); err != ErrEmptySet {
+		t.Errorf("empty set error = %v, want ErrEmptySet", err)
+	}
+	if _, err := NewSet(Task{Period: 10, WCET: 20}); err == nil {
+		t.Error("want error for WCET > period")
+	}
+}
+
+func TestMustSetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSet should panic on invalid input")
+		}
+	}()
+	MustSet(Task{Period: -1, WCET: 1})
+}
+
+func TestSetUtilization(t *testing.T) {
+	s := PaperExample()
+	want := 3.0/8 + 3.0/10 + 1.0/14
+	if got := s.Utilization(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Utilization = %v, want %v", got, want)
+	}
+}
+
+func TestSetPeriodsAndOrder(t *testing.T) {
+	s := MustSet(
+		Task{Period: 100, WCET: 1},
+		Task{Period: 5, WCET: 1},
+		Task{Period: 20, WCET: 1},
+	)
+	if got := s.MaxPeriod(); got != 100 {
+		t.Errorf("MaxPeriod = %v", got)
+	}
+	if got := s.MinPeriod(); got != 5 {
+		t.Errorf("MinPeriod = %v", got)
+	}
+	order := s.ByPeriod()
+	want := []int{1, 2, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("ByPeriod = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestByPeriodStableTies(t *testing.T) {
+	s := MustSet(
+		Task{Period: 10, WCET: 1},
+		Task{Period: 10, WCET: 2},
+		Task{Period: 10, WCET: 3},
+	)
+	order := s.ByPeriod()
+	for i, idx := range order {
+		if idx != i {
+			t.Fatalf("ByPeriod with ties = %v, want identity order", order)
+		}
+	}
+}
+
+func TestHyperperiod(t *testing.T) {
+	s := PaperExample() // 8, 10, 14
+	hp, ok := s.Hyperperiod()
+	if !ok || hp != 280 {
+		t.Errorf("Hyperperiod = %v, %v; want 280, true", hp, ok)
+	}
+	frac := MustSet(Task{Period: 2.5, WCET: 1})
+	if _, ok := frac.Hyperperiod(); ok {
+		t.Error("fractional periods should have no integral hyperperiod")
+	}
+	huge := MustSet(
+		Task{Period: 999983, WCET: 1}, // large primes overflow the cap
+		Task{Period: 999979, WCET: 1},
+		Task{Period: 999961, WCET: 1},
+	)
+	if _, ok := huge.Hyperperiod(); ok {
+		t.Error("overflowing LCM should report not-ok")
+	}
+}
+
+func TestWithTaskAndWithoutTask(t *testing.T) {
+	s := PaperExample()
+	s2, err := s.WithTask(Task{Name: "T4", Period: 50, WCET: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 4 || s.Len() != 3 {
+		t.Errorf("lengths: orig %d, new %d", s.Len(), s2.Len())
+	}
+	s3, err := s2.WithoutTask(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.Len() != 3 || s3.Task(0).Name != "T2" {
+		t.Errorf("WithoutTask(0): len %d first %q", s3.Len(), s3.Task(0).Name)
+	}
+	if _, err := s2.WithoutTask(9); err == nil {
+		t.Error("want error for out-of-range removal")
+	}
+}
+
+func TestTasksReturnsCopy(t *testing.T) {
+	s := PaperExample()
+	got := s.Tasks()
+	got[0].WCET = 999
+	if s.Task(0).WCET == 999 {
+		t.Error("Tasks() aliases internal storage")
+	}
+}
+
+func TestSetString(t *testing.T) {
+	str := PaperExample().String()
+	for _, want := range []string{"T1(C=3, P=8)", "U=0.746"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("String() = %q, missing %q", str, want)
+		}
+	}
+}
+
+func TestPaperExampleMatchesTable2(t *testing.T) {
+	s := PaperExample()
+	want := []Task{
+		{Name: "T1", Period: 8, WCET: 3},
+		{Name: "T2", Period: 10, WCET: 3},
+		{Name: "T3", Period: 14, WCET: 1},
+	}
+	if s.Len() != len(want) {
+		t.Fatalf("len = %d", s.Len())
+	}
+	for i, w := range want {
+		if s.Task(i) != w {
+			t.Errorf("task %d = %+v, want %+v", i, s.Task(i), w)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// Package trace captures execution traces — which task ran when, at which
+// operating point — and renders them as ASCII Gantt charts in the style of
+// the paper's Figures 2, 3, 5 and 7.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"rtdvs/internal/machine"
+)
+
+// Special task indices used in segments.
+const (
+	// Idle marks processor idle time.
+	Idle = -1
+	// SwitchHalt marks the mandatory stop interval of a voltage/frequency
+	// transition.
+	SwitchHalt = -2
+)
+
+// Segment is a maximal interval during which one task (or idle state) ran
+// at one operating point.
+type Segment struct {
+	// Task is the task index, or Idle / SwitchHalt.
+	Task int `json:"task"`
+	// Start and End bound the interval in milliseconds.
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+	// Point is the operating point in effect.
+	Point machine.OperatingPoint `json:"point"`
+}
+
+// Duration returns the segment length.
+func (s Segment) Duration() float64 { return s.End - s.Start }
+
+// Recorder accumulates segments, merging adjacent segments that continue
+// the same task at the same operating point.
+type Recorder struct {
+	segments []Segment
+}
+
+// Add appends a segment, merging with the previous one when contiguous.
+// Zero-length segments are dropped.
+func (r *Recorder) Add(seg Segment) {
+	if seg.End-seg.Start <= 1e-12 {
+		return
+	}
+	if n := len(r.segments); n > 0 {
+		last := &r.segments[n-1]
+		if last.Task == seg.Task && last.Point == seg.Point && math.Abs(last.End-seg.Start) < 1e-9 {
+			last.End = seg.End
+			return
+		}
+	}
+	r.segments = append(r.segments, seg)
+}
+
+// Segments returns the recorded segments in time order.
+func (r *Recorder) Segments() []Segment {
+	return append([]Segment(nil), r.segments...)
+}
+
+// Reset discards all recorded segments.
+func (r *Recorder) Reset() { r.segments = r.segments[:0] }
+
+// BusyTime returns total non-idle, non-halt time recorded.
+func (r *Recorder) BusyTime() float64 {
+	var t float64
+	for _, s := range r.segments {
+		if s.Task >= 0 {
+			t += s.Duration()
+		}
+	}
+	return t
+}
+
+// RenderOptions controls Gantt rendering.
+type RenderOptions struct {
+	// Width is the number of character columns for the time axis
+	// (default 72).
+	Width int
+	// TaskNames labels the rows; index i names task i.
+	TaskNames []string
+	// End clips the chart at this time; 0 means the last segment end.
+	End float64
+}
+
+// Render draws the trace as an ASCII chart: one row per distinct operating
+// frequency (highest first, like the paper's frequency axis), plus a time
+// ruler. Each busy cell shows the first rune of the running task's name.
+func Render(segments []Segment, opts RenderOptions) string {
+	if len(segments) == 0 {
+		return "(empty trace)\n"
+	}
+	width := opts.Width
+	if width <= 0 {
+		width = 72
+	}
+	end := opts.End
+	if end <= 0 {
+		end = segments[len(segments)-1].End
+	}
+
+	// Collect the distinct frequencies in use, highest first.
+	freqSet := map[float64]bool{}
+	for _, s := range segments {
+		if s.Task != Idle || s.Point.Freq > 0 {
+			freqSet[s.Point.Freq] = true
+		}
+	}
+	freqs := make([]float64, 0, len(freqSet))
+	for f := range freqSet {
+		freqs = append(freqs, f)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(freqs)))
+
+	rows := make([][]rune, len(freqs))
+	for i := range rows {
+		rows[i] = []rune(strings.Repeat(" ", width))
+	}
+	col := func(t float64) int {
+		c := int(t / end * float64(width))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	rowOf := func(f float64) int {
+		for i, rf := range freqs {
+			if math.Abs(rf-f) < 1e-9 {
+				return i
+			}
+		}
+		return -1
+	}
+
+	for _, s := range segments {
+		r := rowOf(s.Point.Freq)
+		if r < 0 {
+			continue
+		}
+		var glyph rune
+		switch {
+		case s.Task == Idle:
+			glyph = '.'
+		case s.Task == SwitchHalt:
+			glyph = '#'
+		case s.Task < len(opts.TaskNames) && opts.TaskNames[s.Task] != "":
+			name := []rune(opts.TaskNames[s.Task])
+			glyph = name[len(name)-1] // "T1" -> '1'
+		default:
+			glyph = rune('1' + s.Task%9)
+		}
+		c0, c1 := col(s.Start), col(s.End-1e-12)
+		for c := c0; c <= c1; c++ {
+			rows[rowOf(s.Point.Freq)][c] = glyph
+		}
+		_ = r
+	}
+
+	var b strings.Builder
+	for i, f := range freqs {
+		fmt.Fprintf(&b, "f=%4.2f |%s|\n", f, string(rows[i]))
+	}
+	// Time ruler.
+	fmt.Fprintf(&b, "        0%s%.4g ms\n", strings.Repeat("-", width-1), end)
+	return b.String()
+}

@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"rtdvs/internal/machine"
+)
+
+var (
+	p50  = machine.OperatingPoint{Freq: 0.5, Voltage: 3}
+	p75  = machine.OperatingPoint{Freq: 0.75, Voltage: 4}
+	p100 = machine.OperatingPoint{Freq: 1.0, Voltage: 5}
+)
+
+func TestRecorderMergesContiguousSegments(t *testing.T) {
+	var r Recorder
+	r.Add(Segment{Task: 0, Start: 0, End: 1, Point: p50})
+	r.Add(Segment{Task: 0, Start: 1, End: 2, Point: p50})
+	r.Add(Segment{Task: 0, Start: 2, End: 3, Point: p75}) // point change: no merge
+	r.Add(Segment{Task: 1, Start: 3, End: 4, Point: p75}) // task change: no merge
+	segs := r.Segments()
+	if len(segs) != 3 {
+		t.Fatalf("got %d segments, want 3: %+v", len(segs), segs)
+	}
+	if segs[0].Start != 0 || segs[0].End != 2 {
+		t.Errorf("merged segment = [%v,%v], want [0,2]", segs[0].Start, segs[0].End)
+	}
+}
+
+func TestRecorderDropsZeroLength(t *testing.T) {
+	var r Recorder
+	r.Add(Segment{Task: 0, Start: 5, End: 5, Point: p50})
+	if len(r.Segments()) != 0 {
+		t.Error("zero-length segment retained")
+	}
+}
+
+func TestRecorderNoMergeAcrossGap(t *testing.T) {
+	var r Recorder
+	r.Add(Segment{Task: 0, Start: 0, End: 1, Point: p50})
+	r.Add(Segment{Task: 0, Start: 2, End: 3, Point: p50})
+	if len(r.Segments()) != 2 {
+		t.Error("segments across a gap were merged")
+	}
+}
+
+func TestBusyTime(t *testing.T) {
+	var r Recorder
+	r.Add(Segment{Task: 0, Start: 0, End: 2, Point: p50})
+	r.Add(Segment{Task: Idle, Start: 2, End: 5, Point: p50})
+	r.Add(Segment{Task: SwitchHalt, Start: 5, End: 5.4, Point: p75})
+	r.Add(Segment{Task: 1, Start: 5.4, End: 7, Point: p75})
+	if got := r.BusyTime(); math.Abs(got-3.6) > 1e-9 {
+		t.Errorf("BusyTime = %v, want 3.6", got)
+	}
+}
+
+func TestRecorderReset(t *testing.T) {
+	var r Recorder
+	r.Add(Segment{Task: 0, Start: 0, End: 1, Point: p50})
+	r.Reset()
+	if len(r.Segments()) != 0 {
+		t.Error("Reset did not clear segments")
+	}
+}
+
+func TestSegmentsReturnsCopy(t *testing.T) {
+	var r Recorder
+	r.Add(Segment{Task: 0, Start: 0, End: 1, Point: p50})
+	segs := r.Segments()
+	segs[0].End = 99
+	if r.Segments()[0].End == 99 {
+		t.Error("Segments aliases internal storage")
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	if got := Render(nil, RenderOptions{}); !strings.Contains(got, "empty") {
+		t.Errorf("Render(nil) = %q", got)
+	}
+}
+
+func TestRenderRowsAndGlyphs(t *testing.T) {
+	segs := []Segment{
+		{Task: 0, Start: 0, End: 4, Point: p100},
+		{Task: 1, Start: 4, End: 8, Point: p50},
+		{Task: Idle, Start: 8, End: 16, Point: p50},
+	}
+	out := Render(segs, RenderOptions{Width: 16, TaskNames: []string{"T1", "T2"}, End: 16})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // two frequency rows + ruler
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "f=1.00") {
+		t.Errorf("first row should be the highest frequency: %q", lines[0])
+	}
+	if !strings.Contains(lines[0], "1111") {
+		t.Errorf("T1 glyphs missing on the 1.0 row: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "2222") || !strings.Contains(lines[1], "....") {
+		t.Errorf("T2/idle glyphs missing on the 0.5 row: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "16 ms") {
+		t.Errorf("ruler missing end time: %q", lines[2])
+	}
+}
+
+func TestRenderSwitchHaltGlyph(t *testing.T) {
+	segs := []Segment{
+		{Task: 0, Start: 0, End: 4, Point: p100},
+		{Task: SwitchHalt, Start: 4, End: 8, Point: p50},
+	}
+	out := Render(segs, RenderOptions{Width: 8, End: 8})
+	if !strings.Contains(out, "#") {
+		t.Errorf("switch halt glyph missing:\n%s", out)
+	}
+}
+
+func TestRenderDefaultEndAndWidth(t *testing.T) {
+	segs := []Segment{{Task: 0, Start: 0, End: 10, Point: p100}}
+	out := Render(segs, RenderOptions{})
+	if !strings.Contains(out, "10 ms") {
+		t.Errorf("default end not derived from last segment:\n%s", out)
+	}
+}
+
+func TestSegmentDuration(t *testing.T) {
+	s := Segment{Start: 1.5, End: 4}
+	if s.Duration() != 2.5 {
+		t.Errorf("Duration = %v", s.Duration())
+	}
+}

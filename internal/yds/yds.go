@@ -1,0 +1,222 @@
+// Package yds implements the optimal clairvoyant voltage schedule of
+// Yao, Demers & Shenker (FOCS 1995) as a deadline-aware lower bound on
+// RT-DVS energy.
+//
+// The paper's own reference curve (internal/bound) reflects execution
+// throughput only: total cycles spread over the whole simulation,
+// deadlines ignored. YDS instead computes, for a concrete set of jobs
+// (release, deadline, actual work), the minimum-energy speed function
+// that meets every deadline — assuming clairvoyant knowledge of each
+// invocation's actual demand. No online algorithm, including laEDF, can
+// beat it; unlike the throughput bound it accounts for the bursts that
+// force high speeds, so it sits between the throughput bound and the
+// online policies and quantifies how much of the remaining gap is
+// closable at all.
+//
+// The algorithm repeatedly extracts the critical interval — the window
+// [s, t] maximizing the intensity g(s,t) = Σ work of jobs contained in
+// [s, t] divided by (t − s) — schedules those jobs at speed g, removes
+// them, collapses the interval, and recurses. With a convex
+// power-versus-speed curve this greedy schedule is energy optimal; for a
+// discrete-point machine the convexification (time-mixing adjacent
+// operating points, exactly internal/bound's hull) gives the achievable
+// optimum for negligible switch overheads.
+package yds
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rtdvs/internal/bound"
+	"rtdvs/internal/machine"
+	"rtdvs/internal/task"
+)
+
+// Job is one unit of clairvoyant work: released at Arrival, due at
+// Deadline, needing Work cycles (milliseconds at maximum frequency).
+type Job struct {
+	Arrival  float64 `json:"arrival"`
+	Deadline float64 `json:"deadline"`
+	Work     float64 `json:"work"`
+}
+
+// Segment is one piece of the optimal speed function: run at Speed
+// (relative frequency, may exceed the achievable range for infeasible
+// inputs) during [Start, End) of the original timeline.
+type Segment struct {
+	Start, End float64
+	Speed      float64
+	Work       float64
+}
+
+// Schedule computes the YDS critical-interval decomposition for the
+// jobs. Segments come back sorted by decreasing speed (the extraction
+// order); their total work equals the total job work. Zero-work inputs
+// yield an empty schedule.
+func Schedule(jobs []Job) ([]Segment, error) {
+	js := make([]Job, 0, len(jobs))
+	for i, j := range jobs {
+		if j.Work < 0 || j.Deadline <= j.Arrival || math.IsNaN(j.Work) {
+			return nil, fmt.Errorf("yds: job %d invalid: %+v", i, j)
+		}
+		if j.Work > 0 {
+			js = append(js, j)
+		}
+	}
+	var out []Segment
+	for len(js) > 0 {
+		s, t, g, inside := criticalInterval(js)
+		if g <= 0 {
+			break
+		}
+		var work float64
+		for _, idx := range inside {
+			work += js[idx].Work
+		}
+		out = append(out, Segment{Start: s, End: t, Speed: g, Work: work})
+
+		// Remove the scheduled jobs and collapse [s, t] out of the
+		// timeline: instants after t shift left by the interval length;
+		// instants inside map to s.
+		collapse := func(x float64) float64 {
+			switch {
+			case x <= s:
+				return x
+			case x >= t:
+				return x - (t - s)
+			default:
+				return s
+			}
+		}
+		next := js[:0]
+		del := map[int]bool{}
+		for _, idx := range inside {
+			del[idx] = true
+		}
+		for idx := range js {
+			if del[idx] {
+				continue
+			}
+			j := js[idx]
+			j.Arrival = collapse(j.Arrival)
+			j.Deadline = collapse(j.Deadline)
+			next = append(next, j)
+		}
+		js = next
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Speed > out[b].Speed })
+	return out, nil
+}
+
+// criticalInterval finds the maximum-intensity interval. Candidate
+// endpoints are job arrivals (starts) and deadlines (ends); this is
+// O(n³) in the number of jobs per round, fine at simulation scale.
+func criticalInterval(js []Job) (s, t, g float64, inside []int) {
+	starts := make([]float64, 0, len(js))
+	ends := make([]float64, 0, len(js))
+	for _, j := range js {
+		starts = append(starts, j.Arrival)
+		ends = append(ends, j.Deadline)
+	}
+	g = -1
+	for _, a := range starts {
+		for _, d := range ends {
+			if d <= a {
+				continue
+			}
+			var work float64
+			for _, j := range js {
+				if j.Arrival >= a && j.Deadline <= d {
+					work += j.Work
+				}
+			}
+			if work <= 0 {
+				continue
+			}
+			if gg := work / (d - a); gg > g+1e-15 {
+				g = gg
+				s, t = a, d
+			}
+		}
+	}
+	if g <= 0 {
+		return 0, 0, 0, nil
+	}
+	for idx, j := range js {
+		if j.Arrival >= s && j.Deadline <= t {
+			inside = append(inside, idx)
+		}
+	}
+	return s, t, g, inside
+}
+
+// Feasible reports whether the schedule never needs more than full
+// speed — i.e. whether a clairvoyant scheduler could meet every deadline
+// on the platform at all.
+func Feasible(segs []Segment) bool {
+	for _, s := range segs {
+		if s.Speed > 1+1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// Energy returns the minimum energy for executing the schedule on the
+// platform: each critical interval runs at the cheapest (possibly
+// time-mixed) operating combination sustaining its intensity, per
+// bound.MinPower. Infeasible segments (speed above 1) are charged at
+// full speed — the closest any real schedule could come.
+func Energy(spec *machine.Spec, segs []Segment) (float64, error) {
+	var e float64
+	for _, s := range segs {
+		rate := math.Min(s.Speed, 1)
+		p, err := bound.MinPower(spec, rate)
+		if err != nil {
+			return 0, err
+		}
+		// Power sustained for the interval; for a capped infeasible
+		// segment the same work takes proportionally longer than the
+		// interval, charge it at the full-speed rate for its work.
+		if s.Speed > 1 {
+			e += s.Work * spec.Max().EnergyPerCycle()
+			continue
+		}
+		e += p * (s.End - s.Start)
+	}
+	return e, nil
+}
+
+// JobsFromTaskSet expands a periodic task set with an execution model
+// into the concrete jobs of one simulation run: every invocation with a
+// deadline at or before the horizon. Phases are honored.
+func JobsFromTaskSet(ts *task.Set, exec task.ExecModel, horizon float64) []Job {
+	if exec == nil {
+		exec = task.FullWCET{}
+	}
+	var jobs []Job
+	for i := 0; i < ts.Len(); i++ {
+		tk := ts.Task(i)
+		inv := 0
+		for rel := tk.Phase; rel+tk.Period <= horizon+1e-9; rel += tk.Period {
+			w := exec.Cycles(i, inv, tk.WCET)
+			if w > tk.WCET {
+				w = tk.WCET
+			}
+			jobs = append(jobs, Job{Arrival: rel, Deadline: rel + tk.Period, Work: w})
+			inv++
+		}
+	}
+	return jobs
+}
+
+// LowerBound is the one-call convenience: the minimum clairvoyant energy
+// for running the task set under the execution model up to the horizon.
+func LowerBound(spec *machine.Spec, ts *task.Set, exec task.ExecModel, horizon float64) (float64, error) {
+	segs, err := Schedule(JobsFromTaskSet(ts, exec, horizon))
+	if err != nil {
+		return 0, err
+	}
+	return Energy(spec, segs)
+}

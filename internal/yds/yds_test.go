@@ -1,0 +1,290 @@
+package yds
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rtdvs/internal/bound"
+	"rtdvs/internal/core"
+	"rtdvs/internal/machine"
+	"rtdvs/internal/sim"
+	"rtdvs/internal/task"
+)
+
+func TestScheduleSingleJob(t *testing.T) {
+	segs, err := Schedule([]Job{{Arrival: 2, Deadline: 10, Work: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("%d segments", len(segs))
+	}
+	if segs[0].Speed != 0.5 || segs[0].Start != 2 || segs[0].End != 10 {
+		t.Errorf("segment = %+v, want speed 0.5 over [2,10]", segs[0])
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	if _, err := Schedule([]Job{{Arrival: 5, Deadline: 5, Work: 1}}); err == nil {
+		t.Error("zero-width job accepted")
+	}
+	if _, err := Schedule([]Job{{Arrival: 0, Deadline: 10, Work: -1}}); err == nil {
+		t.Error("negative work accepted")
+	}
+	segs, err := Schedule(nil)
+	if err != nil || len(segs) != 0 {
+		t.Errorf("empty input: %v %v", segs, err)
+	}
+	// Zero-work jobs are dropped.
+	segs, err = Schedule([]Job{{Arrival: 0, Deadline: 10, Work: 0}})
+	if err != nil || len(segs) != 0 {
+		t.Errorf("zero-work input: %v %v", segs, err)
+	}
+}
+
+// The textbook two-job example: a tight job inside a loose one. The
+// critical interval is the tight job's window; the loose job's work
+// spreads over the collapsed remainder.
+func TestScheduleCriticalIntervalExtraction(t *testing.T) {
+	segs, err := Schedule([]Job{
+		{Arrival: 0, Deadline: 10, Work: 4}, // loose
+		{Arrival: 4, Deadline: 6, Work: 2},  // tight: intensity 1.0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 2 {
+		t.Fatalf("%d segments: %+v", len(segs), segs)
+	}
+	if segs[0].Speed != 1.0 || segs[0].Start != 4 || segs[0].End != 6 {
+		t.Errorf("critical segment = %+v", segs[0])
+	}
+	// Remaining: 4 cycles over the 8 ms left after collapsing [4,6].
+	if math.Abs(segs[1].Speed-0.5) > 1e-12 {
+		t.Errorf("residual speed = %v, want 0.5", segs[1].Speed)
+	}
+	var work float64
+	for _, s := range segs {
+		work += s.Work
+	}
+	if math.Abs(work-6) > 1e-12 {
+		t.Errorf("total work = %v, want 6", work)
+	}
+}
+
+func TestFeasible(t *testing.T) {
+	over, err := Schedule([]Job{{Arrival: 0, Deadline: 2, Work: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Feasible(over) {
+		t.Error("intensity 1.5 reported feasible")
+	}
+	ok, err := Schedule([]Job{{Arrival: 0, Deadline: 4, Work: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Feasible(ok) {
+		t.Error("intensity 0.75 reported infeasible")
+	}
+}
+
+func TestJobsFromTaskSet(t *testing.T) {
+	ts := task.PaperExample()
+	jobs := JobsFromTaskSet(ts, task.FullWCET{}, 280)
+	if len(jobs) != 35+28+20 {
+		t.Fatalf("%d jobs over one hyperperiod, want 83", len(jobs))
+	}
+	var work float64
+	for _, j := range jobs {
+		work += j.Work
+		if j.Deadline > 280+1e-9 {
+			t.Fatalf("job beyond horizon: %+v", j)
+		}
+	}
+	want := 35*3.0 + 28*3 + 20*1
+	if math.Abs(work-want) > 1e-9 {
+		t.Errorf("total work = %v, want %v", work, want)
+	}
+
+	phased := task.MustSet(task.Task{Period: 10, WCET: 2, Phase: 5})
+	pj := JobsFromTaskSet(phased, nil, 100)
+	if len(pj) != 9 { // releases at 5..85 with deadlines ≤ 95... 5,15,...,85 → deadline 95 ≤ 100: 9 jobs
+		t.Errorf("%d phased jobs, want 9", len(pj))
+	}
+	if pj[0].Arrival != 5 || pj[0].Deadline != 15 {
+		t.Errorf("first phased job = %+v", pj[0])
+	}
+}
+
+// The clairvoyant optimum must sit between the throughput-only bound and
+// every online policy (perfect halt, so energies are comparable).
+func TestYDSBetweenBoundAndPolicies(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + r.Intn(4)
+		u := 0.2 + 0.75*r.Float64()
+		g := task.Generator{N: n, Utilization: u, Rand: r}
+		ts, err := g.Generate()
+		if err != nil {
+			continue
+		}
+		horizon := 4 * ts.MaxPeriod()
+		c := 0.4 + 0.6*r.Float64()
+		exec := task.ConstantFraction{C: c}
+		specs := []*machine.Spec{machine.Machine0(), machine.Machine2()}
+		m := specs[r.Intn(2)]
+		if len(JobsFromTaskSet(ts, exec, horizon)) > 250 {
+			continue // keep the O(n³) critical-interval search quick
+		}
+
+		opt, err := LowerBound(m, ts, exec, horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for _, name := range []string{"staticEDF", "ccEDF", "laEDF"} {
+			p, err := core.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sim.Run(sim.Config{Tasks: ts, Machine: m, Policy: p, Exec: exec, Horizon: horizon})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The policy also executes invocations released before the
+			// horizon whose deadlines lie beyond it, so it can only do
+			// MORE work than the YDS job set: opt must not exceed it.
+			if res.TotalEnergy < opt-1e-6*math.Max(1, opt) {
+				t.Fatalf("trial %d: %s energy %v beats clairvoyant optimum %v on %s (c=%v)",
+					trial, name, res.TotalEnergy, opt, ts, c)
+			}
+		}
+
+		// And the throughput-only bound for the same jobs cannot exceed
+		// the deadline-aware optimum.
+		jobs := JobsFromTaskSet(ts, exec, horizon)
+		var work float64
+		for _, j := range jobs {
+			work += j.Work
+		}
+		thr, err := bound.Energy(m, work, horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt < thr-1e-6*math.Max(1, thr) {
+			t.Fatalf("trial %d: YDS %v below throughput bound %v", trial, opt, thr)
+		}
+	}
+}
+
+// For a single task the optimum equals the throughput bound: the work
+// spreads evenly with no deadline pressure beyond the average.
+func TestYDSMatchesThroughputBoundSingleTask(t *testing.T) {
+	ts := task.MustSet(task.Task{Period: 10, WCET: 4})
+	m := machine.Machine0()
+	opt, err := LowerBound(m, ts, nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thr, err := bound.Energy(m, 40, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(opt-thr) > 1e-6 {
+		t.Errorf("single-task optimum %v != throughput bound %v", opt, thr)
+	}
+}
+
+// An infeasible job set must be flagged and charged at least full-speed
+// energy for its work.
+func TestYDSInfeasibleCharging(t *testing.T) {
+	segs, err := Schedule([]Job{
+		{Arrival: 0, Deadline: 2, Work: 4},
+		{Arrival: 0, Deadline: 10, Work: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Feasible(segs) {
+		t.Fatal("overload reported feasible")
+	}
+	e, err := Energy(machine.Machine0(), segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e < 4*25 {
+		t.Errorf("energy %v below full-speed charge for the infeasible work", e)
+	}
+}
+
+// Structural properties of the YDS decomposition: extracted intensities
+// are non-increasing (the critical interval is always the densest left),
+// and total scheduled work equals total job work.
+func TestScheduleStructuralProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + r.Intn(25)
+		jobs := make([]Job, n)
+		var want float64
+		for i := range jobs {
+			a := r.Float64() * 100
+			d := a + 0.5 + r.Float64()*50
+			w := r.Float64() * 5
+			jobs[i] = Job{Arrival: a, Deadline: d, Work: w}
+			want += w
+		}
+		segs, err := Schedule(jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got float64
+		for i, s := range segs {
+			got += s.Work
+			if s.End <= s.Start || s.Speed <= 0 {
+				t.Fatalf("trial %d: degenerate segment %+v", trial, s)
+			}
+			if i > 0 && s.Speed > segs[i-1].Speed+1e-9 {
+				t.Fatalf("trial %d: intensities increase: %v after %v", trial, s.Speed, segs[i-1].Speed)
+			}
+		}
+		if math.Abs(got-want) > 1e-6*math.Max(1, want) {
+			t.Fatalf("trial %d: work not conserved: %v vs %v", trial, got, want)
+		}
+	}
+}
+
+// Adding work can never reduce the optimal energy.
+func TestYDSMonotoneInWork(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	m := machine.Machine0()
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + r.Intn(10)
+		jobs := make([]Job, n)
+		for i := range jobs {
+			a := r.Float64() * 50
+			jobs[i] = Job{Arrival: a, Deadline: a + 1 + r.Float64()*30, Work: r.Float64() * 3}
+		}
+		segs, err := Schedule(jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e1, err := Energy(m, segs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		extra := append(append([]Job(nil), jobs...), Job{Arrival: 10, Deadline: 30, Work: 2})
+		segs2, err := Schedule(extra)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e2, err := Energy(m, segs2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e2 < e1-1e-9 {
+			t.Fatalf("trial %d: adding work reduced optimal energy: %v -> %v", trial, e1, e2)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+// Package rtdvs is a Go implementation of Real-Time Dynamic Voltage
+// Scaling (RT-DVS) as described in Pillai & Shin, "Real-Time Dynamic
+// Voltage Scaling for Low-Power Embedded Operating Systems" (SOSP 2001).
+//
+// RT-DVS couples dynamic voltage scaling with the OS real-time scheduler
+// so the processor runs as slowly (and at as low a voltage) as the task
+// set's deadlines allow. The package provides:
+//
+//   - the periodic real-time task model and the paper's random task-set
+//     generator,
+//   - EDF and RM schedulers with scaled schedulability tests,
+//   - the five RT-DVS policies (statically-scaled EDF/RM,
+//     cycle-conserving EDF/RM, look-ahead EDF) plus the non-DVS baseline,
+//   - a discrete-event processor/energy simulator with pluggable machine
+//     specifications (frequency/voltage tables),
+//   - the theoretical lower bound on energy,
+//   - an RTOS-style kernel with hot-swappable policy modules, dynamic
+//     task admission, aperiodic servers, and a whole-system power meter,
+//   - an experiment harness regenerating every table and figure of the
+//     paper's evaluation.
+//
+// # Quick start
+//
+//	ts, _ := rtdvs.NewTaskSet(
+//	    rtdvs.Task{Name: "control", Period: 8, WCET: 3},
+//	    rtdvs.Task{Name: "sensor", Period: 10, WCET: 3},
+//	)
+//	policy, _ := rtdvs.NewPolicy("laEDF")
+//	res, _ := rtdvs.Simulate(rtdvs.SimConfig{
+//	    Tasks:   ts,
+//	    Machine: rtdvs.Machine0(),
+//	    Policy:  policy,
+//	})
+//	fmt.Printf("energy: %.1f, misses: %d\n", res.TotalEnergy, res.MissCount())
+//
+// Times are in milliseconds; worst-case computation times (WCET) are
+// expressed at the maximum processor frequency. Energy is reported in
+// cycle·V² units (only ratios between runs are meaningful).
+package rtdvs
+
+import (
+	"math/rand"
+
+	"rtdvs/internal/bound"
+	"rtdvs/internal/core"
+	"rtdvs/internal/machine"
+	"rtdvs/internal/sched"
+	"rtdvs/internal/sim"
+	"rtdvs/internal/task"
+	"rtdvs/internal/trace"
+)
+
+// Task is one periodic real-time task (period and worst-case computation
+// time in milliseconds; WCET at maximum frequency).
+type Task = task.Task
+
+// TaskSet is an immutable collection of periodic tasks.
+type TaskSet = task.Set
+
+// ExecModel decides the actual computation demand of each invocation.
+type ExecModel = task.ExecModel
+
+// Actual-computation models from the paper's evaluation.
+type (
+	// FullWCET makes every invocation use its worst case.
+	FullWCET = task.FullWCET
+	// ConstantFraction uses a fixed fraction of the worst case.
+	ConstantFraction = task.ConstantFraction
+	// UniformFraction draws uniformly from a fraction range.
+	UniformFraction = task.UniformFraction
+)
+
+// OperatingPoint is one (relative frequency, voltage) pair of a platform.
+type OperatingPoint = machine.OperatingPoint
+
+// MachineSpec is a DVS-capable platform description.
+type MachineSpec = machine.Spec
+
+// SwitchOverhead models the mandatory stop interval of operating point
+// transitions.
+type SwitchOverhead = machine.SwitchOverhead
+
+// Policy is an RT-DVS frequency/voltage selection policy.
+type Policy = core.Policy
+
+// SimConfig configures one simulation run.
+type SimConfig = sim.Config
+
+// Result reports a simulation run's energy, timing, and deadline outcome.
+type Result = sim.Result
+
+// TraceRecorder captures execution traces for rendering.
+type TraceRecorder = trace.Recorder
+
+// TraceSegment is one interval of a recorded execution trace.
+type TraceSegment = trace.Segment
+
+// NewTaskSet builds and validates a task set.
+func NewTaskSet(tasks ...Task) (*TaskSet, error) { return task.NewSet(tasks...) }
+
+// PaperExampleTaskSet returns the worked example of the paper's Table 2.
+func PaperExampleTaskSet() *TaskSet { return task.PaperExample() }
+
+// GenerateTaskSet draws a random task set with the paper's generator:
+// n tasks, periods mixed over 1–10/10–100/100–1000 ms, scaled to the
+// target worst-case utilization. The seed makes the draw reproducible.
+func GenerateTaskSet(n int, utilization float64, seed int64) (*TaskSet, error) {
+	g := task.Generator{N: n, Utilization: utilization, Rand: rand.New(rand.NewSource(seed))}
+	return g.Generate()
+}
+
+// Predefined machine specifications from the paper.
+func Machine0() *MachineSpec  { return machine.Machine0() }
+func Machine1() *MachineSpec  { return machine.Machine1() }
+func Machine2() *MachineSpec  { return machine.Machine2() }
+func LaptopK62() *MachineSpec { return machine.LaptopK62() }
+
+// MachineByName looks up a predefined machine spec ("machine0",
+// "machine1", "machine2", "k6-2+"); it returns nil for unknown names.
+func MachineByName(name string) *MachineSpec { return machine.ByName(name) }
+
+// K62SwitchOverhead is the transition overhead measured on the prototype:
+// 41 µs for frequency-only changes, 0.4 ms when the voltage changes.
+func K62SwitchOverhead() SwitchOverhead { return machine.K62SwitchOverhead }
+
+// NewPolicy constructs a policy by its paper name: "none" (or "noneRM"),
+// "staticEDF", "staticRM", "ccEDF", "ccRM", "laEDF".
+func NewPolicy(name string) (Policy, error) { return core.ByName(name) }
+
+// PolicyNames lists the policy names in Table 4 order.
+func PolicyNames() []string { return core.Names() }
+
+// Simulate runs one discrete-event simulation and returns its result.
+func Simulate(cfg SimConfig) (*Result, error) { return sim.Run(cfg) }
+
+// LowerBound returns the theoretical minimum energy for executing the
+// given cycles over the given duration on the platform — the reference
+// curve of the paper's figures. No algorithm can do better.
+func LowerBound(spec *MachineSpec, cycles, duration float64) (float64, error) {
+	return bound.Energy(spec, cycles, duration)
+}
+
+// EDFSchedulable reports whether the set passes the EDF utilization test
+// at relative frequency alpha (Figure 1).
+func EDFSchedulable(ts *TaskSet, alpha float64) bool { return sched.EDFTest(ts, alpha) }
+
+// RMSchedulable reports whether the set passes the sufficient RM test at
+// relative frequency alpha (Figure 1).
+func RMSchedulable(ts *TaskSet, alpha float64) bool { return sched.RMTest(ts, alpha) }
+
+// RenderTrace renders recorded segments as an ASCII Gantt chart in the
+// style of the paper's example figures.
+func RenderTrace(segs []TraceSegment, width int, names []string, end float64) string {
+	return trace.Render(segs, trace.RenderOptions{Width: width, TaskNames: names, End: end})
+}

@@ -1,0 +1,174 @@
+package rtdvs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// The public facade must support the full quickstart flow.
+func TestFacadeQuickstart(t *testing.T) {
+	ts, err := NewTaskSet(
+		Task{Name: "control", Period: 8, WCET: 3},
+		Task{Name: "sensor", Period: 10, WCET: 3},
+		Task{Name: "log", Period: 14, WCET: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EDFSchedulable(ts, 1) {
+		t.Fatal("example set must be EDF schedulable")
+	}
+	if RMSchedulable(ts, 0.75) {
+		t.Error("example set must fail the RM test at 0.75")
+	}
+
+	var baseline float64
+	for _, name := range PolicyNames() {
+		p, err := NewPolicy(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Simulate(SimConfig{
+			Tasks:   ts,
+			Machine: Machine0(),
+			Policy:  p,
+			Exec:    ConstantFraction{C: 0.7},
+			Horizon: 1000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MissCount() != 0 {
+			t.Errorf("%s: %d misses", name, res.MissCount())
+		}
+		if name == "none" {
+			baseline = res.TotalEnergy
+		} else if res.TotalEnergy > baseline {
+			t.Errorf("%s used more energy than the baseline", name)
+		}
+	}
+
+	lb, err := LowerBound(Machine0(), 500, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb <= 0 {
+		t.Errorf("lower bound = %v", lb)
+	}
+}
+
+func TestFacadeGenerator(t *testing.T) {
+	ts, err := GenerateTaskSet(8, 0.7, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Len() != 8 || math.Abs(ts.Utilization()-0.7) > 1e-6 {
+		t.Errorf("generated %d tasks at U=%v", ts.Len(), ts.Utilization())
+	}
+	ts2, err := GenerateTaskSet(8, 0.7, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.String() != ts2.String() {
+		t.Error("same seed produced different sets")
+	}
+}
+
+func TestFacadeMachines(t *testing.T) {
+	for _, name := range []string{"machine0", "machine1", "machine2", "k6-2+"} {
+		if MachineByName(name) == nil {
+			t.Errorf("MachineByName(%q) = nil", name)
+		}
+	}
+	if MachineByName("486") != nil {
+		t.Error("unknown machine resolved")
+	}
+	if K62SwitchOverhead().VoltageChange != 0.4 {
+		t.Error("K6-2+ overhead constants wrong")
+	}
+}
+
+func TestFacadeTraceRendering(t *testing.T) {
+	ts := PaperExampleTaskSet()
+	p, err := NewPolicy("ccRM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec TraceRecorder
+	if _, err := Simulate(SimConfig{
+		Tasks: ts, Machine: Machine0(), Policy: p, Horizon: 16, Recorder: &rec,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out := RenderTrace(rec.Segments(), 64, []string{"T1", "T2", "T3"}, 16)
+	if !strings.Contains(out, "f=1.00") {
+		t.Errorf("trace render:\n%s", out)
+	}
+}
+
+func TestFacadeRTOS(t *testing.T) {
+	p, err := NewPolicy("ccEDF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := NewKernelNoOverhead(Machine0(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.AddTask(KernelTaskConfig{Name: "a", Period: 10, WCET: 2}, KernelAddOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(k, "srv", 20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meter := NewPowerMeter(k.CPU(), DefaultSystemPower(), false, false)
+	meter.Mark(0)
+	if _, err := srv.Submit("job", 1); err != nil {
+		t.Fatal(err)
+	}
+	k.Step(500)
+	if len(k.Misses()) != 0 {
+		t.Errorf("misses: %v", k.Misses())
+	}
+	if srv.Pending() != 0 {
+		t.Error("job not served")
+	}
+	if w := meter.Average(k.Now()); w < 7 || w > 28 {
+		t.Errorf("system power = %v W, outside plausible range", w)
+	}
+}
+
+func TestFacadePredefinedMachinesDistinct(t *testing.T) {
+	specs := []*MachineSpec{Machine0(), Machine1(), Machine2(), LaptopK62()}
+	points := map[int]bool{}
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+		points[len(s.Points)] = true
+	}
+	if len(points) < 3 {
+		t.Error("predefined machines suspiciously similar")
+	}
+}
+
+func TestFacadeKernelWithOverhead(t *testing.T) {
+	p, err := NewPolicy("ccEDF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := NewKernel(LaptopK62(), K62SwitchOverhead(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.AddTask(KernelTaskConfig{Name: "t", Period: 100, WCET: 30},
+		KernelAddOptions{Immediate: true}); err != nil {
+		t.Fatal(err)
+	}
+	k.Step(1000)
+	if k.CPU().Spec().Name != "k6-2+" {
+		t.Errorf("spec = %s", k.CPU().Spec().Name)
+	}
+}

@@ -1,0 +1,65 @@
+package rtdvs
+
+import (
+	"rtdvs/internal/machine"
+	"rtdvs/internal/rtos"
+)
+
+// RTOS-facing facade: the Section 4 prototype architecture.
+
+// Kernel is the RTOS executive: periodic task registry, hot-swappable
+// RT-DVS policy modules, a PowerNow!-style CPU device, and a /proc-like
+// textual interface. It runs in deterministic virtual time via Step.
+type Kernel = rtos.Kernel
+
+// KernelTaskConfig registers a periodic task with the kernel.
+type KernelTaskConfig = rtos.TaskConfig
+
+// KernelAddOptions controls admission (immediate versus deferred first
+// release).
+type KernelAddOptions = rtos.AddOptions
+
+// TaskID identifies a task registered with a kernel.
+type TaskID = rtos.TaskID
+
+// CPU is the DVS-capable processor device.
+type CPU = rtos.CPU
+
+// PowerMeter measures whole-system average power, oscilloscope-style.
+type PowerMeter = rtos.PowerMeter
+
+// SystemPower is the component power model of the prototype laptop.
+type SystemPower = rtos.SystemPower
+
+// Server is a polling periodic server for aperiodic and sporadic jobs.
+type Server = rtos.Server
+
+// Job is one unit of aperiodic work submitted to a Server.
+type Job = rtos.Job
+
+// NewKernel creates a kernel on the given platform with the given policy
+// module and transition overheads.
+func NewKernel(spec *MachineSpec, overhead SwitchOverhead, policy Policy) (*Kernel, error) {
+	return rtos.NewKernel(spec, overhead, policy)
+}
+
+// NewKernelNoOverhead creates a kernel with instantaneous operating point
+// transitions (the simulator's assumption).
+func NewKernelNoOverhead(spec *MachineSpec, policy Policy) (*Kernel, error) {
+	return rtos.NewKernel(spec, machine.SwitchOverhead{}, policy)
+}
+
+// DefaultSystemPower returns the component power model calibrated against
+// the paper's Table 1.
+func DefaultSystemPower() SystemPower { return rtos.DefaultSystemPower() }
+
+// NewPowerMeter attaches a power meter to a kernel's CPU with the given
+// peripheral states.
+func NewPowerMeter(cpu *CPU, sys SystemPower, screenOn, diskSpinning bool) *PowerMeter {
+	return rtos.NewPowerMeter(cpu, sys, screenOn, diskSpinning)
+}
+
+// NewServer registers a polling periodic server with the kernel.
+func NewServer(k *Kernel, name string, period, budget float64) (*Server, error) {
+	return rtos.NewServer(k, name, period, budget)
+}
