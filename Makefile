@@ -1,0 +1,29 @@
+# Developer entry points; CI (.github/workflows/ci.yml) runs the same
+# commands.
+
+GOBIN := $(shell go env GOPATH)/bin
+
+.PHONY: all build test lint race bench
+
+all: build test lint race
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# lint runs standard go vet plus the repository's own analyzer suite
+# (floatcmp, globalrand, policyreg — see internal/analysis).
+lint:
+	go vet ./...
+	go install ./cmd/rtdvs-vet
+	go vet -vettool=$(GOBIN)/rtdvs-vet ./...
+
+# race exercises the packages with real concurrency: the experiment
+# harness worker pool and the RTOS kernel.
+race:
+	go test -race ./internal/experiment/... ./internal/rtos/...
+
+bench:
+	go test -bench=. -benchmem

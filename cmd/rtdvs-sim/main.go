@@ -46,6 +46,7 @@ func main() {
 		overhead = flag.Bool("overhead", false, "model the K6-2+ switch stop intervals")
 		showTr   = flag.Bool("trace", false, "print the execution trace")
 		asJSON   = flag.Bool("json", false, "emit the result as JSON")
+		check    = flag.Bool("check", false, "enable the runtime invariant checker (see internal/sim/invariant.go)")
 	)
 	flag.Parse()
 
@@ -67,7 +68,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	cfg := sim.Config{Tasks: ts, Machine: spec, Policy: p, Exec: exec, Horizon: *horizon}
+	cfg := sim.Config{Tasks: ts, Machine: spec, Policy: p, Exec: exec, Horizon: *horizon, CheckInvariants: *check}
 	if *overhead {
 		oh := machine.K62SwitchOverhead
 		cfg.Overhead = &oh

@@ -1,0 +1,306 @@
+// Command rtdvs-vet runs the repository's custom static-analysis suite
+// (floatcmp, globalrand, policyreg — see internal/analysis).
+//
+// It supports two modes:
+//
+//	rtdvs-vet [./...]                      standalone, loads packages itself
+//	go vet -vettool=$(which rtdvs-vet) ./...   as a cmd/go vet backend
+//
+// The vettool mode speaks cmd/go's (unpublished) vet protocol: respond to
+// -V=full with a version line, describe flags as JSON on -flags, and
+// otherwise accept a single vet.cfg JSON file naming the package's Go
+// files and the export data of its dependencies.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"go/version"
+	"io"
+	"os"
+	"strings"
+
+	"rtdvs/internal/analysis"
+)
+
+const toolVersion = "v1.0.0"
+
+func main() {
+	versionFlag := flag.String("V", "", "print version and exit (cmd/go passes -V=full)")
+	flagsFlag := flag.Bool("flags", false, "print the tool's analyzer flags as JSON and exit")
+	enabled := map[string]*bool{}
+	for _, a := range analysis.Analyzers() {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, ';'); i > 0 {
+			doc = doc[:i]
+		}
+		enabled[a.Name] = flag.Bool(a.Name, false, "enable only the "+a.Name+" analyzer: "+doc)
+	}
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: rtdvs-vet [flags] [packages | vet.cfg]\n\n")
+		fmt.Fprintf(os.Stderr, "Analyzers (all run unless specific ones are requested):\n")
+		for _, a := range analysis.Analyzers() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(os.Stderr, "\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *versionFlag != "" {
+		// cmd/go parses this as "<name> version <semver>"; the second
+		// field must be "version" and the third must not be "devel".
+		fmt.Printf("rtdvs-vet version %s\n", toolVersion)
+		return
+	}
+	if *flagsFlag {
+		printFlagsJSON()
+		return
+	}
+
+	// Vet semantics: naming any analyzer flag runs only the named ones.
+	analyzers := analysis.Analyzers()
+	anySelected := false
+	for _, a := range analyzers {
+		if *enabled[a.Name] {
+			anySelected = true
+			break
+		}
+	}
+	if anySelected {
+		var sel []*analysis.Analyzer
+		for _, a := range analyzers {
+			if *enabled[a.Name] {
+				sel = append(sel, a)
+			}
+		}
+		analyzers = sel
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runVetConfig(args[0], analyzers))
+	}
+	os.Exit(runStandalone(args, analyzers))
+}
+
+// printFlagsJSON implements the -flags handshake: cmd/go registers each
+// described flag on `go vet`'s own flag set and forwards the ones the
+// user sets.
+func printFlagsJSON() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var out []jsonFlag
+	for _, a := range analysis.Analyzers() {
+		out = append(out, jsonFlag{Name: a.Name, Bool: true, Usage: a.Doc})
+	}
+	data, err := json.MarshalIndent(out, "", "\t")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(append(data, '\n'))
+}
+
+// runStandalone loads the requested package patterns with the module
+// loader and reports findings. Exit codes follow unitchecker: 0 clean,
+// 1 tool failure, 2 findings.
+func runStandalone(patterns []string, analyzers []*analysis.Analyzer) int {
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtdvs-vet:", err)
+		return 1
+	}
+	pkgs, err := loader.LoadPatterns(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtdvs-vet:", err)
+		return 1
+	}
+	found := false
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rtdvs-vet: %s: %v\n", pkg.Path, err)
+			return 1
+		}
+		for _, d := range diags {
+			found = true
+			fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
+		}
+	}
+	if found {
+		return 2
+	}
+	return 0
+}
+
+// vetConfig mirrors the JSON cmd/go writes to <objdir>/vet.cfg (see
+// cmd/go/internal/work.vetConfig). Fields we do not consume are kept so
+// the schema is documented in one place.
+type vetConfig struct {
+	ID           string            // unique package ID
+	Compiler     string            // compiler that built the export data ("gc")
+	Dir          string            // package directory
+	ImportPath   string            // canonical import path ("p [p.test]" for test variants)
+	GoFiles      []string          // absolute paths of the package's Go files
+	NonGoFiles   []string          // absolute paths of non-Go files
+	IgnoredFiles []string          // build-constrained-out files
+	ImportMap    map[string]string // import path in source -> canonical path
+	PackageFile  map[string]string // canonical path -> export data file
+	Standard     map[string]bool   // canonical path -> is standard library
+	PackageVetx  map[string]string // canonical path -> vetx facts of dependencies
+	VetxOnly     bool              // only facts wanted; report nothing
+	VetxOutput   string            // write facts here (optional, enables caching)
+	GoVersion    string            // effective language version for the package
+
+	SucceedOnTypecheckFailure bool // exit 0 instead of diagnosing type errors
+}
+
+// runVetConfig analyzes the single package described by a vet.cfg file,
+// type-checking its sources against the compiler export data cmd/go
+// already produced for the dependencies.
+func runVetConfig(path string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtdvs-vet:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "rtdvs-vet: parsing %s: %v\n", path, err)
+		return 1
+	}
+
+	// Our analyzers neither produce nor consume facts, so a facts-only
+	// run has nothing to do beyond writing the (empty) output cmd/go may
+	// cache for this package.
+	if cfg.VetxOnly {
+		writeVetx(cfg.VetxOutput)
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var parseErrs []error
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			parseErrs = append(parseErrs, err)
+			continue
+		}
+		files = append(files, f)
+	}
+	if len(parseErrs) > 0 {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		for _, err := range parseErrs {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		return 1
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	// The inner importer reads export data from the files cmd/go names;
+	// it is keyed by canonical package path.
+	exportImporter := importer.ForCompiler(fset, compiler, func(pkgPath string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[pkgPath]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", pkgPath)
+		}
+		return os.Open(file)
+	})
+	// The outer importer translates source-level import paths through
+	// ImportMap (vendoring, test variants) before hitting export data.
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		pkgPath, ok := cfg.ImportMap[importPath]
+		if !ok {
+			pkgPath = importPath
+		}
+		if pkgPath == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return exportImporter.Import(pkgPath)
+	})
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	tconf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor(compiler, build.Default.GOARCH),
+	}
+	if cfg.GoVersion != "" {
+		tconf.GoVersion = version.Lang(cfg.GoVersion)
+	}
+	// Test variants are named "p [p.test]"; analyzers match on the plain
+	// package path.
+	pkgPath := cfg.ImportPath
+	if i := strings.Index(pkgPath, " ["); i >= 0 {
+		pkgPath = pkgPath[:i]
+	}
+	tpkg, err := tconf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	pkg := &analysis.Package{
+		Dir:   cfg.Dir,
+		Path:  pkgPath,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	diags, err := analysis.RunAnalyzers(pkg, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rtdvs-vet: %s: %v\n", pkgPath, err)
+		return 1
+	}
+	writeVetx(cfg.VetxOutput)
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+		}
+		return 2
+	}
+	return 0
+}
+
+// writeVetx writes a placeholder facts file. cmd/go caches whatever
+// appears at VetxOutput and feeds it back through PackageVetx on later
+// runs; since the suite is fact-free the content is a constant.
+func writeVetx(path string) {
+	if path == "" {
+		return
+	}
+	_ = os.WriteFile(path, []byte("rtdvs-vet: no facts\n"), 0o666)
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

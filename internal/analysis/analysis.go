@@ -1,0 +1,100 @@
+// Package analysis is the repository's static-analysis subsystem: a
+// small, dependency-free reimplementation of the go/analysis model
+// (Analyzer / Pass / Diagnostic) plus the three project-specific
+// analyzers that keep the float-heavy discrete-event code inside its
+// provable envelope:
+//
+//   - floatcmp:   flags direct ==/!= (and switch) comparisons on
+//     floating-point values outside the internal/fpx epsilon helpers
+//   - globalrand: flags math/rand package-level functions and
+//     time-seeded sources that break experiment reproducibility
+//   - policyreg:  flags core.Policy implementations missing from the
+//     policy registry and constructors that pre-attach policies
+//
+// The suite is wired into cmd/rtdvs-vet, which runs either standalone
+// (rtdvs-vet ./...) or as a `go vet -vettool=` backend. The framework is
+// built only on the standard library's go/ast, go/types and go/importer
+// so the module keeps its zero-dependency property.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check, mirroring the x/tools go/analysis
+// Analyzer shape so checks port in either direction.
+type Analyzer struct {
+	// Name is the short flag-friendly identifier ("floatcmp").
+	Name string
+	// Doc is the one-paragraph description shown by rtdvs-vet -help.
+	Doc string
+	// Run executes the check over one package, reporting findings through
+	// pass.Report. The returned error aborts the whole run and is for
+	// analyzer malfunctions, not findings.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// InTestFile reports whether pos lies in a _test.go file. All three
+// analyzers skip test files: tests legitimately compare exact sentinel
+// values, seed throwaway generators, and declare fake policies.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{FloatCmpAnalyzer, GlobalRandAnalyzer, PolicyRegAnalyzer}
+}
+
+// RunAnalyzers applies each analyzer to the package and returns the
+// findings sorted by position.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}

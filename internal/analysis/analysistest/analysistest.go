@@ -1,0 +1,119 @@
+// Package analysistest drives an analyzer over a testdata corpus and
+// checks its diagnostics against expectations written in the corpus
+// itself, mirroring the x/tools analysistest convention: a comment
+//
+//	// want `regexp` `another`
+//
+// on a line asserts that the analyzer reports exactly those diagnostics
+// on that line (each quoted string is a regular expression matched
+// against the message; backquotes or double quotes both work). Lines
+// without a want comment must produce no diagnostics.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"rtdvs/internal/analysis"
+)
+
+// expectation is one unmatched want pattern.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+}
+
+var wantPattern = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// Run analyzes the package in dir (relative to the test's working
+// directory) and asserts its diagnostics match the corpus's want
+// comments exactly.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := analysis.NewLoader(abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(abs, filepath.Base(abs))
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, pkg)
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		matched := false
+		for i, w := range wants[key] {
+			if w != nil && w.re.MatchString(d.Message) {
+				wants[key][i] = nil
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", filepath.Base(pos.Filename), pos.Line, d.Message)
+		}
+	}
+	for _, ws := range wants {
+		for _, w := range ws {
+			if w != nil {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", filepath.Base(w.file), w.line, w.raw)
+			}
+		}
+	}
+}
+
+// collectWants extracts want expectations from the package's comments.
+func collectWants(t *testing.T, pkg *analysis.Package) map[string][]*expectation {
+	t.Helper()
+	wants := map[string][]*expectation{}
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				collectWantComment(t, pkg, c, wants)
+			}
+		}
+	}
+	return wants
+}
+
+func collectWantComment(t *testing.T, pkg *analysis.Package, c *ast.Comment, wants map[string][]*expectation) {
+	text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+	if !strings.HasPrefix(text, "want ") {
+		return
+	}
+	pos := pkg.Fset.Position(c.Pos())
+	key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+	matches := wantPattern.FindAllStringSubmatch(text[len("want "):], -1)
+	if len(matches) == 0 {
+		t.Fatalf("%s:%d: malformed want comment: %s", pos.Filename, pos.Line, c.Text)
+	}
+	for _, m := range matches {
+		raw := m[1]
+		if raw == "" {
+			raw = m[2]
+		}
+		re, err := regexp.Compile(raw)
+		if err != nil {
+			t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, raw, err)
+		}
+		wants[key] = append(wants[key], &expectation{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+	}
+}

@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// floatCmpAllowedPkgs are the packages allowed to compare floats
+// directly: the epsilon helpers themselves must use ==/!= to implement
+// Eq and friends.
+var floatCmpAllowedPkgs = map[string]bool{
+	"rtdvs/internal/fpx": true,
+}
+
+// FloatCmpAnalyzer flags direct ==/!= comparisons (and switches) on
+// floating-point or complex values. Accumulated event times and
+// utilizations drift by ULPs, so exact equality silently diverges; the
+// fix is the epsilon helpers in rtdvs/internal/fpx (fpx.Eq, fpx.Ne).
+//
+// Exemptions: the fpx package itself (and any package named fpx, so the
+// testdata corpus can model it); _test.go files, which legitimately
+// compare exact sentinel values; and the x != x NaN idiom.
+var FloatCmpAnalyzer = &Analyzer{
+	Name: "floatcmp",
+	Doc: "flag ==/!= and switch comparisons on floating-point values; " +
+		"use the epsilon helpers in rtdvs/internal/fpx instead",
+	Run: runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) error {
+	if floatCmpAllowedPkgs[pass.Pkg.Path()] || pass.Pkg.Name() == "fpx" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkFloatCmpBinary(pass, n)
+			case *ast.SwitchStmt:
+				checkFloatCmpSwitch(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkFloatCmpBinary(pass *Pass, expr *ast.BinaryExpr) {
+	if expr.Op != token.EQL && expr.Op != token.NEQ {
+		return
+	}
+	if !isFloatExpr(pass, expr.X) && !isFloatExpr(pass, expr.Y) {
+		return
+	}
+	// x != x / x == x is the NaN self-comparison idiom; leave it alone.
+	if sameIdent(expr.X, expr.Y) {
+		return
+	}
+	helper := "fpx.Eq"
+	if expr.Op == token.NEQ {
+		helper = "fpx.Ne"
+	}
+	pass.Reportf(expr.OpPos,
+		"floating-point comparison %s; use %s(%s, %s) from rtdvs/internal/fpx",
+		renderExpr(pass.Fset, expr), helper,
+		renderExpr(pass.Fset, expr.X), renderExpr(pass.Fset, expr.Y))
+}
+
+func checkFloatCmpSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil || !isFloatExpr(pass, sw.Tag) {
+		return
+	}
+	pass.Reportf(sw.Switch,
+		"switch on floating-point value %s compares cases with ==; "+
+			"rewrite using fpx helpers from rtdvs/internal/fpx",
+		renderExpr(pass.Fset, sw.Tag))
+}
+
+// isFloatExpr reports whether e's type is (or has underlying)
+// float32/float64 or a complex type, including untyped float constants.
+func isFloatExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return basic.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// sameIdent reports whether both expressions are the same plain
+// identifier referring to the same object.
+func sameIdent(x, y ast.Expr) bool {
+	xi, ok1 := x.(*ast.Ident)
+	yi, ok2 := y.(*ast.Ident)
+	return ok1 && ok2 && xi.Name == yi.Name
+}
+
+// renderExpr formats an expression for a diagnostic message.
+func renderExpr(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return "expression"
+	}
+	return buf.String()
+}

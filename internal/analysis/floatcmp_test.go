@@ -1,0 +1,20 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"rtdvs/internal/analysis"
+	"rtdvs/internal/analysis/analysistest"
+)
+
+func TestFloatCmp(t *testing.T) {
+	analysistest.Run(t, "testdata/floatcmp", analysis.FloatCmpAnalyzer)
+}
+
+// TestFloatCmpFpxExempt checks that a package named fpx — the epsilon
+// helpers the analyzer points everyone at — may compare floats directly.
+// The corpus contains raw comparisons and no want comments, so any
+// diagnostic fails the run.
+func TestFloatCmpFpxExempt(t *testing.T) {
+	analysistest.Run(t, "testdata/fpx", analysis.FloatCmpAnalyzer)
+}

@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GlobalRandAnalyzer flags uses of math/rand that break the
+// reproducibility of the experiment sweeps:
+//
+//   - package-level functions (rand.Float64, rand.Intn, rand.Perm, ...)
+//     draw from the shared global source, so concurrent workers in the
+//     experiment harness interleave nondeterministically and a re-run of
+//     a figure never averages the same task sets;
+//   - rand.Seed is deprecated global-state mutation with the same issue;
+//   - sources seeded from the wall clock (rand.NewSource(
+//     time.Now().UnixNano())) are deterministic in no useful sense.
+//
+// The sanctioned pattern is the one the harness uses: derive an explicit
+// seed per (utilization, set) cell and thread rand.New(rand.NewSource(
+// seed)) through task.Generator / task.ExecModel.
+var GlobalRandAnalyzer = &Analyzer{
+	Name: "globalrand",
+	Doc: "flag math/rand global-source functions and wall-clock seeding " +
+		"that make experiment sweeps non-reproducible",
+	Run: runGlobalRand,
+}
+
+// globalRandAllowed are the math/rand package-level names that do not
+// touch the global source.
+var globalRandAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runGlobalRand(pass *Pass) error {
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, ok := packageQualifier(pass, sel)
+			if !ok || (pkgPath != "math/rand" && pkgPath != "math/rand/v2") {
+				return true
+			}
+			// Only package-level functions touch the global source; type
+			// and method references (rand.Rand, r.Float64) are fine.
+			if _, isFunc := pass.TypesInfo.Uses[sel.Sel].(*types.Func); !isFunc {
+				return true
+			}
+			name := sel.Sel.Name
+			if !globalRandAllowed[name] {
+				pass.Reportf(sel.Pos(),
+					"rand.%s uses the global math/rand source, making runs "+
+						"non-reproducible; thread a seeded *rand.Rand "+
+						"(rand.New(rand.NewSource(seed))) instead", name)
+				return true
+			}
+			if name == "NewSource" || name == "New" {
+				if call, ok := callOf(pass, sel); ok && usesWallClock(pass, call) {
+					pass.Reportf(call.Pos(),
+						"rand.%s seeded from the wall clock is "+
+							"non-reproducible; derive the seed from the "+
+							"experiment configuration", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// packageQualifier resolves sel's receiver to an imported package path.
+func packageQualifier(pass *Pass, sel *ast.SelectorExpr) (string, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	return pn.Imported().Path(), true
+}
+
+// callOf returns the call expression whose callee is sel, if any.
+func callOf(pass *Pass, sel *ast.SelectorExpr) (*ast.CallExpr, bool) {
+	// The AST has no parent links; re-walk the file containing sel. The
+	// files are small, so this stays cheap.
+	var found *ast.CallExpr
+	for _, file := range pass.Files {
+		if file.Pos() <= sel.Pos() && sel.End() <= file.End() {
+			ast.Inspect(file, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok && call.Fun == sel {
+					found = call
+					return false
+				}
+				return true
+			})
+			break
+		}
+	}
+	return found, found != nil
+}
+
+// usesWallClock reports whether any argument subtree calls time.Now.
+func usesWallClock(pass *Pass, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		clocked := false
+		ast.Inspect(arg, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if pkg, ok := packageQualifier(pass, sel); ok && pkg == "time" && sel.Sel.Name == "Now" {
+				clocked = true
+				return false
+			}
+			return true
+		})
+		if clocked {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,291 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// corePkgPath is the package defining the Policy interface and the
+// policy registry.
+const corePkgPath = "rtdvs/internal/core"
+
+// policyRegistryMarker tags the package-level map vars that act as the
+// policy registry (see core.policyFactories / core.extensionFactories).
+const policyRegistryMarker = "rtdvs:policyregistry"
+
+// PolicyRegAnalyzer enforces the policy-registration contract:
+//
+//  1. every concrete type implementing core.Policy must be constructible
+//     through the policy registry — a //rtdvs:policyregistry map in the
+//     defining package or a core.RegisterPolicy call — so ByName, the
+//     experiment harness, and the CLIs can reach it;
+//  2. exported constructors returning a Policy must not call Attach on
+//     it: attachment is the execution substrate's job (sim.Run,
+//     rtos.NewKernel), and a pre-attached policy either double-attaches
+//     (resetting state the caller set up) or hides an unschedulable-set
+//     error from the substrate.
+var PolicyRegAnalyzer = &Analyzer{
+	Name: "policyreg",
+	Doc: "flag core.Policy implementations missing from the policy " +
+		"registry and policy constructors that call Attach themselves",
+	Run: runPolicyReg,
+}
+
+func runPolicyReg(pass *Pass) error {
+	iface := findPolicyInterface(pass)
+	if iface == nil {
+		return nil // package unrelated to policies
+	}
+
+	impls := concretePolicyImpls(pass, iface)
+	if len(impls) > 0 {
+		registered := registeredTypes(pass)
+		for _, tn := range impls {
+			if !registered[tn] {
+				pass.Reportf(tn.Pos(),
+					"policy implementation %s is not registered in the "+
+						"policy registry; add it to a //%s map or register "+
+						"it with core.RegisterPolicy", tn.Name(), policyRegistryMarker)
+			}
+		}
+	}
+
+	checkConstructorsDoNotAttach(pass, iface)
+	return nil
+}
+
+// findPolicyInterface locates core.Policy in the package under analysis
+// or its direct imports. Implementing Policy requires importing core for
+// the core.System callback parameter, so a direct-import search is
+// complete.
+func findPolicyInterface(pass *Pass) *types.Interface {
+	core := pass.Pkg
+	if core.Path() != corePkgPath {
+		core = nil
+		for _, imp := range pass.Pkg.Imports() {
+			if imp.Path() == corePkgPath {
+				core = imp
+				break
+			}
+		}
+	}
+	if core == nil {
+		return nil
+	}
+	obj, ok := core.Scope().Lookup("Policy").(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	iface, _ := obj.Type().Underlying().(*types.Interface)
+	return iface
+}
+
+// concretePolicyImpls returns the non-interface named types declared in
+// this package (outside test files) whose pointer or value type
+// implements Policy.
+func concretePolicyImpls(pass *Pass, iface *types.Interface) []*types.TypeName {
+	var impls []*types.TypeName
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() || pass.InTestFile(tn.Pos()) {
+			continue
+		}
+		if types.IsInterface(tn.Type()) {
+			continue
+		}
+		if types.Implements(tn.Type(), iface) || types.Implements(types.NewPointer(tn.Type()), iface) {
+			impls = append(impls, tn)
+		}
+	}
+	return impls
+}
+
+// registeredTypes resolves the set of concrete types reachable from the
+// package's registry roots: the value expressions of marked registry
+// maps plus the factory arguments of RegisterPolicy calls. Reachability
+// follows calls to same-package functions, so an entry like
+// "none": func() Policy { return None(sched.EDF) } registers nonePolicy.
+func registeredTypes(pass *Pass) map[*types.TypeName]bool {
+	funcDecls := map[types.Object]*ast.FuncDecl{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					funcDecls[obj] = fd
+				}
+			}
+		}
+	}
+
+	var roots []ast.Node
+	addConstructorExpr := func(e ast.Expr) {
+		switch e := e.(type) {
+		case *ast.FuncLit:
+			roots = append(roots, e.Body)
+		case *ast.Ident, *ast.SelectorExpr:
+			if obj := usedObject(pass, e); obj != nil {
+				if fd, ok := funcDecls[obj]; ok && fd.Body != nil {
+					roots = append(roots, fd.Body)
+				}
+			}
+		}
+	}
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if ok && gd.Tok == token.VAR && hasRegistryMarker(gd) {
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, v := range vs.Values {
+						ml, ok := v.(*ast.CompositeLit)
+						if !ok {
+							continue
+						}
+						for _, elt := range ml.Elts {
+							if kv, ok := elt.(*ast.KeyValueExpr); ok {
+								addConstructorExpr(kv.Value)
+							}
+						}
+					}
+				}
+			}
+		}
+		// RegisterPolicy calls anywhere in the file (typically init).
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) < 2 {
+				return true
+			}
+			if calleeName(call.Fun) == "RegisterPolicy" {
+				addConstructorExpr(call.Args[1])
+			}
+			return true
+		})
+	}
+
+	// BFS from the roots through same-package calls, collecting every
+	// composite literal of a locally declared type.
+	registered := map[*types.TypeName]bool{}
+	visited := map[ast.Node]bool{}
+	for len(roots) > 0 {
+		body := roots[0]
+		roots = roots[1:]
+		if visited[body] {
+			continue
+		}
+		visited[body] = true
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				if tv, ok := pass.TypesInfo.Types[n]; ok {
+					if named, ok := tv.Type.(*types.Named); ok {
+						if tn := named.Obj(); tn.Pkg() == pass.Pkg {
+							registered[tn] = true
+						}
+					}
+				}
+			case *ast.CallExpr:
+				if obj := usedObject(pass, n.Fun); obj != nil {
+					if fd, ok := funcDecls[obj]; ok && fd.Body != nil {
+						roots = append(roots, fd.Body)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return registered
+}
+
+// checkConstructorsDoNotAttach flags exported functions that return a
+// Policy and call Attach in their body.
+func checkConstructorsDoNotAttach(pass *Pass, iface *types.Interface) {
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() || !returnsPolicy(pass, fd, iface) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Attach" {
+					return true
+				}
+				if s, ok := pass.TypesInfo.Selections[sel]; ok && types.Implements(s.Recv(), iface) {
+					pass.Reportf(call.Pos(),
+						"policy constructor %s must not call Attach; "+
+							"attachment is the execution substrate's job",
+						fd.Name.Name)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// returnsPolicy reports whether any result of fd is the Policy interface
+// or a type implementing it.
+func returnsPolicy(pass *Pass, fd *ast.FuncDecl, iface *types.Interface) bool {
+	if fd.Type.Results == nil {
+		return false
+	}
+	for _, field := range fd.Type.Results.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if types.Implements(tv.Type, iface) {
+			return true
+		}
+	}
+	return false
+}
+
+func hasRegistryMarker(gd *ast.GenDecl) bool {
+	if gd.Doc == nil {
+		return false
+	}
+	for _, c := range gd.Doc.List {
+		if strings.Contains(c.Text, policyRegistryMarker) {
+			return true
+		}
+	}
+	return false
+}
+
+// usedObject resolves a callee or value expression to the object it
+// names, unwrapping selector qualifiers.
+func usedObject(pass *Pass, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[e]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[e.Sel]
+	}
+	return nil
+}
+
+// calleeName returns the bare name of a call target.
+func calleeName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return ""
+}

@@ -1,0 +1,38 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"rtdvs/internal/analysis"
+)
+
+// TestSuiteCleanOnRepository runs every analyzer over the whole module
+// and requires zero findings: the acceptance criterion that rtdvs-vet
+// lands green. A regression that reintroduces a raw float comparison, a
+// global rand draw, or an unregistered policy fails here before it
+// reaches CI.
+func TestSuiteCleanOnRepository(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module from source; skipped in -short")
+	}
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadPatterns([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; pattern expansion is broken", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunAnalyzers(pkg, analysis.Analyzers())
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.Path, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: %s: %s", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Package floatcmp is the corpus for the floatcmp analyzer.
+package floatcmp
+
+type millis float64
+
+type point struct {
+	freq, voltage float64
+}
+
+func direct(a, b float64) bool {
+	if a == b { // want `floating-point comparison a == b; use fpx\.Eq`
+		return true
+	}
+	return a != b // want `floating-point comparison a != b; use fpx\.Ne`
+}
+
+func named(a, b millis) bool {
+	return a == b // want `floating-point comparison a == b; use fpx\.Eq`
+}
+
+func narrow(a, b float32) bool {
+	return a != b // want `use fpx\.Ne`
+}
+
+func mixedConst(x float64) bool {
+	return 1.0 == x // want `use fpx\.Eq`
+}
+
+func complexCmp(a, b complex128) bool {
+	return a == b // want `use fpx\.Eq`
+}
+
+func switched(x float64) int {
+	switch x { // want `switch on floating-point value x`
+	case 0:
+		return 0
+	case 1:
+		return 1
+	}
+	return -1
+}
+
+// Ordered comparisons, integer comparisons, struct identity, the NaN
+// self-test idiom, and tagless switches are all fine.
+func allowed(a, b float64, i, j int, p, q point) bool {
+	if a < b || a >= b || i == j || i != j {
+		return false
+	}
+	if p == q { // struct identity on discrete operating points
+		return true
+	}
+	if a != a { // NaN check
+		return false
+	}
+	switch {
+	case a < b:
+		return true
+	}
+	switch i {
+	case 0:
+		return false
+	}
+	return false
+}

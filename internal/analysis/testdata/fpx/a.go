@@ -1,0 +1,16 @@
+// Package fpx models the real epsilon-helper package: it is the one
+// place raw float comparisons are allowed, so this corpus expects no
+// diagnostics at all.
+package fpx
+
+func Eq(a, b float64) bool { return a == b || diff(a, b) }
+
+func diff(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-9
+}
+
+func Ne(a, b float64) bool { return a != b && !Eq(a, b) }

@@ -1,0 +1,30 @@
+// Package globalrand is the corpus for the globalrand analyzer.
+package globalrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+func bad() {
+	_ = rand.Float64()       // want `rand\.Float64 uses the global math/rand source`
+	_ = rand.Intn(5)         // want `rand\.Intn uses the global`
+	_ = rand.Perm(3)         // want `rand\.Perm uses the global`
+	rand.Seed(42)            // want `rand\.Seed uses the global`
+	rand.Shuffle(2, swapNop) // want `rand\.Shuffle uses the global`
+}
+
+func swapNop(i, j int) {}
+
+func wallClock() *rand.Rand {
+	// Both New and NewSource see the wall-clock argument.
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `rand\.New seeded from the wall clock` `rand\.NewSource seeded from the wall clock`
+}
+
+func good(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	if r.Intn(2) == 0 {
+		return r.Float64()
+	}
+	return r.NormFloat64()
+}

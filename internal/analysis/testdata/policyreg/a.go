@@ -1,0 +1,58 @@
+// Package policyreg is the corpus for the policyreg analyzer. The
+// policy types embed core.Policy so each concrete type implements the
+// interface without restating all nine methods.
+package policyreg
+
+import (
+	"rtdvs/internal/core"
+	"rtdvs/internal/machine"
+	"rtdvs/internal/task"
+)
+
+// registered is reachable from the marked registry map directly.
+type registered struct{ core.Policy }
+
+// viaFactory is reachable through a named constructor listed in the map.
+type viaFactory struct{ core.Policy }
+
+// viaHelper is constructed by a helper the registered constructor calls,
+// exercising the call-graph walk.
+type viaHelper struct{ core.Policy }
+
+// viaRegister is registered with core.RegisterPolicy instead of a map.
+type viaRegister struct{ core.Policy }
+
+// orphan implements core.Policy but nothing constructs it through the
+// registry.
+type orphan struct{ core.Policy } // want `policy implementation orphan is not registered`
+
+//rtdvs:policyregistry
+var factories = map[string]func() core.Policy{
+	"registered": func() core.Policy { return &registered{} },
+	"viaFactory": NewViaFactory,
+	"viaHelper":  func() core.Policy { return newHelper() },
+}
+
+// NewViaFactory is a plain constructor: it builds the policy and leaves
+// attachment to the substrate, so it is not flagged.
+func NewViaFactory() core.Policy { return &viaFactory{} }
+
+func newHelper() core.Policy { return &viaHelper{} }
+
+func init() {
+	_ = core.RegisterPolicy("viaRegister", func() core.Policy { return &viaRegister{} })
+}
+
+// NewPreAttached violates the constructor contract by attaching the
+// policy itself.
+func NewPreAttached(ts *task.Set, m *machine.Spec) (core.Policy, error) {
+	p := &registered{Policy: nil}
+	if err := p.Attach(ts, m); err != nil { // want `policy constructor NewPreAttached must not call Attach`
+		return nil, err
+	}
+	return p, nil
+}
+
+// ensure unused lint does not trip on the corpus
+var _ = factories
+var _ = orphan{}

@@ -12,6 +12,7 @@ import (
 	"math"
 	"sort"
 
+	"rtdvs/internal/fpx"
 	"rtdvs/internal/machine"
 )
 
@@ -70,7 +71,7 @@ func MinPower(spec *machine.Spec, rate float64) (float64, error) {
 		return 0, fmt.Errorf("bound: negative rate %v", rate)
 	}
 	h := hull(spec)
-	if rate > h[len(h)-1].f+1e-9 {
+	if fpx.Gt(rate, h[len(h)-1].f) {
 		return 0, fmt.Errorf("bound: rate %v exceeds platform capacity %v", rate, h[len(h)-1].f)
 	}
 	if rate >= h[len(h)-1].f {
@@ -79,8 +80,8 @@ func MinPower(spec *machine.Spec, rate float64) (float64, error) {
 	// Find the hull segment containing the rate and interpolate.
 	for i := 0; i+1 < len(h); i++ {
 		a, b := h[i], h[i+1]
-		if rate <= b.f+1e-12 {
-			if b.f == a.f {
+		if fpx.LeTol(rate, b.f, fpx.Tiny) {
+			if fpx.Eq(b.f, a.f) {
 				return a.p, nil
 			}
 			t := (rate - a.f) / (b.f - a.f)

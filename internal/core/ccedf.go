@@ -63,6 +63,17 @@ func (p *ccEDF) OnCompletion(_ System, i int, used float64) {
 
 func (p *ccEDF) OnExecute(int, float64) {}
 
+// ReservedUtilization reports ΣU_i, the capacity the policy currently
+// reserves. For an admitted set it never exceeds 1 (the EDF bound) —
+// the simulator's invariant checker asserts this after every callback.
+func (p *ccEDF) ReservedUtilization() float64 {
+	var sum float64
+	for _, u := range p.util {
+		sum += u
+	}
+	return sum
+}
+
 // IdlePoint drops to the platform minimum while halted: the dynamic
 // schemes switch to the lowest frequency and voltage during idle
 // (Section 3.2).

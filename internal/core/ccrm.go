@@ -1,6 +1,7 @@
 package core
 
 import (
+	"rtdvs/internal/fpx"
 	"rtdvs/internal/machine"
 	"rtdvs/internal/sched"
 	"rtdvs/internal/task"
@@ -94,10 +95,10 @@ func (p *ccRM) selectFrequency(sys System) {
 		sum += d
 	}
 	switch {
-	case sum <= 1e-12:
+	case fpx.LeTol(sum, 0, fpx.Tiny):
 		// Nothing allotted before the next deadline; rest at the bottom.
 		p.point = p.m.Min()
-	case interval <= 1e-12:
+	case fpx.LeTol(interval, 0, fpx.Tiny):
 		// Degenerate window with work outstanding: full speed.
 		p.point = p.m.Max()
 	default:

@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 
+	"rtdvs/internal/fpx"
 	"rtdvs/internal/machine"
 	"rtdvs/internal/sched"
 	"rtdvs/internal/task"
@@ -37,6 +38,13 @@ type laEDF struct {
 	base
 	cleft []float64 // worst-case remaining cycles of the current invocation
 	order []int     // scratch: indices sorted by deadline, reused per call
+	// peakU is the largest cumulative utilization reached during the last
+	// defer_ walk. The walk reserves C_j/P_j for every earlier-deadline
+	// task and re-adds only non-deferred work, so for an admitted set
+	// (U ≤ 1) it never exceeds 1; exposed via ReservedUtilization for the
+	// simulator's invariant checker. (The selected speed s/(D_n − now) is
+	// NOT so bounded — the paper saturates it at full speed.)
+	peakU float64
 }
 
 // LookAheadEDF returns the look-ahead EDF policy.
@@ -52,6 +60,7 @@ func (p *laEDF) Attach(ts *task.Set, m *machine.Spec) error {
 	p.guaranteed = sched.EDFTest(ts, 1)
 	p.cleft = make([]float64, ts.Len())
 	p.order = make([]int, ts.Len())
+	p.peakU = 0
 	p.point = m.Min() // nothing to do before the first release
 	return nil
 }
@@ -80,13 +89,14 @@ func (p *laEDF) defer_(sys System) {
 	})
 
 	u := p.ts.Utilization()
+	peak := u
 	var s float64
 	for _, i := range p.order {
 		t := p.ts.Task(i)
 		u -= t.Utilization()
 		window := sys.Deadline(i) - dn
 		var x float64
-		if window <= 1e-12 {
+		if fpx.LeTol(window, 0, fpx.Tiny) {
 			// The earliest-deadline task(s): every remaining cycle must
 			// run before D_n; no capacity adjustment is possible or
 			// needed for a zero-width window.
@@ -103,16 +113,20 @@ func (p *laEDF) defer_(sys System) {
 			}
 			u += (p.cleft[i] - x) / window
 		}
+		if u > peak {
+			peak = u
+		}
 		s += x
 	}
+	p.peakU = peak
 
 	interval := dn - now
 	switch {
-	case s <= 1e-12:
+	case fpx.LeTol(s, 0, fpx.Tiny):
 		// Nothing must happen before D_n; EDF is work-conserving, so any
 		// ready task simply runs at the minimum point (Figure 7d).
 		p.point = p.m.Min()
-	case interval <= 1e-12:
+	case fpx.LeTol(interval, 0, fpx.Tiny):
 		p.point = p.m.Max()
 	default:
 		p.setLowestAtLeast(s / interval)
@@ -135,6 +149,13 @@ func (p *laEDF) OnExecute(i int, cycles float64) {
 		p.cleft[i] = 0
 	}
 }
+
+// ReservedUtilization reports the peak cumulative utilization of the
+// last deferral walk: the capacity reserved for earlier-deadline tasks
+// plus the non-deferred share of later ones. For an admitted set it
+// never exceeds 1 — the walk only ever fills spare capacity (1−U), so a
+// value above 1 means the subtract/re-add bookkeeping went wrong.
+func (p *laEDF) ReservedUtilization() float64 { return p.peakU }
 
 // IdlePoint drops to the platform minimum while halted (dynamic scheme).
 func (p *laEDF) IdlePoint() machine.OperatingPoint { return p.m.Min() }

@@ -110,25 +110,47 @@ type PhaseRobustPolicy interface {
 	PhaseRobust()
 }
 
+// policyFactories is the policy registry: every concrete Policy
+// implementation must be reachable from a constructor registered here (or
+// in extensionFactories), which is what the policyreg analyzer in
+// internal/analysis enforces. Aliases ("none"/"noneEDF"/"EDF") map to the
+// same constructor.
+//
+//rtdvs:policyregistry
+var policyFactories = map[string]func() Policy{
+	"none":      func() Policy { return None(sched.EDF) },
+	"noneEDF":   func() Policy { return None(sched.EDF) },
+	"EDF":       func() Policy { return None(sched.EDF) },
+	"noneRM":    func() Policy { return None(sched.RM) },
+	"RM":        func() Policy { return None(sched.RM) },
+	"staticEDF": StaticEDF,
+	"staticRM":  StaticRM,
+	"ccEDF":     CycleConservingEDF,
+	"ccRM":      CycleConservingRM,
+	"laEDF":     LookAheadEDF,
+}
+
+// RegisterPolicy adds a named constructor to the registry so ByName can
+// resolve it. It is intended for init-time registration of policies
+// implemented outside this package and is not safe for concurrent use
+// with ByName. Registering a duplicate or empty name is an error.
+func RegisterPolicy(name string, factory func() Policy) error {
+	if name == "" || factory == nil {
+		return fmt.Errorf("core: RegisterPolicy needs a name and a factory")
+	}
+	if _, dup := policyFactories[name]; dup {
+		return fmt.Errorf("core: policy %q already registered", name)
+	}
+	policyFactories[name] = factory
+	return nil
+}
+
 // ByName constructs a fresh policy instance by its paper name. The
 // baseline accepts both "none" (EDF, as in the figures) and the explicit
 // "noneEDF"/"noneRM".
 func ByName(name string) (Policy, error) {
-	switch name {
-	case "none", "noneEDF", "EDF":
-		return None(sched.EDF), nil
-	case "noneRM", "RM":
-		return None(sched.RM), nil
-	case "staticEDF":
-		return StaticEDF(), nil
-	case "staticRM":
-		return StaticRM(), nil
-	case "ccEDF":
-		return CycleConservingEDF(), nil
-	case "ccRM":
-		return CycleConservingRM(), nil
-	case "laEDF":
-		return LookAheadEDF(), nil
+	if f, ok := policyFactories[name]; ok {
+		return f(), nil
 	}
 	return nil, fmt.Errorf("core: unknown policy %q", name)
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"rtdvs/internal/fpx"
 	"rtdvs/internal/machine"
 	"rtdvs/internal/sched"
 	"rtdvs/internal/stats"
@@ -121,9 +122,9 @@ func (p *stEDF) OnCompletion(_ System, i int, used float64) {
 // restored so subsequent capacity planning is conservative again.
 func (p *stEDF) OnExecute(i int, cycles float64) {
 	p.used[i] += cycles
-	if p.used[i] > p.budget[i]+1e-12 {
+	if fpx.GtTol(p.used[i], p.budget[i], fpx.Tiny) {
 		wcet := p.ts.Task(i).WCET
-		if p.budget[i] != wcet {
+		if fpx.Ne(p.budget[i], wcet) {
 			p.budget[i] = wcet
 			p.util[i] = wcet / p.ts.Task(i).Period
 			p.selectFrequency()
@@ -134,16 +135,24 @@ func (p *stEDF) OnExecute(i int, cycles float64) {
 // IdlePoint drops to the platform minimum while halted (dynamic scheme).
 func (p *stEDF) IdlePoint() machine.OperatingPoint { return p.m.Min() }
 
-// ExtendedByName resolves the extension policies that are not part of the
-// paper's Table 4 set: "interval" (average-throughput governor, 20 ms
-// window, 0.7 target) and "stEDF" (statistical EDF at the 95th
-// percentile). Paper policies fall through to ByName.
+// extensionFactories registers the extension policies that are not part
+// of the paper's Table 4 set, with their default parameterizations:
+// "interval" (average-throughput governor, 20 ms window, 0.7 target) and
+// "stEDF" (statistical EDF at the 95th percentile). Like
+// policyFactories, this is a policy registry the policyreg analyzer
+// checks implementations against.
+//
+//rtdvs:policyregistry
+var extensionFactories = map[string]func() (Policy, error){
+	"interval": func() (Policy, error) { return IntervalDVS(20, 0.7) },
+	"stEDF":    func() (Policy, error) { return StatisticalEDF(0.95) },
+}
+
+// ExtendedByName resolves the extension policies by name; paper policies
+// fall through to ByName.
 func ExtendedByName(name string) (Policy, error) {
-	switch name {
-	case "interval":
-		return IntervalDVS(20, 0.7)
-	case "stEDF":
-		return StatisticalEDF(0.95)
+	if f, ok := extensionFactories[name]; ok {
+		return f()
 	}
 	return ByName(name)
 }

@@ -1,0 +1,62 @@
+// Package fpx centralizes floating-point comparison for the whole
+// repository. The simulator, kernel, policies, and schedulability tests
+// are float-heavy discrete-event code whose classic failure mode is a
+// raw == / != on accumulated time or utilization values: two event times
+// that are mathematically equal drift apart by a few ULPs after a chain
+// of additions and the schedule silently diverges. Every package
+// therefore compares through these helpers, and the floatcmp analyzer in
+// internal/analysis flags any direct float equality outside this package.
+//
+// All times in the repository are milliseconds with magnitudes between
+// fractions of a unit and a few tens of thousands, so a single absolute
+// tolerance (Eps = 1e-9, the value the seed code used as timeEps/eps) is
+// appropriate; relative tolerances would shrink below one ULP near zero
+// and misbehave on period boundaries. The Tol variants exist for the few
+// call sites that need a tighter bound (Tiny = 1e-12, used for "did this
+// invocation overrun its budget at all" style checks).
+package fpx
+
+import "math"
+
+const (
+	// Eps is the default absolute comparison tolerance. It absorbs the
+	// drift of summing thousands of millisecond-scale event times while
+	// staying far below any meaningful scheduling quantum.
+	Eps = 1e-9
+
+	// Tiny is the tight tolerance for checks that must react to the
+	// smallest real difference (budget overruns, zero-length trace
+	// segments) while still ignoring pure rounding noise.
+	Tiny = 1e-12
+)
+
+// Eq reports whether a and b are equal within Eps.
+func Eq(a, b float64) bool { return EqTol(a, b, Eps) }
+
+// Ne reports whether a and b differ by more than Eps.
+func Ne(a, b float64) bool { return !EqTol(a, b, Eps) }
+
+// Lt reports whether a is less than b by more than Eps.
+func Lt(a, b float64) bool { return a < b-Eps }
+
+// Le reports whether a is less than or within Eps of b.
+func Le(a, b float64) bool { return a <= b+Eps }
+
+// Gt reports whether a exceeds b by more than Eps.
+func Gt(a, b float64) bool { return a > b+Eps }
+
+// Ge reports whether a is greater than or within Eps of b.
+func Ge(a, b float64) bool { return a >= b-Eps }
+
+// Zero reports whether a is within Eps of zero.
+func Zero(a float64) bool { return math.Abs(a) <= Eps }
+
+// EqTol reports whether a and b are equal within the given absolute
+// tolerance. NaNs are never equal to anything, matching IEEE semantics.
+func EqTol(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// LeTol reports whether a is less than or within tol of b.
+func LeTol(a, b, tol float64) bool { return a <= b+tol }
+
+// GtTol reports whether a exceeds b by more than tol.
+func GtTol(a, b, tol float64) bool { return a > b+tol }

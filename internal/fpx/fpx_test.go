@@ -1,0 +1,93 @@
+package fpx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEqAbsorbsDrift(t *testing.T) {
+	// 0.1 summed ten times is the canonical accumulation-drift example.
+	var sum float64
+	for i := 0; i < 10; i++ {
+		sum += 0.1
+	}
+	if sum == 1.0 {
+		t.Skip("platform summed exactly; drift example not applicable")
+	}
+	if !Eq(sum, 1.0) {
+		t.Errorf("Eq(%v, 1.0) = false, want true", sum)
+	}
+	if Ne(sum, 1.0) {
+		t.Errorf("Ne(%v, 1.0) = true, want false", sum)
+	}
+}
+
+func TestOrderedComparisons(t *testing.T) {
+	cases := []struct {
+		a, b               float64
+		lt, le, gt, ge, eq bool
+	}{
+		{1, 2, true, true, false, false, false},
+		{2, 1, false, false, true, true, false},
+		{1, 1, false, true, false, true, true},
+		// Within Eps: treated as equal, so Lt/Gt are false but Le/Ge hold.
+		{1, 1 + 1e-12, false, true, false, true, true},
+		{1 + 1e-12, 1, false, true, false, true, true},
+		// Beyond Eps: strictly ordered.
+		{1, 1 + 1e-6, true, true, false, false, false},
+	}
+	for _, c := range cases {
+		if got := Lt(c.a, c.b); got != c.lt {
+			t.Errorf("Lt(%v, %v) = %v, want %v", c.a, c.b, got, c.lt)
+		}
+		if got := Le(c.a, c.b); got != c.le {
+			t.Errorf("Le(%v, %v) = %v, want %v", c.a, c.b, got, c.le)
+		}
+		if got := Gt(c.a, c.b); got != c.gt {
+			t.Errorf("Gt(%v, %v) = %v, want %v", c.a, c.b, got, c.gt)
+		}
+		if got := Ge(c.a, c.b); got != c.ge {
+			t.Errorf("Ge(%v, %v) = %v, want %v", c.a, c.b, got, c.ge)
+		}
+		if got := Eq(c.a, c.b); got != c.eq {
+			t.Errorf("Eq(%v, %v) = %v, want %v", c.a, c.b, got, c.eq)
+		}
+	}
+}
+
+func TestZero(t *testing.T) {
+	if !Zero(0) || !Zero(1e-12) || !Zero(-1e-12) {
+		t.Error("Zero should accept values within Eps of 0")
+	}
+	if Zero(1e-6) || Zero(-1e-6) {
+		t.Error("Zero should reject values beyond Eps")
+	}
+}
+
+func TestTolVariants(t *testing.T) {
+	if !EqTol(1, 1+1e-13, Tiny) {
+		t.Error("EqTol(Tiny) should accept a 1e-13 difference")
+	}
+	if EqTol(1, 1+1e-11, Tiny) {
+		t.Error("EqTol(Tiny) should reject a 1e-11 difference")
+	}
+	if !GtTol(1+1e-11, 1, Tiny) {
+		t.Error("GtTol(Tiny) should see a 1e-11 overrun")
+	}
+	if GtTol(1+1e-13, 1, Tiny) {
+		t.Error("GtTol(Tiny) should ignore a 1e-13 overrun")
+	}
+	if !LeTol(1+1e-13, 1, Tiny) {
+		t.Error("LeTol(Tiny) should accept a 1e-13 excess")
+	}
+}
+
+func TestNaN(t *testing.T) {
+	nan := math.NaN()
+	if Eq(nan, nan) || Eq(nan, 1) {
+		t.Error("NaN must not compare equal to anything")
+	}
+	if !Ne(nan, nan) {
+		t.Error("Ne(NaN, NaN) should be true")
+	}
+}

@@ -16,6 +16,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"rtdvs/internal/fpx"
 )
 
 // OperatingPoint is one row of the platform's frequency/voltage table.
@@ -92,7 +94,7 @@ func (s *Spec) Validate() error {
 			}
 		}
 	}
-	if max := s.Points[len(s.Points)-1].Freq; math.Abs(max-1) > 1e-9 {
+	if max := s.Points[len(s.Points)-1].Freq; fpx.Ne(max, 1) {
 		return fmt.Errorf("%w: maximum frequency is %v", ErrBadFrequency, max)
 	}
 	return nil
@@ -111,11 +113,10 @@ func (s *Spec) Max() OperatingPoint { return s.Points[len(s.Points)-1] }
 // callers that must keep running (a policy already committed to a task
 // set) saturate at full speed.
 func (s *Spec) LowestAtLeast(f float64) (OperatingPoint, error) {
-	// A tiny tolerance keeps exact boundary utilizations (e.g. demand
+	// The fpx tolerance keeps exact boundary utilizations (e.g. demand
 	// exactly equal to 0.75·capacity) from being bumped a level by
 	// floating-point noise.
-	const eps = 1e-9
-	i := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].Freq >= f-eps })
+	i := sort.Search(len(s.Points), func(i int) bool { return fpx.Ge(s.Points[i].Freq, f) })
 	if i == len(s.Points) {
 		return s.Max(), fmt.Errorf("%w: need %v, max is %v", ErrFreqUnreachable, f, s.Max().Freq)
 	}
@@ -179,7 +180,7 @@ func (o SwitchOverhead) Halt(from, to OperatingPoint) float64 {
 	switch {
 	case from == to:
 		return 0
-	case from.Voltage != to.Voltage:
+	case fpx.Ne(from.Voltage, to.Voltage):
 		return o.VoltageChange
 	default:
 		return o.FreqOnly

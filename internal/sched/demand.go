@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 
+	"rtdvs/internal/fpx"
 	"rtdvs/internal/task"
 )
 
@@ -49,10 +50,10 @@ func EDFFeasibleFrom(now float64, state []InflightTask, alpha float64) bool {
 	}
 	var u, b float64
 	for _, st := range state {
-		if st.Remaining < 0 || st.Deadline < now-eps {
+		if st.Remaining < 0 || fpx.Lt(st.Deadline, now) {
 			// An already-overrun deadline with work outstanding is a miss
 			// by definition.
-			if st.Remaining > eps {
+			if fpx.Gt(st.Remaining, 0) {
 				return false
 			}
 			continue
@@ -64,19 +65,19 @@ func EDFFeasibleFrom(now float64, state []InflightTask, alpha float64) bool {
 			b += x
 		}
 	}
-	if u > alpha+eps {
+	if fpx.Gt(u, alpha) {
 		return false // long-run overload
 	}
-	if b <= eps {
+	if fpx.Le(b, 0) {
 		return true // demand envelope below capacity everywhere
 	}
 	slack := alpha - u
-	if slack <= 1e-9 {
+	if slack <= fpx.Eps {
 		// Fully loaded with positive excess potential: a violation cannot
 		// be ruled out at any finite horizon; reject conservatively.
 		return false
 	}
-	horizon := now + b/slack + eps
+	horizon := now + b/slack + fpx.Eps
 
 	// Enumerate every deadline in (now, horizon]; cap the work to keep
 	// adversarial inputs (tiny periods, huge horizon) from spinning.
@@ -85,10 +86,10 @@ func EDFFeasibleFrom(now float64, state []InflightTask, alpha float64) bool {
 	for _, st := range state {
 		d := st.Deadline
 		if d <= now {
-			d += st.Task.Period * math.Ceil((now-d)/st.Task.Period+eps)
+			d += st.Task.Period * math.Ceil((now-d)/st.Task.Period+fpx.Eps)
 		}
 		for ; d <= horizon; d += st.Task.Period {
-			if d > now+eps {
+			if fpx.Gt(d, now) {
 				deadlines = append(deadlines, d)
 			}
 			if len(deadlines) > maxCandidates {
@@ -99,7 +100,7 @@ func EDFFeasibleFrom(now float64, state []InflightTask, alpha float64) bool {
 	sort.Float64s(deadlines)
 
 	for _, d := range deadlines {
-		if DemandAt(d, state) > alpha*(d-now)+eps {
+		if fpx.Gt(DemandAt(d, state), alpha*(d-now)) {
 			return false
 		}
 	}
@@ -112,12 +113,12 @@ func EDFFeasibleFrom(now float64, state []InflightTask, alpha float64) bool {
 func DemandAt(d float64, state []InflightTask) float64 {
 	var demand float64
 	for _, st := range state {
-		if st.Deadline <= d+eps {
+		if fpx.Le(st.Deadline, d) {
 			demand += st.Remaining
 			// The small offset keeps exact period multiples from being
 			// rounded down by floating-point noise (which would
 			// undercount demand — the unsafe direction).
-			if k := math.Floor((d-st.Deadline)/st.Task.Period + 1e-9); k >= 1 {
+			if k := math.Floor((d-st.Deadline)/st.Task.Period + fpx.Eps); k >= 1 {
 				demand += k * st.Task.WCET
 			}
 		}

@@ -31,8 +31,13 @@ type readyHeap struct {
 
 func (h readyHeap) Len() int { return len(h.items) }
 func (h readyHeap) Less(a, b int) bool {
-	if h.items[a].key != h.items[b].key {
-		return h.items[a].key < h.items[b].key
+	// Exact ordering, no epsilon: a comparator must stay transitive, and
+	// restructuring as two ordered tests avoids float equality entirely.
+	switch {
+	case h.items[a].key < h.items[b].key:
+		return true
+	case h.items[a].key > h.items[b].key:
+		return false
 	}
 	return h.items[a].task < h.items[b].task
 }

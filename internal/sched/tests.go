@@ -3,18 +3,15 @@ package sched
 import (
 	"math"
 
+	"rtdvs/internal/fpx"
 	"rtdvs/internal/task"
 )
-
-// Tolerance for the boundary of schedulability tests: a demand that equals
-// capacity up to floating-point noise passes.
-const eps = 1e-9
 
 // EDFTest is the necessary-and-sufficient EDF schedulability test of
 // Figure 1 scaled to relative frequency alpha: ΣCi/Pi ≤ alpha. With
 // alpha = 1 it is the classic Liu & Layland utilization bound.
 func EDFTest(s *task.Set, alpha float64) bool {
-	return s.Utilization() <= alpha+eps
+	return fpx.Le(s.Utilization(), alpha)
 }
 
 // RMTest is the sufficient (but not necessary) RM schedulability test of
@@ -33,9 +30,9 @@ func RMTest(s *task.Set, alpha float64) bool {
 		var demand float64
 		for _, tj := range order[:i+1] {
 			t := s.Task(tj)
-			demand += t.WCET * math.Ceil(pi/t.Period-eps)
+			demand += t.WCET * math.Ceil(pi/t.Period-fpx.Eps)
 		}
-		if demand > alpha*pi+eps {
+		if fpx.Gt(demand, alpha*pi) {
 			return false
 		}
 	}
@@ -61,17 +58,17 @@ func RMExactTest(s *task.Set, alpha float64) bool {
 			next := t.WCET / alpha
 			for _, tj := range order[:i] {
 				hj := s.Task(tj)
-				next += math.Ceil(r/hj.Period-eps) * hj.WCET / alpha
+				next += math.Ceil(r/hj.Period-fpx.Eps) * hj.WCET / alpha
 			}
-			if next > t.Period+eps {
+			if fpx.Gt(next, t.Period) {
 				return false
 			}
-			if math.Abs(next-r) < 1e-12 {
+			if fpx.EqTol(next, r, fpx.Tiny) {
 				break
 			}
 			r = next
 		}
-		if r > t.Period+eps {
+		if fpx.Gt(r, t.Period) {
 			return false
 		}
 	}

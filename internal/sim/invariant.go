@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"fmt"
+
+	"rtdvs/internal/fpx"
+	"rtdvs/internal/machine"
+)
+
+// UtilizationReporter is implemented by policies that maintain explicit
+// utilization bookkeeping (cycle-conserving EDF reports ΣU_i, look-ahead
+// EDF the peak cumulative utilization of its deferral walk). The
+// invariant checker asserts the reported value stays within the
+// schedulability bound (≤ 1) for admitted task sets.
+type UtilizationReporter interface {
+	ReservedUtilization() float64
+}
+
+// invariantChecker validates runtime invariants of a simulation as it
+// executes. It is enabled by Config.CheckInvariants and automatically
+// under `go test` (testing.Testing()), so every test in the repository
+// runs with the checker live. The invariants:
+//
+//  1. the hardware operating point is always one of the machine's
+//     discrete points — policies must not fabricate frequency/voltage
+//     pairs the platform cannot realize;
+//  2. energy accounting is physical: components are non-negative and the
+//     running total never decreases;
+//  3. a policy with utilization bookkeeping never reserves more than the
+//     full-speed capacity (≤ 1) while its admission guarantee holds;
+//  4. a policy whose schedulability test admitted the set (Guaranteed)
+//     never produces a deadline miss — the paper's central claim.
+//
+// Only the first violation is recorded; checks are cheap enough to stay
+// on for every run. All methods are safe on a nil receiver so the
+// simulator's hook sites need no guards.
+type invariantChecker struct {
+	s         *simulator
+	lastTotal float64
+	err       error
+}
+
+// Err returns the first recorded violation, if any.
+func (c *invariantChecker) Err() error {
+	if c == nil {
+		return nil
+	}
+	return c.err
+}
+
+func (c *invariantChecker) failf(format string, args ...interface{}) {
+	if c.err == nil {
+		c.err = fmt.Errorf("sim: invariant violated at t=%g: %s",
+			c.s.now, fmt.Sprintf(format, args...))
+	}
+}
+
+// checkPoint asserts op is one of the machine's discrete operating
+// points. Exact equality is intentional: a point drifted by any amount
+// is one the hardware cannot be set to.
+func (c *invariantChecker) checkPoint(op machine.OperatingPoint) {
+	if c == nil || c.err != nil {
+		return
+	}
+	for _, p := range c.s.cfg.Machine.Points {
+		if p == op {
+			return
+		}
+	}
+	c.failf("policy %s selected operating point (f=%g, V=%g), which is not "+
+		"one of the machine's discrete points",
+		c.s.cfg.Policy.Name(), op.Freq, op.Voltage)
+}
+
+// checkEnergy asserts the energy accounting is non-negative and the
+// running total is monotone non-decreasing.
+func (c *invariantChecker) checkEnergy() {
+	if c == nil || c.err != nil {
+		return
+	}
+	exec, idle := c.s.res.ExecEnergy, c.s.res.IdleEnergy
+	if exec < 0 || idle < 0 {
+		c.failf("negative energy component (exec=%g, idle=%g)", exec, idle)
+		return
+	}
+	total := exec + idle
+	if fpx.Lt(total, c.lastTotal) {
+		c.failf("total energy decreased from %g to %g", c.lastTotal, total)
+		return
+	}
+	c.lastTotal = total
+}
+
+// checkUtilization asserts that a utilization-reporting policy stays
+// within the full-speed capacity bound while its guarantee holds.
+func (c *invariantChecker) checkUtilization() {
+	if c == nil || c.err != nil {
+		return
+	}
+	pol := c.s.cfg.Policy
+	ur, ok := pol.(UtilizationReporter)
+	if !ok || !pol.Guaranteed() {
+		return
+	}
+	if u := ur.ReservedUtilization(); fpx.Gt(u, 1) {
+		c.failf("policy %s reserves utilization %g > 1 for an admitted "+
+			"task set", pol.Name(), u)
+	}
+}
+
+// checkMiss is called when invocation inv of task i missed its deadline.
+// Under a policy whose admission test passed, this falsifies the
+// deadline-preservation claim.
+func (c *invariantChecker) checkMiss(i, inv int, deadline float64) {
+	if c == nil || c.err != nil {
+		return
+	}
+	pol := c.s.cfg.Policy
+	if pol.Guaranteed() {
+		c.failf("task %d invocation %d missed its deadline %g under %s, "+
+			"which guaranteed the set", i, inv, deadline, pol.Name())
+	}
+}

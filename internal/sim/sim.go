@@ -14,16 +14,15 @@ package sim
 import (
 	"fmt"
 	"math"
+	"testing"
 
 	"rtdvs/internal/core"
+	"rtdvs/internal/fpx"
 	"rtdvs/internal/machine"
 	"rtdvs/internal/sched"
 	"rtdvs/internal/task"
 	"rtdvs/internal/trace"
 )
-
-// timeEps absorbs floating-point drift when comparing event times.
-const timeEps = 1e-9
 
 // Config describes one simulation run.
 type Config struct {
@@ -45,6 +44,10 @@ type Config struct {
 	Overhead *machine.SwitchOverhead
 	// Recorder optionally captures the execution trace.
 	Recorder *trace.Recorder
+	// CheckInvariants enables the runtime invariant checker (see
+	// invariant.go); a violation makes Run return an error. The checker
+	// is always on when running under `go test`, regardless of this flag.
+	CheckInvariants bool
 }
 
 // Miss records one deadline miss: invocation inv of task Task was still
@@ -122,6 +125,7 @@ type simulator struct {
 	now    float64
 	sch    sched.Scheduler
 	res    Result
+	inv    *invariantChecker // nil unless invariant checking is enabled
 
 	hw machine.OperatingPoint // current hardware operating point
 }
@@ -170,8 +174,16 @@ func Run(cfg Config) (*Result, error) {
 		phase := cfg.Tasks.Task(i).Phase
 		s.states[i] = taskState{nextRelease: phase, deadline: phase}
 	}
+	if cfg.CheckInvariants || testing.Testing() {
+		s.inv = &invariantChecker{s: s}
+	}
 	s.hw = cfg.Policy.Point()
+	s.inv.checkPoint(s.hw)
+	s.inv.checkUtilization()
 	s.run()
+	if err := s.inv.Err(); err != nil {
+		return nil, err
+	}
 	r := s.res
 	return &r, nil
 }
@@ -215,7 +227,7 @@ func (s *simulator) processReleases() {
 	released := make([]int, 0, 4)
 	for i := range s.states {
 		st := &s.states[i]
-		for st.nextRelease <= s.now+timeEps {
+		for fpx.Le(st.nextRelease, s.now) {
 			if st.active {
 				// Overrun: the previous invocation failed to finish by its
 				// deadline (== this release). Record and abort it.
@@ -223,6 +235,7 @@ func (s *simulator) processReleases() {
 					Task: i, Inv: st.inv - 1, Deadline: st.deadline, Remaining: st.remaining,
 				})
 				s.res.PerTask[i].Misses++
+				s.inv.checkMiss(i, st.inv-1, st.deadline)
 				st.active = false
 			}
 			rel := st.nextRelease
@@ -250,6 +263,9 @@ func (s *simulator) processReleases() {
 	for _, i := range released {
 		s.cfg.Policy.OnRelease(s, i)
 	}
+	if len(released) > 0 {
+		s.inv.checkUtilization()
+	}
 }
 
 // switchTo moves the hardware to the requested operating point, charging
@@ -271,6 +287,7 @@ func (s *simulator) switchTo(op machine.OperatingPoint) {
 		}
 	}
 	s.hw = op
+	s.inv.checkPoint(op)
 }
 
 func (s *simulator) record(taskIdx int, start, end float64, op machine.OperatingPoint) {
@@ -283,7 +300,7 @@ func (s *simulator) record(taskIdx int, start, end float64, op machine.Operating
 // run is the main loop: process releases due now, pick a task, execute it
 // until completion or the next release, and account energy along the way.
 func (s *simulator) run() {
-	for s.now < s.cfg.Horizon-timeEps {
+	for fpx.Lt(s.now, s.cfg.Horizon) {
 		s.processReleases()
 
 		nextRel := math.Min(s.nextReleaseTime(), s.cfg.Horizon)
@@ -302,6 +319,7 @@ func (s *simulator) run() {
 				s.res.IdleTime += dur
 				s.record(trace.Idle, start, end, op)
 				s.now = end
+				s.inv.checkEnergy()
 			} else {
 				s.now = nextRel
 			}
@@ -310,10 +328,10 @@ func (s *simulator) run() {
 
 		op := s.cfg.Policy.Point()
 		s.switchTo(op)
-		if s.now >= s.cfg.Horizon-timeEps {
+		if fpx.Ge(s.now, s.cfg.Horizon) {
 			break
 		}
-		if s.nextReleaseTime() <= s.now+timeEps {
+		if fpx.Le(s.nextReleaseTime(), s.now) {
 			// A release became due during the stop interval; process it
 			// (and let the policy react) before execution resumes.
 			continue
@@ -325,7 +343,7 @@ func (s *simulator) run() {
 		end := math.Min(finish, nextRel)
 		dur := end - s.now
 		cycles := dur * s.hw.Freq
-		if cycles > st.remaining || finish <= end+timeEps {
+		if cycles > st.remaining || fpx.Le(finish, end) {
 			cycles = st.remaining
 		}
 		st.remaining -= cycles
@@ -336,9 +354,10 @@ func (s *simulator) run() {
 		s.res.BusyTime += dur
 		s.record(pick, s.now, end, s.hw)
 		s.now = end
+		s.inv.checkEnergy()
 		s.cfg.Policy.OnExecute(pick, cycles)
 
-		if st.remaining <= timeEps {
+		if fpx.Le(st.remaining, 0) {
 			st.remaining = 0
 			st.active = false
 			s.res.Completions++
@@ -347,7 +366,9 @@ func (s *simulator) run() {
 				s.res.PerTask[pick].MaxResponse = resp
 			}
 			s.cfg.Policy.OnCompletion(s, pick, st.used)
+			s.inv.checkUtilization()
 		}
 	}
 	s.res.TotalEnergy = s.res.ExecEnergy + s.res.IdleEnergy
+	s.inv.checkEnergy()
 }

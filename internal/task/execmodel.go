@@ -3,6 +3,8 @@ package task
 import (
 	"fmt"
 	"math/rand"
+
+	"rtdvs/internal/fpx"
 )
 
 // ExecModel decides how many cycles (milliseconds at maximum frequency)
@@ -58,7 +60,7 @@ func (m UniformFraction) Cycles(_, _ int, wcet float64) float64 {
 }
 
 func (m UniformFraction) String() string {
-	if m.Lo == 0 && m.Hi == 1 {
+	if fpx.Zero(m.Lo) && fpx.Eq(m.Hi, 1) {
 		return "uniform"
 	}
 	return fmt.Sprintf("uniform[%g,%g]", m.Lo, m.Hi)

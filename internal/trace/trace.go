@@ -5,10 +5,10 @@ package trace
 
 import (
 	"fmt"
-	"math"
 	"sort"
 	"strings"
 
+	"rtdvs/internal/fpx"
 	"rtdvs/internal/machine"
 )
 
@@ -45,12 +45,12 @@ type Recorder struct {
 // Add appends a segment, merging with the previous one when contiguous.
 // Zero-length segments are dropped.
 func (r *Recorder) Add(seg Segment) {
-	if seg.End-seg.Start <= 1e-12 {
+	if fpx.LeTol(seg.Duration(), 0, fpx.Tiny) {
 		return
 	}
 	if n := len(r.segments); n > 0 {
 		last := &r.segments[n-1]
-		if last.Task == seg.Task && last.Point == seg.Point && math.Abs(last.End-seg.Start) < 1e-9 {
+		if last.Task == seg.Task && last.Point == seg.Point && fpx.Eq(last.End, seg.Start) {
 			last.End = seg.End
 			return
 		}
@@ -133,7 +133,7 @@ func Render(segments []Segment, opts RenderOptions) string {
 	}
 	rowOf := func(f float64) int {
 		for i, rf := range freqs {
-			if math.Abs(rf-f) < 1e-9 {
+			if fpx.Eq(rf, f) {
 				return i
 			}
 		}
@@ -157,7 +157,7 @@ func Render(segments []Segment, opts RenderOptions) string {
 		default:
 			glyph = rune('1' + s.Task%9)
 		}
-		c0, c1 := col(s.Start), col(s.End-1e-12)
+		c0, c1 := col(s.Start), col(s.End-fpx.Tiny)
 		for c := c0; c <= c1; c++ {
 			rows[rowOf(s.Point.Freq)][c] = glyph
 		}

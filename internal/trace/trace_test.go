@@ -126,6 +126,66 @@ func TestRenderDefaultEndAndWidth(t *testing.T) {
 	}
 }
 
+// TestRenderSingleTask pins the degenerate one-task chart: a single
+// frequency row, completely filled, plus the ruler.
+func TestRenderSingleTask(t *testing.T) {
+	segs := []Segment{{Task: 0, Start: 0, End: 20, Point: p100}}
+	out := Render(segs, RenderOptions{Width: 10, TaskNames: []string{"T1"}, End: 20})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 1 frequency row + ruler:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "|1111111111|") {
+		t.Errorf("single-task row not fully filled: %q", lines[0])
+	}
+}
+
+// TestRenderPreemption draws a preempted-and-resumed task: T1 at half
+// speed is interrupted by T2 at full speed and later continues. The
+// resumed work must stay a separate segment (same task, same point, but
+// not contiguous) and reappear on T1's frequency row after a gap.
+func TestRenderPreemption(t *testing.T) {
+	var r Recorder
+	r.Add(Segment{Task: 0, Start: 0, End: 4, Point: p50})
+	r.Add(Segment{Task: 1, Start: 4, End: 8, Point: p100})
+	r.Add(Segment{Task: 0, Start: 8, End: 12, Point: p50})
+	segs := r.Segments()
+	if len(segs) != 3 {
+		t.Fatalf("preemption merged away: %d segments, want 3: %+v", len(segs), segs)
+	}
+
+	out := Render(segs, RenderOptions{Width: 12, TaskNames: []string{"T1", "T2"}, End: 12})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // two frequency rows + ruler
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "    2222    ") {
+		t.Errorf("preempting task not centered on the 1.0 row: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "1111    1111") {
+		t.Errorf("preempted task should straddle the gap on the 0.5 row: %q", lines[1])
+	}
+}
+
+// TestRenderOverlappingSegments feeds Render two segments whose time
+// ranges overlap — the shape bad accounting would produce. The chart
+// must stay well-formed, with the later segment overwriting the shared
+// columns (last writer wins).
+func TestRenderOverlappingSegments(t *testing.T) {
+	segs := []Segment{
+		{Task: 0, Start: 0, End: 8, Point: p100},
+		{Task: 1, Start: 4, End: 12, Point: p100},
+	}
+	out := Render(segs, RenderOptions{Width: 12, TaskNames: []string{"T1", "T2"}, End: 12})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "|111122222222|") {
+		t.Errorf("overlap not resolved last-writer-wins: %q", lines[0])
+	}
+}
+
 func TestSegmentDuration(t *testing.T) {
 	s := Segment{Start: 1.5, End: 4}
 	if s.Duration() != 2.5 {
