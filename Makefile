@@ -3,9 +3,9 @@
 
 GOBIN := $(shell go env GOPATH)/bin
 
-.PHONY: all build test lint race bench
+.PHONY: all build test lint race fuzz bench
 
-all: build test lint race
+all: build test lint race fuzz
 
 build:
 	go build ./...
@@ -24,6 +24,11 @@ lint:
 # harness worker pool and the RTOS kernel.
 race:
 	go test -race ./internal/experiment/... ./internal/rtos/...
+
+# fuzz gives the kernel op interpreter a short coverage-guided budget on
+# every run; raise -fuzztime locally when hunting for real bugs.
+fuzz:
+	go test ./internal/rtos/ -run='^$$' -fuzz=FuzzKernelOps -fuzztime=20s
 
 bench:
 	go test -bench=. -benchmem

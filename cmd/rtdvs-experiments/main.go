@@ -3,8 +3,13 @@
 //
 // Usage:
 //
-//	rtdvs-experiments [-exp all|table1|table4|fig9|fig10|fig11|fig12|fig13|fig16|fig17]
+//	rtdvs-experiments [-exp all|table1|table4|fig9|fig10|fig11|fig12|fig13|fig16|fig17|robustness]
 //	                  [-sets N] [-seed S] [-workers W] [-step U]
+//
+// The robustness experiment is not a figure from the paper: it sweeps the
+// injected WCET-overrun probability and reports miss rate, normalized
+// energy and containment behavior per policy (see internal/fault and the
+// Robustness section of README.md).
 //
 // Each figure's rows are averaged over -sets random task sets per
 // utilization point (the paper averages hundreds; the default here is 20
@@ -147,13 +152,33 @@ func main() {
 			}
 			emitPower(ps)
 
+		case "robustness":
+			sw, err := experiment.Robustness(experiment.RobustnessConfig{
+				Sets: *sets, Seed: *seed, Workers: *workers,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			switch *format {
+			case "csv":
+				if err := sw.WriteCSV(os.Stdout, nil); err != nil {
+					log.Fatal(err)
+				}
+			case "json":
+				if err := sw.WriteJSON(os.Stdout); err != nil {
+					log.Fatal(err)
+				}
+			default:
+				fmt.Println(sw.Render(nil))
+			}
+
 		default:
 			log.Fatalf("unknown experiment %q", name)
 		}
 	}
 
 	if *exp == "all" {
-		for _, name := range strings.Split("table1 table4 fig9 fig10 fig11 fig12 fig13 fig16 fig17", " ") {
+		for _, name := range strings.Split("table1 table4 fig9 fig10 fig11 fig12 fig13 fig16 fig17 robustness", " ") {
 			run(name)
 			fmt.Println()
 		}

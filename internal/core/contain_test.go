@@ -1,0 +1,223 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"rtdvs/internal/machine"
+	"rtdvs/internal/sched"
+	"rtdvs/internal/task"
+)
+
+func TestContainedRegistry(t *testing.T) {
+	want := map[string]sched.Kind{
+		"ccEDF+contain": sched.EDF,
+		"ccRM+contain":  sched.RM,
+		"laEDF+contain": sched.EDF,
+	}
+	for name, kind := range want {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, p.Name())
+		}
+		if p.Scheduler() != kind {
+			t.Errorf("%s scheduler = %v, want %v", name, p.Scheduler(), kind)
+		}
+		if _, ok := p.(ContainmentReporter); !ok {
+			t.Errorf("%s does not report containments", name)
+		}
+		if _, ok := p.(OverrunAware); !ok {
+			t.Errorf("%s is not overrun-aware", name)
+		}
+	}
+}
+
+// With no overruns the wrapper must be behaviorally invisible: same
+// guarantees, same operating point after every callback.
+func TestContainedTransparentWhenFaultFree(t *testing.T) {
+	for _, name := range []string{"ccEDF", "ccRM", "laEDF"} {
+		plain := attach(t, name, task.PaperExample(), machine.Machine0())
+		wrapped := attach(t, name+"+contain", task.PaperExample(), machine.Machine0())
+		if plain.Guaranteed() != wrapped.Guaranteed() {
+			t.Fatalf("%s: guarantee differs through the wrapper", name)
+		}
+		sysP := &fakeSystem{now: 0, deadlines: []float64{8, 10, 14}}
+		sysW := &fakeSystem{now: 0, deadlines: []float64{8, 10, 14}}
+		step := func(f func(p Policy, sys *fakeSystem), when float64, what string) {
+			sysP.now, sysW.now = when, when
+			f(plain, sysP)
+			f(wrapped, sysW)
+			if plain.Point() != wrapped.Point() {
+				t.Fatalf("%s: point diverged after %s: %v vs %v",
+					name, what, plain.Point(), wrapped.Point())
+			}
+			if plain.IdlePoint() != wrapped.IdlePoint() {
+				t.Fatalf("%s: idle point diverged after %s", name, what)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			i := i
+			step(func(p Policy, sys *fakeSystem) { p.OnRelease(sys, i) }, 0, "release")
+		}
+		step(func(p Policy, _ *fakeSystem) { p.OnExecute(0, 2) }, 2, "execute")
+		step(func(p Policy, sys *fakeSystem) { p.OnCompletion(sys, 0, 2) }, 8.0/3, "completion")
+		step(func(p Policy, _ *fakeSystem) { p.OnExecute(1, 1) }, 10.0/3, "execute")
+		step(func(p Policy, sys *fakeSystem) { p.OnCompletion(sys, 1, 1) }, 10.0/3, "completion")
+	}
+}
+
+func TestContainedOverrunEscalatesToMax(t *testing.T) {
+	m := machine.Machine0()
+	p := attach(t, "ccEDF+contain", task.PaperExample(), m)
+	cr := p.(ContainmentReporter)
+	oa := p.(OverrunAware)
+	sys := &fakeSystem{now: 0, deadlines: []float64{8, 10, 14}}
+	for i := 0; i < 3; i++ {
+		p.OnRelease(sys, i)
+	}
+	before := p.Point()
+	if before == m.Max() {
+		t.Fatal("paper example should start below full speed")
+	}
+
+	sys.now = 3
+	oa.OnOverrun(sys, 0)
+	if p.Point() != m.Max() {
+		t.Fatalf("contained point = %v, want max", p.Point())
+	}
+	if !cr.ContainedNow() || cr.Containments() != 1 || cr.TaskContainments(0) != 1 {
+		t.Errorf("counters = (%v, %d, %d), want (true, 1, 1)",
+			cr.ContainedNow(), cr.Containments(), cr.TaskContainments(0))
+	}
+	// A second notification for the same invocation is idempotent.
+	oa.OnOverrun(sys, 0)
+	if cr.Containments() != 1 {
+		t.Errorf("double-counted containment: %d", cr.Containments())
+	}
+
+	// Completion of the offending job restores the inner policy's choice.
+	sys.now = 4.5
+	p.OnCompletion(sys, 0, 4.5) // ran 1.5x its WCET of 3
+	if cr.ContainedNow() {
+		t.Error("still contained after the offending job completed")
+	}
+	if p.Point() == m.Max() {
+		t.Errorf("point stuck at max after containment ended: %v", p.Point())
+	}
+}
+
+// The inner bookkeeping must never be credited with beyond-WCET usage:
+// completing at 2x WCET must leave ccEDF's utilization exactly where a
+// full-WCET completion would.
+func TestContainedCompletionClampsUsed(t *testing.T) {
+	ts := task.MustSet(task.Task{Period: 10, WCET: 6})
+	wrapped := attach(t, "ccEDF+contain", ts, machine.Machine0())
+	plain := attach(t, "ccEDF", ts, machine.Machine0())
+	sysW := &fakeSystem{now: 0, deadlines: []float64{10}}
+	sysP := &fakeSystem{now: 0, deadlines: []float64{10}}
+	wrapped.OnRelease(sysW, 0)
+	plain.OnRelease(sysP, 0)
+
+	sysW.now, sysP.now = 9, 9
+	wrapped.OnCompletion(sysW, 0, 12) // overran to 2x WCET
+	plain.OnCompletion(sysP, 0, 6)    // exactly WCET
+
+	wu := wrapped.(interface{ ReservedUtilization() float64 }).ReservedUtilization()
+	pu := plain.(interface{ ReservedUtilization() float64 }).ReservedUtilization()
+	if math.Abs(wu-pu) > 1e-12 {
+		t.Errorf("wrapped U = %v, plain full-WCET U = %v", wu, pu)
+	}
+	if wu > 1 {
+		t.Errorf("overrun pushed reserved utilization past 1: %v", wu)
+	}
+}
+
+// Without an OverrunAware substrate the wrapper detects overruns itself
+// from execution progress: strictly beyond-budget cycles contain,
+// exactly-at-budget cycles do not.
+func TestContainedSelfDetection(t *testing.T) {
+	m := machine.Machine0()
+	ts := task.MustSet(task.Task{Period: 10, WCET: 6}, task.Task{Period: 20, WCET: 2})
+	p := attach(t, "ccEDF+contain", ts, m)
+	cr := p.(ContainmentReporter)
+	sys := &fakeSystem{now: 0, deadlines: []float64{10, 20}}
+	p.OnRelease(sys, 0)
+	p.OnRelease(sys, 1)
+
+	p.OnExecute(0, 6) // exactly the budget: a normal completion-to-be
+	if cr.ContainedNow() {
+		t.Fatal("exact-WCET execution triggered containment")
+	}
+	p.OnExecute(0, 0.5) // now strictly beyond
+	if !cr.ContainedNow() || p.Point() != m.Max() {
+		t.Fatalf("beyond-budget execution not contained (point %v)", p.Point())
+	}
+	sys.now = 7
+	p.OnCompletion(sys, 0, 6.5)
+	if cr.ContainedNow() {
+		t.Error("containment survived completion")
+	}
+}
+
+// A job aborted at its deadline never completes; the next release of the
+// same task must clear its containment.
+func TestContainedReleaseClearsAbortedContainment(t *testing.T) {
+	m := machine.Machine0()
+	p := attach(t, "ccEDF+contain", task.PaperExample(), m)
+	cr := p.(ContainmentReporter)
+	sys := &fakeSystem{now: 0, deadlines: []float64{8, 10, 14}}
+	for i := 0; i < 3; i++ {
+		p.OnRelease(sys, i)
+	}
+	p.(OverrunAware).OnOverrun(sys, 0)
+	if !cr.ContainedNow() {
+		t.Fatal("not contained")
+	}
+	sys.now = 8
+	sys.deadlines[0] = 16
+	p.OnRelease(sys, 0) // abort path: re-release without completion
+	if cr.ContainedNow() {
+		t.Error("containment survived the task's next release")
+	}
+	if p.Point() == m.Max() {
+		t.Errorf("point stuck at max: %v", p.Point())
+	}
+	if cr.Containments() != 1 {
+		t.Errorf("history lost: %d containments", cr.Containments())
+	}
+}
+
+func TestContainedAttachResetsState(t *testing.T) {
+	p := attach(t, "laEDF+contain", task.PaperExample(), machine.Machine0())
+	cr := p.(ContainmentReporter)
+	sys := &fakeSystem{now: 0, deadlines: []float64{8, 10, 14}}
+	p.OnRelease(sys, 0)
+	p.(OverrunAware).OnOverrun(sys, 0)
+	if cr.Containments() != 1 {
+		t.Fatal("setup failed")
+	}
+	if err := p.Attach(task.PaperExample(), machine.Machine0()); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Containments() != 0 || cr.ContainedNow() || cr.TaskContainments(0) != 0 {
+		t.Error("Attach did not reset containment state")
+	}
+}
+
+func TestContainedReservedUtilizationFallback(t *testing.T) {
+	// Wrapping a policy without utilization bookkeeping reports the
+	// trivial bound 0 rather than panicking.
+	p := Contained(None(sched.EDF))
+	if err := p.Attach(task.PaperExample(), machine.Machine0()); err != nil {
+		t.Fatal(err)
+	}
+	if u := p.(interface{ ReservedUtilization() float64 }).ReservedUtilization(); u != 0 {
+		t.Errorf("fallback utilization = %v, want 0", u)
+	}
+	if cr := p.(ContainmentReporter); cr.TaskContainments(99) != 0 {
+		t.Error("out-of-range TaskContainments not zero")
+	}
+}

@@ -128,6 +128,12 @@ var policyFactories = map[string]func() Policy{
 	"ccEDF":     CycleConservingEDF,
 	"ccRM":      CycleConservingRM,
 	"laEDF":     LookAheadEDF,
+	// Overrun-contained variants (see contain.go): the same policies
+	// wrapped with the graceful-degradation layer that falls back to
+	// full speed while a job runs past its declared worst case.
+	"ccEDF+contain": func() Policy { return Contained(CycleConservingEDF()) },
+	"ccRM+contain":  func() Policy { return Contained(CycleConservingRM()) },
+	"laEDF+contain": func() Policy { return Contained(LookAheadEDF()) },
 }
 
 // RegisterPolicy adds a named constructor to the registry so ByName can

@@ -1,0 +1,418 @@
+// Package fault is a seeded, composable fault-injection framework for
+// the RT-DVS substrates (the discrete-event simulator in internal/sim
+// and the RTOS kernel in internal/rtos).
+//
+// The paper's deadline guarantees (Section 3) rest on three assumptions:
+// every job finishes within its declared worst case, releases follow the
+// periodic timer exactly, and every operating-point transition completes
+// within the measured stop interval. The cycle-conserving and look-ahead
+// policies actively *spend* the slack those assumptions create, so a
+// single violation — an overrunning job, a stuck voltage regulator — can
+// cascade into deadline misses plain EDF at full speed would never see.
+// This package injects exactly those violations, deterministically, so
+// the degradation machinery (core.Contained, the kernel's overrun
+// watchdog and switch retry path) can be exercised and measured.
+//
+// Injectable faults:
+//
+//   - WCET overruns: with per-release probability, a job's actual demand
+//     is inflated to OverrunFactor×WCET plus an optional exponential
+//     tail — demand beyond the declared bound, condition the admission
+//     test assumed impossible.
+//   - Release jitter: a release fires up to JitterMax ms after its
+//     nominal timer tick while the deadline stays on the nominal grid,
+//     compressing the invocation's window.
+//   - Timer drift: a per-task random-walk lateness (transient clock
+//     skew) added on top of jitter; it grows and decays by ±DriftMax per
+//     release and never goes negative (the timer never fires early).
+//   - Frequency-switch failures: a requested transition is denied
+//     outright, the operating point gets stuck for StuckSpan ms, or the
+//     mandatory stop interval is inflated by OverheadFactor.
+//
+// Draws are keyed by a splitmix64 hash of (seed, fault class, task,
+// invocation) rather than consumed from a shared stream, so the overrun
+// and jitter sequences of a given task set are identical across policies
+// — robustness curves compare policies under the *same* fault history.
+// Switch faults are keyed by an attempt counter and therefore form an
+// independent stream per run.
+package fault
+
+import (
+	"fmt"
+	"math"
+
+	"rtdvs/internal/fpx"
+	"rtdvs/internal/machine"
+)
+
+// Kind classifies injected faults.
+type Kind int
+
+// Fault kinds, in the order they appear in Plan.
+const (
+	KindOverrun Kind = iota
+	KindJitter
+	KindDrift
+	KindSwitchDenied
+	KindSwitchStuck
+	KindOverheadInflated
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindOverrun:
+		return "overrun"
+	case KindJitter:
+		return "jitter"
+	case KindDrift:
+		return "drift"
+	case KindSwitchDenied:
+		return "switch-denied"
+	case KindSwitchStuck:
+		return "switch-stuck"
+	case KindOverheadInflated:
+		return "overhead-inflated"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event records one fired fault.
+type Event struct {
+	Time float64 `json:"time"`
+	Kind Kind    `json:"kind"`
+	// Task is the task index the fault hit, or -1 for switch faults.
+	Task int `json:"task"`
+	// Value carries the kind-specific magnitude: the inflated demand for
+	// overruns, the delay in ms for jitter/drift, the requested frequency
+	// for switch faults, the inflated halt for overhead inflation.
+	Value float64 `json:"value"`
+}
+
+// Plan configures an Injector. The zero value injects nothing; each
+// fault class is enabled by its probability. All probabilities are per
+// opportunity (per release for overruns/jitter/drift, per transition
+// attempt for switch faults).
+type Plan struct {
+	// Seed keys every draw; two injectors with equal plans fire
+	// identical fault sequences.
+	Seed int64 `json:"seed"`
+
+	// OverrunProb is the per-release probability that a job's demand is
+	// inflated past its declared WCET.
+	OverrunProb float64 `json:"overrunProb,omitempty"`
+	// OverrunFactor is the demand multiplier when an overrun fires
+	// (1.5 means the job needs 1.5×WCET cycles). Zero selects 1.5.
+	OverrunFactor float64 `json:"overrunFactor,omitempty"`
+	// OverrunTail adds an exponential tail: the factor becomes
+	// OverrunFactor + OverrunTail·X with X ~ Exp(1), modeling the
+	// heavy-tailed demand spikes of stochastic execution models.
+	OverrunTail float64 `json:"overrunTail,omitempty"`
+
+	// JitterProb and JitterMax delay a release uniformly in
+	// (0, JitterMax] ms past its nominal tick, with the deadline held on
+	// the nominal grid.
+	JitterProb float64 `json:"jitterProb,omitempty"`
+	JitterMax  float64 `json:"jitterMax,omitempty"`
+
+	// DriftProb and DriftMax drive a per-task random-walk timer lateness:
+	// at each release, with probability DriftProb, the walk moves by a
+	// uniform step in [-DriftMax, +DriftMax], clamped at zero.
+	DriftProb float64 `json:"driftProb,omitempty"`
+	DriftMax  float64 `json:"driftMax,omitempty"`
+
+	// SwitchDenyProb denies a transition attempt outright: the hardware
+	// stays at its previous operating point.
+	SwitchDenyProb float64 `json:"switchDenyProb,omitempty"`
+	// StuckProb sticks the operating point for StuckSpan ms: every
+	// transition attempted before the span expires is denied.
+	StuckProb float64 `json:"stuckProb,omitempty"`
+	StuckSpan float64 `json:"stuckSpan,omitempty"`
+	// OverheadProb inflates the mandatory stop interval of a granted
+	// transition by OverheadFactor (> 1).
+	OverheadProb   float64 `json:"overheadProb,omitempty"`
+	OverheadFactor float64 `json:"overheadFactor,omitempty"`
+}
+
+// Default is the repository's default fault scenario: 5% of releases
+// overrun to 1.5× their declared worst case, nothing else misbehaves.
+func Default(seed int64) Plan {
+	return Plan{Seed: seed, OverrunProb: 0.05, OverrunFactor: 1.5}
+}
+
+// Validate checks the plan's structural invariants.
+func (p Plan) Validate() error {
+	for _, pr := range []struct {
+		name string
+		v    float64
+	}{
+		{"OverrunProb", p.OverrunProb}, {"JitterProb", p.JitterProb},
+		{"DriftProb", p.DriftProb}, {"SwitchDenyProb", p.SwitchDenyProb},
+		{"StuckProb", p.StuckProb}, {"OverheadProb", p.OverheadProb},
+	} {
+		if pr.v < 0 || pr.v > 1 || math.IsNaN(pr.v) {
+			return fmt.Errorf("fault: %s must lie in [0, 1], got %v", pr.name, pr.v)
+		}
+	}
+	if p.OverrunFactor < 0 || (fpx.Ne(p.OverrunFactor, 0) && p.OverrunFactor < 1) {
+		return fmt.Errorf("fault: OverrunFactor must be ≥ 1 (or 0 for the default), got %v", p.OverrunFactor)
+	}
+	if p.OverrunTail < 0 {
+		return fmt.Errorf("fault: OverrunTail must be non-negative, got %v", p.OverrunTail)
+	}
+	if p.JitterMax < 0 || p.DriftMax < 0 || p.StuckSpan < 0 {
+		return fmt.Errorf("fault: JitterMax, DriftMax and StuckSpan must be non-negative")
+	}
+	if p.OverheadProb > 0 && p.OverheadFactor < 1 {
+		return fmt.Errorf("fault: OverheadFactor must be ≥ 1 when OverheadProb > 0, got %v", p.OverheadFactor)
+	}
+	return nil
+}
+
+// Record accumulates the faults an injector has fired.
+type Record struct {
+	// Counters per fault class.
+	Overruns          int `json:"overruns"`
+	Jitters           int `json:"jitters"`
+	Drifts            int `json:"drifts"`
+	SwitchesDenied    int `json:"switchesDenied"`
+	SwitchesStuck     int `json:"switchesStuck"`
+	OverheadsInflated int `json:"overheadsInflated"`
+	// TaskOverruns counts injected overruns per task index.
+	TaskOverruns map[int]int `json:"taskOverruns,omitempty"`
+	// Events holds the first maxEvents fired faults in order.
+	Events []Event `json:"events,omitempty"`
+	// Truncated counts events dropped beyond the Events cap.
+	Truncated int `json:"truncated,omitempty"`
+}
+
+// Total returns the total number of fired faults.
+func (r Record) Total() int {
+	return r.Overruns + r.Jitters + r.Drifts +
+		r.SwitchesDenied + r.SwitchesStuck + r.OverheadsInflated
+}
+
+// maxEvents bounds the per-injector event list (the counters keep full
+// totals; the list exists for diagnosis, not statistics).
+const maxEvents = 4096
+
+// Injector draws faults deterministically from a Plan. It is stateful
+// (drift walks, stuck spans, the fired-fault record) and not safe for
+// concurrent use; create one per run.
+type Injector struct {
+	plan Plan
+	rec  Record
+
+	// violated latches once a fired fault has broken the task model the
+	// admission guarantee was computed against (see noteViolation).
+	violated bool
+
+	stuckUntil float64      // operating point stuck until this time
+	switchSeq  uint64       // transition attempt counter (draw key)
+	drift      map[int]walk // per-task random-walk lateness state
+}
+
+// walk is one task's timer-drift state: the current lateness and the
+// last invocation whose step was applied.
+type walk struct {
+	lateness float64
+	lastInv  int
+}
+
+// New creates an injector for the plan.
+func New(plan Plan) (*Injector, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	if fpx.Eq(plan.OverrunFactor, 0) {
+		plan.OverrunFactor = 1.5
+	}
+	return &Injector{plan: plan, drift: map[int]walk{}}, nil
+}
+
+// MustNew is New that panics on error; intended for tests and literal
+// plans.
+func MustNew(plan Plan) *Injector {
+	in, err := New(plan)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// Plan returns the injector's (normalized) plan.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// Record returns a snapshot of the fired-fault record.
+func (in *Injector) Record() Record {
+	r := in.rec
+	r.Events = append([]Event(nil), in.rec.Events...)
+	if in.rec.TaskOverruns != nil {
+		r.TaskOverruns = make(map[int]int, len(in.rec.TaskOverruns))
+		for k, v := range in.rec.TaskOverruns {
+			r.TaskOverruns[k] = v
+		}
+	}
+	return r
+}
+
+// ModelViolated reports whether any fired fault has broken an assumption
+// the admission guarantee depends on: an injected overrun, a delayed
+// release (jitter or drift), a denied/stuck transition to a *higher*
+// frequency, or an inflated stop interval. A configured-but-silent
+// injector reports false — the provenance the invariant checker needs to
+// keep the no-miss claim fully enforced until a fault actually fires.
+func (in *Injector) ModelViolated() bool { return in.violated }
+
+func (in *Injector) noteViolation() { in.violated = true }
+
+func (in *Injector) fire(e Event) {
+	switch e.Kind {
+	case KindOverrun:
+		in.rec.Overruns++
+		if in.rec.TaskOverruns == nil {
+			in.rec.TaskOverruns = map[int]int{}
+		}
+		in.rec.TaskOverruns[e.Task]++
+	case KindJitter:
+		in.rec.Jitters++
+	case KindDrift:
+		in.rec.Drifts++
+	case KindSwitchDenied:
+		in.rec.SwitchesDenied++
+	case KindSwitchStuck:
+		in.rec.SwitchesStuck++
+	case KindOverheadInflated:
+		in.rec.OverheadsInflated++
+	}
+	if len(in.rec.Events) < maxEvents {
+		in.rec.Events = append(in.rec.Events, e)
+	} else {
+		in.rec.Truncated++
+	}
+}
+
+// Demand possibly inflates the actual demand of invocation inv of task
+// ti beyond its declared worst case. nominal is the demand the execution
+// model drew (already clamped to (0, wcet]); the result is either
+// nominal (no fault) or a value strictly above wcet.
+func (in *Injector) Demand(now float64, ti, inv int, wcet, nominal float64) float64 {
+	if in == nil || in.plan.OverrunProb <= 0 {
+		return nominal
+	}
+	if u01(in.plan.Seed, KindOverrun, ti, inv) >= in.plan.OverrunProb {
+		return nominal
+	}
+	factor := in.plan.OverrunFactor
+	if in.plan.OverrunTail > 0 {
+		u := u01(in.plan.Seed, kindOverrunTail, ti, inv)
+		factor += in.plan.OverrunTail * -math.Log(1-u)
+	}
+	d := wcet * factor
+	if d <= wcet {
+		// Factor 1 (or numeric degeneration) is not an overrun: the
+		// demand still fits the declared bound, so nothing fired.
+		return nominal
+	}
+	in.fire(Event{Time: now, Kind: KindOverrun, Task: ti, Value: d})
+	in.noteViolation()
+	return d
+}
+
+// kindOverrunTail is a private draw class for the tail magnitude, kept
+// distinct so the firing decision and the tail size are independent.
+const kindOverrunTail Kind = 100
+
+// ReleaseDelay returns how many milliseconds past its nominal tick the
+// release of invocation inv of task ti fires: iid jitter plus the
+// task's random-walk drift lateness. The result is always ≥ 0 (the
+// faulty timer is late, never early), and 0 when nothing fired.
+func (in *Injector) ReleaseDelay(now float64, ti, inv int) float64 {
+	if in == nil {
+		return 0
+	}
+	var delay float64
+	if in.plan.JitterProb > 0 && in.plan.JitterMax > 0 &&
+		u01(in.plan.Seed, KindJitter, ti, inv) < in.plan.JitterProb {
+		j := in.plan.JitterMax * u01(in.plan.Seed, kindJitterMag, ti, inv)
+		if j > 0 {
+			in.fire(Event{Time: now, Kind: KindJitter, Task: ti, Value: j})
+			in.noteViolation()
+			delay += j
+		}
+	}
+	if in.plan.DriftProb > 0 && in.plan.DriftMax > 0 {
+		w := in.drift[ti]
+		if inv > w.lastInv || (inv == 0 && fpx.Eq(w.lateness, 0)) {
+			if u01(in.plan.Seed, KindDrift, ti, inv) < in.plan.DriftProb {
+				step := in.plan.DriftMax * (2*u01(in.plan.Seed, kindDriftMag, ti, inv) - 1)
+				w.lateness += step
+				if w.lateness < 0 {
+					w.lateness = 0
+				}
+				if fpx.Ne(step, 0) {
+					in.fire(Event{Time: now, Kind: KindDrift, Task: ti, Value: w.lateness})
+				}
+			}
+			w.lastInv = inv
+			in.drift[ti] = w
+		}
+		if w.lateness > 0 {
+			in.noteViolation()
+			delay += w.lateness
+		}
+	}
+	return delay
+}
+
+// Private draw classes for fault magnitudes (distinct from the firing
+// decisions so magnitude and probability are independent draws).
+const (
+	kindJitterMag Kind = 101
+	kindDriftMag  Kind = 102
+)
+
+// Switch adjudicates a transition attempt from -> to whose nominal stop
+// interval is halt. allowed=false means the hardware refused the
+// transition and stays at from; otherwise adjHalt is the (possibly
+// inflated) stop interval to charge. A denial of an *upward* transition
+// (to.Freq > from.Freq) breaks the task model — the policy needed more
+// speed than it got; downward denials only cost energy.
+func (in *Injector) Switch(now float64, from, to machine.OperatingPoint, halt float64) (allowed bool, adjHalt float64) {
+	if in == nil {
+		return true, halt
+	}
+	seq := in.switchSeq
+	in.switchSeq++
+
+	deny := false
+	kind := KindSwitchDenied
+	if now < in.stuckUntil {
+		deny = true
+		kind = KindSwitchStuck
+	} else {
+		if in.plan.StuckProb > 0 &&
+			u01(in.plan.Seed, KindSwitchStuck, int(seq), 0) < in.plan.StuckProb {
+			in.stuckUntil = now + in.plan.StuckSpan
+			deny = true
+			kind = KindSwitchStuck
+		} else if in.plan.SwitchDenyProb > 0 &&
+			u01(in.plan.Seed, KindSwitchDenied, int(seq), 0) < in.plan.SwitchDenyProb {
+			deny = true
+		}
+	}
+	if deny {
+		in.fire(Event{Time: now, Kind: kind, Task: -1, Value: to.Freq})
+		if to.Freq > from.Freq {
+			in.noteViolation()
+		}
+		return false, 0
+	}
+	if halt > 0 && in.plan.OverheadProb > 0 &&
+		u01(in.plan.Seed, KindOverheadInflated, int(seq), 0) < in.plan.OverheadProb {
+		halt *= in.plan.OverheadFactor
+		in.fire(Event{Time: now, Kind: KindOverheadInflated, Task: -1, Value: halt})
+		in.noteViolation()
+	}
+	return true, halt
+}

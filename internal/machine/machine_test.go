@@ -210,6 +210,86 @@ func TestSwitchOverheadHalt(t *testing.T) {
 	}
 }
 
+// Edge cases of the stop-interval model: the same-point identity, the
+// epsilon boundary between frequency-only and voltage-change transitions,
+// and WorstCase's consistency with Halt over every reachable pair.
+func TestSwitchOverheadEdgeCases(t *testing.T) {
+	o := SwitchOverhead{FreqOnly: 0.041, VoltageChange: 0.4}
+
+	// A same-point "transition" costs nothing even when both halt
+	// durations are non-zero.
+	p := OperatingPoint{Freq: 0.5, Voltage: 3}
+	if got := o.Halt(p, p); got != 0 {
+		t.Errorf("same-point halt = %v, want 0", got)
+	}
+
+	// Voltages equal within the float tolerance classify as
+	// frequency-only; beyond it, as a voltage change. The boundary is
+	// fpx's epsilon, not exact equality.
+	near := OperatingPoint{Freq: 0.75, Voltage: 3 + 1e-12}
+	if got := o.Halt(p, near); got != o.FreqOnly {
+		t.Errorf("sub-epsilon voltage delta classified as voltage change: halt = %v", got)
+	}
+	far := OperatingPoint{Freq: 0.75, Voltage: 3 + 1e-6}
+	if got := o.Halt(p, far); got != o.VoltageChange {
+		t.Errorf("super-epsilon voltage delta classified as frequency-only: halt = %v", got)
+	}
+
+	// A pure voltage change (same frequency) is still a voltage change.
+	vOnly := OperatingPoint{Freq: 0.5, Voltage: 4}
+	if got := o.Halt(p, vOnly); got != o.VoltageChange {
+		t.Errorf("voltage-only halt = %v, want %v", got, o.VoltageChange)
+	}
+
+	// The zero value models free transitions.
+	var free SwitchOverhead
+	if free.Halt(p, far) != 0 || free.WorstCase() != 0 {
+		t.Error("zero-value overhead should cost nothing")
+	}
+
+	// A degenerate calibration where frequency hops cost more than
+	// voltage ramps: WorstCase must still bound Halt over every pair of
+	// points, and be attained by the worst transition category the spec
+	// actually offers (machines 1 and 2 assign a distinct voltage to
+	// every point, so frequency-only transitions are unreachable there).
+	for _, o := range []SwitchOverhead{
+		K62SwitchOverhead,
+		{FreqOnly: 0.5, VoltageChange: 0.1},
+	} {
+		for _, spec := range []*Spec{Machine0(), Machine1(), Machine2(), LaptopK62()} {
+			worst, reachable := 0.0, 0.0
+			for _, a := range spec.Points {
+				for _, b := range spec.Points {
+					if a == b {
+						continue
+					}
+					cat := o.FreqOnly
+					if a.Voltage != b.Voltage {
+						cat = o.VoltageChange
+					}
+					if cat > reachable {
+						reachable = cat
+					}
+					h := o.Halt(a, b)
+					if h > o.WorstCase() {
+						t.Errorf("%s: Halt(%v, %v) = %v exceeds WorstCase %v",
+							spec.Name, a, b, h, o.WorstCase())
+					}
+					if h > worst {
+						worst = h
+					}
+				}
+			}
+			if worst != reachable {
+				t.Errorf("%s: worst reachable halt %v, observed %v", spec.Name, reachable, worst)
+			}
+			if o.WorstCase() < worst {
+				t.Errorf("%s: WorstCase %v below observed worst %v", spec.Name, o.WorstCase(), worst)
+			}
+		}
+	}
+}
+
 func TestSpecString(t *testing.T) {
 	s := Machine0().String()
 	for _, want := range []string{"machine0", "0.5@3V", "0.75@4V", "1@5V", "idle=0"} {

@@ -18,6 +18,18 @@ const (
 	EvTaskAdded
 	EvTaskRemoved
 	EvPolicySwap
+	// EvSwitchDenied records a transition the hardware refused; the
+	// kernel holds its point and retries with backoff.
+	EvSwitchDenied
+	// EvContain records the containment layer escalating to full speed
+	// for a job running past its declared worst case.
+	EvContain
+	// EvRedeclare records the overrun watchdog raising a repeatedly
+	// overrunning task's declared WCET to its observed demand.
+	EvRedeclare
+	// EvDemote records the overrun watchdog shedding a task's hard
+	// guarantee (demotion to soft) when redeclaration is unschedulable.
+	EvDemote
 )
 
 // String implements fmt.Stringer.
@@ -39,6 +51,14 @@ func (k EventKind) String() string {
 		return "task-"
 	case EvPolicySwap:
 		return "policy"
+	case EvSwitchDenied:
+		return "DENIED"
+	case EvContain:
+		return "contain"
+	case EvRedeclare:
+		return "redeclare"
+	case EvDemote:
+		return "DEMOTE"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }
@@ -59,8 +79,10 @@ type Event struct {
 // String formats the event as one trace line.
 func (e Event) String() string {
 	switch e.Kind {
-	case EvSwitch:
+	case EvSwitch, EvSwitchDenied:
 		return fmt.Sprintf("%10.3f  %-8s f=%.3g", e.Time, e.Kind, e.Value)
+	case EvRedeclare:
+		return fmt.Sprintf("%10.3f  %-8s %s(%d) wcet=%g", e.Time, e.Kind, e.Name, e.Task, e.Value)
 	case EvPolicySwap:
 		return fmt.Sprintf("%10.3f  %-8s %s", e.Time, e.Kind, e.Name)
 	default:

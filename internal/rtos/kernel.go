@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"rtdvs/internal/core"
+	"rtdvs/internal/fault"
 	"rtdvs/internal/machine"
 	"rtdvs/internal/sched"
 	"rtdvs/internal/task"
@@ -71,18 +72,30 @@ type ktask struct {
 	cfg TaskConfig
 
 	startAt     float64 // first release time (deferred admission)
-	nextRelease float64
+	nextRelease float64 // when the invocation actually fires (may lag the grid)
+	nominalRel  float64 // the declared-period grid the deadline stays on
 	deadline    float64
 	remaining   float64
 	used        float64
 	active      bool
 	inv         int
 	releasedAt  float64
+	// overNotified latches the per-invocation OnOverrun delivery.
+	overNotified bool
+	// maxDemand tracks the largest demand observed, the bound the overrun
+	// watchdog redeclares to.
+	maxDemand float64
 
 	releases    int
 	completions int
 	misses      int
 	overruns    int
+	// injected counts overruns manufactured by the fault injector (a
+	// subset of overruns); containments counts OnOverrun deliveries.
+	injected     int
+	containments int
+	// sinceAdapt counts overruns since the watchdog last adapted this task.
+	sinceAdapt int
 
 	// sporadic tasks are released by Trigger, never by the clock;
 	// lastRelease enforces the minimum inter-arrival time.
@@ -110,6 +123,20 @@ type Kernel struct {
 	// admitAll disables admission control (used to demonstrate transient
 	// misses from unguarded task addition).
 	admitAll bool
+
+	// faults, when set, filters demand, release timing and operating-point
+	// transitions through the injector.
+	faults *fault.Injector
+	// switchRetryAt/switchBackoff implement retry-with-backoff for refused
+	// operating-point transitions: after a denial the kernel holds its
+	// point until switchRetryAt, then asks again, doubling the backoff on
+	// each consecutive refusal.
+	switchRetryAt float64
+	switchBackoff float64
+	switchDenials int
+	switchRetries int
+	// overrunThreshold arms the overrun watchdog (0 = disabled).
+	overrunThreshold int
 }
 
 // NewKernel creates a kernel on the given platform with the given initial
@@ -143,6 +170,41 @@ func (k *Kernel) Overruns() []OverrunEvent { return append([]OverrunEvent(nil), 
 
 // SetAdmitAll disables (true) or enables (false) admission control.
 func (k *Kernel) SetAdmitAll(v bool) { k.admitAll = v }
+
+// SetFaults installs a fault injector: task demand, release timing and
+// operating-point transitions are filtered through it from then on. nil
+// removes injection. The injector is stateful (stuck-regulator spans,
+// accumulated drift), so install it before the workload starts for
+// reproducible runs.
+func (k *Kernel) SetFaults(in *fault.Injector) {
+	k.faults = in
+	if in == nil {
+		k.cpu.SetGate(nil)
+		return
+	}
+	k.cpu.SetGate(func(from, to machine.OperatingPoint, halt float64) (bool, float64) {
+		return in.Switch(k.now, from, to, halt)
+	})
+}
+
+// Faults returns the installed fault injector, if any.
+func (k *Kernel) Faults() *fault.Injector { return k.faults }
+
+// SwitchDenials returns how many operating-point transitions the hardware
+// refused; SwitchRetries returns how many retry attempts followed a
+// refusal (successful or not).
+func (k *Kernel) SwitchDenials() int { return k.switchDenials }
+
+// SwitchRetries returns the number of post-denial retry attempts.
+func (k *Kernel) SwitchRetries() int { return k.switchRetries }
+
+// SetOverrunThreshold arms the overrun watchdog: once a hard task
+// accumulates n overruns since its last adaptation, the kernel re-runs
+// the schedulability test with the task's observed peak demand as its
+// bound and either redeclares the WCET (still schedulable) or demotes
+// the task to soft, shedding its hard guarantee so the rest of the set
+// keeps its own. n <= 0 disables the watchdog, the default.
+func (k *Kernel) SetOverrunThreshold(n int) { k.overrunThreshold = n }
 
 // taskSet snapshots the registry as a task.Set for policy attachment.
 func (k *Kernel) taskSet() (*task.Set, error) {
@@ -234,7 +296,11 @@ func (k *Kernel) AddTask(cfg TaskConfig, opts AddOptions) (TaskID, error) {
 		cfg:         cfg,
 		startAt:     start,
 		nextRelease: start,
+		nominalRel:  start,
 		deadline:    start,
+	}
+	if k.faults != nil {
+		kt.nextRelease += k.faults.ReleaseDelay(start, int(kt.id), 0)
 	}
 	k.nextID++
 	k.tasks = append(k.tasks, kt)
@@ -299,7 +365,12 @@ func (k *Kernel) Deadline(i int) float64 {
 	if t.inv == 0 {
 		return t.startAt + t.cfg.Period
 	}
-	return t.nextRelease
+	if t.sporadic {
+		return t.nextRelease
+	}
+	// Periodic deadlines stay on the nominal grid even when fault
+	// injection delays the release itself.
+	return t.nominalRel
 }
 
 // NumTasks implements sched.TaskView.
@@ -316,7 +387,7 @@ func (k *Kernel) Ready(i int) bool { return k.tasks[i].active }
 
 // --- engine ---
 
-func (k *Kernel) demand(t *ktask) float64 {
+func (k *Kernel) demand(t *ktask, rel float64) float64 {
 	c := t.cfg.WCET
 	if t.cfg.Work != nil {
 		c = t.cfg.Work(t.inv)
@@ -327,8 +398,21 @@ func (k *Kernel) demand(t *ktask) float64 {
 	if c <= 0 {
 		c = math.SmallestNonzeroFloat64
 	}
+	if k.faults != nil {
+		// Keyed by the stable task id, not the registry index, so the
+		// fault history survives task removal.
+		injected := k.faults.Demand(rel, int(t.id), t.inv, t.cfg.WCET, c)
+		if injected > c {
+			t.injected++
+		}
+		c = injected
+	}
+	if c > t.maxDemand {
+		t.maxDemand = c
+	}
 	if c > t.cfg.WCET+timeEps {
 		t.overruns++
+		t.sinceAdapt++
 		k.overruns = append(k.overruns, OverrunEvent{
 			Task: t.id, Name: t.cfg.Name, Inv: t.inv, Demand: c, WCET: t.cfg.WCET,
 		})
@@ -348,6 +432,15 @@ func (k *Kernel) nextReleaseTime() float64 {
 		if kt.sporadic && kt.active && kt.deadline < t {
 			t = kt.deadline
 		}
+		// Same for a periodic invocation whose next release was delayed by
+		// fault injection past its (nominal-grid) deadline.
+		if k.faults != nil && !kt.sporadic && kt.active &&
+			kt.deadline < kt.nextRelease-timeEps && kt.deadline < t {
+			t = kt.deadline
+		}
+	}
+	if k.faults != nil && k.switchRetryAt > k.now+timeEps && k.switchRetryAt < t {
+		t = k.switchRetryAt
 	}
 	return t
 }
@@ -367,6 +460,26 @@ func (k *Kernel) processReleases() {
 			k.policy.OnCompletion(k, i, t.used) // close out the aborted invocation
 		}
 	}
+	// With fault injection, a delayed release can leave a periodic
+	// invocation still active when its nominal-grid deadline passes; the
+	// job is aborted at the deadline rather than lingering until the late
+	// release fires. (This mirrors the fault-free abort-at-release above
+	// and never runs without an injector.)
+	if k.faults != nil {
+		for _, t := range k.tasks {
+			if t.sporadic || !t.active {
+				continue
+			}
+			if t.deadline <= k.now+timeEps && t.nextRelease > k.now+timeEps {
+				if !t.cfg.Soft {
+					t.misses++
+					k.misses = append(k.misses, MissEvent{Task: t.id, Name: t.cfg.Name, Inv: t.inv - 1, Deadline: t.deadline})
+					k.logEvent(Event{Kind: EvMiss, Task: t.id, Name: t.cfg.Name, Value: float64(t.inv - 1)})
+				}
+				t.active = false
+			}
+		}
+	}
 	for i, t := range k.tasks {
 		for t.nextRelease <= k.now+timeEps {
 			if t.active {
@@ -377,16 +490,27 @@ func (k *Kernel) processReleases() {
 				}
 				t.active = false
 			}
-			rel := t.nextRelease
-			t.remaining = k.demand(t)
+			actual := t.nextRelease
+			// Deadlines derive from the nominal period grid; only the
+			// release instant itself is subject to injected delay.
+			rel := t.nominalRel
+			if t.sporadic {
+				rel = actual
+			}
+			t.remaining = k.demand(t, rel)
 			t.used = 0
-			t.releasedAt = rel
+			t.overNotified = false
+			t.releasedAt = actual
 			t.deadline = rel + t.cfg.Period
-			t.lastRelease = rel
+			t.lastRelease = actual
 			if t.sporadic {
 				t.nextRelease = math.Inf(1) // armed again by the next Trigger
 			} else {
-				t.nextRelease = rel + t.cfg.Period
+				t.nominalRel = rel + t.cfg.Period
+				t.nextRelease = t.nominalRel
+				if k.faults != nil {
+					t.nextRelease += k.faults.ReleaseDelay(t.nominalRel, int(t.id), t.inv+1)
+				}
 			}
 			t.active = true
 			t.inv++
@@ -398,19 +522,104 @@ func (k *Kernel) processReleases() {
 	for _, i := range released {
 		k.policy.OnRelease(k, i)
 	}
+	k.enforceOverrunPolicy()
 }
 
+// Backoff bounds (ms) for retrying operating-point transitions the
+// hardware refused: start small (one stop-interval-ish), double per
+// consecutive refusal, cap well under typical task periods.
+const (
+	switchBackoffInit = 0.05
+	switchBackoffMax  = 2.0
+)
+
 // setPoint moves the CPU to the requested operating point, tracing the
-// transition when an event log is attached.
+// transition when an event log is attached. A transition the hardware
+// refuses (possible only under fault injection) leaves the processor at
+// its previous point; the kernel then backs off and retries at
+// switchRetryAt, doubling the backoff on each consecutive refusal so a
+// stuck regulator is not hammered every scheduling decision.
 func (k *Kernel) setPoint(op machine.OperatingPoint) float64 {
-	if op != k.cpu.Point() {
-		k.logEvent(Event{Kind: EvSwitch, Value: op.Freq})
+	if op == k.cpu.Point() {
+		return 0
 	}
-	halt := k.cpu.SetPoint(op)
+	if k.now < k.switchRetryAt-timeEps {
+		return 0 // backing off after a refusal: hold the current point
+	}
+	retrying := k.switchBackoff > 0
+	halt, ok := k.cpu.SetPoint(op)
+	if retrying {
+		k.switchRetries++
+	}
+	if !ok {
+		k.switchDenials++
+		k.logEvent(Event{Kind: EvSwitchDenied, Value: op.Freq})
+		if k.switchBackoff < switchBackoffInit {
+			k.switchBackoff = switchBackoffInit
+		}
+		k.switchRetryAt = k.now + k.switchBackoff
+		k.switchBackoff = math.Min(k.switchBackoff*2, switchBackoffMax)
+		return 0
+	}
+	k.switchBackoff = 0
+	k.switchRetryAt = 0
+	k.logEvent(Event{Kind: EvSwitch, Value: op.Freq})
 	if halt > 0 {
 		k.haltUntil = k.now + halt
 	}
 	return halt
+}
+
+// schedulableWith re-runs the policy's schedulability test at full speed
+// with target's WCET replaced by wcet.
+func (k *Kernel) schedulableWith(target *ktask, wcet float64) bool {
+	probe := make([]task.Task, 0, len(k.tasks))
+	for _, t := range k.tasks {
+		w := t.cfg.WCET
+		if t == target {
+			w = wcet
+		}
+		probe = append(probe, task.Task{Name: t.cfg.Name, Period: t.cfg.Period, WCET: w})
+	}
+	ps, err := task.NewSet(probe...)
+	if err != nil {
+		return false
+	}
+	return sched.Test(k.policy.Scheduler())(ps, 1)
+}
+
+// enforceOverrunPolicy is the admission-control watchdog: a hard task
+// that keeps overrunning its declared worst case has lied to the
+// schedulability test, so the kernel re-runs that test against the
+// observed peak demand. If the set still passes, the task's WCET is
+// redeclared upward (honest admission); if not, the task is demoted to
+// soft — its own guarantee is shed so the remaining hard tasks keep
+// theirs. Either way the policy re-attaches to the corrected set.
+func (k *Kernel) enforceOverrunPolicy() {
+	if k.overrunThreshold <= 0 {
+		return
+	}
+	changed := false
+	for _, t := range k.tasks {
+		if t.cfg.Soft || t.sinceAdapt < k.overrunThreshold {
+			continue
+		}
+		t.sinceAdapt = 0
+		redeclared := math.Min(t.maxDemand, t.cfg.Period)
+		if redeclared > t.cfg.WCET && k.schedulableWith(t, redeclared) {
+			t.cfg.WCET = redeclared
+			k.logEvent(Event{Kind: EvRedeclare, Task: t.id, Name: t.cfg.Name, Value: redeclared})
+		} else {
+			t.cfg.Soft = true
+			k.logEvent(Event{Kind: EvDemote, Task: t.id, Name: t.cfg.Name})
+		}
+		changed = true
+	}
+	if changed {
+		// The adapted set was just revalidated (or the offender shed its
+		// guarantee), so re-attachment cannot fail structurally.
+		_ = k.reattach()
+	}
 }
 
 // Step advances virtual time to `until`, executing tasks, switching
@@ -462,6 +671,18 @@ func (k *Kernel) Step(until float64) {
 		f := k.cpu.Point().Freq
 		finish := k.now + t.remaining/f
 		end := math.Min(finish, nextRel)
+		// With an overrun-aware policy, split the segment at WCET-budget
+		// exhaustion so OnOverrun fires the moment the job runs past its
+		// declared bound (stock policies keep the unsplit segments and
+		// their byte-identical traces).
+		oa, aware := k.policy.(core.OverrunAware)
+		budgetEnd := math.Inf(1)
+		if aware && !t.overNotified {
+			if left := t.cfg.WCET - t.used; left > timeEps && left < t.remaining-timeEps {
+				budgetEnd = k.now + left/f
+				end = math.Min(end, budgetEnd)
+			}
+		}
 		dur := end - k.now
 		if dur < 0 {
 			dur = 0
@@ -469,6 +690,8 @@ func (k *Kernel) Step(until float64) {
 		cycles := k.cpu.Execute(dur)
 		if cycles > t.remaining || finish <= end+timeEps {
 			cycles = t.remaining
+		} else if budgetEnd <= end+timeEps {
+			cycles = t.cfg.WCET - t.used
 		}
 		t.remaining -= cycles
 		t.used += cycles
@@ -484,6 +707,11 @@ func (k *Kernel) Step(until float64) {
 			if t.cfg.OnComplete != nil {
 				t.cfg.OnComplete(k.now, t.inv-1)
 			}
+		} else if aware && !t.overNotified && t.used >= t.cfg.WCET-timeEps {
+			t.overNotified = true
+			t.containments++
+			k.logEvent(Event{Kind: EvContain, Task: t.id, Name: t.cfg.Name, Value: float64(t.inv - 1)})
+			oa.OnOverrun(k, pick)
 		}
 	}
 	k.now = until
@@ -552,11 +780,17 @@ type TaskStatus struct {
 	Period      float64 `json:"period"`
 	WCET        float64 `json:"wcet"`
 	Active      bool    `json:"active"`
+	Soft        bool    `json:"soft,omitempty"`
 	Deadline    float64 `json:"deadline"`
 	Releases    int     `json:"releases"`
 	Completions int     `json:"completions"`
 	Misses      int     `json:"misses"`
 	Overruns    int     `json:"overruns"`
+	// Injected counts overruns manufactured by the fault injector (a
+	// subset of Overruns); Containments counts overrun-containment
+	// escalations delivered for this task.
+	Injected     int `json:"injected,omitempty"`
+	Containments int `json:"containments,omitempty"`
 }
 
 // Tasks returns the status of every registered task, sorted by id.
@@ -565,9 +799,10 @@ func (k *Kernel) Tasks() []TaskStatus {
 	for _, t := range k.tasks {
 		out = append(out, TaskStatus{
 			ID: t.id, Name: t.cfg.Name, Period: t.cfg.Period, WCET: t.cfg.WCET,
-			Active: t.active, Deadline: t.deadline,
+			Active: t.active, Soft: t.cfg.Soft, Deadline: t.deadline,
 			Releases: t.releases, Completions: t.completions,
 			Misses: t.misses, Overruns: t.overruns,
+			Injected: t.injected, Containments: t.containments,
 		})
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })

@@ -22,13 +22,21 @@ func (k *Kernel) Status() string {
 	fmt.Fprintf(&b, "energy: %.4g (exec %.4g, idle %.4g)  cycles: %.4g\n",
 		k.cpu.Energy(), k.cpu.execEnergy, k.cpu.idleEnergy, k.cpu.Cycles())
 	fmt.Fprintf(&b, "misses: %d  overruns: %d\n", len(k.misses), len(k.overruns))
+	if k.faults != nil {
+		rec := k.faults.Record()
+		fmt.Fprintf(&b, "faults: %d injected (%d overruns, %d jitters, %d drifts)  switch denials: %d  retries: %d\n",
+			rec.Total(), rec.Overruns, rec.Jitters, rec.Drifts, k.switchDenials, k.switchRetries)
+	}
 
 	var t stats.Table
-	t.Header("id", "name", "period", "wcet", "state", "deadline", "rel", "done", "miss", "ovr")
+	t.Header("id", "name", "period", "wcet", "state", "deadline", "rel", "done", "miss", "ovr", "inj", "cont")
 	for _, ts := range k.Tasks() {
 		state := "idle"
 		if ts.Active {
 			state = "ready"
+		}
+		if ts.Soft {
+			state += "/soft"
 		}
 		t.Rowf(
 			strconv.Itoa(int(ts.ID)), ts.Name,
@@ -36,6 +44,7 @@ func (k *Kernel) Status() string {
 			state, fmt.Sprintf("%.3f", ts.Deadline),
 			strconv.Itoa(ts.Releases), strconv.Itoa(ts.Completions),
 			strconv.Itoa(ts.Misses), strconv.Itoa(ts.Overruns),
+			strconv.Itoa(ts.Injected), strconv.Itoa(ts.Containments),
 		)
 	}
 	b.WriteString(t.String())

@@ -98,9 +98,9 @@ func TestCPUDevice(t *testing.T) {
 	if cpu.Energy() != 100 {
 		t.Errorf("energy = %v, want 100", cpu.Energy())
 	}
-	halt := cpu.SetPoint(machine.Machine0().Min()) // voltage change
-	if halt != 0.4 {
-		t.Errorf("voltage-change halt = %v, want 0.4", halt)
+	halt, ok := cpu.SetPoint(machine.Machine0().Min()) // voltage change
+	if halt != 0.4 || !ok {
+		t.Errorf("voltage-change halt = %v ok=%v, want 0.4 true", halt, ok)
 	}
 	cpu.AccountHalt(halt) // the kernel elapses the stop interval
 	if cpu.Switches() != 1 || cpu.HaltTime() != 0.4 {
@@ -110,8 +110,8 @@ func TestCPUDevice(t *testing.T) {
 	if cpu.HaltTime() != 0.4 {
 		t.Errorf("negative halt accounted: %v", cpu.HaltTime())
 	}
-	if h := cpu.SetPoint(cpu.Point()); h != 0 {
-		t.Errorf("same-point transition halt = %v", h)
+	if h, ok := cpu.SetPoint(cpu.Point()); h != 0 || !ok {
+		t.Errorf("same-point transition halt = %v ok=%v", h, ok)
 	}
 	cpu.Idle(10) // perfect halt: no energy
 	if cpu.Energy() != 100 || cpu.IdleTime() != 10 {

@@ -17,6 +17,7 @@ import (
 	"testing"
 
 	"rtdvs/internal/core"
+	"rtdvs/internal/fault"
 	"rtdvs/internal/fpx"
 	"rtdvs/internal/machine"
 	"rtdvs/internal/sched"
@@ -48,6 +49,12 @@ type Config struct {
 	// invariant.go); a violation makes Run return an error. The checker
 	// is always on when running under `go test`, regardless of this flag.
 	CheckInvariants bool
+	// Faults optionally injects model violations — WCET overruns, release
+	// jitter and timer drift, operating-point switch failures (see
+	// internal/fault). Nil runs the fault-free model, bit-identical to a
+	// simulator without the injection hooks. Injectors are stateful:
+	// create one per run.
+	Faults *fault.Injector
 }
 
 // Miss records one deadline miss: invocation inv of task Task was still
@@ -92,6 +99,9 @@ type Result struct {
 	Guaranteed   bool    `json:"guaranteed"`
 	PerTask      []TaskStats
 	PointResTime map[machine.OperatingPoint]float64 `json:"-"`
+	// Faults is the injector's fired-fault record; nil when the run was
+	// fault-free.
+	Faults *fault.Record `json:"faults,omitempty"`
 }
 
 // AvgPower returns the average processor power over the run.
@@ -107,13 +117,15 @@ func (r *Result) MissCount() int { return len(r.Misses) }
 
 // taskState is per-task runtime state.
 type taskState struct {
-	nextRelease float64 // scheduled time of the next release
-	deadline    float64 // absolute deadline of the current/most recent invocation
-	remaining   float64 // actual cycles left in the current invocation
-	used        float64 // actual cycles consumed so far this invocation
-	active      bool
-	inv         int     // invocations released so far
-	releasedAt  float64 // release time of current invocation
+	nextRelease  float64 // actual time the next release fires (nominal + injected delay)
+	nominalRel   float64 // nominal (fault-free) time of the next release; the deadline grid
+	deadline     float64 // absolute deadline of the current/most recent invocation
+	remaining    float64 // actual cycles left in the current invocation
+	used         float64 // actual cycles consumed so far this invocation
+	active       bool
+	overNotified bool    // OnOverrun already delivered for this invocation
+	inv          int     // invocations released so far
+	releasedAt   float64 // release time of current invocation
 }
 
 // simulator runs one configuration. It implements core.System and
@@ -170,9 +182,15 @@ func Run(cfg Config) (*Result, error) {
 	for i := range s.states {
 		// Deadline of the "previous" (nonexistent) invocation is the
 		// first release: deadline == next release holds from the start.
-		// A non-zero phase simply delays the first release.
+		// A non-zero phase simply delays the first release. An injected
+		// release delay shifts only the actual fire time; the nominal
+		// grid (and with it every deadline) stays put.
 		phase := cfg.Tasks.Task(i).Phase
-		s.states[i] = taskState{nextRelease: phase, deadline: phase}
+		st := taskState{nextRelease: phase, nominalRel: phase, deadline: phase}
+		if cfg.Faults != nil {
+			st.nextRelease += cfg.Faults.ReleaseDelay(phase, i, 0)
+		}
+		s.states[i] = st
 	}
 	if cfg.CheckInvariants || testing.Testing() {
 		s.inv = &invariantChecker{s: s}
@@ -183,6 +201,10 @@ func Run(cfg Config) (*Result, error) {
 	s.run()
 	if err := s.inv.Err(); err != nil {
 		return nil, err
+	}
+	if cfg.Faults != nil {
+		rec := cfg.Faults.Record()
+		s.res.Faults = &rec
 	}
 	r := s.res
 	return &r, nil
@@ -197,7 +219,11 @@ func (s *simulator) Deadline(i int) float64 {
 	if st.active {
 		return st.deadline
 	}
-	return st.nextRelease
+	// The nominal next release: a completed invocation's deadline sits on
+	// the deadline grid, which injected release delays never move (the
+	// policy plans against the timers it believes in). Fault-free, this
+	// equals nextRelease.
+	return st.nominalRel
 }
 
 // --- sched.TaskView ---
@@ -238,7 +264,8 @@ func (s *simulator) processReleases() {
 				s.inv.checkMiss(i, st.inv-1, st.deadline)
 				st.active = false
 			}
-			rel := st.nextRelease
+			actual := st.nextRelease // possibly delayed fire time
+			rel := st.nominalRel     // nominal tick: the deadline grid
 			p := s.ts.Task(i)
 			wcet := p.WCET
 			c := s.cfg.Exec.Cycles(i, st.inv, wcet)
@@ -248,11 +275,21 @@ func (s *simulator) processReleases() {
 			if c <= 0 {
 				c = math.SmallestNonzeroFloat64
 			}
+			if s.cfg.Faults != nil {
+				// An injected overrun inflates the demand strictly past
+				// the declared worst case the admission test assumed.
+				c = s.cfg.Faults.Demand(rel, i, st.inv, wcet, c)
+			}
 			st.remaining = c
 			st.used = 0
-			st.releasedAt = rel
+			st.overNotified = false
+			st.releasedAt = actual
 			st.deadline = rel + p.Period
-			st.nextRelease = rel + p.Period
+			st.nominalRel = rel + p.Period
+			st.nextRelease = st.nominalRel
+			if s.cfg.Faults != nil {
+				st.nextRelease += s.cfg.Faults.ReleaseDelay(st.nominalRel, i, st.inv+1)
+			}
 			st.active = true
 			st.inv++
 			s.res.Releases++
@@ -268,23 +305,74 @@ func (s *simulator) processReleases() {
 	}
 }
 
+// nextAbortTime returns the earliest pending deadline abort: the
+// earliest deadline of an active invocation that precedes its task's
+// next (delayed) release. Only injected release delays open such a gap —
+// fault-free, deadline == next release and the miss is handled by
+// processReleases — so this is called only when faults are enabled.
+func (s *simulator) nextAbortTime() float64 {
+	t := math.Inf(1)
+	for i := range s.states {
+		st := &s.states[i]
+		if st.active && fpx.Lt(st.deadline, st.nextRelease) && st.deadline < t {
+			t = st.deadline
+		}
+	}
+	return t
+}
+
+// processAborts kills every active invocation whose deadline has passed,
+// recording the miss. With injected release delays a deadline can
+// precede the (late) next release, and the job must stop at the
+// deadline rather than run zombie cycles until the release fires. The
+// policy gets no callback for an aborted job — exactly like the
+// fault-free abort-at-release path — so its bookkeeping resets at the
+// task's next OnRelease.
+func (s *simulator) processAborts() {
+	if s.cfg.Faults == nil {
+		return
+	}
+	for i := range s.states {
+		st := &s.states[i]
+		if st.active && fpx.Le(st.deadline, s.now) {
+			s.res.Misses = append(s.res.Misses, Miss{
+				Task: i, Inv: st.inv - 1, Deadline: st.deadline, Remaining: st.remaining,
+			})
+			s.res.PerTask[i].Misses++
+			s.inv.checkMiss(i, st.inv-1, st.deadline)
+			st.active = false
+		}
+	}
+}
+
 // switchTo moves the hardware to the requested operating point, charging
 // the mandatory stop interval if an overhead model is configured. Time
 // spent halted produces no energy (the processor does not operate during
-// the switching interval) but does elapse.
+// the switching interval) but does elapse. With fault injection active
+// the transition may be denied or stuck — the hardware then silently
+// stays put and the main loop retries at the next scheduling event — or
+// its stop interval inflated.
 func (s *simulator) switchTo(op machine.OperatingPoint) {
 	if op == s.hw {
 		return
 	}
-	s.res.Switches++
+	var halt float64
 	if s.cfg.Overhead != nil {
-		halt := s.cfg.Overhead.Halt(s.hw, op)
-		if halt > 0 {
-			end := math.Min(s.now+halt, s.cfg.Horizon)
-			s.record(trace.SwitchHalt, s.now, end, op)
-			s.res.HaltTime += end - s.now
-			s.now = end
+		halt = s.cfg.Overhead.Halt(s.hw, op)
+	}
+	if s.cfg.Faults != nil {
+		ok, adj := s.cfg.Faults.Switch(s.now, s.hw, op, halt)
+		if !ok {
+			return
 		}
+		halt = adj
+	}
+	s.res.Switches++
+	if halt > 0 {
+		end := math.Min(s.now+halt, s.cfg.Horizon)
+		s.record(trace.SwitchHalt, s.now, end, op)
+		s.res.HaltTime += end - s.now
+		s.now = end
 	}
 	s.hw = op
 	s.inv.checkPoint(op)
@@ -301,6 +389,7 @@ func (s *simulator) record(taskIdx int, start, end float64, op machine.Operating
 // until completion or the next release, and account energy along the way.
 func (s *simulator) run() {
 	for fpx.Lt(s.now, s.cfg.Horizon) {
+		s.processAborts()
 		s.processReleases()
 
 		nextRel := math.Min(s.nextReleaseTime(), s.cfg.Horizon)
@@ -336,15 +425,34 @@ func (s *simulator) run() {
 			// (and let the policy react) before execution resumes.
 			continue
 		}
+		if s.cfg.Faults != nil && fpx.Le(s.nextAbortTime(), s.now) {
+			// A deadline passed during the stop interval; abort the dead
+			// job before executing further.
+			continue
+		}
 		nextRel = math.Min(s.nextReleaseTime(), s.cfg.Horizon)
 
 		st := &s.states[pick]
+		wcet := s.ts.Task(pick).WCET
 		finish := s.now + st.remaining/s.hw.Freq
 		end := math.Min(finish, nextRel)
+		budgetEnd := math.Inf(1)
+		if s.cfg.Faults != nil {
+			// Stop at pending deadline aborts, and split the segment the
+			// moment an overrunning job exhausts its declared budget — the
+			// earliest point the overrun is observable.
+			end = math.Min(end, s.nextAbortTime())
+			if left := wcet - st.used; left > 0 && fpx.Lt(left, st.remaining) {
+				budgetEnd = s.now + left/s.hw.Freq
+				end = math.Min(end, budgetEnd)
+			}
+		}
 		dur := end - s.now
 		cycles := dur * s.hw.Freq
 		if cycles > st.remaining || fpx.Le(finish, end) {
 			cycles = st.remaining
+		} else if fpx.Le(budgetEnd, end) {
+			cycles = wcet - st.used
 		}
 		st.remaining -= cycles
 		st.used += cycles
@@ -367,6 +475,14 @@ func (s *simulator) run() {
 			}
 			s.cfg.Policy.OnCompletion(s, pick, st.used)
 			s.inv.checkUtilization()
+		} else if s.cfg.Faults != nil && !st.overNotified && fpx.Ge(st.used, wcet) {
+			// Budget exhausted with work remaining: a WCET overrun in
+			// progress. Tell an overrun-aware policy (core.Contained) so
+			// containment engages before the next segment.
+			st.overNotified = true
+			if oa, ok := s.cfg.Policy.(core.OverrunAware); ok {
+				oa.OnOverrun(s, pick)
+			}
 		}
 	}
 	s.res.TotalEnergy = s.res.ExecEnergy + s.res.IdleEnergy
