@@ -3,7 +3,7 @@
 
 GOBIN := $(shell go env GOPATH)/bin
 
-.PHONY: all build test lint race fuzz bench
+.PHONY: all build test lint race fuzz bench bench-raw
 
 all: build test lint race fuzz
 
@@ -30,5 +30,15 @@ race:
 fuzz:
 	go test ./internal/rtos/ -run='^$$' -fuzz=FuzzKernelOps -fuzztime=20s
 
+# bench runs the suite through cmd/rtdvs-bench: it parses ns/op, B/op
+# and allocs/op, writes the JSON report (BENCH_OUT), and fails if a
+# simulator/kernel throughput benchmark regressed more than 15% in
+# ns/op against the newest prior committed BENCH_*.json baseline.
+# Override BENCH_OUT when recording the baseline for a new PR.
+BENCH_OUT ?= BENCH_PR3.json
 bench:
+	go run ./cmd/rtdvs-bench -out $(BENCH_OUT)
+
+# bench-raw is plain `go test -bench` without the report or the gate.
+bench-raw:
 	go test -bench=. -benchmem

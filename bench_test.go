@@ -57,6 +57,7 @@ func reportNormalized(b *testing.B, sw *experiment.Sweep) {
 // --- Table 1 ---
 
 func BenchmarkTable1(b *testing.B) {
+	b.ReportAllocs()
 	var rows []rtos.Table1State
 	for i := 0; i < b.N; i++ {
 		rows = rtos.DefaultSystemPower().Table1()
@@ -70,6 +71,7 @@ func BenchmarkTable1(b *testing.B) {
 // --- Table 4 (and the Figure 2/3/5/7 worked example) ---
 
 func BenchmarkTable4(b *testing.B) {
+	b.ReportAllocs()
 	var rows []experiment.Table4Row
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -86,6 +88,7 @@ func BenchmarkTable4(b *testing.B) {
 // --- Figure 9: energy vs utilization for 5/10/15 tasks ---
 
 func benchFigure9(b *testing.B, n int) {
+	b.ReportAllocs()
 	var sw *experiment.Sweep
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -104,6 +107,7 @@ func BenchmarkFigure9Tasks15(b *testing.B) { benchFigure9(b, 15) }
 // --- Figure 10: idle level 0.01 / 0.1 / 1.0 ---
 
 func benchFigure10(b *testing.B, level float64) {
+	b.ReportAllocs()
 	var sw *experiment.Sweep
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -122,6 +126,7 @@ func BenchmarkFigure10Idle1(b *testing.B)   { benchFigure10(b, 1.0) }
 // --- Figure 11: machines 0 / 1 / 2 ---
 
 func benchFigure11(b *testing.B, spec *machine.Spec) {
+	b.ReportAllocs()
 	var sw *experiment.Sweep
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -140,6 +145,7 @@ func BenchmarkFigure11Machine2(b *testing.B) { benchFigure11(b, machine.Machine2
 // --- Figure 12: constant fractions 0.9 / 0.7 / 0.5 ---
 
 func benchFigure12(b *testing.B, c float64) {
+	b.ReportAllocs()
 	var sw *experiment.Sweep
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -158,6 +164,7 @@ func BenchmarkFigure12C05(b *testing.B) { benchFigure12(b, 0.5) }
 // --- Figure 13: uniform computation ---
 
 func BenchmarkFigure13Uniform(b *testing.B) {
+	b.ReportAllocs()
 	var sw *experiment.Sweep
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -172,6 +179,7 @@ func BenchmarkFigure13Uniform(b *testing.B) {
 // --- Figures 16 and 17: power on the (virtual) prototype ---
 
 func BenchmarkFigure16ActualPlatform(b *testing.B) {
+	b.ReportAllocs()
 	var ps *experiment.PowerSweep
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -190,6 +198,7 @@ func BenchmarkFigure16ActualPlatform(b *testing.B) {
 }
 
 func BenchmarkFigure17SimulatedPlatform(b *testing.B) {
+	b.ReportAllocs()
 	var ps *experiment.PowerSweep
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -213,6 +222,7 @@ func BenchmarkFigure17SimulatedPlatform(b *testing.B) {
 // time analysis admits lower frequencies; this bench reports the mean
 // statically selected frequency under both, and times the tests.
 func BenchmarkAblationRMExact(b *testing.B) {
+	b.ReportAllocs()
 	r := rand.New(rand.NewSource(7))
 	sets := make([]*task.Set, 50)
 	for i := range sets {
@@ -250,6 +260,7 @@ func BenchmarkAblationRMExact(b *testing.B) {
 // Energy and deadline cost of modeling the K6-2+ transition halts versus
 // the simulator's instantaneous-switch assumption.
 func BenchmarkAblationSwitchOverhead(b *testing.B) {
+	b.ReportAllocs()
 	ts := task.MustSet(
 		task.Task{Name: "T1", Period: 80, WCET: 30},
 		task.Task{Name: "T2", Period: 100, WCET: 30},
@@ -293,6 +304,7 @@ func (s *benchSystem) Now() float64           { return s.now }
 func (s *benchSystem) Deadline(i int) float64 { return s.deadlines[i] }
 
 func benchPolicyOverhead(b *testing.B, policy string, n int) {
+	b.ReportAllocs()
 	r := rand.New(rand.NewSource(1))
 	g := task.Generator{N: n, Utilization: 0.7, Rand: r}
 	ts, err := g.Generate()
@@ -330,21 +342,31 @@ func BenchmarkPolicyOverheadStatic64(b *testing.B) { benchPolicyOverhead(b, "sta
 
 // --- Simulator throughput ---
 
+// BenchmarkSimulatorThroughput measures the steady-state cost of whole
+// simulation runs on a reused sim.Runner + policy instance — the shape
+// the experiment harness executes hundreds of thousands of times. In
+// steady state this must report 0 allocs/op.
 func BenchmarkSimulatorThroughput(b *testing.B) {
+	b.ReportAllocs()
 	r := rand.New(rand.NewSource(2))
 	g := task.Generator{N: 8, Utilization: 0.7, Rand: r}
 	ts, err := g.Generate()
 	if err != nil {
 		b.Fatal(err)
 	}
+	p, err := core.ByName("laEDF")
+	if err != nil {
+		b.Fatal(err)
+	}
+	runner := sim.NewRunner()
+	cfg := sim.Config{
+		Tasks: ts, Machine: machine.Machine0(), Policy: p,
+		Exec: task.ConstantFraction{C: 0.7}, Horizon: 2000,
+	}
 	var events int
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		p, _ := core.ByName("laEDF")
-		res, err := sim.Run(sim.Config{
-			Tasks: ts, Machine: machine.Machine0(), Policy: p,
-			Exec: task.ConstantFraction{C: 0.7}, Horizon: 2000,
-		})
+		res, err := runner.Run(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -356,6 +378,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 // --- RTOS kernel throughput ---
 
 func BenchmarkKernelThroughput(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		p, _ := core.ByName("ccEDF")
 		k, err := rtos.NewKernel(machine.LaptopK62(), machine.K62SwitchOverhead, p)
@@ -383,6 +406,7 @@ func BenchmarkKernelThroughput(b *testing.B) {
 // BenchmarkExtensionStEDF sweeps the statistical reservation quantile,
 // reporting the energy/miss-risk trade of the future-work policy.
 func BenchmarkExtensionStEDF(b *testing.B) {
+	b.ReportAllocs()
 	r := rand.New(rand.NewSource(3))
 	g := task.Generator{N: 6, Utilization: 0.85, Rand: r}
 	ts, err := g.Generate()
@@ -432,6 +456,7 @@ func BenchmarkExtensionStEDF(b *testing.B) {
 // BenchmarkServers compares mean aperiodic response time of the polling
 // and deferrable servers at identical reservations.
 func BenchmarkServers(b *testing.B) {
+	b.ReportAllocs()
 	var polling, deferrable float64
 	for i := 0; i < b.N; i++ {
 		for _, kind := range []string{"polling", "deferrable"} {
@@ -481,6 +506,7 @@ func BenchmarkServers(b *testing.B) {
 // interval governor's energy and deadline misses on bursty real-time load
 // versus laEDF.
 func BenchmarkGovernorBaseline(b *testing.B) {
+	b.ReportAllocs()
 	ts := task.MustSet(
 		task.Task{Name: "sensor", Period: 5, WCET: 3},
 		task.Task{Name: "stabilize", Period: 33, WCET: 6},
@@ -518,6 +544,7 @@ func BenchmarkGovernorBaseline(b *testing.B) {
 // throughput-only bound on the worked example: how much of laEDF's
 // remaining gap to the printed bound is closable at all?
 func BenchmarkAblationClairvoyantGap(b *testing.B) {
+	b.ReportAllocs()
 	ts := task.PaperExample()
 	exec := task.ConstantFraction{C: 0.9}
 	m := machine.Machine0()
@@ -557,6 +584,7 @@ func BenchmarkAblationClairvoyantGap(b *testing.B) {
 // BenchmarkReadyQueue compares the O(n) scan picker against the
 // O(log n) heap queue at increasing task counts.
 func BenchmarkReadyQueueHeap128(b *testing.B) {
+	b.ReportAllocs()
 	q := sched.NewReadyQueue()
 	r := rand.New(rand.NewSource(1))
 	for i := 0; i < 128; i++ {

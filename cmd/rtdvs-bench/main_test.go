@@ -1,0 +1,132 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: rtdvs
+cpu: AMD EPYC 7B13
+BenchmarkSimulatorThroughput-8   	    1390	    860457 ns/op	       1 B/op	       0 allocs/op
+BenchmarkKernelThroughput-8      	   31014	     38293 ns/op	    2048 B/op	      12 allocs/op
+BenchmarkPolicyOverheadLAEDF64-8 	  645518	      1859 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	rtdvs	4.512s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	rep, err := parseBenchOutput(sampleOutput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.CPU != "AMD EPYC 7B13" {
+		t.Errorf("header = %s/%s/%s", rep.Goos, rep.Goarch, rep.CPU)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("%d benchmarks", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkSimulatorThroughput" {
+		t.Errorf("proc suffix not stripped: %q", b.Name)
+	}
+	if b.Iters != 1390 || b.NsOp != 860457 || b.BOp != 1 || b.AllocsOp != 0 {
+		t.Errorf("values = %+v", b)
+	}
+	if rep.Benchmarks[1].AllocsOp != 12 {
+		t.Errorf("allocs = %v", rep.Benchmarks[1].AllocsOp)
+	}
+}
+
+func TestParseBenchOutputKeepsFastestOfCount(t *testing.T) {
+	out := `goos: linux
+BenchmarkX-4   	100	    2000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkX-4   	100	    1500 ns/op	       8 B/op	       1 allocs/op
+BenchmarkX-4   	100	    1800 ns/op	       0 B/op	       0 allocs/op
+`
+	rep, err := parseBenchOutput(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 {
+		t.Fatalf("%d benchmarks", len(rep.Benchmarks))
+	}
+	if b := rep.Benchmarks[0]; b.NsOp != 1500 || b.AllocsOp != 1 {
+		t.Errorf("kept %+v, want the 1500 ns/op run", b)
+	}
+}
+
+func TestParseBenchOutputEmpty(t *testing.T) {
+	if _, err := parseBenchOutput("PASS\nok\n"); err == nil {
+		t.Error("empty output accepted")
+	}
+}
+
+func TestPickBaseline(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_PR2.json", "BENCH_PR10.json", "BENCH_PR3.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := pickBaseline(dir, "BENCH_PR11.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(got) != "BENCH_PR10.json" {
+		t.Errorf("picked %q, want the numerically newest BENCH_PR10.json", got)
+	}
+	// The report being written this run must not gate against itself.
+	got, err = pickBaseline(dir, "BENCH_PR10.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(got) != "BENCH_PR3.json" {
+		t.Errorf("picked %q, want BENCH_PR3.json with the out file excluded", got)
+	}
+}
+
+func TestPickBaselineNone(t *testing.T) {
+	got, err := pickBaseline(t.TempDir(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "" {
+		t.Errorf("picked %q from an empty dir", got)
+	}
+}
+
+func TestCompareAndGate(t *testing.T) {
+	base := &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkSimulatorThroughput", NsOp: 1000},
+		{Name: "BenchmarkKernelThroughput", NsOp: 1000},
+		{Name: "BenchmarkTinyHelper", NsOp: 10},
+		{Name: "BenchmarkRemoved", NsOp: 50},
+	}}
+	cur := &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkSimulatorThroughput", NsOp: 1100}, // +10%: inside threshold
+		{Name: "BenchmarkKernelThroughput", NsOp: 1300},    // +30%: gated failure
+		{Name: "BenchmarkTinyHelper", NsOp: 40},            // +300% but not gated
+		{Name: "BenchmarkAdded", NsOp: 5},                  // no baseline: skipped
+	}}
+	ds := compare(base, cur)
+	if len(ds) != 3 {
+		t.Fatalf("%d deltas: %+v", len(ds), ds)
+	}
+	gate := regexp.MustCompile("SimulatorThroughput|KernelThroughput")
+	fails := gateFailures(ds, gate, 0.15)
+	if len(fails) != 1 || fails[0].Name != "BenchmarkKernelThroughput" {
+		t.Fatalf("gate failures = %+v", fails)
+	}
+	if pct := fails[0].Pct; pct < 0.29 || pct > 0.31 {
+		t.Errorf("regression pct = %v", pct)
+	}
+	// Improvements never fail the gate.
+	cur.Benchmarks[1].NsOp = 500
+	if fails := gateFailures(compare(base, cur), gate, 0.15); len(fails) != 0 {
+		t.Errorf("improvement gated: %+v", fails)
+	}
+}

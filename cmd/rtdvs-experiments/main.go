@@ -5,6 +5,11 @@
 //
 //	rtdvs-experiments [-exp all|table1|table4|fig9|fig10|fig11|fig12|fig13|fig16|fig17|robustness]
 //	                  [-sets N] [-seed S] [-workers W] [-step U]
+//	                  [-cpuprofile f] [-memprofile f]
+//
+// The profiling flags write standard pprof profiles of the run
+// (`go tool pprof` reads them), which is how the simulator hot path is
+// profiled under a realistic full-sweep workload.
 //
 // The robustness experiment is not a figure from the paper: it sweeps the
 // injected WCET-overrun probability and reports miss rate, normalized
@@ -21,6 +26,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"rtdvs/internal/core"
@@ -37,11 +44,38 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	step := flag.Float64("step", 0.05, "utilization axis step")
 	format := flag.String("format", "text", "output format: text, csv, json")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 	switch *format {
 	case "text", "csv", "json":
 	default:
 		log.Fatalf("unknown format %q", *format)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
 	}
 
 	var points []float64

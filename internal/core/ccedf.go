@@ -18,6 +18,12 @@ import (
 type ccEDF struct {
 	base
 	util []float64 // U_i, per task
+	// sum is the running ΣU_i, maintained by per-event deltas so frequency
+	// selection (Figure 4's select_frequency: lowest fi with ΣU_j ≤ fi/fm)
+	// is O(1) per release/completion. ReservedUtilization deliberately
+	// re-sums from scratch, so the invariant checker audits this
+	// bookkeeping on every event.
+	sum float64
 }
 
 // CycleConservingEDF returns the cycle-conserving EDF policy.
@@ -31,34 +37,32 @@ func (p *ccEDF) Attach(ts *task.Set, m *machine.Spec) error {
 		return err
 	}
 	p.guaranteed = sched.EDFTest(ts, 1)
-	p.util = make([]float64, ts.Len())
+	p.util = growZeroed(p.util, ts.Len())
+	p.sum = 0
 	for i := range p.util {
 		// Before the first release each task is charged its worst case,
 		// matching the static starting point.
 		p.util[i] = ts.Task(i).Utilization()
+		p.sum += p.util[i]
 	}
-	p.selectFrequency()
+	p.setLowestAtLeast(p.sum)
 	return nil
 }
 
-// selectFrequency implements Figure 4's select_frequency(): lowest fi such
-// that U_1 + ... + U_n ≤ fi/fm.
-func (p *ccEDF) selectFrequency() {
-	var sum float64
-	for _, u := range p.util {
-		sum += u
-	}
-	p.setLowestAtLeast(sum)
+// adjust moves U_i to u, updates the running sum, and re-selects the
+// lowest frequency covering it (Figure 4's select_frequency).
+func (p *ccEDF) adjust(i int, u float64) {
+	p.sum += u - p.util[i]
+	p.util[i] = u
+	p.setLowestAtLeast(p.sum)
 }
 
 func (p *ccEDF) OnRelease(_ System, i int) {
-	p.util[i] = p.ts.Task(i).Utilization()
-	p.selectFrequency()
+	p.adjust(i, p.ts.Task(i).Utilization())
 }
 
 func (p *ccEDF) OnCompletion(_ System, i int, used float64) {
-	p.util[i] = used / p.ts.Task(i).Period
-	p.selectFrequency()
+	p.adjust(i, used/p.ts.Task(i).Period)
 }
 
 func (p *ccEDF) OnExecute(int, float64) {}
@@ -66,6 +70,9 @@ func (p *ccEDF) OnExecute(int, float64) {}
 // ReservedUtilization reports ΣU_i, the capacity the policy currently
 // reserves. For an admitted set it never exceeds 1 (the EDF bound) —
 // the simulator's invariant checker asserts this after every callback.
+// It intentionally re-sums util rather than returning the running sum:
+// an independent computation is what makes the invariant an audit of
+// the incremental bookkeeping instead of a tautology.
 func (p *ccEDF) ReservedUtilization() float64 {
 	var sum float64
 	for _, u := range p.util {

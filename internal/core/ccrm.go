@@ -26,11 +26,10 @@ import (
 // savings.
 type ccRM struct {
 	base
-	fstatic  float64   // statically-scaled RM frequency (pacing target)
-	cleft    []float64 // worst-case remaining cycles, per task
-	d        []float64 // cycles allotted before the next deadline, per task
-	rmOrder  []int     // task indices sorted by period (RM priority)
-	deadline []float64 // scratch: current deadlines, filled per event
+	fstatic float64   // statically-scaled RM frequency (pacing target)
+	cleft   []float64 // worst-case remaining cycles, per task
+	d       []float64 // cycles allotted before the next deadline, per task
+	rmOrder []int     // task indices sorted by period (RM priority)
 }
 
 // CycleConservingRM returns the cycle-conserving RM policy.
@@ -47,15 +46,42 @@ func (p *ccRM) Attach(ts *task.Set, m *machine.Spec) error {
 	p.fstatic = staticOp.Freq
 	p.guaranteed = ok
 	n := ts.Len()
-	p.cleft = make([]float64, n)
-	p.d = make([]float64, n)
-	p.rmOrder = ts.ByPeriod()
-	p.deadline = make([]float64, n)
+	p.cleft = growZeroed(p.cleft, n)
+	p.d = growZeroed(p.d, n)
+	// RM priority order: period ascending, ties by index — the same
+	// ordering ts.ByPeriod() returns, rebuilt in place so a reused
+	// instance does not reallocate.
+	p.rmOrder = growZeroed(p.rmOrder, n)
+	for i := range p.rmOrder {
+		p.rmOrder[i] = i
+	}
+	for i := 1; i < n; i++ {
+		v := p.rmOrder[i]
+		j := i
+		for j > 0 && p.rmBefore(v, p.rmOrder[j-1]) {
+			p.rmOrder[j] = p.rmOrder[j-1]
+			j--
+		}
+		p.rmOrder[j] = v
+	}
 	// Until the first releases arrive nothing is runnable; rest at the
 	// static point so a system that idles before time zero behaves like
 	// the static schedule.
 	p.point = staticOp
 	return nil
+}
+
+// rmBefore is the RM priority order: shorter period first, ties by
+// ascending task index (matching task.Set.ByPeriod's stable sort).
+func (p *ccRM) rmBefore(a, b int) bool {
+	pa, pb := p.ts.Task(a).Period, p.ts.Task(b).Period
+	switch {
+	case pa < pb:
+		return true
+	case pa > pb:
+		return false
+	}
+	return a < b
 }
 
 // nextDeadline returns the earliest current deadline in the system.

@@ -55,6 +55,7 @@ type ContainmentReporter interface {
 // job runs arbitrarily far past its reservation.
 type contained struct {
 	inner Policy
+	name  string // inner.Name() + "+contain", fixed at construction
 	ts    *task.Set
 	m     *machine.Spec
 
@@ -74,9 +75,11 @@ type contained struct {
 
 // Contained wraps inner with overrun containment. The wrapped policy's
 // name is the inner name with a "+contain" suffix.
-func Contained(inner Policy) Policy { return &contained{inner: inner} }
+func Contained(inner Policy) Policy {
+	return &contained{inner: inner, name: inner.Name() + "+contain"}
+}
 
-func (p *contained) Name() string          { return p.inner.Name() + "+contain" }
+func (p *contained) Name() string          { return p.name }
 func (p *contained) Scheduler() sched.Kind { return p.inner.Scheduler() }
 func (p *contained) Guaranteed() bool      { return p.inner.Guaranteed() }
 
@@ -85,11 +88,12 @@ func (p *contained) Attach(ts *task.Set, m *machine.Spec) error {
 		return err
 	}
 	p.ts, p.m = ts, m
-	p.used = make([]float64, ts.Len())
-	p.over = make([]bool, ts.Len())
-	p.perTk = make([]int, ts.Len())
+	n := ts.Len()
+	p.used = growZeroed(p.used, n)
+	p.over = growZeroed(p.over, n)
+	p.perTk = growZeroed(p.perTk, n)
 	p.total, p.nOver = 0, 0
-	p.overAt = make([]float64, ts.Len())
+	p.overAt = growZeroed(p.overAt, n)
 	for i := range p.overAt {
 		p.overAt[i] = math.NaN()
 	}

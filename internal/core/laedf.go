@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"rtdvs/internal/fpx"
 	"rtdvs/internal/machine"
 	"rtdvs/internal/sched"
@@ -37,7 +35,13 @@ import (
 type laEDF struct {
 	base
 	cleft []float64 // worst-case remaining cycles of the current invocation
-	order []int     // scratch: indices sorted by deadline, reused per call
+	// order holds the tasks in reverse-EDF order (latest deadline first,
+	// ties by index). Between scheduling events at most one task's
+	// deadline moves, so the order is repaired by insertion sort from its
+	// previous state — near-linear per event — instead of fully re-sorted.
+	order []int
+	dl    []float64 // deadline cache for the current walk, filled per event
+	u0    float64   // ΣC_i/P_i of the attached set, fixed per Attach
 	// peakU is the largest cumulative utilization reached during the last
 	// defer_ walk. The walk reserves C_j/P_j for every earlier-deadline
 	// task and re-adds only non-deferred work, so for an admitted set
@@ -58,11 +62,32 @@ func (p *laEDF) Attach(ts *task.Set, m *machine.Spec) error {
 		return err
 	}
 	p.guaranteed = sched.EDFTest(ts, 1)
-	p.cleft = make([]float64, ts.Len())
-	p.order = make([]int, ts.Len())
+	n := ts.Len()
+	p.cleft = growZeroed(p.cleft, n)
+	p.order = growZeroed(p.order, n)
+	for i := range p.order {
+		p.order[i] = i
+	}
+	p.dl = growZeroed(p.dl, n)
+	p.u0 = ts.Utilization()
 	p.peakU = 0
 	p.point = m.Min() // nothing to do before the first release
 	return nil
+}
+
+// laterDeadline is the reverse-EDF ordering of the deferral walk: latest
+// deadline first, ties by ascending task index. It is a strict total
+// order, so the sorted permutation is unique — identical to what the
+// original identity-initialized stable sort produced — no matter what
+// order the repair starts from.
+func (p *laEDF) laterDeadline(a, b int) bool {
+	switch {
+	case p.dl[a] > p.dl[b]:
+		return true
+	case p.dl[a] < p.dl[b]:
+		return false
+	}
+	return a < b
 }
 
 // defer_ implements Figure 8's defer(): compute s, the minimum number of
@@ -72,29 +97,37 @@ func (p *laEDF) defer_(sys System) {
 	n := p.ts.Len()
 	now := sys.Now()
 
-	// D_n: the earliest deadline in the system.
-	dn := sys.Deadline(0)
-	for i := 1; i < n; i++ {
-		if d := sys.Deadline(i); d < dn {
+	// Cache the deadlines and find D_n (the earliest) in one pass.
+	for i := 0; i < n; i++ {
+		p.dl[i] = sys.Deadline(i)
+	}
+	dn := p.dl[0]
+	for _, d := range p.dl[1:] {
+		if d < dn {
 			dn = d
 		}
 	}
 
-	// Tasks in reverse EDF order (latest deadline first).
-	for i := range p.order {
-		p.order[i] = i
+	// Repair the reverse-EDF order from its previous state. Only the
+	// task(s) whose deadline changed since the last event are out of
+	// place, so this insertion sort runs in near-linear time.
+	for i := 1; i < n; i++ {
+		v := p.order[i]
+		j := i
+		for j > 0 && p.laterDeadline(v, p.order[j-1]) {
+			p.order[j] = p.order[j-1]
+			j--
+		}
+		p.order[j] = v
 	}
-	sort.SliceStable(p.order, func(a, b int) bool {
-		return sys.Deadline(p.order[a]) > sys.Deadline(p.order[b])
-	})
 
-	u := p.ts.Utilization()
+	u := p.u0
 	peak := u
 	var s float64
 	for _, i := range p.order {
 		t := p.ts.Task(i)
 		u -= t.Utilization()
-		window := sys.Deadline(i) - dn
+		window := p.dl[i] - dn
 		var x float64
 		if fpx.LeTol(window, 0, fpx.Tiny) {
 			// The earliest-deadline task(s): every remaining cycle must

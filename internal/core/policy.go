@@ -180,11 +180,25 @@ func All() []Policy {
 	return ps
 }
 
+// growZeroed returns a zeroed slice of length n, reusing s's backing
+// array when its capacity suffices. Policy Attach methods use it so a
+// reused instance (the documented contract: Attach resets all state)
+// reaches steady state without reallocating its bookkeeping arrays.
+func growZeroed[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
 // base carries the state common to every policy: the attached task set,
 // machine, and currently selected operating point.
 type base struct {
 	ts         *task.Set
 	m          *machine.Spec
+	sel        machine.PointSelector
 	point      machine.OperatingPoint
 	guaranteed bool
 }
@@ -200,6 +214,7 @@ func (b *base) attach(ts *task.Set, m *machine.Spec) error {
 		return err
 	}
 	b.ts, b.m = ts, m
+	b.sel = m.Selector()
 	b.point = m.Max()
 	b.guaranteed = false
 	return nil
@@ -209,11 +224,10 @@ func (b *base) Guaranteed() bool              { return b.guaranteed }
 func (b *base) Point() machine.OperatingPoint { return b.point }
 
 // setLowestAtLeast moves the operating point to the lowest one meeting
-// the required relative frequency, saturating at full speed.
+// the required relative frequency, saturating at full speed. The cached
+// selector keeps this allocation- and closure-free: it runs on every
+// release and completion of the dynamic policies.
 func (b *base) setLowestAtLeast(f float64) {
-	op, err := b.m.LowestAtLeast(f)
-	if err != nil {
-		op = b.m.Max()
-	}
+	op, _ := b.sel.AtLeast(f) // saturates at max when unreachable
 	b.point = op
 }

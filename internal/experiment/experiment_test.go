@@ -2,6 +2,8 @@ package experiment
 
 import (
 	"math"
+	"reflect"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -254,8 +256,10 @@ func TestFigure16And17Agree(t *testing.T) {
 	}
 }
 
-// Results must not depend on worker count or scheduling order: every
-// (utilization, set) job is independently seeded.
+// Results must be bit-identical regardless of worker count: every
+// (utilization, set) job is independently seeded, workers write into
+// per-job slots, and the fold into the streaming means runs sequentially
+// in job-submission order.
 func TestSweepDeterministicAcrossWorkers(t *testing.T) {
 	run := func(workers int) *Sweep {
 		sw, err := Run(Config{
@@ -271,16 +275,50 @@ func TestSweepDeterministicAcrossWorkers(t *testing.T) {
 		}
 		return sw
 	}
-	a, b := run(1), run(8)
-	for _, p := range core.Names() {
-		for i := range a.Utilizations {
-			x, y := a.Energy[p][i], b.Energy[p][i]
-			// Per-run results are bit-exact; only the order the streaming
-			// mean folds them in depends on worker scheduling, so allow
-			// last-ulp rounding differences.
-			if math.Abs(x-y) > 1e-9*math.Max(1, math.Abs(x)) {
-				t.Fatalf("%s[%d]: %v (1 worker) != %v (8 workers)", p, i, x, y)
+	a := run(1)
+	b := run(runtime.GOMAXPROCS(0))
+	if !reflect.DeepEqual(a, b) {
+		for _, p := range core.Names() {
+			for i := range a.Utilizations {
+				if x, y := a.Energy[p][i], b.Energy[p][i]; x != y {
+					t.Errorf("Energy[%s][%d]: %v (1 worker) != %v (GOMAXPROCS workers)", p, i, x, y)
+				}
+				if x, y := a.Normalized[p][i], b.Normalized[p][i]; x != y {
+					t.Errorf("Normalized[%s][%d]: %v != %v", p, i, x, y)
+				}
 			}
 		}
+		t.Fatalf("sweep differs across worker counts:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// The power sweeps (Figures 16/17) must also be bit-identical across
+// worker counts — the simulated path additionally exercises per-worker
+// Runner and policy-instance reuse.
+func TestPowerSweepDeterministicAcrossWorkers(t *testing.T) {
+	opts := func(workers int) Options {
+		return Options{Sets: 3, Seed: 5, Points: []float64{0.4, 0.9}, Workers: workers}
+	}
+	f17a, err := Figure17(opts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f17b, err := Figure17(opts(runtime.GOMAXPROCS(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f17a, f17b) {
+		t.Errorf("figure 17 differs across worker counts:\n%+v\nvs\n%+v", f17a, f17b)
+	}
+	f16a, err := Figure16(opts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f16b, err := Figure16(opts(runtime.GOMAXPROCS(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f16a, f16b) {
+		t.Errorf("figure 16 differs across worker counts:\n%+v\nvs\n%+v", f16a, f16b)
 	}
 }

@@ -123,6 +123,8 @@ func Run(cfg Config) (*Sweep, error) {
 
 	policies := ensureBaseline(cfg.Policies)
 	nu := len(cfg.Utilizations)
+	np := len(policies)
+	baseIdx := policyIndex(policies, "none")
 
 	type cell struct {
 		energy map[string]*stats.Accumulator
@@ -146,6 +148,22 @@ func Run(cfg Config) (*Sweep, error) {
 		}
 	}
 
+	// Workers write each job's scalar outputs into its own preallocated
+	// slot — no locking, no shared accumulators — and a single sequential
+	// fold afterwards adds them in (utilization, set, policy) order. That
+	// order is exactly what one worker draining the job channel produces,
+	// so the streaming means are bit-identical for any worker count.
+	type jobOut struct {
+		ok     bool
+		energy []float64 // per policy, indexed like policies
+		misses []int
+		bnd    float64
+	}
+	outs := make([]jobOut, nu*cfg.Sets)
+	for i := range outs {
+		outs[i] = jobOut{energy: make([]float64, np), misses: make([]int, np)}
+	}
+
 	type job struct{ ui, si int }
 	jobs := make(chan job)
 	var mu sync.Mutex
@@ -164,6 +182,12 @@ func Run(cfg Config) (*Sweep, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One simulator and one instance of each policy per worker,
+			// reset via Runner reuse and Policy.Attach between runs, so a
+			// sweep of hundreds of simulations allocates per worker, not
+			// per run.
+			runner := sim.NewRunner()
+			pcache := map[string]core.Policy{}
 			for j := range jobs {
 				u := cfg.Utilizations[j.ui]
 				seed := cfg.Seed + int64(j.ui)*1_000_003 + int64(j.si)*7919
@@ -179,19 +203,24 @@ func Run(cfg Config) (*Sweep, error) {
 					horizon = 10 * ts.MaxPeriod()
 				}
 
-				results := make(map[string]*sim.Result, len(policies))
+				out := &outs[j.ui*cfg.Sets+j.si]
+				var baseCycles float64
 				ok := true
-				for _, pname := range policies {
-					p, err := core.ByName(pname)
-					if err != nil {
-						fail(err)
-						ok = false
-						break
+				for pi, pname := range policies {
+					p := pcache[pname]
+					if p == nil {
+						p, err = core.ByName(pname)
+						if err != nil {
+							fail(err)
+							ok = false
+							break
+						}
+						pcache[pname] = p
 					}
 					// Each policy sees the same per-set randomness for
 					// its execution-time draws.
 					execR := rand.New(rand.NewSource(seed ^ 0x5DEECE66D))
-					res, err := sim.Run(sim.Config{
+					res, err := runner.Run(sim.Config{
 						Tasks:   ts,
 						Machine: cfg.Machine,
 						Policy:  p,
@@ -203,33 +232,24 @@ func Run(cfg Config) (*Sweep, error) {
 						ok = false
 						break
 					}
-					results[pname] = res
+					// The result aliases the runner's buffers; pull out the
+					// scalars before the next run clobbers it.
+					out.energy[pi] = res.TotalEnergy
+					out.misses[pi] = res.MissCount()
+					if pi == baseIdx {
+						baseCycles = res.CyclesDone
+					}
 				}
 				if !ok {
 					continue
 				}
-				base := results["none"]
-				bnd, err := bound.Energy(cfg.Machine, base.CyclesDone, horizon)
+				bnd, err := bound.Energy(cfg.Machine, baseCycles, horizon)
 				if err != nil {
 					fail(err)
 					continue
 				}
-
-				mu.Lock()
-				c := &cells[j.ui]
-				for _, pname := range policies {
-					res := results[pname]
-					c.energy[pname].Add(res.TotalEnergy)
-					if base.TotalEnergy > 0 {
-						c.norm[pname].Add(res.TotalEnergy / base.TotalEnergy)
-					}
-					c.misses[pname] += res.MissCount()
-				}
-				c.bnd.Add(bnd)
-				if base.TotalEnergy > 0 {
-					c.bndN.Add(bnd / base.TotalEnergy)
-				}
-				mu.Unlock()
+				out.bnd = bnd
+				out.ok = true
 			}
 		}()
 	}
@@ -243,6 +263,28 @@ func Run(cfg Config) (*Sweep, error) {
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
+	}
+
+	for ui := 0; ui < nu; ui++ {
+		c := &cells[ui]
+		for si := 0; si < cfg.Sets; si++ {
+			out := &outs[ui*cfg.Sets+si]
+			if !out.ok {
+				continue
+			}
+			baseE := out.energy[baseIdx]
+			for pi, pname := range policies {
+				c.energy[pname].Add(out.energy[pi])
+				if baseE > 0 {
+					c.norm[pname].Add(out.energy[pi] / baseE)
+				}
+				c.misses[pname] += out.misses[pi]
+			}
+			c.bnd.Add(out.bnd)
+			if baseE > 0 {
+				c.bndN.Add(out.bnd / baseE)
+			}
+		}
 	}
 
 	sw := &Sweep{
@@ -282,4 +324,14 @@ func ensureBaseline(ps []string) []string {
 		}
 	}
 	return append([]string{"none"}, ps...)
+}
+
+// policyIndex returns the position of name in policies, or -1.
+func policyIndex(policies []string, name string) int {
+	for i, p := range policies {
+		if p == name {
+			return i
+		}
+	}
+	return -1
 }

@@ -102,6 +102,20 @@ func powerSweep(pc powerConfig, o Options) (*PowerSweep, error) {
 		}
 	}
 
+	// Per-job output slots, folded sequentially in (utilization, set,
+	// policy) order after the workers finish — the order a single worker
+	// produces — so the means are bit-identical for any worker count.
+	type jobOut struct {
+		ok     bool
+		watts  []float64 // per policy, indexed like pc.policies
+		misses []int
+	}
+	np := len(pc.policies)
+	outs := make([]jobOut, len(utils)*sets)
+	for i := range outs {
+		outs[i] = jobOut{watts: make([]float64, np), misses: make([]int, np)}
+	}
+
 	type job struct{ ui, si int }
 	jobs := make(chan job)
 	var mu sync.Mutex
@@ -119,6 +133,11 @@ func powerSweep(pc powerConfig, o Options) (*PowerSweep, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// The simulated path reuses one runner and one policy instance
+			// per worker; the system path builds a fresh kernel per run
+			// (the RTOS substrate has no reuse API).
+			runner := sim.NewRunner()
+			pcache := map[string]core.Policy{}
 			for j := range jobs {
 				u := utils[j.ui]
 				seed := o.Seed + int64(j.ui)*1_000_003 + int64(j.si)*7919
@@ -130,23 +149,35 @@ func powerSweep(pc powerConfig, o Options) (*PowerSweep, error) {
 					continue
 				}
 				horizon := 10 * ts.MaxPeriod()
-				for _, pname := range pc.policies {
+				out := &outs[j.ui*sets+j.si]
+				ok := true
+				for pi, pname := range pc.policies {
 					var watts float64
 					var misses int
 					if pc.system {
 						watts, misses, err = runSystemPower(ts, pname, pc.cFrac, horizon)
 					} else {
-						watts, misses, err = runSimPower(ts, pname, pc.cFrac, horizon)
+						p := pcache[pname]
+						if p == nil {
+							p, err = core.ByName(pname)
+							if err != nil {
+								fail(err)
+								ok = false
+								break
+							}
+							pcache[pname] = p
+						}
+						watts, misses, err = runSimPower(runner, ts, p, pc.cFrac, horizon)
 					}
 					if err != nil {
 						fail(err)
+						ok = false
 						break
 					}
-					mu.Lock()
-					acc[pname][j.ui].Add(watts)
-					ps.Misses[pname][j.ui] += misses
-					mu.Unlock()
+					out.watts[pi] = watts
+					out.misses[pi] = misses
 				}
+				out.ok = ok
 			}
 		}()
 	}
@@ -159,6 +190,18 @@ func powerSweep(pc powerConfig, o Options) (*PowerSweep, error) {
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
+	}
+	for ui := range utils {
+		for si := 0; si < sets; si++ {
+			out := &outs[ui*sets+si]
+			if !out.ok {
+				continue
+			}
+			for pi, pname := range pc.policies {
+				acc[pname][ui].Add(out.watts[pi])
+				ps.Misses[pname][ui] += out.misses[pi]
+			}
+		}
 	}
 	for _, p := range pc.policies {
 		for i := range utils {
@@ -201,12 +244,9 @@ func runSystemPower(ts *task.Set, pname string, cFrac, horizon float64) (watts f
 }
 
 // runSimPower measures processor-only average power with the simulator.
-func runSimPower(ts *task.Set, pname string, cFrac, horizon float64) (power float64, misses int, err error) {
-	p, err := core.ByName(pname)
-	if err != nil {
-		return 0, 0, err
-	}
-	res, err := sim.Run(sim.Config{
+// The runner and policy are reused across calls; the caller owns both.
+func runSimPower(runner *sim.Runner, ts *task.Set, p core.Policy, cFrac, horizon float64) (power float64, misses int, err error) {
+	res, err := runner.Run(sim.Config{
 		Tasks:   ts,
 		Machine: machine.LaptopK62(),
 		Policy:  p,

@@ -146,6 +146,34 @@ func Robustness(cfg RobustnessConfig) (*RobustnessSweep, error) {
 		}
 	}
 
+	// Per-run scalars captured by the workers into per-job slots; a
+	// sequential fold afterwards adds them in (rate, set, policy) order —
+	// exactly what one worker draining the job channel produces — so the
+	// means are bit-identical for any worker count.
+	type polOut struct {
+		releases  int
+		missCount int
+		energy    float64
+		// Containment counters from the policy (when it reports any) and
+		// overrun counts from the fault record.
+		reporter     bool
+		containments int
+		latSum       float64
+		latN         int
+		hasFaults    bool
+		overruns     int
+	}
+	type jobOut struct {
+		ok  bool
+		pol []polOut // per policy, indexed like policies
+	}
+	np := len(policies)
+	baseIdx := policyIndex(policies, "none")
+	outs := make([]jobOut, nr*cfg.Sets)
+	for i := range outs {
+		outs[i] = jobOut{pol: make([]polOut, np)}
+	}
+
 	type job struct{ ri, si int }
 	jobs := make(chan job)
 	var mu sync.Mutex
@@ -163,6 +191,10 @@ func Robustness(cfg RobustnessConfig) (*RobustnessSweep, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One simulator and one instance of each policy per worker,
+			// reset between runs via Runner reuse and Policy.Attach.
+			runner := sim.NewRunner()
+			pcache := map[string]core.Policy{}
 			for j := range jobs {
 				// The task set depends only on the set index, so every rate
 				// stresses the same workloads.
@@ -185,17 +217,20 @@ func Robustness(cfg RobustnessConfig) (*RobustnessSweep, error) {
 					OverrunTail:   cfg.OverrunTail,
 				}
 
-				results := make(map[string]*sim.Result, len(policies))
-				reporters := make(map[string]core.ContainmentReporter, len(policies))
+				out := &outs[j.ri*cfg.Sets+j.si]
 				ok := true
-				for _, pname := range policies {
-					p, err := core.ByName(pname)
-					if err != nil {
-						fail(err)
-						ok = false
-						break
+				for pi, pname := range policies {
+					p := pcache[pname]
+					if p == nil {
+						p, err = core.ByName(pname)
+						if err != nil {
+							fail(err)
+							ok = false
+							break
+						}
+						pcache[pname] = p
 					}
-					res, err := sim.Run(sim.Config{
+					res, err := runner.Run(sim.Config{
 						Tasks:   ts,
 						Machine: cfg.Machine,
 						Policy:  p,
@@ -207,37 +242,24 @@ func Robustness(cfg RobustnessConfig) (*RobustnessSweep, error) {
 						ok = false
 						break
 					}
-					results[pname] = res
+					// The result aliases the runner's buffers and the
+					// policy is reattached next job; capture everything
+					// this run contributes before moving on.
+					po := &out.pol[pi]
+					po.releases = res.Releases
+					po.missCount = res.MissCount()
+					po.energy = res.TotalEnergy
+					if res.Faults != nil {
+						po.hasFaults = true
+						po.overruns = res.Faults.Overruns
+					}
 					if cr, isCR := p.(core.ContainmentReporter); isCR {
-						reporters[pname] = cr
+						po.reporter = true
+						po.containments = cr.Containments()
+						po.latSum, po.latN = cr.ContainmentLatency()
 					}
 				}
-				if !ok {
-					continue
-				}
-				base := results["none"]
-
-				mu.Lock()
-				c := &cells[j.ri]
-				for _, pname := range policies {
-					res := results[pname]
-					if res.Releases > 0 {
-						c.miss[pname].Add(float64(res.MissCount()) / float64(res.Releases))
-					}
-					if base.TotalEnergy > 0 {
-						c.norm[pname].Add(res.TotalEnergy / base.TotalEnergy)
-					}
-					if cr := reporters[pname]; cr != nil && res.Faults != nil && res.Faults.Overruns > 0 {
-						c.cont[pname].Add(float64(cr.Containments()) / float64(res.Faults.Overruns))
-						if sum, n := cr.ContainmentLatency(); n > 0 {
-							c.lat[pname].Add(sum / float64(n))
-						}
-					}
-				}
-				if base.Faults != nil {
-					c.overruns.Add(float64(base.Faults.Overruns))
-				}
-				mu.Unlock()
+				out.ok = ok
 			}
 		}()
 	}
@@ -251,6 +273,35 @@ func Robustness(cfg RobustnessConfig) (*RobustnessSweep, error) {
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
+	}
+
+	for ri := 0; ri < nr; ri++ {
+		c := &cells[ri]
+		for si := 0; si < cfg.Sets; si++ {
+			out := &outs[ri*cfg.Sets+si]
+			if !out.ok {
+				continue
+			}
+			base := &out.pol[baseIdx]
+			for pi, pname := range policies {
+				po := &out.pol[pi]
+				if po.releases > 0 {
+					c.miss[pname].Add(float64(po.missCount) / float64(po.releases))
+				}
+				if base.energy > 0 {
+					c.norm[pname].Add(po.energy / base.energy)
+				}
+				if po.reporter && po.hasFaults && po.overruns > 0 {
+					c.cont[pname].Add(float64(po.containments) / float64(po.overruns))
+					if po.latN > 0 {
+						c.lat[pname].Add(po.latSum / float64(po.latN))
+					}
+				}
+			}
+			if base.hasFaults {
+				c.overruns.Add(float64(base.overruns))
+			}
+		}
 	}
 
 	sw := &RobustnessSweep{

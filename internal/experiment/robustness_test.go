@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"reflect"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -66,6 +68,30 @@ func TestRobustnessContainmentAcceptance(t *testing.T) {
 	}
 	if plain <= contained {
 		t.Errorf("uncontained miss rate %.5f not above contained %.5f", plain, contained)
+	}
+}
+
+// Robustness sweeps must be bit-identical regardless of worker count:
+// workers capture per-run scalars into per-job slots and the fold into
+// the streaming means runs sequentially in job-submission order.
+func TestRobustnessDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) *RobustnessSweep {
+		sw, err := Robustness(RobustnessConfig{
+			Rates:   []float64{0, 0.15},
+			NTasks:  4,
+			Sets:    4,
+			Seed:    13,
+			Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sw
+	}
+	a := run(1)
+	b := run(runtime.GOMAXPROCS(0))
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("robustness sweep differs across worker counts:\n%+v\nvs\n%+v", a, b)
 	}
 }
 

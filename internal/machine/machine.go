@@ -14,7 +14,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 	"strings"
 
 	"rtdvs/internal/fpx"
@@ -113,15 +112,60 @@ func (s *Spec) Max() OperatingPoint { return s.Points[len(s.Points)-1] }
 // callers that must keep running (a policy already committed to a task
 // set) saturate at full speed.
 func (s *Spec) LowestAtLeast(f float64) (OperatingPoint, error) {
-	// The fpx tolerance keeps exact boundary utilizations (e.g. demand
-	// exactly equal to 0.75·capacity) from being bumped a level by
-	// floating-point noise.
-	i := sort.Search(len(s.Points), func(i int) bool { return fpx.Ge(s.Points[i].Freq, f) })
-	if i == len(s.Points) {
-		return s.Max(), fmt.Errorf("%w: need %v, max is %v", ErrFreqUnreachable, f, s.Max().Freq)
+	// The fpx tolerance (inside the selector) keeps exact boundary
+	// utilizations (e.g. demand exactly equal to 0.75·capacity) from
+	// being bumped a level by floating-point noise.
+	op, ok := s.Selector().AtLeast(f)
+	if !ok {
+		return op, fmt.Errorf("%w: need %v, max is %v", ErrFreqUnreachable, f, s.Max().Freq)
 	}
-	return s.Points[i], nil
+	return op, nil
 }
+
+// PointSelector is a precomputed frequency→operating-point step function
+// over a spec's static table. The table never changes after construction,
+// so selection is a closure-free scan over a handful of points — the
+// per-event replacement for Spec.LowestAtLeast on policy hot paths
+// (ccEDF/laEDF re-select a point on every release and completion).
+type PointSelector struct {
+	points []OperatingPoint
+}
+
+// Selector returns the spec's cached point selector. The selector
+// aliases the spec's table; specs are immutable after construction.
+func (s *Spec) Selector() PointSelector {
+	return PointSelector{points: s.Points}
+}
+
+// AtLeast returns the lowest operating point whose frequency is at least
+// f, using the same fpx boundary tolerance as Spec.LowestAtLeast. When
+// no point satisfies f it returns the maximum point and ok=false — the
+// saturating behavior every policy wants once committed to a task set.
+func (sel PointSelector) AtLeast(f float64) (op OperatingPoint, ok bool) {
+	// Point tables are tiny (3–5 rows), so a branch-predictable linear
+	// scan beats binary search and avoids sort.Search's closure call.
+	for _, p := range sel.points {
+		if fpx.Ge(p.Freq, f) {
+			return p, true
+		}
+	}
+	return sel.points[len(sel.points)-1], false
+}
+
+// Index returns the table index of op, or -1 if op is not a point of
+// this spec. Used to accumulate per-point statistics in dense arrays
+// instead of maps on the simulator hot path.
+func (sel PointSelector) Index(op OperatingPoint) int {
+	for i, p := range sel.points {
+		if p == op {
+			return i
+		}
+	}
+	return -1
+}
+
+// Len returns the number of operating points in the table.
+func (sel PointSelector) Len() int { return len(sel.points) }
 
 // IdlePower returns the power drawn while halted at the given point.
 func (s *Spec) IdlePower(op OperatingPoint) float64 {

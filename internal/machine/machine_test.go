@@ -126,6 +126,48 @@ func TestLowestAtLeastProperty(t *testing.T) {
 	}
 }
 
+// The cached selector must agree with LowestAtLeast for every spec and
+// any request, including saturation, and must not allocate.
+func TestSelectorMatchesLowestAtLeast(t *testing.T) {
+	for _, name := range Names() {
+		spec := ByName(name)
+		sel := spec.Selector()
+		f := func(raw float64) bool {
+			req := math.Mod(math.Abs(raw), 1.5) // cover unreachable too
+			op, ok := sel.AtLeast(req)
+			want, err := spec.LowestAtLeast(req)
+			return op == want && ok == (err == nil)
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		sweeps := testing.AllocsPerRun(100, func() {
+			for _, req := range []float64{0, 0.3, 0.6, 0.9, 1, 1.2} {
+				sel.AtLeast(req)
+			}
+		})
+		if sweeps != 0 {
+			t.Errorf("%s: AtLeast allocates %.1f times per sweep", name, sweeps)
+		}
+	}
+}
+
+func TestSelectorIndex(t *testing.T) {
+	spec := Machine0()
+	sel := spec.Selector()
+	if sel.Len() != len(spec.Points) {
+		t.Fatalf("Len = %d, want %d", sel.Len(), len(spec.Points))
+	}
+	for i, p := range spec.Points {
+		if got := sel.Index(p); got != i {
+			t.Errorf("Index(%v) = %d, want %d", p, got, i)
+		}
+	}
+	if got := sel.Index(OperatingPoint{Freq: 0.123, Voltage: 9}); got != -1 {
+		t.Errorf("Index of foreign point = %d, want -1", got)
+	}
+}
+
 func TestIdlePower(t *testing.T) {
 	m := Machine0().WithIdleLevel(0.5)
 	op := m.Min() // 0.5 @ 3V: power 4.5

@@ -1,22 +1,32 @@
 package sched
 
 import (
-	"container/heap"
 	"fmt"
+	"math"
 )
 
-// ReadyQueue is a priority queue of ready tasks keyed by scheduling
-// priority. The simulator's default picker scans all tasks per event —
-// fine at the paper's task counts — while a ReadyQueue gives O(log n)
-// insert/extract for larger systems (the RTOS-kernel path of a deployed
-// implementation). Keys follow the discipline: absolute deadline for
-// EDF, period for RM; lower key = higher priority, ties broken by task
-// index for determinism.
+// ReadyQueue is a priority queue of tasks keyed by a float64 priority.
+// The simulator uses two of them per run — one as the EDF/RM ready queue
+// (key: absolute deadline or period) and one as the release timer queue
+// (key: next release time) — turning the per-event O(n) scans into
+// O(log n) heap operations. Keys follow the discipline: lower key =
+// higher priority (earlier timer), ties broken by task index for
+// determinism.
+//
+// The implementation is a hand-rolled indexed binary heap rather than
+// container/heap: the standard library interface boxes every pushed item
+// into an interface{}, which allocates on the hot path. Positions are
+// tracked in a dense slice indexed by task id (task ids are small and
+// contiguous in this repository), giving O(1) membership tests and
+// O(log n) removal/update with zero steady-state allocations. Reset
+// retains both backing arrays, so a drained-and-reset queue performs no
+// allocation at all on reuse — the property the simulator's Runner
+// leans on when it replays hundreds of runs per worker.
 type ReadyQueue struct {
-	h readyHeap
-	// pos maps task index to heap position, enabling O(log n) removal
-	// and key updates.
-	pos map[int]int
+	items []readyItem
+	// pos maps task index to heap position; -1 means not queued. It grows
+	// to the largest task index ever pushed and is retained across Reset.
+	pos []int
 }
 
 type readyItem struct {
@@ -24,105 +34,163 @@ type readyItem struct {
 	key  float64
 }
 
-type readyHeap struct {
-	items []readyItem
-	pos   map[int]int
-}
-
-func (h readyHeap) Len() int { return len(h.items) }
-func (h readyHeap) Less(a, b int) bool {
-	// Exact ordering, no epsilon: a comparator must stay transitive, and
-	// restructuring as two ordered tests avoids float equality entirely.
-	switch {
-	case h.items[a].key < h.items[b].key:
-		return true
-	case h.items[a].key > h.items[b].key:
-		return false
-	}
-	return h.items[a].task < h.items[b].task
-}
-func (h readyHeap) Swap(a, b int) {
-	h.items[a], h.items[b] = h.items[b], h.items[a]
-	h.pos[h.items[a].task] = a
-	h.pos[h.items[b].task] = b
-}
-func (h *readyHeap) Push(x interface{}) {
-	it := x.(readyItem)
-	h.pos[it.task] = len(h.items)
-	h.items = append(h.items, it)
-}
-func (h *readyHeap) Pop() interface{} {
-	old := h.items
-	n := len(old)
-	it := old[n-1]
-	h.items = old[:n-1]
-	delete(h.pos, it.task)
-	return it
-}
-
 // NewReadyQueue creates an empty queue.
 func NewReadyQueue() *ReadyQueue {
-	pos := map[int]int{}
-	return &ReadyQueue{h: readyHeap{pos: pos}, pos: pos}
+	return &ReadyQueue{}
 }
 
-// Len returns the number of ready tasks.
-func (q *ReadyQueue) Len() int { return q.h.Len() }
+// Reset empties the queue, retaining the backing arrays. When n > 0 the
+// position index is pre-grown to cover task ids [0, n), so a reused queue
+// reaches its steady state (no allocation on Push) immediately.
+func (q *ReadyQueue) Reset(n int) {
+	q.items = q.items[:0]
+	q.growPos(n)
+	for i := range q.pos {
+		q.pos[i] = -1
+	}
+}
+
+// growPos extends the position index to cover task ids [0, n).
+func (q *ReadyQueue) growPos(n int) {
+	for len(q.pos) < n {
+		q.pos = append(q.pos, -1)
+	}
+}
+
+// Len returns the number of queued tasks.
+func (q *ReadyQueue) Len() int { return len(q.items) }
+
+// less orders heap slots a before b: smaller key first, ties broken by
+// task index. Exact ordering, no epsilon: a comparator must stay
+// transitive, and restructuring as two ordered tests avoids float
+// equality entirely.
+func (q *ReadyQueue) less(a, b int) bool {
+	switch {
+	case q.items[a].key < q.items[b].key:
+		return true
+	case q.items[a].key > q.items[b].key:
+		return false
+	}
+	return q.items[a].task < q.items[b].task
+}
+
+func (q *ReadyQueue) swap(a, b int) {
+	q.items[a], q.items[b] = q.items[b], q.items[a]
+	q.pos[q.items[a].task] = a
+	q.pos[q.items[b].task] = b
+}
+
+func (q *ReadyQueue) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q *ReadyQueue) siftDown(i int) {
+	n := len(q.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && q.less(right, left) {
+			least = right
+		}
+		if !q.less(least, i) {
+			return
+		}
+		q.swap(i, least)
+		i = least
+	}
+}
 
 // Push adds task ti with the given priority key. Pushing a task already
 // in the queue is an error (an invocation is released once).
 func (q *ReadyQueue) Push(ti int, key float64) error {
-	if _, ok := q.pos[ti]; ok {
+	if ti < 0 {
+		return fmt.Errorf("sched: negative task index %d", ti)
+	}
+	q.growPos(ti + 1)
+	if q.pos[ti] >= 0 {
 		return fmt.Errorf("sched: task %d already queued", ti)
 	}
-	heap.Push(&q.h, readyItem{task: ti, key: key})
+	q.pos[ti] = len(q.items)
+	q.items = append(q.items, readyItem{task: ti, key: key})
+	q.siftUp(len(q.items) - 1)
 	return nil
 }
 
 // Peek returns the highest-priority task without removing it, or -1.
 func (q *ReadyQueue) Peek() int {
-	if q.h.Len() == 0 {
+	if len(q.items) == 0 {
 		return -1
 	}
-	return q.h.items[0].task
+	return q.items[0].task
 }
 
-// PeekKey returns the highest-priority key; only valid when Len() > 0.
-func (q *ReadyQueue) PeekKey() float64 { return q.h.items[0].key }
+// PeekKey returns the highest-priority key, or +Inf when empty.
+func (q *ReadyQueue) PeekKey() float64 {
+	if len(q.items) == 0 {
+		return math.Inf(1)
+	}
+	return q.items[0].key
+}
 
 // Pop removes and returns the highest-priority task, or -1.
 func (q *ReadyQueue) Pop() int {
-	if q.h.Len() == 0 {
+	if len(q.items) == 0 {
 		return -1
 	}
-	return heap.Pop(&q.h).(readyItem).task
+	ti := q.items[0].task
+	q.removeAt(0)
+	return ti
+}
+
+// removeAt deletes the item at heap position i.
+func (q *ReadyQueue) removeAt(i int) {
+	last := len(q.items) - 1
+	q.pos[q.items[i].task] = -1
+	if i != last {
+		q.items[i] = q.items[last]
+		q.pos[q.items[i].task] = i
+	}
+	q.items = q.items[:last]
+	if i < last {
+		q.siftDown(i)
+		q.siftUp(i)
+	}
 }
 
 // Remove deletes task ti from the queue (a completion or abort). It
 // reports whether the task was present.
 func (q *ReadyQueue) Remove(ti int) bool {
-	i, ok := q.pos[ti]
-	if !ok {
+	if ti < 0 || ti >= len(q.pos) || q.pos[ti] < 0 {
 		return false
 	}
-	heap.Remove(&q.h, i)
+	q.removeAt(q.pos[ti])
 	return true
 }
 
 // Update changes task ti's key in place (e.g. a deadline recomputation),
 // reporting whether the task was present.
 func (q *ReadyQueue) Update(ti int, key float64) bool {
-	i, ok := q.pos[ti]
-	if !ok {
+	if ti < 0 || ti >= len(q.pos) || q.pos[ti] < 0 {
 		return false
 	}
-	q.h.items[i].key = key
-	heap.Fix(&q.h, i)
+	i := q.pos[ti]
+	q.items[i].key = key
+	q.siftDown(i)
+	q.siftUp(i)
 	return true
 }
 
 // Contains reports whether task ti is queued.
 func (q *ReadyQueue) Contains(ti int) bool {
-	_, ok := q.pos[ti]
-	return ok
+	return ti >= 0 && ti < len(q.pos) && q.pos[ti] >= 0
 }

@@ -137,6 +137,165 @@ func TestReadyQueueMatchesSortProperty(t *testing.T) {
 	}
 }
 
+// Drain-then-reuse: after a full drain and Reset, the queue must behave
+// identically to a fresh one and must not allocate while doing so.
+func TestReadyQueueDrainThenReuse(t *testing.T) {
+	q := NewReadyQueue()
+	r := rand.New(rand.NewSource(41))
+	const n = 64
+	drain := func(pass int) {
+		for i := 0; i < n; i++ {
+			if err := q.Push(i, r.Float64()*100); err != nil {
+				t.Fatalf("pass %d: %v", pass, err)
+			}
+		}
+		prev := q.PeekKey()
+		for q.Len() > 0 {
+			k := q.PeekKey()
+			if k < prev {
+				t.Fatalf("pass %d: keys popped out of order: %v after %v", pass, k, prev)
+			}
+			prev = k
+			q.Pop()
+		}
+		if q.Pop() != -1 || q.Peek() != -1 {
+			t.Fatalf("pass %d: drained queue not empty", pass)
+		}
+	}
+	drain(0)
+	q.Reset(n)
+	if q.Len() != 0 {
+		t.Fatal("Reset left items behind")
+	}
+	for i := 0; i < n; i++ {
+		if q.Contains(i) {
+			t.Fatalf("Reset left task %d marked queued", i)
+		}
+	}
+	// Once warmed to n tasks, a full push/drain cycle on a Reset queue
+	// must not allocate — the property the simulator Runner relies on.
+	allocs := testing.AllocsPerRun(10, func() {
+		q.Reset(n)
+		for i := 0; i < n; i++ {
+			if err := q.Push(i, float64((i*7919)%101)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for q.Len() > 0 {
+			q.Pop()
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("push/drain cycle after Reset allocates %.1f times", allocs)
+	}
+	drain(1)
+}
+
+// Reset after a partial drain must clear stranded membership state.
+func TestReadyQueueResetMidstream(t *testing.T) {
+	q := NewReadyQueue()
+	for i := 0; i < 8; i++ {
+		if err := q.Push(i, float64(8-i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.Pop()
+	q.Pop()
+	q.Reset(8)
+	if q.Len() != 0 || q.Peek() != -1 {
+		t.Fatal("Reset did not empty the queue")
+	}
+	// Every task must be pushable again (no stale pos entries).
+	for i := 0; i < 8; i++ {
+		if err := q.Push(i, 1); err != nil {
+			t.Fatalf("re-push of task %d after Reset: %v", i, err)
+		}
+	}
+}
+
+// Large-N heap property: with thousands of tasks and churn, every pop
+// must yield the global minimum and internal position bookkeeping must
+// stay consistent.
+func TestReadyQueueLargeNHeapProperty(t *testing.T) {
+	const n = 5000
+	q := NewReadyQueue()
+	r := rand.New(rand.NewSource(97))
+	keys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		keys[i] = r.Float64() * 1e6
+		if err := q.Push(i, keys[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Churn: update a third, remove a sixth.
+	present := make([]bool, n)
+	for i := range present {
+		present[i] = true
+	}
+	for i := 0; i < n/3; i++ {
+		ti := r.Intn(n)
+		if present[ti] {
+			keys[ti] = r.Float64() * 1e6
+			if !q.Update(ti, keys[ti]) {
+				t.Fatalf("Update(%d) failed", ti)
+			}
+		}
+	}
+	for i := 0; i < n/6; i++ {
+		ti := r.Intn(n)
+		if present[ti] {
+			if !q.Remove(ti) {
+				t.Fatalf("Remove(%d) failed", ti)
+			}
+			present[ti] = false
+		}
+	}
+	// Internal consistency: pos and items must agree.
+	for ti, p := range q.pos {
+		if p >= 0 && q.items[p].task != ti {
+			t.Fatalf("pos[%d]=%d but items[%d].task=%d", ti, p, p, q.items[p].task)
+		}
+	}
+	// Drain: verify heap property via nondecreasing keys with index
+	// tie-break, and exact membership.
+	var got []int
+	prevKey, prevTask := -1.0, -1
+	for q.Len() > 0 {
+		k := q.PeekKey()
+		ti := q.Pop()
+		switch {
+		case k < prevKey:
+			t.Fatalf("key %v popped after %v", k, prevKey)
+		case k > prevKey:
+		default:
+			if ti < prevTask {
+				t.Fatalf("tie on key %v broken out of index order: %d after %d", k, ti, prevTask)
+			}
+		}
+		if keys[ti] != k {
+			t.Fatalf("task %d popped with key %v, want %v", ti, k, keys[ti])
+		}
+		prevKey, prevTask = k, ti
+		got = append(got, ti)
+	}
+	want := 0
+	for _, p := range present {
+		if p {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("drained %d tasks, want %d", len(got), want)
+	}
+	seen := make([]bool, n)
+	for _, ti := range got {
+		if !present[ti] || seen[ti] {
+			t.Fatalf("task %d popped unexpectedly", ti)
+		}
+		seen[ti] = true
+	}
+}
+
 // The queue-driven pick must agree with the linear scanner for both
 // disciplines on random ready sets.
 func TestReadyQueueAgreesWithLinearPick(t *testing.T) {

@@ -9,6 +9,14 @@
 // square of the operating voltage; halted (idle) cycles are charged the
 // machine's idle-level fraction of a normal cycle. Task execution reduces
 // to counting cycles, so no instruction traces are needed.
+//
+// The event loop is designed to be allocation-free in steady state:
+// pending releases live in an index-heap timer queue and ready tasks in
+// an index-heap run queue (both from internal/sched), so each event costs
+// O(log n) instead of a full task scan, and all per-run state is held in
+// reusable buffers. A Runner amortizes those buffers across sequential
+// runs — the experiment harness executes hundreds of simulations per
+// worker on a single Runner without reallocating.
 package sim
 
 import (
@@ -115,6 +123,38 @@ func (r *Result) AvgPower() float64 {
 // MissCount returns the number of deadline misses.
 func (r *Result) MissCount() int { return len(r.Misses) }
 
+// Clone returns a deep copy of r that remains valid after the Runner
+// that produced r is reused.
+func (r *Result) Clone() *Result {
+	c := *r
+	if r.Misses != nil {
+		c.Misses = append([]Miss(nil), r.Misses...)
+	}
+	if r.PerTask != nil {
+		c.PerTask = append([]TaskStats(nil), r.PerTask...)
+	}
+	if r.PointResTime != nil {
+		c.PointResTime = make(map[machine.OperatingPoint]float64, len(r.PointResTime))
+		for k, v := range r.PointResTime {
+			c.PointResTime[k] = v
+		}
+	}
+	if r.Faults != nil {
+		f := *r.Faults
+		if r.Faults.TaskOverruns != nil {
+			f.TaskOverruns = make(map[int]int, len(r.Faults.TaskOverruns))
+			for k, v := range r.Faults.TaskOverruns {
+				f.TaskOverruns[k] = v
+			}
+		}
+		if r.Faults.Events != nil {
+			f.Events = append([]fault.Event(nil), r.Faults.Events...)
+		}
+		c.Faults = &f
+	}
+	return &c
+}
+
 // taskState is per-task runtime state.
 type taskState struct {
 	nextRelease  float64 // actual time the next release fires (nominal + injected delay)
@@ -129,21 +169,59 @@ type taskState struct {
 }
 
 // simulator runs one configuration. It implements core.System and
-// sched.TaskView.
+// sched.TaskView. All of its state lives in reusable buffers so a Runner
+// can replay configurations without reallocating.
 type simulator struct {
 	cfg    Config
 	ts     *task.Set
 	states []taskState
 	now    float64
-	sch    sched.Scheduler
+	kind   sched.Kind
 	res    Result
-	inv    *invariantChecker // nil unless invariant checking is enabled
 
-	hw machine.OperatingPoint // current hardware operating point
+	inv      *invariantChecker // nil unless invariant checking is enabled
+	invStore invariantChecker  // backing store for inv, reset per run
+
+	hw    machine.OperatingPoint // current hardware operating point
+	hwIdx int                    // machine table index of hw, -1 if foreign
+	sel   machine.PointSelector
+
+	// timers holds every task keyed by its next release time; ready holds
+	// the active tasks keyed by the scheduling discipline (absolute
+	// deadline under EDF, period under RM — identical pick order to the
+	// sched package's linear scan, ties by task index).
+	timers sched.ReadyQueue
+	ready  sched.ReadyQueue
+
+	due      []int     // scratch: tasks drained from timers this instant
+	released []int     // scratch: release events pending policy callbacks
+	resTime  []float64 // per machine-table point index: residency time
 }
 
-// Run executes the configuration and returns the result.
+// Runner executes simulation runs back to back, reusing all internal
+// buffers (task state, heaps, result slices, policy-facing scratch), so
+// steady-state runs perform no allocation. Not safe for concurrent use.
+//
+// The *Result returned by Run aliases the Runner's buffers: it is valid
+// until the next Run call on the same Runner. Use Result.Clone to retain
+// one beyond that.
+type Runner struct {
+	s simulator
+}
+
+// NewRunner returns an empty Runner; buffers grow on first use.
+func NewRunner() *Runner { return &Runner{} }
+
+// Run executes the configuration and returns the result. It is a
+// convenience wrapper that runs cfg on a fresh Runner, so the returned
+// Result does not share buffers with any other run.
 func Run(cfg Config) (*Result, error) {
+	return NewRunner().Run(cfg)
+}
+
+// Run executes one configuration, reusing the Runner's buffers. The
+// returned Result is valid until the next Run call (see Runner).
+func (r *Runner) Run(cfg Config) (*Result, error) {
 	if cfg.Tasks == nil || cfg.Tasks.Len() == 0 {
 		return nil, task.ErrEmptySet
 	}
@@ -166,18 +244,33 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
-	s := &simulator{
-		cfg:    cfg,
-		ts:     cfg.Tasks,
-		states: make([]taskState, cfg.Tasks.Len()),
-		sch:    sched.New(cfg.Policy.Scheduler()),
+	s := &r.s
+	n := cfg.Tasks.Len()
+	s.cfg = cfg
+	s.ts = cfg.Tasks
+	s.now = 0
+	s.kind = cfg.Policy.Scheduler()
+	s.sel = cfg.Machine.Selector()
+	s.states = growZeroed(s.states, n)
+	s.resTime = growZeroed(s.resTime, s.sel.Len())
+	s.due = s.due[:0]
+	s.released = s.released[:0]
+	s.timers.Reset(n)
+	s.ready.Reset(n)
+
+	prt := s.res.PointResTime
+	if prt == nil {
+		prt = make(map[machine.OperatingPoint]float64, s.sel.Len())
+	} else {
+		clear(prt)
 	}
 	s.res = Result{
 		Policy:       cfg.Policy.Name(),
 		Horizon:      cfg.Horizon,
 		Guaranteed:   cfg.Policy.Guaranteed(),
-		PerTask:      make([]TaskStats, cfg.Tasks.Len()),
-		PointResTime: map[machine.OperatingPoint]float64{},
+		Misses:       s.res.Misses[:0],
+		PerTask:      growZeroed(s.res.PerTask, n),
+		PointResTime: prt,
 	}
 	for i := range s.states {
 		// Deadline of the "previous" (nonexistent) invocation is the
@@ -191,23 +284,43 @@ func Run(cfg Config) (*Result, error) {
 			st.nextRelease += cfg.Faults.ReleaseDelay(phase, i, 0)
 		}
 		s.states[i] = st
+		s.timerAdd(i, st.nextRelease)
 	}
 	if cfg.CheckInvariants || testing.Testing() {
-		s.inv = &invariantChecker{s: s}
+		s.invStore = invariantChecker{s: s}
+		s.inv = &s.invStore
+	} else {
+		s.inv = nil
 	}
 	s.hw = cfg.Policy.Point()
+	s.hwIdx = s.sel.Index(s.hw)
 	s.inv.checkPoint(s.hw)
 	s.inv.checkUtilization()
 	s.run()
 	if err := s.inv.Err(); err != nil {
 		return nil, err
 	}
+	for i, d := range s.resTime {
+		if d > 0 {
+			s.res.PointResTime[cfg.Machine.Points[i]] += d
+		}
+	}
 	if cfg.Faults != nil {
 		rec := cfg.Faults.Record()
 		s.res.Faults = &rec
 	}
-	r := s.res
-	return &r, nil
+	return &s.res, nil
+}
+
+// growZeroed returns a zeroed slice of length n, reusing s's backing
+// array when its capacity suffices.
+func growZeroed[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
 }
 
 // --- core.System ---
@@ -234,24 +347,57 @@ func (s *simulator) Ready(i int) bool     { return s.states[i].active }
 
 // --- engine ---
 
+// timerAdd enqueues task i's next release. The timer heap holds every
+// task exactly once outside processReleases, so a failed push is an
+// engine bug, not a recoverable condition.
+func (s *simulator) timerAdd(i int, at float64) {
+	if err := s.timers.Push(i, at); err != nil {
+		panic(err)
+	}
+}
+
+// readyKey returns task i's run-queue priority under the attached
+// scheduling discipline: absolute deadline for EDF, period for RM —
+// exactly the orderings of sched.New(kind).Pick.
+func (s *simulator) readyKey(i int) float64 {
+	if s.kind == sched.RM {
+		return s.ts.Task(i).Period
+	}
+	return s.states[i].deadline
+}
+
+// readyAdd enqueues a newly activated task. Activation is always paired
+// with deactivation (completion, miss, abort), so a duplicate is an
+// engine bug.
+func (s *simulator) readyAdd(i int) {
+	if err := s.ready.Push(i, s.readyKey(i)); err != nil {
+		panic(err)
+	}
+}
+
 // nextReleaseTime returns the earliest pending release.
 func (s *simulator) nextReleaseTime() float64 {
-	t := math.Inf(1)
-	for i := range s.states {
-		if s.states[i].nextRelease < t {
-			t = s.states[i].nextRelease
-		}
-	}
-	return t
+	return s.timers.PeekKey()
 }
 
 // processReleases fires every release scheduled at or before now: checks
 // the previous invocation for a deadline miss (aborting any overrun),
 // draws the new invocation's actual demand, updates deadlines, and then
-// notifies the policy once per released task.
+// notifies the policy once per released task. Due tasks are drained from
+// the timer heap and replayed in ascending task-index order — the event
+// order of the original full-scan implementation — so miss records,
+// release counters, and policy callbacks are bit-identical to it.
 func (s *simulator) processReleases() {
-	released := make([]int, 0, 4)
-	for i := range s.states {
+	if !fpx.Le(s.timers.PeekKey(), s.now) {
+		return
+	}
+	s.due = s.due[:0]
+	for fpx.Le(s.timers.PeekKey(), s.now) {
+		s.due = append(s.due, s.timers.Pop())
+	}
+	sortIndexes(s.due)
+	s.released = s.released[:0]
+	for _, i := range s.due {
 		st := &s.states[i]
 		for fpx.Le(st.nextRelease, s.now) {
 			if st.active {
@@ -263,6 +409,7 @@ func (s *simulator) processReleases() {
 				s.res.PerTask[i].Misses++
 				s.inv.checkMiss(i, st.inv-1, st.deadline)
 				st.active = false
+				s.ready.Remove(i)
 			}
 			actual := st.nextRelease // possibly delayed fire time
 			rel := st.nominalRel     // nominal tick: the deadline grid
@@ -294,14 +441,30 @@ func (s *simulator) processReleases() {
 			st.inv++
 			s.res.Releases++
 			s.res.PerTask[i].Releases++
-			released = append(released, i)
+			s.readyAdd(i)
+			s.released = append(s.released, i)
 		}
+		s.timerAdd(i, st.nextRelease)
 	}
-	for _, i := range released {
+	for _, i := range s.released {
 		s.cfg.Policy.OnRelease(s, i)
 	}
-	if len(released) > 0 {
+	if len(s.released) > 0 {
 		s.inv.checkUtilization()
+	}
+}
+
+// sortIndexes insertion-sorts a (short) batch of task indexes drained
+// from the timer heap into ascending order.
+func sortIndexes(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		v := xs[i]
+		j := i
+		for j > 0 && xs[j-1] > v {
+			xs[j] = xs[j-1]
+			j--
+		}
+		xs[j] = v
 	}
 }
 
@@ -341,6 +504,7 @@ func (s *simulator) processAborts() {
 			s.res.PerTask[i].Misses++
 			s.inv.checkMiss(i, st.inv-1, st.deadline)
 			st.active = false
+			s.ready.Remove(i)
 		}
 	}
 }
@@ -367,22 +531,32 @@ func (s *simulator) switchTo(op machine.OperatingPoint) {
 		}
 		halt = adj
 	}
+	idx := s.sel.Index(op)
 	s.res.Switches++
 	if halt > 0 {
 		end := math.Min(s.now+halt, s.cfg.Horizon)
-		s.record(trace.SwitchHalt, s.now, end, op)
+		s.record(trace.SwitchHalt, s.now, end, op, idx)
 		s.res.HaltTime += end - s.now
 		s.now = end
 	}
-	s.hw = op
+	s.hw, s.hwIdx = op, idx
 	s.inv.checkPoint(op)
 }
 
-func (s *simulator) record(taskIdx int, start, end float64, op machine.OperatingPoint) {
+// record accounts a trace segment and the operating point's residency.
+// opIdx is op's machine-table index; residency accumulates in a dense
+// array on that index, falling back to the result map for a foreign
+// point (only reachable when a buggy policy fabricates one — the
+// invariant checker flags it, but accounting must not crash first).
+func (s *simulator) record(taskIdx int, start, end float64, op machine.OperatingPoint, opIdx int) {
 	if s.cfg.Recorder != nil {
 		s.cfg.Recorder.Add(trace.Segment{Task: taskIdx, Start: start, End: end, Point: op})
 	}
-	s.res.PointResTime[op] += end - start
+	if opIdx >= 0 {
+		s.resTime[opIdx] += end - start
+	} else {
+		s.res.PointResTime[op] += end - start
+	}
 }
 
 // run is the main loop: process releases due now, pick a task, execute it
@@ -393,7 +567,7 @@ func (s *simulator) run() {
 		s.processReleases()
 
 		nextRel := math.Min(s.nextReleaseTime(), s.cfg.Horizon)
-		pick := s.sch.Pick(s)
+		pick := s.ready.Peek()
 
 		if pick < 0 {
 			// Idle until the next release at the policy's idle point.
@@ -406,7 +580,7 @@ func (s *simulator) run() {
 				e := s.cfg.Machine.IdlePower(op) * dur
 				s.res.IdleEnergy += e
 				s.res.IdleTime += dur
-				s.record(trace.Idle, start, end, op)
+				s.record(trace.Idle, start, end, op, s.sel.Index(op))
 				s.now = end
 				s.inv.checkEnergy()
 			} else {
@@ -460,7 +634,7 @@ func (s *simulator) run() {
 		s.res.PerTask[pick].Cycles += cycles
 		s.res.ExecEnergy += cycles * s.hw.EnergyPerCycle()
 		s.res.BusyTime += dur
-		s.record(pick, s.now, end, s.hw)
+		s.record(pick, s.now, end, s.hw, s.hwIdx)
 		s.now = end
 		s.inv.checkEnergy()
 		s.cfg.Policy.OnExecute(pick, cycles)
@@ -468,6 +642,7 @@ func (s *simulator) run() {
 		if fpx.Le(st.remaining, 0) {
 			st.remaining = 0
 			st.active = false
+			s.ready.Remove(pick)
 			s.res.Completions++
 			s.res.PerTask[pick].Completions++
 			if resp := s.now - st.releasedAt; resp > s.res.PerTask[pick].MaxResponse {
