@@ -21,14 +21,17 @@ lint:
 	go vet -vettool=$(GOBIN)/rtdvs-vet ./...
 
 # race exercises the packages with real concurrency: the experiment
-# harness worker pool and the RTOS kernel.
+# harness worker pool, the RTOS kernel, and the HTTP serving layer
+# (including the soak-smoke load test and its clean-drain assertion).
 race:
-	go test -race ./internal/experiment/... ./internal/rtos/...
+	go test -race ./internal/experiment/... ./internal/rtos/... ./internal/serve/... ./cmd/rtdvs-serve/...
 
-# fuzz gives the kernel op interpreter a short coverage-guided budget on
-# every run; raise -fuzztime locally when hunting for real bugs.
+# fuzz gives the kernel op interpreter and the HTTP API's decode+
+# validate+run path a short coverage-guided budget on every run; raise
+# -fuzztime locally when hunting for real bugs.
 fuzz:
 	go test ./internal/rtos/ -run='^$$' -fuzz=FuzzKernelOps -fuzztime=20s
+	go test ./internal/serve/ -run='^$$' -fuzz=FuzzSimulateRequest -fuzztime=20s
 
 # bench runs the suite through cmd/rtdvs-bench: it parses ns/op, B/op
 # and allocs/op, writes the JSON report (BENCH_OUT), and fails if a

@@ -22,13 +22,20 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
+	"time"
 
 	"rtdvs/internal/core"
 	"rtdvs/internal/experiment"
@@ -44,13 +51,30 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	step := flag.Float64("step", 0.05, "utilization axis step")
 	format := flag.String("format", "text", "output format: text, csv, json")
+	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
+	checkpoint := flag.String("checkpoint", "", "journal completed sweep jobs to this file (figures 9-13)")
+	resume := flag.Bool("resume", false, "skip jobs already recorded in the -checkpoint journal")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+	if err := validateFlags(*sets, *step, *workers, *timeout, *checkpoint, *resume); err != nil {
+		log.Fatal(err)
+	}
 	switch *format {
 	case "text", "csv", "json":
 	default:
 		log.Fatalf("unknown format %q", *format)
+	}
+
+	// Interrupts and -timeout cancel the sweep cooperatively: workers
+	// drain, completed jobs are already journaled when -checkpoint is
+	// set, and the process reports the partial progress.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	if *cpuprofile != "" {
@@ -84,6 +108,29 @@ func main() {
 	}
 	o := experiment.Options{Sets: *sets, Seed: *seed, Workers: *workers, Points: points}
 	all := core.Names()
+
+	// panel derives per-panel options: figures with several panels each
+	// get their own journal file ("sweeps.ckpt" -> "sweeps-fig9-n5.ckpt").
+	panel := func(name string) experiment.Options {
+		po := o
+		if *checkpoint != "" {
+			po.Checkpoint = panelCheckpoint(*checkpoint, name)
+			po.Resume = *resume
+		}
+		return po
+	}
+	// fail reports errors, distinguishing a cancelled sweep (partial
+	// progress, journaled when checkpointing) from a hard failure.
+	fail := func(err error) {
+		var pe *experiment.PartialError
+		if errors.As(err, &pe) {
+			if *checkpoint != "" {
+				log.Fatalf("%v (completed jobs are journaled; rerun with -resume to continue)", err)
+			}
+			log.Fatalf("%v", err)
+		}
+		log.Fatal(err)
+	}
 
 	emit := func(sw *experiment.Sweep, title string, normalized bool) {
 		switch *format {
@@ -131,67 +178,67 @@ func main() {
 
 		case "fig9":
 			for _, n := range []int{5, 10, 15} {
-				sw, err := experiment.Figure9(n, o)
+				sw, err := experiment.Figure9Context(ctx, n, panel(fmt.Sprintf("fig9-n%d", n)))
 				if err != nil {
-					log.Fatal(err)
+					fail(err)
 				}
 				emit(sw, fmt.Sprintf("Figure 9: energy consumption with %d tasks", n), false)
 			}
 
 		case "fig10":
 			for _, lvl := range []float64{0.01, 0.1, 1.0} {
-				sw, err := experiment.Figure10(lvl, o)
+				sw, err := experiment.Figure10Context(ctx, lvl, panel(fmt.Sprintf("fig10-idle%g", lvl)))
 				if err != nil {
-					log.Fatal(err)
+					fail(err)
 				}
 				emit(sw, fmt.Sprintf("Figure 10: normalized energy, idle level %g", lvl), true)
 			}
 
 		case "fig11":
 			for _, spec := range []*machine.Spec{machine.Machine0(), machine.Machine1(), machine.Machine2()} {
-				sw, err := experiment.Figure11(spec, o)
+				sw, err := experiment.Figure11Context(ctx, spec, panel("fig11-"+spec.Name))
 				if err != nil {
-					log.Fatal(err)
+					fail(err)
 				}
 				emit(sw, fmt.Sprintf("Figure 11: normalized energy on %s", spec.Name), true)
 			}
 
 		case "fig12":
 			for _, c := range []float64{0.9, 0.7, 0.5} {
-				sw, err := experiment.Figure12(c, o)
+				sw, err := experiment.Figure12Context(ctx, c, panel(fmt.Sprintf("fig12-c%g", c)))
 				if err != nil {
-					log.Fatal(err)
+					fail(err)
 				}
 				emit(sw, fmt.Sprintf("Figure 12: normalized energy, c=%g", c), true)
 			}
 
 		case "fig13":
-			sw, err := experiment.Figure13(o)
+			sw, err := experiment.Figure13Context(ctx, panel("fig13"))
 			if err != nil {
-				log.Fatal(err)
+				fail(err)
 			}
 			emit(sw, "Figure 13: normalized energy, uniform computation", true)
 
 		case "fig16":
-			ps, err := experiment.Figure16(o)
+			ps, err := experiment.Figure16Context(ctx, o)
 			if err != nil {
-				log.Fatal(err)
+				fail(err)
 			}
 			emitPower(ps)
 
 		case "fig17":
-			ps, err := experiment.Figure17(o)
+			ps, err := experiment.Figure17Context(ctx, o)
 			if err != nil {
-				log.Fatal(err)
+				fail(err)
 			}
 			emitPower(ps)
 
 		case "robustness":
-			sw, err := experiment.Robustness(experiment.RobustnessConfig{
+			sw, err := experiment.RobustnessContext(ctx, experiment.RobustnessConfig{
 				Sets: *sets, Seed: *seed, Workers: *workers,
 			})
 			if err != nil {
-				log.Fatal(err)
+				fail(err)
 			}
 			switch *format {
 			case "csv":
@@ -219,4 +266,32 @@ func main() {
 		return
 	}
 	run(*exp)
+}
+
+// validateFlags rejects nonsensical numeric flags up front with
+// actionable messages instead of hanging, spinning, or silently
+// producing empty sweeps.
+func validateFlags(sets int, step float64, workers int, timeout time.Duration, checkpoint string, resume bool) error {
+	switch {
+	case sets <= 0:
+		return fmt.Errorf("-sets must be positive, got %d", sets)
+	case math.IsNaN(step) || math.IsInf(step, 0):
+		return fmt.Errorf("-step must be finite, got %v", step)
+	case !(step > 0) || step > 1:
+		return fmt.Errorf("-step must lie in (0, 1], got %v", step)
+	case workers < 0:
+		return fmt.Errorf("-workers must be non-negative, got %d", workers)
+	case timeout < 0:
+		return fmt.Errorf("-timeout must be non-negative, got %v", timeout)
+	case resume && checkpoint == "":
+		return fmt.Errorf("-resume requires -checkpoint")
+	}
+	return nil
+}
+
+// panelCheckpoint derives a per-panel journal path from the base
+// -checkpoint path: "sweeps.ckpt" + "fig9-n5" -> "sweeps-fig9-n5.ckpt".
+func panelCheckpoint(base, panel string) string {
+	ext := filepath.Ext(base)
+	return strings.TrimSuffix(base, ext) + "-" + panel + ext
 }

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestValidateFlags(t *testing.T) {
+	if err := validateFlags(20, 0.05, 0, 0, "", false); err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+	if err := validateFlags(1, 1, 4, time.Minute, "sweeps.ckpt", true); err != nil {
+		t.Fatalf("valid flags rejected: %v", err)
+	}
+	nan, inf := math.NaN(), math.Inf(1)
+	for name, tc := range map[string]struct {
+		sets       int
+		step       float64
+		workers    int
+		timeout    time.Duration
+		checkpoint string
+		resume     bool
+	}{
+		"zeroSets":        {0, 0.05, 0, 0, "", false},
+		"negativeSets":    {-3, 0.05, 0, 0, "", false},
+		"zeroStep":        {20, 0, 0, 0, "", false},
+		"negativeStep":    {20, -0.05, 0, 0, "", false},
+		"nanStep":         {20, nan, 0, 0, "", false},
+		"infStep":         {20, inf, 0, 0, "", false},
+		"stepOverOne":     {20, 1.5, 0, 0, "", false},
+		"negativeWorkers": {20, 0.05, -1, 0, "", false},
+		"negativeTimeout": {20, 0.05, 0, -time.Second, "", false},
+		"resumeNoJournal": {20, 0.05, 0, 0, "", true},
+	} {
+		if err := validateFlags(tc.sets, tc.step, tc.workers, tc.timeout, tc.checkpoint, tc.resume); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestPanelCheckpoint(t *testing.T) {
+	for _, tc := range []struct{ base, panel, want string }{
+		{"sweeps.ckpt", "fig9-n5", "sweeps-fig9-n5.ckpt"},
+		{"journal", "fig13", "journal-fig13"},
+		{"/tmp/a/b.json", "fig10-idle0.1", "/tmp/a/b-fig10-idle0.1.json"},
+	} {
+		if got := panelCheckpoint(tc.base, tc.panel); got != tc.want {
+			t.Errorf("panelCheckpoint(%q, %q) = %q, want %q", tc.base, tc.panel, got, tc.want)
+		}
+	}
+}

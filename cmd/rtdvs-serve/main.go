@@ -1,0 +1,124 @@
+// Command rtdvs-serve exposes the simulator over HTTP.
+//
+//	rtdvs-serve -addr :8344
+//
+// Endpoints:
+//
+//	POST /v1/simulate   run one simulation synchronously
+//	POST /v1/sweep      submit an asynchronous utilization sweep (202 + job ID)
+//	GET  /v1/jobs/{id}  poll a sweep job
+//	GET  /healthz       liveness
+//	GET  /readyz        readiness (503 while draining)
+//
+// The server sheds load with 429 + Retry-After when its worker pool and
+// queue are full, and drains gracefully on SIGINT/SIGTERM: readiness
+// flips to 503, in-flight work gets -drain-timeout to finish, then
+// outstanding jobs are cancelled through the simulator's cooperative
+// cancellation.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rtdvs/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rtdvs-serve: ")
+	var (
+		addr         = flag.String("addr", ":8344", "listen address")
+		workers      = flag.Int("workers", 2, "sweep worker goroutines")
+		queue        = flag.Int("queue", 16, "sweep queue depth")
+		simConc      = flag.Int("sim-concurrency", 0, "concurrent simulate requests (0 = GOMAXPROCS)")
+		simTimeout   = flag.Duration("sim-timeout", 30*time.Second, "per-simulate time limit")
+		sweepTimeout = flag.Duration("sweep-timeout", 10*time.Minute, "per-sweep time limit")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+	)
+	flag.Parse()
+	if err := run(*addr, serve.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		SimConcurrency: *simConc,
+		SimTimeout:     *simTimeout,
+		SweepTimeout:   *sweepTimeout,
+	}, *drainTimeout, nil); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run serves until a termination signal or a listener error. When ready
+// is non-nil the bound address is sent to it once the listener is up
+// (used by tests that listen on port 0).
+func run(addr string, cfg serve.Config, drainTimeout time.Duration, ready chan<- net.Addr) error {
+	if err := validateFlags(cfg, drainTimeout); err != nil {
+		return err
+	}
+	srv := serve.New(cfg)
+	srv.Start()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	log.Printf("listening on %s", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("draining (budget %v)", drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	// Stop accepting connections and finish in-flight requests, then
+	// drain the sweep workers within the same budget.
+	if err := httpSrv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	if err := srv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	log.Printf("drained")
+	return nil
+}
+
+// validateFlags rejects nonsensical numeric flags up front with
+// actionable messages instead of surprising behavior later.
+func validateFlags(cfg serve.Config, drainTimeout time.Duration) error {
+	switch {
+	case cfg.Workers < 0:
+		return fmt.Errorf("-workers must be non-negative, got %d", cfg.Workers)
+	case cfg.QueueDepth < 0:
+		return fmt.Errorf("-queue must be non-negative, got %d", cfg.QueueDepth)
+	case cfg.SimConcurrency < 0:
+		return fmt.Errorf("-sim-concurrency must be non-negative, got %d", cfg.SimConcurrency)
+	case cfg.SimTimeout < 0:
+		return fmt.Errorf("-sim-timeout must be non-negative, got %v", cfg.SimTimeout)
+	case cfg.SweepTimeout < 0:
+		return fmt.Errorf("-sweep-timeout must be non-negative, got %v", cfg.SweepTimeout)
+	case drainTimeout <= 0:
+		return fmt.Errorf("-drain-timeout must be positive, got %v", drainTimeout)
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"syscall"
+	"testing"
+	"time"
+
+	"rtdvs/internal/serve"
+)
+
+// The server must come up, answer health checks, and exit cleanly on
+// SIGTERM within the drain budget. The signal is delivered to this test
+// process; run's signal.NotifyContext intercepts it.
+func TestRunDrainsOnSIGTERM(t *testing.T) {
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run("127.0.0.1:0", serve.Config{Workers: 1, QueueDepth: 2}, 10*time.Second, ready)
+	}()
+
+	var addr net.Addr
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited before becoming ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	base := fmt.Sprintf("http://%s", addr)
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after SIGTERM, want nil", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not drain within the budget after SIGTERM")
+	}
+}
+
+func TestValidateFlags(t *testing.T) {
+	if err := validateFlags(serve.Config{}, time.Second); err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+	for name, tc := range map[string]struct {
+		cfg   serve.Config
+		drain time.Duration
+	}{
+		"negativeWorkers": {serve.Config{Workers: -1}, time.Second},
+		"negativeQueue":   {serve.Config{QueueDepth: -2}, time.Second},
+		"negativeConc":    {serve.Config{SimConcurrency: -1}, time.Second},
+		"negativeSimTO":   {serve.Config{SimTimeout: -time.Second}, time.Second},
+		"negativeSweepTO": {serve.Config{SweepTimeout: -time.Second}, time.Second},
+		"zeroDrain":       {serve.Config{}, 0},
+	} {
+		if err := validateFlags(tc.cfg, tc.drain); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

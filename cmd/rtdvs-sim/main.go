@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"math/rand"
 	"os"
 	"strconv"
@@ -49,6 +50,9 @@ func main() {
 		check    = flag.Bool("check", false, "enable the runtime invariant checker (see internal/sim/invariant.go)")
 	)
 	flag.Parse()
+	if err := validateFlags(*n, *u, *idle, *horizon); err != nil {
+		log.Fatal(err)
+	}
 
 	ts, err := loadTaskSet(*file, *inline, *n, *u, *seed)
 	if err != nil {
@@ -154,18 +158,25 @@ func loadTaskSet(file, inline string, n int, u float64, seed int64) (*task.Set, 
 	return nil, fmt.Errorf("specify a task set with -file, -set, or -n")
 }
 
+// parseExec delegates to the shared parser; the HTTP API accepts the
+// same specs (see internal/task.ParseExec).
 func parseExec(spec string, seed int64) (task.ExecModel, error) {
+	return task.ParseExec(spec, seed)
+}
+
+// validateFlags rejects NaN, infinite, and out-of-range numeric flags
+// up front with actionable messages rather than failing obscurely deep
+// in the simulator.
+func validateFlags(n int, u, idle, horizon float64) error {
 	switch {
-	case spec == "wcet" || spec == "":
-		return task.FullWCET{}, nil
-	case spec == "uniform":
-		return task.UniformFraction{Lo: 0, Hi: 1, Rand: rand.New(rand.NewSource(seed + 1))}, nil
-	case strings.HasPrefix(spec, "c="):
-		c, err := strconv.ParseFloat(spec[2:], 64)
-		if err != nil || c <= 0 || c > 1 {
-			return nil, fmt.Errorf("bad execution fraction %q", spec)
-		}
-		return task.ConstantFraction{C: c}, nil
+	case n < 0:
+		return fmt.Errorf("-n must be non-negative, got %d", n)
+	case n > 0 && (math.IsNaN(u) || math.IsInf(u, 0) || !(u > 0) || u > 1):
+		return fmt.Errorf("-u must lie in (0, 1], got %v", u)
+	case math.IsNaN(idle) || math.IsInf(idle, 0) || idle < 0 || idle > 1:
+		return fmt.Errorf("-idle must lie in [0, 1], got %v", idle)
+	case math.IsNaN(horizon) || math.IsInf(horizon, 0) || horizon < 0:
+		return fmt.Errorf("-horizon must be non-negative and finite, got %v", horizon)
 	}
-	return nil, fmt.Errorf("unknown execution model %q", spec)
+	return nil
 }

@@ -99,3 +99,32 @@ func TestParseExec(t *testing.T) {
 		}
 	}
 }
+
+func TestValidateFlags(t *testing.T) {
+	if err := validateFlags(0, 0.7, 0, 0); err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+	if err := validateFlags(5, 0.7, 0.5, 100); err != nil {
+		t.Fatalf("valid flags rejected: %v", err)
+	}
+	nan, inf := math.NaN(), math.Inf(1)
+	for name, tc := range map[string]struct {
+		n          int
+		u, idle, h float64
+	}{
+		"negativeN":   {-1, 0.7, 0, 0},
+		"zeroU":       {5, 0, 0, 0},
+		"nanU":        {5, nan, 0, 0},
+		"uOverOne":    {5, 1.5, 0, 0},
+		"negIdle":     {0, 0.7, -0.1, 0},
+		"idleOverOne": {0, 0.7, 1.1, 0},
+		"nanIdle":     {0, 0.7, nan, 0},
+		"infHorizon":  {0, 0.7, 0, inf},
+		"nanHorizon":  {0, 0.7, 0, nan},
+		"negHorizon":  {0, 0.7, 0, -5},
+	} {
+		if err := validateFlags(tc.n, tc.u, tc.idle, tc.h); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

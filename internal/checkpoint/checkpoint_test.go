@@ -1,0 +1,176 @@
+package checkpoint
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func tempLog(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "journal.ckpt")
+}
+
+func mustAppend(t *testing.T, l *Log, payloads ...[]byte) {
+	t.Helper()
+	for _, p := range payloads {
+		if err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func mustOpen(t *testing.T, path string) (*Log, [][]byte) {
+	t.Helper()
+	l, recs, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, recs
+}
+
+func wantRecords(t *testing.T, got [][]byte, want ...[]byte) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Errorf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := tempLog(t)
+	l, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, c := []byte("alpha"), []byte(""), []byte("gamma-gamma")
+	mustAppend(t, l, a, b, c)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, recs := mustOpen(t, path)
+	defer l2.Close()
+	wantRecords(t, recs, a, b, c)
+}
+
+func TestOpenCreatesEmpty(t *testing.T) {
+	path := tempLog(t)
+	l, recs := mustOpen(t, path)
+	defer l.Close()
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal has %d records", len(recs))
+	}
+}
+
+func TestCreateTruncatesExisting(t *testing.T) {
+	path := tempLog(t)
+	l, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, l, []byte("old"))
+	l.Close()
+
+	l2, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	_, recs := mustOpen(t, path)
+	if len(recs) != 0 {
+		t.Fatalf("Create kept %d stale records", len(recs))
+	}
+}
+
+// Torn writes at every byte boundary of the final frame: the valid
+// prefix survives, the tail is truncated, and the journal accepts new
+// appends afterwards.
+func TestTornTailTruncation(t *testing.T) {
+	path := tempLog(t)
+	l, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := []byte("first-record"), []byte("second-record")
+	mustAppend(t, l, a, b)
+	l.Close()
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frameA := frameHeader + len(a)
+
+	for cut := frameA + 1; cut < len(full); cut++ {
+		torn := filepath.Join(t.TempDir(), "torn.ckpt")
+		if err := os.WriteFile(torn, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l2, recs := mustOpen(t, torn)
+		wantRecords(t, recs, a)
+
+		// The torn tail must be gone: an append lands on a clean frame
+		// boundary and the journal reads back whole.
+		c := []byte("post-crash")
+		mustAppend(t, l2, c)
+		l2.Close()
+		_, recs2 := mustOpen(t, torn)
+		wantRecords(t, recs2, a, c)
+	}
+}
+
+// A flipped payload byte (CRC mismatch) ends the valid prefix there.
+func TestCorruptRecordStopsScan(t *testing.T) {
+	path := tempLog(t)
+	l, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, c := []byte("aaaa"), []byte("bbbb"), []byte("cccc")
+	mustAppend(t, l, a, b, c)
+	l.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside record b's payload.
+	data[frameHeader+len(a)+frameHeader+1] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, recs := mustOpen(t, path)
+	defer l2.Close()
+	wantRecords(t, recs, a)
+}
+
+// A corrupt length field must not make the scanner allocate garbage.
+func TestAbsurdLengthRejected(t *testing.T) {
+	path := tempLog(t)
+	frame := make([]byte, frameHeader+4)
+	frame[0], frame[1], frame[2], frame[3] = 0xFF, 0xFF, 0xFF, 0x7F
+	if err := os.WriteFile(path, frame, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, recs := mustOpen(t, path)
+	defer l.Close()
+	if len(recs) != 0 {
+		t.Fatalf("scanner accepted a %d-GB record", 2)
+	}
+}
+
+func TestAppendRejectsOversizedRecord(t *testing.T) {
+	path := tempLog(t)
+	l, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append(make([]byte, MaxRecord+1)); err == nil {
+		t.Fatal("oversized record accepted")
+	}
+}

@@ -1,0 +1,144 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+
+	"rtdvs/internal/checkpoint"
+)
+
+// harnessHeader is the journal's first record: a fingerprint of every
+// parameter that determines a sweep's per-job results. Resume refuses a
+// journal whose fingerprint differs — silently mixing results from a
+// differently-parameterized sweep would corrupt the fold while looking
+// like a successful resume.
+type harnessHeader struct {
+	Kind         string    `json:"kind"`
+	Machine      string    `json:"machine"`
+	NTasks       int       `json:"nTasks"`
+	Sets         int       `json:"sets"`
+	Seed         int64     `json:"seed"`
+	Horizon      float64   `json:"horizon"`
+	Utilizations []float64 `json:"utilizations"`
+	Policies     []string  `json:"policies"`
+	ExecDesc     string    `json:"execDesc"`
+}
+
+// harnessRecord journals one completed (utilization, set) job: the
+// total energy and miss count of every policy, plus the theoretical
+// bound. Floats survive the JSON round trip exactly (Go emits the
+// shortest representation that parses back to the same float64), which
+// is what makes a resumed sweep bit-identical to an uninterrupted one.
+type harnessRecord struct {
+	UI     int       `json:"ui"`
+	SI     int       `json:"si"`
+	Energy []float64 `json:"energy"`
+	Misses []int     `json:"misses"`
+	Bnd    float64   `json:"bnd"`
+}
+
+// harnessJournal serializes concurrent workers' appends onto one
+// checkpoint log.
+type harnessJournal struct {
+	mu  sync.Mutex
+	log *checkpoint.Log
+}
+
+func harnessFingerprint(cfg Config, policies []string) harnessHeader {
+	return harnessHeader{
+		Kind:         "harness",
+		Machine:      cfg.Machine.String(), // full spec, not just the name
+		NTasks:       cfg.NTasks,
+		Sets:         cfg.Sets,
+		Seed:         cfg.Seed,
+		Horizon:      cfg.Horizon,
+		Utilizations: cfg.Utilizations,
+		Policies:     policies,
+		ExecDesc:     cfg.Exec(rand.New(rand.NewSource(1))).String(),
+	}
+}
+
+// openHarnessJournal opens cfg.Checkpoint — resuming the existing
+// journal when cfg.Resume is set, starting fresh otherwise — verifies
+// the fingerprint, and replays completed job records into outs.
+func openHarnessJournal(cfg Config, policies []string, outs []harnessOut) (*harnessJournal, error) {
+	want := harnessFingerprint(cfg, policies)
+	if !cfg.Resume {
+		log, err := checkpoint.Create(cfg.Checkpoint)
+		if err != nil {
+			return nil, err
+		}
+		j := &harnessJournal{log: log}
+		if err := j.append(want); err != nil {
+			log.Close()
+			return nil, err
+		}
+		return j, nil
+	}
+
+	log, records, err := checkpoint.Open(cfg.Checkpoint)
+	if err != nil {
+		return nil, err
+	}
+	j := &harnessJournal{log: log}
+	if len(records) == 0 {
+		// A journal that never got its header (created but crashed before
+		// the first sync, or simply absent): start it now.
+		if err := j.append(want); err != nil {
+			log.Close()
+			return nil, err
+		}
+		return j, nil
+	}
+	var got harnessHeader
+	if err := json.Unmarshal(records[0], &got); err != nil {
+		log.Close()
+		return nil, fmt.Errorf("experiment: checkpoint %s: bad header: %w", cfg.Checkpoint, err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		log.Close()
+		return nil, fmt.Errorf("experiment: checkpoint %s was written by a differently-parameterized sweep; "+
+			"use a fresh checkpoint file (journal %+v, sweep %+v)", cfg.Checkpoint, got, want)
+	}
+	np := len(policies)
+	for ri, raw := range records[1:] {
+		var rec harnessRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			log.Close()
+			return nil, fmt.Errorf("experiment: checkpoint %s: record %d: %w", cfg.Checkpoint, ri+1, err)
+		}
+		idx := rec.UI*cfg.Sets + rec.SI
+		if rec.UI < 0 || rec.SI < 0 || rec.SI >= cfg.Sets || idx >= len(outs) ||
+			len(rec.Energy) != np || len(rec.Misses) != np {
+			log.Close()
+			return nil, fmt.Errorf("experiment: checkpoint %s: record %d does not fit the sweep "+
+				"(ui=%d si=%d, %d policies)", cfg.Checkpoint, ri+1, rec.UI, rec.SI, np)
+		}
+		outs[idx] = harnessOut{ok: true, energy: rec.Energy, misses: rec.Misses, bnd: rec.Bnd}
+	}
+	return j, nil
+}
+
+// record journals one completed job. Safe for concurrent workers.
+func (j *harnessJournal) record(ui, si int, out *harnessOut) error {
+	return j.append(harnessRecord{UI: ui, SI: si, Energy: out.energy, Misses: out.misses, Bnd: out.bnd})
+}
+
+func (j *harnessJournal) append(v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.log.Append(payload)
+}
+
+func (j *harnessJournal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.log.Close()
+}

@@ -1,0 +1,58 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"rtdvs/internal/sim"
+)
+
+// PartialError is the typed error a sweep driver returns when its
+// context ends before every job has completed. It wraps the context's
+// error, so errors.Is(err, context.Canceled) and
+// errors.Is(err, context.DeadlineExceeded) work as expected. Done counts
+// the jobs that finished (and, when checkpointing is on, were journaled)
+// before the cancellation landed.
+type PartialError struct {
+	Done, Total int
+	Cause       error
+}
+
+// Error implements error.
+func (e *PartialError) Error() string {
+	return fmt.Sprintf("experiment: sweep cancelled after %d of %d jobs: %v",
+		e.Done, e.Total, e.Cause)
+}
+
+// Unwrap returns the context error the cancellation traces to.
+func (e *PartialError) Unwrap() error { return e.Cause }
+
+// skippable reports whether a worker should treat err as "this job was
+// cut short by cancellation" rather than a sweep-fatal failure: the
+// driver turns the cancellation into one PartialError after the pool
+// drains instead of surfacing every worker's copy.
+func skippable(err error) bool {
+	var c *sim.Canceled
+	return errors.As(err, &c) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
+// feed sends 0..njobs-1 in order, skipping indexes where skip (when
+// non-nil) is true, until the context ends; it always closes jobs so
+// the worker pool drains and no goroutine leaks regardless of how the
+// sweep stops.
+func feed(ctx context.Context, jobs chan<- int, njobs int, skip []bool) {
+	defer close(jobs)
+	for j := 0; j < njobs; j++ {
+		if skip != nil && skip[j] {
+			continue
+		}
+		select {
+		case jobs <- j:
+		case <-ctx.Done():
+			return
+		}
+	}
+}

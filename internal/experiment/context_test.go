@@ -1,0 +1,151 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func assertSweepsEqual(t *testing.T, want, got *Sweep) {
+	t.Helper()
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("sweeps differ:\nwant %+v\ngot  %+v", want, got)
+	}
+}
+
+// smallConfig is a sweep big enough to span several jobs but quick
+// enough for tests.
+func smallConfig() Config {
+	return Config{
+		Policies:     []string{"none", "ccEDF"},
+		NTasks:       3,
+		Utilizations: []float64{0.3, 0.6, 0.9},
+		Sets:         3,
+		Seed:         11,
+		Horizon:      200,
+	}
+}
+
+// bigConfig is a sweep that takes long enough to be cancelled mid-run.
+func bigConfig() Config {
+	return Config{
+		NTasks:  8,
+		Sets:    40,
+		Seed:    5,
+		Horizon: 4000,
+	}
+}
+
+func checkGoroutines(t *testing.T, before int) {
+	t.Helper()
+	// Allow the runtime a moment to retire exiting goroutines.
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+// A background context must not change the result path at all.
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	want, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunContext(context.Background(), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSweepsEqual(t, want, got)
+}
+
+// An expired context stops the sweep before any job runs, drains the
+// pool, and leaks nothing.
+func TestRunContextExpired(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sw, err := RunContext(ctx, smallConfig())
+	if sw != nil {
+		t.Fatalf("got sweep from cancelled context")
+	}
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %T %v, want *PartialError", err, err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("errors.Is(err, context.Canceled) false for %v", err)
+	}
+	if pe.Done != 0 || pe.Total != 9 {
+		t.Errorf("partial error %+v, want 0 of 9 jobs", pe)
+	}
+	checkGoroutines(t, before)
+}
+
+// A deadline mid-sweep returns promptly with partial progress and no
+// leaked workers.
+func TestRunContextDeadlineMidSweep(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := RunContext(ctx, bigConfig())
+	elapsed := time.Since(start)
+
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %T %v, want *PartialError", err, err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("errors.Is(DeadlineExceeded) false for %v", err)
+	}
+	if pe.Done >= pe.Total {
+		t.Errorf("sweep claims completion (%d of %d) despite the deadline", pe.Done, pe.Total)
+	}
+	// In-flight simulations stop at the next 64-event check; generous
+	// slack to absorb scheduler noise under -race.
+	if elapsed > 10*time.Second {
+		t.Fatalf("cancelled sweep took %v to drain", elapsed)
+	}
+	checkGoroutines(t, before)
+}
+
+func TestRobustnessContextCancel(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RobustnessContext(ctx, RobustnessConfig{Sets: 4, Seed: 3})
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %T %v, want *PartialError", err, err)
+	}
+	if pe.Done != 0 {
+		t.Errorf("jobs ran under an expired context: %+v", pe)
+	}
+	checkGoroutines(t, before)
+}
+
+func TestPowerSweepContextCancel(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for name, f := range map[string]func(context.Context, Options) (*PowerSweep, error){
+		"Figure16Context": Figure16Context,
+		"Figure17Context": Figure17Context,
+	} {
+		_, err := f(ctx, Options{Sets: 2, Points: []float64{0.3, 0.6}})
+		var pe *PartialError
+		if !errors.As(err, &pe) {
+			t.Fatalf("%s: error %T %v, want *PartialError", name, err, err)
+		}
+		if pe.Done != 0 {
+			t.Errorf("%s: jobs ran under an expired context: %+v", name, pe)
+		}
+	}
+	checkGoroutines(t, before)
+}

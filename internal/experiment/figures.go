@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -15,6 +16,11 @@ type Options struct {
 	Seed    int64
 	Points  []float64 // utilization axis override
 	Workers int
+	// Checkpoint/Resume enable crash-safe journaling of the sweep (see
+	// Config.Checkpoint). Figures that regenerate several panels derive
+	// one journal file per panel from this path.
+	Checkpoint string
+	Resume     bool
 }
 
 func (o Options) config(base Config) Config {
@@ -26,6 +32,8 @@ func (o Options) config(base Config) Config {
 		base.Utilizations = o.Points
 	}
 	base.Workers = o.Workers
+	base.Checkpoint = o.Checkpoint
+	base.Resume = o.Resume
 	return base
 }
 
@@ -33,7 +41,12 @@ func (o Options) config(base Config) Config {
 // versus worst-case utilization for the given task count, all policies
 // plus the bound, machine 0, perfect halt, tasks consuming full WCET.
 func Figure9(nTasks int, o Options) (*Sweep, error) {
-	return Run(o.config(Config{
+	return Figure9Context(context.Background(), nTasks, o)
+}
+
+// Figure9Context is Figure9 under a context (see RunContext).
+func Figure9Context(ctx context.Context, nTasks int, o Options) (*Sweep, error) {
+	return RunContext(ctx, o.config(Config{
 		NTasks:  nTasks,
 		Machine: machine.Machine0(),
 		Exec:    WCETExec(),
@@ -43,7 +56,12 @@ func Figure9(nTasks int, o Options) (*Sweep, error) {
 // Figure10 regenerates one panel of Figure 10: normalized energy with an
 // imperfect halt feature at the given idle level, 8 tasks, machine 0.
 func Figure10(idleLevel float64, o Options) (*Sweep, error) {
-	return Run(o.config(Config{
+	return Figure10Context(context.Background(), idleLevel, o)
+}
+
+// Figure10Context is Figure10 under a context (see RunContext).
+func Figure10Context(ctx context.Context, idleLevel float64, o Options) (*Sweep, error) {
+	return RunContext(ctx, o.config(Config{
 		NTasks:  8,
 		Machine: machine.Machine0().WithIdleLevel(idleLevel),
 		Exec:    WCETExec(),
@@ -53,7 +71,12 @@ func Figure10(idleLevel float64, o Options) (*Sweep, error) {
 // Figure11 regenerates one panel of Figure 11: normalized energy on the
 // given platform specification, 8 tasks, perfect halt, full WCET.
 func Figure11(spec *machine.Spec, o Options) (*Sweep, error) {
-	return Run(o.config(Config{
+	return Figure11Context(context.Background(), spec, o)
+}
+
+// Figure11Context is Figure11 under a context (see RunContext).
+func Figure11Context(ctx context.Context, spec *machine.Spec, o Options) (*Sweep, error) {
+	return RunContext(ctx, o.config(Config{
 		NTasks:  8,
 		Machine: spec,
 		Exec:    WCETExec(),
@@ -64,7 +87,12 @@ func Figure11(spec *machine.Spec, o Options) (*Sweep, error) {
 // every invocation consumes the constant fraction c of its worst case,
 // 8 tasks, machine 0.
 func Figure12(c float64, o Options) (*Sweep, error) {
-	return Run(o.config(Config{
+	return Figure12Context(context.Background(), c, o)
+}
+
+// Figure12Context is Figure12 under a context (see RunContext).
+func Figure12Context(ctx context.Context, c float64, o Options) (*Sweep, error) {
+	return RunContext(ctx, o.config(Config{
 		NTasks:  8,
 		Machine: machine.Machine0(),
 		Exec:    ConstantExec(c),
@@ -74,7 +102,12 @@ func Figure12(c float64, o Options) (*Sweep, error) {
 // Figure13 regenerates Figure 13: normalized energy with per-invocation
 // computation drawn uniformly from (0, WCET], 8 tasks, machine 0.
 func Figure13(o Options) (*Sweep, error) {
-	return Run(o.config(Config{
+	return Figure13Context(context.Background(), o)
+}
+
+// Figure13Context is Figure13 under a context (see RunContext).
+func Figure13Context(ctx context.Context, o Options) (*Sweep, error) {
+	return RunContext(ctx, o.config(Config{
 		NTasks:  8,
 		Machine: machine.Machine0(),
 		Exec:    UniformExec(),

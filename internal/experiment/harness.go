@@ -6,6 +6,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -63,6 +64,31 @@ type Config struct {
 	Horizon float64
 	// Workers bounds concurrency; 0 means GOMAXPROCS.
 	Workers int
+	// Checkpoint, when non-empty, is the path of an append-only journal
+	// (internal/checkpoint) that records each completed (utilization,
+	// set) job — every policy's energy and miss count plus the bound —
+	// as it finishes, fsync'd per record. Without Resume the file is
+	// truncated and the sweep starts fresh.
+	Checkpoint string
+	// Resume loads the journal at Checkpoint before running, verifies it
+	// was written by an identically-parameterized sweep, and skips the
+	// jobs it records. Per-job seeding is deterministic, so a resumed
+	// sweep is bit-identical to an uninterrupted one.
+	Resume bool
+}
+
+// harnessOut is one job's scalar outputs: each worker writes only its
+// own preallocated slot (no locking, no shared accumulators), and a
+// single sequential fold afterwards adds the slots in (utilization, set,
+// policy) order. That order is exactly what one worker draining the job
+// channel produces, so the streaming means are bit-identical for any
+// worker count — and identical again when slots are replayed from a
+// checkpoint journal instead of recomputed.
+type harnessOut struct {
+	ok     bool
+	energy []float64 // per policy, indexed like policies
+	misses []int
+	bnd    float64
 }
 
 // Sweep is the result of a utilization sweep: one row per utilization,
@@ -98,6 +124,15 @@ func DefaultUtilizations() []float64 {
 
 // Run executes the sweep.
 func Run(cfg Config) (*Sweep, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext executes the sweep under ctx. Cancellation drains the
+// worker pool promptly (each in-flight simulation stops at its next
+// cooperative check), leaks no goroutines, and returns a *PartialError;
+// with checkpointing enabled the completed jobs are already journaled,
+// so a later Resume run picks up where the cancelled one stopped.
+func RunContext(ctx context.Context, cfg Config) (*Sweep, error) {
 	if cfg.Policies == nil {
 		cfg.Policies = core.Names()
 	}
@@ -148,24 +183,28 @@ func Run(cfg Config) (*Sweep, error) {
 		}
 	}
 
-	// Workers write each job's scalar outputs into its own preallocated
-	// slot — no locking, no shared accumulators — and a single sequential
-	// fold afterwards adds them in (utilization, set, policy) order. That
-	// order is exactly what one worker draining the job channel produces,
-	// so the streaming means are bit-identical for any worker count.
-	type jobOut struct {
-		ok     bool
-		energy []float64 // per policy, indexed like policies
-		misses []int
-		bnd    float64
-	}
-	outs := make([]jobOut, nu*cfg.Sets)
+	outs := make([]harnessOut, nu*cfg.Sets)
 	for i := range outs {
-		outs[i] = jobOut{energy: make([]float64, np), misses: make([]int, np)}
+		outs[i] = harnessOut{energy: make([]float64, np), misses: make([]int, np)}
 	}
 
-	type job struct{ ui, si int }
-	jobs := make(chan job)
+	// Checkpointing: open (or resume) the journal, replay completed jobs
+	// into their slots, and journal each job as its worker finishes it.
+	var journal *harnessJournal
+	if cfg.Checkpoint != "" {
+		var err error
+		journal, err = openHarnessJournal(cfg, policies, outs)
+		if err != nil {
+			return nil, err
+		}
+		defer journal.Close()
+	}
+	skip := make([]bool, len(outs))
+	for i := range outs {
+		skip[i] = outs[i].ok
+	}
+
+	jobs := make(chan int)
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	var firstErr error
@@ -189,8 +228,12 @@ func Run(cfg Config) (*Sweep, error) {
 			runner := sim.NewRunner()
 			pcache := map[string]core.Policy{}
 			for j := range jobs {
-				u := cfg.Utilizations[j.ui]
-				seed := cfg.Seed + int64(j.ui)*1_000_003 + int64(j.si)*7919
+				if ctx.Err() != nil {
+					continue // drain the channel without doing work
+				}
+				ui, si := j/cfg.Sets, j%cfg.Sets
+				u := cfg.Utilizations[ui]
+				seed := cfg.Seed + int64(ui)*1_000_003 + int64(si)*7919
 				r := rand.New(rand.NewSource(seed))
 				g := task.Generator{N: cfg.NTasks, Utilization: u, Rand: r}
 				ts, err := g.Generate()
@@ -203,7 +246,7 @@ func Run(cfg Config) (*Sweep, error) {
 					horizon = 10 * ts.MaxPeriod()
 				}
 
-				out := &outs[j.ui*cfg.Sets+j.si]
+				out := &outs[j]
 				var baseCycles float64
 				ok := true
 				for pi, pname := range policies {
@@ -220,7 +263,7 @@ func Run(cfg Config) (*Sweep, error) {
 					// Each policy sees the same per-set randomness for
 					// its execution-time draws.
 					execR := rand.New(rand.NewSource(seed ^ 0x5DEECE66D))
-					res, err := runner.Run(sim.Config{
+					res, err := runner.RunContext(ctx, sim.Config{
 						Tasks:   ts,
 						Machine: cfg.Machine,
 						Policy:  p,
@@ -228,7 +271,9 @@ func Run(cfg Config) (*Sweep, error) {
 						Horizon: horizon,
 					})
 					if err != nil {
-						fail(err)
+						if !skippable(err) {
+							fail(err)
+						}
 						ok = false
 						break
 					}
@@ -250,19 +295,28 @@ func Run(cfg Config) (*Sweep, error) {
 				}
 				out.bnd = bnd
 				out.ok = true
+				if journal != nil {
+					if err := journal.record(ui, si, out); err != nil {
+						fail(err)
+					}
+				}
 			}
 		}()
 	}
 
-	for ui := 0; ui < nu; ui++ {
-		for si := 0; si < cfg.Sets; si++ {
-			jobs <- job{ui, si}
-		}
-	}
-	close(jobs)
+	feed(ctx, jobs, len(outs), skip)
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		done := 0
+		for i := range outs {
+			if outs[i].ok {
+				done++
+			}
+		}
+		return nil, &PartialError{Done: done, Total: len(outs), Cause: err}
 	}
 
 	for ui := 0; ui < nu; ui++ {

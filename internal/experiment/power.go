@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -44,7 +45,15 @@ type powerConfig struct {
 // meter over the RTOS kernel, including the mandatory PowerNow! stop
 // intervals.
 func Figure16(o Options) (*PowerSweep, error) {
-	return powerSweep(powerConfig{
+	return Figure16Context(context.Background(), o)
+}
+
+// Figure16Context is Figure16 under a context; cancellation drains the
+// worker pool and returns a *PartialError. The RTOS-kernel runs that
+// back this figure have no internal preemption point, so cancellation
+// lands between jobs rather than inside one.
+func Figure16Context(ctx context.Context, o Options) (*PowerSweep, error) {
+	return powerSweep(ctx, powerConfig{
 		policies: Figure16Policies,
 		nTasks:   5,
 		cFrac:    0.9,
@@ -57,7 +66,12 @@ func Figure16(o Options) (*PowerSweep, error) {
 // the constant system overhead the curves match Figure 16, which is the
 // paper's validation of its simulator.
 func Figure17(o Options) (*PowerSweep, error) {
-	return powerSweep(powerConfig{
+	return Figure17Context(context.Background(), o)
+}
+
+// Figure17Context is Figure17 under a context (see Figure16Context).
+func Figure17Context(ctx context.Context, o Options) (*PowerSweep, error) {
+	return powerSweep(ctx, powerConfig{
 		policies: Figure16Policies,
 		nTasks:   5,
 		cFrac:    0.9,
@@ -65,7 +79,7 @@ func Figure17(o Options) (*PowerSweep, error) {
 	}, o)
 }
 
-func powerSweep(pc powerConfig, o Options) (*PowerSweep, error) {
+func powerSweep(ctx context.Context, pc powerConfig, o Options) (*PowerSweep, error) {
 	utils := o.Points
 	if utils == nil {
 		utils = DefaultUtilizations()
@@ -116,8 +130,7 @@ func powerSweep(pc powerConfig, o Options) (*PowerSweep, error) {
 		outs[i] = jobOut{watts: make([]float64, np), misses: make([]int, np)}
 	}
 
-	type job struct{ ui, si int }
-	jobs := make(chan job)
+	jobs := make(chan int)
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	var firstErr error
@@ -139,8 +152,12 @@ func powerSweep(pc powerConfig, o Options) (*PowerSweep, error) {
 			runner := sim.NewRunner()
 			pcache := map[string]core.Policy{}
 			for j := range jobs {
-				u := utils[j.ui]
-				seed := o.Seed + int64(j.ui)*1_000_003 + int64(j.si)*7919
+				if ctx.Err() != nil {
+					continue // drain the channel without doing work
+				}
+				ui, si := j/sets, j%sets
+				u := utils[ui]
+				seed := o.Seed + int64(ui)*1_000_003 + int64(si)*7919
 				r := rand.New(rand.NewSource(seed))
 				g := task.Generator{N: pc.nTasks, Utilization: u, Rand: r}
 				ts, err := g.Generate()
@@ -149,7 +166,7 @@ func powerSweep(pc powerConfig, o Options) (*PowerSweep, error) {
 					continue
 				}
 				horizon := 10 * ts.MaxPeriod()
-				out := &outs[j.ui*sets+j.si]
+				out := &outs[j]
 				ok := true
 				for pi, pname := range pc.policies {
 					var watts float64
@@ -167,10 +184,12 @@ func powerSweep(pc powerConfig, o Options) (*PowerSweep, error) {
 							}
 							pcache[pname] = p
 						}
-						watts, misses, err = runSimPower(runner, ts, p, pc.cFrac, horizon)
+						watts, misses, err = runSimPower(ctx, runner, ts, p, pc.cFrac, horizon)
 					}
 					if err != nil {
-						fail(err)
+						if !skippable(err) {
+							fail(err)
+						}
 						ok = false
 						break
 					}
@@ -181,15 +200,19 @@ func powerSweep(pc powerConfig, o Options) (*PowerSweep, error) {
 			}
 		}()
 	}
-	for ui := range utils {
-		for si := 0; si < sets; si++ {
-			jobs <- job{ui, si}
-		}
-	}
-	close(jobs)
+	feed(ctx, jobs, len(outs), nil)
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		done := 0
+		for i := range outs {
+			if outs[i].ok {
+				done++
+			}
+		}
+		return nil, &PartialError{Done: done, Total: len(outs), Cause: err}
 	}
 	for ui := range utils {
 		for si := 0; si < sets; si++ {
@@ -245,8 +268,8 @@ func runSystemPower(ts *task.Set, pname string, cFrac, horizon float64) (watts f
 
 // runSimPower measures processor-only average power with the simulator.
 // The runner and policy are reused across calls; the caller owns both.
-func runSimPower(runner *sim.Runner, ts *task.Set, p core.Policy, cFrac, horizon float64) (power float64, misses int, err error) {
-	res, err := runner.Run(sim.Config{
+func runSimPower(ctx context.Context, runner *sim.Runner, ts *task.Set, p core.Policy, cFrac, horizon float64) (power float64, misses int, err error) {
+	res, err := runner.RunContext(ctx, sim.Config{
 		Tasks:   ts,
 		Machine: machine.LaptopK62(),
 		Policy:  p,

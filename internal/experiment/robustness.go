@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -99,6 +100,13 @@ type RobustnessSweep struct {
 
 // Robustness executes the fault-rate sweep.
 func Robustness(cfg RobustnessConfig) (*RobustnessSweep, error) {
+	return RobustnessContext(context.Background(), cfg)
+}
+
+// RobustnessContext executes the fault-rate sweep under ctx;
+// cancellation drains the worker pool promptly and returns a
+// *PartialError.
+func RobustnessContext(ctx context.Context, cfg RobustnessConfig) (*RobustnessSweep, error) {
 	if cfg.Policies == nil {
 		cfg.Policies = RobustnessPolicies()
 	}
@@ -174,8 +182,7 @@ func Robustness(cfg RobustnessConfig) (*RobustnessSweep, error) {
 		outs[i] = jobOut{pol: make([]polOut, np)}
 	}
 
-	type job struct{ ri, si int }
-	jobs := make(chan job)
+	jobs := make(chan int)
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	var firstErr error
@@ -196,9 +203,13 @@ func Robustness(cfg RobustnessConfig) (*RobustnessSweep, error) {
 			runner := sim.NewRunner()
 			pcache := map[string]core.Policy{}
 			for j := range jobs {
+				if ctx.Err() != nil {
+					continue // drain the channel without doing work
+				}
+				ri, si := j/cfg.Sets, j%cfg.Sets
 				// The task set depends only on the set index, so every rate
 				// stresses the same workloads.
-				setSeed := cfg.Seed + int64(j.si)*7919
+				setSeed := cfg.Seed + int64(si)*7919
 				r := rand.New(rand.NewSource(setSeed))
 				g := task.Generator{N: cfg.NTasks, Utilization: cfg.Utilization, Rand: r}
 				ts, err := g.Generate()
@@ -212,12 +223,12 @@ func Robustness(cfg RobustnessConfig) (*RobustnessSweep, error) {
 				}
 				plan := fault.Plan{
 					Seed:          setSeed ^ 0x9E3779B9,
-					OverrunProb:   cfg.Rates[j.ri],
+					OverrunProb:   cfg.Rates[ri],
 					OverrunFactor: cfg.OverrunFactor,
 					OverrunTail:   cfg.OverrunTail,
 				}
 
-				out := &outs[j.ri*cfg.Sets+j.si]
+				out := &outs[j]
 				ok := true
 				for pi, pname := range policies {
 					p := pcache[pname]
@@ -230,7 +241,7 @@ func Robustness(cfg RobustnessConfig) (*RobustnessSweep, error) {
 						}
 						pcache[pname] = p
 					}
-					res, err := runner.Run(sim.Config{
+					res, err := runner.RunContext(ctx, sim.Config{
 						Tasks:   ts,
 						Machine: cfg.Machine,
 						Policy:  p,
@@ -238,7 +249,9 @@ func Robustness(cfg RobustnessConfig) (*RobustnessSweep, error) {
 						Horizon: horizon,
 					})
 					if err != nil {
-						fail(err)
+						if !skippable(err) {
+							fail(err)
+						}
 						ok = false
 						break
 					}
@@ -264,15 +277,19 @@ func Robustness(cfg RobustnessConfig) (*RobustnessSweep, error) {
 		}()
 	}
 
-	for ri := 0; ri < nr; ri++ {
-		for si := 0; si < cfg.Sets; si++ {
-			jobs <- job{ri, si}
-		}
-	}
-	close(jobs)
+	feed(ctx, jobs, len(outs), nil)
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		done := 0
+		for i := range outs {
+			if outs[i].ok {
+				done++
+			}
+		}
+		return nil, &PartialError{Done: done, Total: len(outs), Cause: err}
 	}
 
 	for ri := 0; ri < nr; ri++ {

@@ -1,0 +1,238 @@
+// Package serve exposes the simulator and the experiment sweeps over a
+// small HTTP JSON API with explicit robustness guarantees: strict input
+// validation, bounded concurrency with load shedding (429 + Retry-After
+// when the worker pool and queue are full), per-request timeouts wired
+// into the simulator's cooperative cancellation, panic containment, and
+// graceful draining on shutdown.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+
+	"rtdvs/internal/core"
+	"rtdvs/internal/experiment"
+	"rtdvs/internal/machine"
+	"rtdvs/internal/sim"
+	"rtdvs/internal/task"
+)
+
+// SimulateRequest is the body of POST /v1/simulate: one simulation run.
+type SimulateRequest struct {
+	// Tasks is the task set (validated by task.NewSet).
+	Tasks []task.Task `json:"tasks"`
+	// Machine names a predefined spec ("machine0", ... — see
+	// machine.Names); default machine0. Mutually exclusive with
+	// MachineSpec.
+	Machine string `json:"machine,omitempty"`
+	// MachineSpec supplies a custom platform (validated by
+	// machine.Spec.Validate).
+	MachineSpec *machine.Spec `json:"machineSpec,omitempty"`
+	// IdleLevel overrides the spec's idle-level factor when set.
+	IdleLevel *float64 `json:"idleLevel,omitempty"`
+	// Policy is the scaling policy name (core.Names); default laEDF.
+	Policy string `json:"policy,omitempty"`
+	// Exec is the execution model spec (task.ParseExec): "wcet",
+	// "c=<frac>", or "uniform".
+	Exec string `json:"exec,omitempty"`
+	// Seed feeds the "uniform" execution model.
+	Seed int64 `json:"seed,omitempty"`
+	// Horizon is the simulated duration in ms; 0 selects 20× the longest
+	// period.
+	Horizon float64 `json:"horizon,omitempty"`
+	// Overhead models the K6-2+ switch stop intervals.
+	Overhead bool `json:"overhead,omitempty"`
+}
+
+// Config builds the validated sim.Config, defaulting Horizon as
+// rtdvs-sim does.
+func (r *SimulateRequest) Config() (sim.Config, error) {
+	var zero sim.Config
+	ts, err := task.NewSet(r.Tasks...)
+	if err != nil {
+		return zero, err
+	}
+	spec, err := resolveMachine(r.Machine, r.MachineSpec, r.IdleLevel)
+	if err != nil {
+		return zero, err
+	}
+	pname := r.Policy
+	if pname == "" {
+		pname = "laEDF"
+	}
+	p, err := core.ByName(pname)
+	if err != nil {
+		return zero, err
+	}
+	exec, err := task.ParseExec(r.Exec, r.Seed)
+	if err != nil {
+		return zero, err
+	}
+	if err := finiteField("horizon", r.Horizon); err != nil {
+		return zero, err
+	}
+	if r.Horizon < 0 {
+		return zero, fmt.Errorf("serve: horizon must be non-negative, got %v", r.Horizon)
+	}
+	horizon := r.Horizon
+	if horizon <= 0 {
+		horizon = 20 * ts.MaxPeriod()
+	}
+	cfg := sim.Config{Tasks: ts, Machine: spec, Policy: p, Exec: exec, Horizon: horizon}
+	if r.Overhead {
+		oh := machine.K62SwitchOverhead
+		cfg.Overhead = &oh
+	}
+	return cfg, nil
+}
+
+// SweepRequest is the body of POST /v1/sweep: an asynchronous
+// utilization sweep over randomly generated task sets (see
+// experiment.Config).
+type SweepRequest struct {
+	// Policies to evaluate; empty means all registered policies.
+	Policies []string `json:"policies,omitempty"`
+	// NTasks is the number of tasks per generated set (required).
+	NTasks int `json:"nTasks"`
+	// Machine names a predefined spec; default machine0.
+	Machine string `json:"machine,omitempty"`
+	// MachineSpec supplies a custom platform.
+	MachineSpec *machine.Spec `json:"machineSpec,omitempty"`
+	// IdleLevel overrides the spec's idle-level factor when set.
+	IdleLevel *float64 `json:"idleLevel,omitempty"`
+	// Exec is the execution model spec applied per generated set.
+	Exec string `json:"exec,omitempty"`
+	// Utilizations overrides the default 0.05..1.00 axis.
+	Utilizations []float64 `json:"utilizations,omitempty"`
+	// Sets is the number of random task sets per utilization (default 20).
+	Sets int `json:"sets,omitempty"`
+	// Seed makes the sweep reproducible.
+	Seed int64 `json:"seed,omitempty"`
+	// Horizon is the simulated duration per run; 0 selects 10× the
+	// longest period of each set.
+	Horizon float64 `json:"horizon,omitempty"`
+}
+
+// Config builds the validated experiment.Config.
+func (r *SweepRequest) Config() (experiment.Config, error) {
+	var zero experiment.Config
+	if r.NTasks <= 0 {
+		return zero, fmt.Errorf("serve: nTasks must be positive, got %d", r.NTasks)
+	}
+	if r.Sets < 0 {
+		return zero, fmt.Errorf("serve: sets must be non-negative, got %d", r.Sets)
+	}
+	for _, p := range r.Policies {
+		if _, err := core.ByName(p); err != nil {
+			return zero, err
+		}
+	}
+	spec, err := resolveMachine(r.Machine, r.MachineSpec, r.IdleLevel)
+	if err != nil {
+		return zero, err
+	}
+	exec, err := parseExecFactory(r.Exec)
+	if err != nil {
+		return zero, err
+	}
+	for i, u := range r.Utilizations {
+		if err := finiteField(fmt.Sprintf("utilizations[%d]", i), u); err != nil {
+			return zero, err
+		}
+		if !(u > 0) || u > 1 {
+			return zero, fmt.Errorf("serve: utilizations[%d] must lie in (0, 1], got %v", i, u)
+		}
+	}
+	if err := finiteField("horizon", r.Horizon); err != nil {
+		return zero, err
+	}
+	if r.Horizon < 0 {
+		return zero, fmt.Errorf("serve: horizon must be non-negative, got %v", r.Horizon)
+	}
+	return experiment.Config{
+		Policies:     r.Policies,
+		NTasks:       r.NTasks,
+		Machine:      spec,
+		Exec:         exec,
+		Utilizations: r.Utilizations,
+		Sets:         r.Sets,
+		Seed:         r.Seed,
+		Horizon:      r.Horizon,
+	}, nil
+}
+
+// resolveMachine picks the platform spec for a request: a named
+// predefined spec, a custom validated one, or machine 0.
+func resolveMachine(name string, custom *machine.Spec, idle *float64) (*machine.Spec, error) {
+	if name != "" && custom != nil {
+		return nil, fmt.Errorf("serve: machine and machineSpec are mutually exclusive")
+	}
+	var spec *machine.Spec
+	switch {
+	case custom != nil:
+		spec = custom
+	case name != "":
+		spec = machine.ByName(name)
+		if spec == nil {
+			return nil, fmt.Errorf("serve: unknown machine %q (have: %s)",
+				name, strings.Join(machine.Names(), ", "))
+		}
+	default:
+		spec = machine.Machine0()
+	}
+	if idle != nil {
+		if err := finiteField("idleLevel", *idle); err != nil {
+			return nil, err
+		}
+		spec = spec.WithIdleLevel(*idle)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+// parseExecFactory maps the textual exec spec onto the sweep's
+// per-set factory.
+func parseExecFactory(spec string) (experiment.ExecFactory, error) {
+	// Validate the spec once up front so errors surface at submission
+	// time, not inside a worker.
+	if _, err := task.ParseExec(spec, 0); err != nil {
+		return nil, err
+	}
+	switch {
+	case spec == "wcet" || spec == "":
+		return experiment.WCETExec(), nil
+	case spec == "uniform":
+		return experiment.UniformExec(), nil
+	default: // "c=<frac>", already validated
+		m, _ := task.ParseExec(spec, 0)
+		return experiment.ConstantExec(m.(task.ConstantFraction).C), nil
+	}
+}
+
+// finiteField rejects NaN and ±Inf, which decode from JSON only via
+// unusual encodings but must never reach the simulator.
+func finiteField(name string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("serve: %s must be finite, got %v", name, v)
+	}
+	return nil
+}
+
+// decodeStrict unmarshals a request body, rejecting unknown fields and
+// trailing garbage.
+func decodeStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("serve: trailing data after JSON body")
+	}
+	return nil
+}

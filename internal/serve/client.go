@@ -1,0 +1,222 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"rtdvs/internal/sim"
+)
+
+// Client talks to a serve.Server with jittered exponential backoff: 429
+// (honoring Retry-After), 5xx, and connection errors are retried;
+// validation failures (4xx) are not.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8344".
+	Base string
+	// HTTP is the transport (default http.DefaultClient).
+	HTTP *http.Client
+	// MaxAttempts bounds tries per call (default 5).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (default 50ms); the delay
+	// doubles per attempt up to MaxDelay (default 2s), each scaled by a
+	// uniform jitter in [0.5, 1.0) to decorrelate competing clients.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewClient builds a client. The seed drives backoff jitter only; any
+// value is fine, but an explicit one keeps test runs reproducible.
+func NewClient(base string, seed int64) *Client {
+	return &Client{Base: base, rng: rand.New(rand.NewSource(seed))}
+}
+
+// StatusError is a non-retried HTTP failure (or retries exhausted).
+type StatusError struct {
+	Status int
+	Body   string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("serve: HTTP %d: %s", e.Status, e.Body)
+}
+
+// Simulate runs one simulation synchronously.
+func (c *Client) Simulate(ctx context.Context, req SimulateRequest) (*sim.Result, error) {
+	var res sim.Result
+	if err := c.call(ctx, "POST", "/v1/simulate", req, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// StartSweep submits an asynchronous sweep and returns its job ID.
+func (c *Client) StartSweep(ctx context.Context, req SweepRequest) (string, error) {
+	var st JobStatus
+	if err := c.call(ctx, "POST", "/v1/sweep", req, &st); err != nil {
+		return "", err
+	}
+	return st.ID, nil
+}
+
+// Job fetches a job's current status.
+func (c *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.call(ctx, "GET", "/v1/jobs/"+id, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// WaitJob polls a job until it reaches a terminal state or ctx expires.
+func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (*JobStatus, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if st.Status.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// call performs one logical request with retries.
+func (c *Client) call(ctx context.Context, method, path string, in, out any) error {
+	attempts := c.MaxAttempts
+	if attempts <= 0 {
+		attempts = 5
+	}
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return err
+		}
+	}
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if err := c.sleep(ctx, attempt, lastErr); err != nil {
+				return err
+			}
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
+		if err != nil {
+			return err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := httpc.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			lastErr = err // connection-level failure: retry
+			continue
+		}
+		respBody, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		switch {
+		case resp.StatusCode < 300:
+			if out == nil {
+				return nil
+			}
+			return json.Unmarshal(respBody, out)
+		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
+			lastErr = &StatusError{Status: resp.StatusCode, Body: string(respBody)}
+			if ra := retryAfter(resp); ra > 0 {
+				lastErr = &retryAfterError{StatusError{resp.StatusCode, string(respBody)}, ra}
+			}
+			continue
+		default:
+			return &StatusError{Status: resp.StatusCode, Body: string(respBody)}
+		}
+	}
+	return fmt.Errorf("serve: %d attempts failed, last: %w", attempts, lastErr)
+}
+
+// retryAfterError carries the server's pacing hint through to sleep.
+type retryAfterError struct {
+	StatusError
+	after time.Duration
+}
+
+func retryAfter(resp *http.Response) time.Duration {
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// sleep blocks for the attempt's backoff delay. A Retry-After hint from
+// the server raises the floor; the jitter then scales whichever is
+// larger so competing clients still decorrelate.
+func (c *Client) sleep(ctx context.Context, attempt int, lastErr error) error {
+	base := c.BaseDelay
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	max := c.MaxDelay
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	d := base << (attempt - 1)
+	if d > max || d <= 0 {
+		d = max
+	}
+	if rae, ok := lastErr.(*retryAfterError); ok && rae.after > d {
+		d = rae.after
+	}
+	c.mu.Lock()
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(1))
+	}
+	jitter := 0.5 + 0.5*c.rng.Float64()
+	c.mu.Unlock()
+	d = time.Duration(float64(d) * jitter)
+
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

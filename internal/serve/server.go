@@ -1,0 +1,346 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rtdvs/internal/experiment"
+	"rtdvs/internal/sim"
+)
+
+// StatusClientClosedRequest is the nginx-convention status reported when
+// the client abandoned a request before the simulation finished.
+const StatusClientClosedRequest = 499
+
+// Config tunes the server's resource bounds. The zero value selects the
+// defaults noted per field.
+type Config struct {
+	// SimConcurrency bounds concurrent /v1/simulate runs (default
+	// GOMAXPROCS). Requests beyond the bound are shed with 429.
+	SimConcurrency int
+	// Workers is the number of goroutines draining the sweep queue
+	// (default 2).
+	Workers int
+	// QueueDepth bounds the sweep queue (default 16). Submissions beyond
+	// it are shed with 429.
+	QueueDepth int
+	// SimTimeout caps one simulate request (default 30s).
+	SimTimeout time.Duration
+	// SweepTimeout caps one sweep job (default 10m).
+	SweepTimeout time.Duration
+	// RetryAfter is the hint attached to 429 responses (default 1s).
+	RetryAfter time.Duration
+	// MaxBody caps request bodies in bytes (default 1 MiB).
+	MaxBody int64
+	// Logf receives operational log lines (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.SimConcurrency <= 0 {
+		c.SimConcurrency = runtime.GOMAXPROCS(0)
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.SimTimeout <= 0 {
+		c.SimTimeout = 30 * time.Second
+	}
+	if c.SweepTimeout <= 0 {
+		c.SweepTimeout = 10 * time.Minute
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxBody <= 0 {
+		c.MaxBody = 1 << 20
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	return c
+}
+
+// Server is the HTTP simulation service. Create with New, install
+// Handler into an http.Server, call Start, and Shutdown to drain.
+type Server struct {
+	cfg     Config
+	handler http.Handler
+	store   *jobStore
+
+	simSem chan struct{} // counting semaphore for simulate slots
+
+	queueMu sync.RWMutex // guards queue sends against close on Shutdown
+	queue   chan *job
+	closed  bool
+
+	draining   atomic.Bool
+	wg         sync.WaitGroup
+	baseCtx    context.Context // parent of every sweep job's context
+	baseCancel context.CancelFunc
+}
+
+// New builds a server; call Start before serving traffic.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:    cfg,
+		store:  newJobStore(),
+		simSem: make(chan struct{}, cfg.SimConcurrency),
+		queue:  make(chan *job, cfg.QueueDepth),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.handler = s.recoverPanics(mux)
+	return s
+}
+
+// Handler returns the root handler (panic recovery included).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Start launches the sweep workers.
+func (s *Server) Start() {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// Shutdown drains the server: readiness flips to 503, new sweep
+// submissions are refused, queued and running jobs are given until ctx
+// expires to finish, then their contexts are cancelled and the workers
+// are awaited unconditionally. Idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.queueMu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.queueMu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Deadline hit: cancel in-flight sweeps. Their runs stop at the
+		// next cooperative check and the workers exit promptly.
+		err = ctx.Err()
+	}
+	s.baseCancel()
+	<-done
+	// Jobs still queued when the channel closed never reach a worker;
+	// mark them cancelled so clients polling them see a terminal state.
+	s.store.each(func(j *job) {
+		j.setState(JobCancelled, errors.New("server shut down before the job ran"), nil)
+	})
+	return err
+}
+
+// worker drains the sweep queue until Shutdown closes it.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+func (s *Server) runJob(j *job) {
+	ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.SweepTimeout)
+	defer cancel()
+	j.setState(JobRunning, nil, nil)
+	sw, err := experiment.RunContext(ctx, j.cfg)
+	switch {
+	case err == nil:
+		j.setState(JobDone, nil, sw)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.setState(JobCancelled, err, nil)
+	default:
+		j.setState(JobFailed, err, nil)
+	}
+}
+
+// recoverPanics converts a handler panic into a 500 without killing the
+// process; the in-flight connection is answered if nothing was written
+// yet.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				if v == http.ErrAbortHandler {
+					panic(v)
+				}
+				buf := make([]byte, 8<<10)
+				buf = buf[:runtime.Stack(buf, false)]
+				s.cfg.Logf("serve: panic in %s %s: %v\n%s", r.Method, r.URL.Path, v, buf)
+				s.writeError(w, http.StatusInternalServerError, fmt.Errorf("internal error"))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, errors.New("draining"))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if !s.readRequest(w, r, &req) {
+		return
+	}
+	cfg, err := req.Config()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	// Bounded concurrency: a free slot or an immediate 429. No waiting —
+	// shedding early keeps tail latency flat under overload and lets the
+	// retry client pace itself off Retry-After.
+	select {
+	case s.simSem <- struct{}{}:
+		defer func() { <-s.simSem }()
+	default:
+		s.shed(w)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.SimTimeout)
+	defer cancel()
+	res, err := sim.RunContext(ctx, cfg)
+	if err != nil {
+		var canceled *sim.Canceled
+		switch {
+		case errors.As(err, &canceled) && errors.Is(err, context.DeadlineExceeded):
+			s.writeError(w, http.StatusGatewayTimeout,
+				fmt.Errorf("simulation exceeded the %v limit (stopped at t=%g of %g)",
+					s.cfg.SimTimeout, canceled.At, cfg.Horizon))
+		case errors.As(err, &canceled):
+			// The client went away; status is for logs only.
+			s.writeError(w, StatusClientClosedRequest, errors.New("client closed request"))
+		default:
+			s.writeError(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	s.writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if !s.readRequest(w, r, &req) {
+		return
+	}
+	cfg, err := req.Config()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	// The read lock lets submissions proceed concurrently while still
+	// excluding Shutdown's close of the queue.
+	s.queueMu.RLock()
+	defer s.queueMu.RUnlock()
+	if s.closed || s.draining.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, errors.New("draining"))
+		return
+	}
+	j := s.store.create(cfg)
+	select {
+	case s.queue <- j:
+		s.writeJSON(w, http.StatusAccepted, j.Status())
+	default:
+		j.setState(JobCancelled, errors.New("queue full"), nil)
+		s.shed(w)
+	}
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j := s.store.get(r.PathValue("id"))
+	if j == nil {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, j.Status())
+}
+
+// readRequest enforces the body bound and strict decoding; it answers
+// the request itself on failure.
+func (s *Server) readRequest(w http.ResponseWriter, r *http.Request, v any) bool {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("body exceeds %d bytes", s.cfg.MaxBody))
+		} else {
+			s.writeError(w, http.StatusBadRequest, err)
+		}
+		return false
+	}
+	if err := decodeStrict(body, v); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return false
+	}
+	return true
+}
+
+// shed answers an over-capacity request: 429 plus the Retry-After hint
+// the backoff client honors.
+func (s *Server) shed(w http.ResponseWriter) {
+	secs := int(s.cfg.RetryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	s.writeError(w, http.StatusTooManyRequests, errors.New("server at capacity"))
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.cfg.Logf("serve: writing response: %v", err)
+	}
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	s.writeJSON(w, status, errorBody{Error: err.Error()})
+}

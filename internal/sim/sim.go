@@ -20,6 +20,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -155,6 +156,38 @@ func (r *Result) Clone() *Result {
 	return &c
 }
 
+// cancelCheckInterval is the number of event-loop iterations between
+// cooperative context polls in RunContext. Polling every event would put
+// an interface call on the 0-alloc hot path for no benefit — a batch of
+// this size costs microseconds of wall time, so a cancelled run still
+// returns within its deadline plus one check interval.
+const cancelCheckInterval = 64
+
+// Canceled is the typed partial-result error RunContext returns when the
+// context ends before the simulation horizon. It wraps the context's
+// error, so errors.Is(err, context.Canceled) and
+// errors.Is(err, context.DeadlineExceeded) work as expected.
+type Canceled struct {
+	// At is the simulated time (ms) the run had reached.
+	At float64
+	// Partial is the result accumulated up to At. Like a completed
+	// result it aliases the Runner's buffers: it is valid until the next
+	// Run/RunContext call on the same Runner (use Result.Clone to keep it).
+	Partial *Result
+	// Cause is the context's error (context.Canceled or
+	// context.DeadlineExceeded).
+	Cause error
+}
+
+// Error implements error.
+func (e *Canceled) Error() string {
+	return fmt.Sprintf("sim: run cancelled at t=%g of horizon %g: %v",
+		e.At, e.Partial.Horizon, e.Cause)
+}
+
+// Unwrap returns the context error the cancellation traces to.
+func (e *Canceled) Unwrap() error { return e.Cause }
+
 // taskState is per-task runtime state.
 type taskState struct {
 	nextRelease  float64 // actual time the next release fires (nominal + injected delay)
@@ -196,6 +229,13 @@ type simulator struct {
 	due      []int     // scratch: tasks drained from timers this instant
 	released []int     // scratch: release events pending policy callbacks
 	resTime  []float64 // per machine-table point index: residency time
+
+	// Cooperative cancellation: ctx is nil when the run is not
+	// cancellable (plain Run), so the hot path pays one nil check per
+	// event. ctxTick counts events down to the next poll.
+	ctx     context.Context
+	ctxTick int
+	ctxErr  error
 }
 
 // Runner executes simulation runs back to back, reusing all internal
@@ -219,9 +259,36 @@ func Run(cfg Config) (*Result, error) {
 	return NewRunner().Run(cfg)
 }
 
+// RunContext executes the configuration on a fresh Runner under ctx (see
+// Runner.RunContext).
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	return NewRunner().RunContext(ctx, cfg)
+}
+
 // Run executes one configuration, reusing the Runner's buffers. The
 // returned Result is valid until the next Run call (see Runner).
 func (r *Runner) Run(cfg Config) (*Result, error) {
+	return r.run(nil, cfg)
+}
+
+// RunContext is Run with cooperative cancellation: the event loop polls
+// ctx every cancelCheckInterval events and, when the context ends before
+// the horizon, stops promptly and returns a *Canceled error carrying the
+// partial result. A nil or background context behaves exactly like Run;
+// the hot path stays allocation-free either way.
+func (r *Runner) RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	if ctx != nil && ctx.Done() == nil {
+		// A context that can never be cancelled (context.Background,
+		// context.TODO) needs no polling.
+		ctx = nil
+	}
+	return r.run(ctx, cfg)
+}
+
+// run validates cfg, resets every piece of runner state — a previous
+// errored or cancelled run must not be able to poison this one — and
+// executes the event loop.
+func (r *Runner) run(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.Tasks == nil || cfg.Tasks.Len() == 0 {
 		return nil, task.ErrEmptySet
 	}
@@ -257,6 +324,9 @@ func (r *Runner) Run(cfg Config) (*Result, error) {
 	s.released = s.released[:0]
 	s.timers.Reset(n)
 	s.ready.Reset(n)
+	s.ctx = ctx
+	s.ctxTick = 0 // poll before the first event: an expired ctx does no work
+	s.ctxErr = nil
 
 	prt := s.res.PointResTime
 	if prt == nil {
@@ -308,6 +378,9 @@ func (r *Runner) Run(cfg Config) (*Result, error) {
 	if cfg.Faults != nil {
 		rec := cfg.Faults.Record()
 		s.res.Faults = &rec
+	}
+	if s.ctxErr != nil {
+		return nil, &Canceled{At: s.now, Partial: &s.res, Cause: s.ctxErr}
 	}
 	return &s.res, nil
 }
@@ -559,10 +632,28 @@ func (s *simulator) record(taskIdx int, start, end float64, op machine.Operating
 	}
 }
 
+// pollCtx reports whether the run's context has ended, checking it only
+// every cancelCheckInterval calls so the interface call stays off the
+// per-event fast path. Must only be called with a non-nil s.ctx.
+func (s *simulator) pollCtx() bool {
+	if s.ctxTick--; s.ctxTick > 0 {
+		return false
+	}
+	s.ctxTick = cancelCheckInterval
+	if err := s.ctx.Err(); err != nil {
+		s.ctxErr = err
+		return true
+	}
+	return false
+}
+
 // run is the main loop: process releases due now, pick a task, execute it
 // until completion or the next release, and account energy along the way.
 func (s *simulator) run() {
 	for fpx.Lt(s.now, s.cfg.Horizon) {
+		if s.ctx != nil && s.pollCtx() {
+			break
+		}
 		s.processAborts()
 		s.processReleases()
 

@@ -1,0 +1,29 @@
+package task
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// ParseExec parses the textual execution-model spec shared by the CLI
+// tools and the HTTP API: "wcet" (or empty) for full worst case,
+// "c=<frac>" for a constant fraction in (0, 1], and "uniform" for
+// per-invocation draws from (0, WCET]. The uniform model is seeded
+// deterministically from seed, so equal specs replay identically.
+func ParseExec(spec string, seed int64) (ExecModel, error) {
+	switch {
+	case spec == "wcet" || spec == "":
+		return FullWCET{}, nil
+	case spec == "uniform":
+		return UniformFraction{Lo: 0, Hi: 1, Rand: rand.New(rand.NewSource(seed + 1))}, nil
+	case strings.HasPrefix(spec, "c="):
+		c, err := strconv.ParseFloat(spec[2:], 64)
+		if err != nil || !(c > 0) || c > 1 {
+			return nil, fmt.Errorf("task: bad execution fraction %q (want c=<frac> with frac in (0,1])", spec)
+		}
+		return ConstantFraction{C: c}, nil
+	}
+	return nil, fmt.Errorf("task: unknown execution model %q (want \"wcet\", \"c=<frac>\", or \"uniform\")", spec)
+}

@@ -1,0 +1,47 @@
+package rtdvs
+
+// Serving-layer benchmark: the full HTTP handler path of POST
+// /v1/simulate — strict decode, validation, semaphore admission, a real
+// simulation run, JSON response — measured per request with allocation
+// counts, so regressions in the serving overhead (not just the
+// simulator core) show up in the rtdvs-bench report.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"rtdvs/internal/serve"
+	"rtdvs/internal/task"
+)
+
+func BenchmarkServeSimulate(b *testing.B) {
+	s := serve.New(serve.Config{Logf: func(string, ...any) {}})
+	s.Start()
+	defer s.Shutdown(b.Context())
+	h := s.Handler()
+
+	body, err := json.Marshal(serve.SimulateRequest{
+		Tasks:   []task.Task{{Period: 8, WCET: 3}, {Period: 10, WCET: 3}, {Period: 14, WCET: 1}},
+		Policy:  "ccEDF",
+		Exec:    "c=0.9",
+		Horizon: 280,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := string(body)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("POST", "/v1/simulate", strings.NewReader(payload))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+}
