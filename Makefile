@@ -3,7 +3,7 @@
 
 GOBIN := $(shell go env GOPATH)/bin
 
-.PHONY: all build test lint race fuzz bench bench-raw
+.PHONY: all build test lint race fuzz bench bench-raw cover
 
 all: build test lint race fuzz
 
@@ -45,3 +45,12 @@ bench:
 # bench-raw is plain `go test -bench` without the report or the gate.
 bench-raw:
 	go test -bench=. -benchmem
+
+# cover runs the suite with a coverage profile, gates per-package
+# statement coverage against the floors in COVERAGE.floors (see
+# cmd/rtdvs-cover), and renders the browsable HTML report.
+COVER_OUT ?= cover.out
+cover:
+	go test -coverprofile=$(COVER_OUT) ./...
+	go run ./cmd/rtdvs-cover -profile $(COVER_OUT) -floors COVERAGE.floors
+	go tool cover -html=$(COVER_OUT) -o cover.html

@@ -19,6 +19,7 @@ import (
 	"rtdvs/internal/core"
 	"rtdvs/internal/experiment"
 	"rtdvs/internal/machine"
+	"rtdvs/internal/obs"
 	"rtdvs/internal/rtos"
 	"rtdvs/internal/sched"
 	"rtdvs/internal/sim"
@@ -345,7 +346,8 @@ func BenchmarkPolicyOverheadStatic64(b *testing.B) { benchPolicyOverhead(b, "sta
 // BenchmarkSimulatorThroughput measures the steady-state cost of whole
 // simulation runs on a reused sim.Runner + policy instance — the shape
 // the experiment harness executes hundreds of thousands of times. In
-// steady state this must report 0 allocs/op.
+// steady state this must report 0 allocs/op, with metrics enabled: the
+// observability layer is not allowed to cost the hot path anything.
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportAllocs()
 	r := rand.New(rand.NewSource(2))
@@ -359,9 +361,11 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		b.Fatal(err)
 	}
 	runner := sim.NewRunner()
+	spec := machine.Machine0()
 	cfg := sim.Config{
-		Tasks: ts, Machine: machine.Machine0(), Policy: p,
+		Tasks: ts, Machine: spec, Policy: p,
 		Exec: task.ConstantFraction{C: 0.7}, Horizon: 2000,
+		Metrics: sim.NewMetrics(obs.NewRegistry(), spec),
 	}
 	var events int
 	b.ResetTimer()

@@ -1,0 +1,200 @@
+// Command rtdvs-cover gates per-package statement coverage against the
+// checked-in floors in COVERAGE.floors.
+//
+//	go test -coverprofile=cover.out ./...
+//	go run ./cmd/rtdvs-cover -profile cover.out -floors COVERAGE.floors
+//
+// The tool recomputes each package's coverage from the profile (covered
+// statements / total statements) and fails if any package with a floor
+// falls below it, or if a floor names a package absent from the profile
+// (which catches renames silently dropping a gate). Packages without a
+// floor are listed for information but never fail the run.
+//
+// Floors are deliberately set a few points below current coverage: the
+// gate exists to catch large regressions — a package losing its tests,
+// a big untested feature — not to make every refactor a ratchet fight.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	profilePath := flag.String("profile", "cover.out", "coverage profile from go test -coverprofile")
+	floorsPath := flag.String("floors", "COVERAGE.floors", "per-package minimum coverage file")
+	flag.Parse()
+
+	pf, err := os.Open(*profilePath)
+	if err != nil {
+		fatal(err)
+	}
+	defer pf.Close()
+	cov, err := parseProfile(pf)
+	if err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", *profilePath, err))
+	}
+
+	ff, err := os.Open(*floorsPath)
+	if err != nil {
+		fatal(err)
+	}
+	defer ff.Close()
+	floors, err := parseFloors(ff)
+	if err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", *floorsPath, err))
+	}
+
+	failures := check(os.Stdout, cov, floors)
+	if len(failures) > 0 {
+		fmt.Fprintln(os.Stderr)
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "rtdvs-cover: %s\n", f)
+		}
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "rtdvs-cover: %v\n", err)
+	os.Exit(2)
+}
+
+// pkgCov accumulates statement counts for one package.
+type pkgCov struct {
+	total, covered int
+}
+
+// percent returns the package's statement coverage in percent.
+func (c pkgCov) percent() float64 {
+	if c.total == 0 {
+		return 0
+	}
+	return 100 * float64(c.covered) / float64(c.total)
+}
+
+// parseProfile reads a go test coverage profile ("name.go:sl.sc,el.ec
+// numstmt count" lines after a "mode:" header) and aggregates statement
+// counts per package directory.
+func parseProfile(r io.Reader) (map[string]pkgCov, error) {
+	cov := make(map[string]pkgCov)
+	sc := bufio.NewScanner(r)
+	ln := 0
+	for sc.Scan() {
+		ln++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if ln == 1 {
+			if !strings.HasPrefix(line, "mode:") {
+				return nil, fmt.Errorf("line 1: missing mode header")
+			}
+			continue
+		}
+		file, rest, ok := strings.Cut(line, ":")
+		if !ok {
+			return nil, fmt.Errorf("line %d: no file separator", ln)
+		}
+		fields := strings.Fields(rest)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("line %d: want 3 fields after position, got %d", ln, len(fields))
+		}
+		stmts, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad statement count %q", ln, fields[1])
+		}
+		count, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad hit count %q", ln, fields[2])
+		}
+		c := cov[path.Dir(file)]
+		c.total += stmts
+		if count > 0 {
+			c.covered += stmts
+		}
+		cov[path.Dir(file)] = c
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return cov, nil
+}
+
+// parseFloors reads "import/path minimum-percent" lines; '#' starts a
+// comment and blank lines are skipped.
+func parseFloors(r io.Reader) (map[string]float64, error) {
+	floors := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	ln := 0
+	for sc.Scan() {
+		ln++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("line %d: want \"package percent\", got %q", ln, line)
+		}
+		pct, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil || pct < 0 || pct > 100 {
+			return nil, fmt.Errorf("line %d: bad percent %q", ln, fields[1])
+		}
+		if _, dup := floors[fields[0]]; dup {
+			return nil, fmt.Errorf("line %d: duplicate floor for %s", ln, fields[0])
+		}
+		floors[fields[0]] = pct
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return floors, nil
+}
+
+// check prints the coverage table to w and returns the gate failures.
+func check(w io.Writer, cov map[string]pkgCov, floors map[string]float64) []string {
+	pkgs := make([]string, 0, len(cov))
+	for p := range cov {
+		pkgs = append(pkgs, p)
+	}
+	sort.Strings(pkgs)
+
+	var failures []string
+	for _, p := range pkgs {
+		pct := cov[p].percent()
+		floor, gated := floors[p]
+		switch {
+		case !gated:
+			fmt.Fprintf(w, "%-40s %6.1f%%  (no floor)\n", p, pct)
+		case pct < floor:
+			fmt.Fprintf(w, "%-40s %6.1f%%  BELOW floor %.1f%%\n", p, pct, floor)
+			failures = append(failures, fmt.Sprintf("%s: coverage %.1f%% below floor %.1f%%", p, pct, floor))
+		default:
+			fmt.Fprintf(w, "%-40s %6.1f%%  (floor %.1f%%)\n", p, pct, floor)
+		}
+	}
+	// A floor whose package vanished from the profile is a silently
+	// disabled gate — fail it.
+	var missing []string
+	for p := range floors {
+		if _, ok := cov[p]; !ok {
+			missing = append(missing, p)
+		}
+	}
+	sort.Strings(missing)
+	for _, p := range missing {
+		failures = append(failures, fmt.Sprintf("%s: floor set but package absent from profile", p))
+	}
+	return failures
+}

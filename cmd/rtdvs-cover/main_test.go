@@ -1,0 +1,101 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleProfile = `mode: set
+rtdvs/internal/a/a.go:10.2,12.3 3 1
+rtdvs/internal/a/a.go:14.2,16.3 2 0
+rtdvs/internal/a/b.go:5.2,6.3 5 7
+rtdvs/internal/b/b.go:1.1,2.2 4 0
+`
+
+func TestParseProfile(t *testing.T) {
+	cov, err := parseProfile(strings.NewReader(sampleProfile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := cov["rtdvs/internal/a"]
+	if a.total != 10 || a.covered != 8 {
+		t.Errorf("package a: %+v, want total 10 covered 8", a)
+	}
+	if got := a.percent(); got != 80 {
+		t.Errorf("package a percent = %v, want 80", got)
+	}
+	b := cov["rtdvs/internal/b"]
+	if b.total != 4 || b.covered != 0 {
+		t.Errorf("package b: %+v, want total 4 covered 0", b)
+	}
+}
+
+func TestParseProfileRejects(t *testing.T) {
+	for name, in := range map[string]string{
+		"noMode":     "rtdvs/a/a.go:1.1,2.2 1 1\n",
+		"shortLine":  "mode: set\nrtdvs/a/a.go:1.1,2.2 1\n",
+		"noColon":    "mode: set\njust-words here and there\n",
+		"badStmts":   "mode: set\nrtdvs/a/a.go:1.1,2.2 x 1\n",
+		"badCount":   "mode: set\nrtdvs/a/a.go:1.1,2.2 1 y\n",
+		"extraField": "mode: set\nrtdvs/a/a.go:1.1,2.2 1 1 1\n",
+	} {
+		if _, err := parseProfile(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestParseFloors(t *testing.T) {
+	in := `
+# tier floors
+rtdvs/internal/a 75    # inline comment
+rtdvs/internal/b 0
+`
+	floors, err := parseFloors(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if floors["rtdvs/internal/a"] != 75 || floors["rtdvs/internal/b"] != 0 {
+		t.Errorf("floors = %v", floors)
+	}
+}
+
+func TestParseFloorsRejects(t *testing.T) {
+	for name, in := range map[string]string{
+		"badPercent":  "rtdvs/a x\n",
+		"outOfRange":  "rtdvs/a 101\n",
+		"negative":    "rtdvs/a -1\n",
+		"missingPct":  "rtdvs/a\n",
+		"extraFields": "rtdvs/a 50 60\n",
+		"duplicate":   "rtdvs/a 50\nrtdvs/a 60\n",
+	} {
+		if _, err := parseFloors(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestCheckGate(t *testing.T) {
+	cov, err := parseProfile(strings.NewReader(sampleProfile))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	if fails := check(&out, cov, map[string]float64{"rtdvs/internal/a": 75}); len(fails) != 0 {
+		t.Errorf("above-floor package failed the gate: %v", fails)
+	}
+	if !strings.Contains(out.String(), "(no floor)") {
+		t.Error("ungated package not reported")
+	}
+
+	fails := check(&out, cov, map[string]float64{"rtdvs/internal/a": 85})
+	if len(fails) != 1 || !strings.Contains(fails[0], "below floor") {
+		t.Errorf("below-floor package passed the gate: %v", fails)
+	}
+
+	fails = check(&out, cov, map[string]float64{"rtdvs/internal/gone": 10})
+	if len(fails) != 1 || !strings.Contains(fails[0], "absent from profile") {
+		t.Errorf("floor for a vanished package passed the gate: %v", fails)
+	}
+}

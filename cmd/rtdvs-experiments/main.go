@@ -26,7 +26,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"math"
 	"os"
 	"os/signal"
@@ -40,11 +39,10 @@ import (
 	"rtdvs/internal/core"
 	"rtdvs/internal/experiment"
 	"rtdvs/internal/machine"
+	"rtdvs/internal/obs"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("rtdvs-experiments: ")
 	exp := flag.String("exp", "all", "experiment to regenerate")
 	sets := flag.Int("sets", 20, "random task sets per utilization point")
 	seed := flag.Int64("seed", 1, "base RNG seed")
@@ -56,14 +54,26 @@ func main() {
 	resume := flag.Bool("resume", false, "skip jobs already recorded in the -checkpoint journal")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	var logOpts obs.LogOptions
+	logOpts.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	logger, err := logOpts.NewLogger(os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rtdvs-experiments: %v\n", err)
+		os.Exit(2)
+	}
+	logger = logger.With("component", "rtdvs-experiments")
+	fatal := func(err error) {
+		logger.Error("fatal", "err", err)
+		os.Exit(1)
+	}
 	if err := validateFlags(*sets, *step, *workers, *timeout, *checkpoint, *resume); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	switch *format {
 	case "text", "csv", "json":
 	default:
-		log.Fatalf("unknown format %q", *format)
+		fatal(fmt.Errorf("unknown format %q", *format))
 	}
 
 	// Interrupts and -timeout cancel the sweep cooperatively: workers
@@ -80,11 +90,11 @@ func main() {
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -92,12 +102,12 @@ func main() {
 		defer func() {
 			f, err := os.Create(*memprofile)
 			if err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			defer f.Close()
 			runtime.GC() // materialize the final live set
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 		}()
 	}
@@ -123,13 +133,10 @@ func main() {
 	// progress, journaled when checkpointing) from a hard failure.
 	fail := func(err error) {
 		var pe *experiment.PartialError
-		if errors.As(err, &pe) {
-			if *checkpoint != "" {
-				log.Fatalf("%v (completed jobs are journaled; rerun with -resume to continue)", err)
-			}
-			log.Fatalf("%v", err)
+		if errors.As(err, &pe) && *checkpoint != "" {
+			fatal(fmt.Errorf("%w (completed jobs are journaled; rerun with -resume to continue)", err))
 		}
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	emit := func(sw *experiment.Sweep, title string, normalized bool) {
@@ -137,11 +144,11 @@ func main() {
 		case "csv":
 			fmt.Printf("# %s\n", title)
 			if err := sw.WriteCSV(os.Stdout, normalized, all); err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 		case "json":
 			if err := sw.WriteJSON(os.Stdout); err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 		default:
 			fmt.Println(sw.Render(title, normalized, all))
@@ -153,11 +160,11 @@ func main() {
 		case "csv":
 			fmt.Printf("# %s\n", ps.Title)
 			if err := ps.WriteCSV(os.Stdout, experiment.Figure16Policies); err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 		case "json":
 			if err := ps.WriteJSON(os.Stdout); err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 		default:
 			fmt.Println(ps.Render(experiment.Figure16Policies))
@@ -165,6 +172,7 @@ func main() {
 	}
 
 	run := func(name string) {
+		logger.Debug("running experiment", "name", name)
 		switch name {
 		case "table1":
 			fmt.Println(experiment.Table1())
@@ -172,7 +180,7 @@ func main() {
 		case "table4":
 			rows, err := experiment.Table4()
 			if err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			fmt.Println(experiment.RenderTable4(rows))
 
@@ -243,18 +251,18 @@ func main() {
 			switch *format {
 			case "csv":
 				if err := sw.WriteCSV(os.Stdout, nil); err != nil {
-					log.Fatal(err)
+					fatal(err)
 				}
 			case "json":
 				if err := sw.WriteJSON(os.Stdout); err != nil {
-					log.Fatal(err)
+					fatal(err)
 				}
 			default:
 				fmt.Println(sw.Render(nil))
 			}
 
 		default:
-			log.Fatalf("unknown experiment %q", name)
+			fatal(fmt.Errorf("unknown experiment %q", name))
 		}
 	}
 

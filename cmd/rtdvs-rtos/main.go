@@ -31,35 +31,45 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"strconv"
 	"strings"
 
 	"rtdvs/internal/core"
 	"rtdvs/internal/machine"
+	"rtdvs/internal/obs"
 	"rtdvs/internal/rtos"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("rtdvs-rtos: ")
 	mname := flag.String("machine", "k6-2+", "machine spec: "+strings.Join(machine.Names(), ", "))
 	pname := flag.String("policy", "ccEDF", "initial policy: "+strings.Join(core.Names(), ", "))
 	script := flag.String("script", "", "read commands from this file instead of stdin")
+	var logOpts obs.LogOptions
+	logOpts.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	logger, err := logOpts.NewLogger(os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rtdvs-rtos: %v\n", err)
+		os.Exit(2)
+	}
+	logger = logger.With("component", "rtdvs-rtos")
+	fatal := func(err error) {
+		logger.Error("fatal", "err", err)
+		os.Exit(1)
+	}
 
 	spec := machine.ByName(*mname)
 	if spec == nil {
-		log.Fatalf("unknown machine %q", *mname)
+		fatal(fmt.Errorf("unknown machine %q", *mname))
 	}
 	p, err := core.ByName(*pname)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	k, err := rtos.NewKernel(spec, machine.K62SwitchOverhead, p)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	meter := rtos.NewPowerMeter(k.CPU(), rtos.DefaultSystemPower(), false, false)
 	meter.Mark(0)
@@ -69,7 +79,7 @@ func main() {
 	if *script != "" {
 		f, err := os.Open(*script)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		defer f.Close()
 		in = f
@@ -125,6 +135,6 @@ func main() {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 }

@@ -9,6 +9,11 @@
 //	GET  /v1/jobs/{id}  poll a sweep job
 //	GET  /healthz       liveness
 //	GET  /readyz        readiness (503 while draining)
+//	GET  /metrics       Prometheus text-format metrics
+//
+// With -debug-addr set, a second listener serves net/http/pprof (and a
+// /metrics mirror) — bind it to loopback, profiles expose memory
+// contents.
 //
 // The server sheds load with 429 + Retry-After when its worker pool and
 // queue are full, and drains gracefully on SIGINT/SIGTERM: readiness
@@ -22,7 +27,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -30,14 +35,14 @@ import (
 	"syscall"
 	"time"
 
+	"rtdvs/internal/obs"
 	"rtdvs/internal/serve"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("rtdvs-serve: ")
 	var (
 		addr         = flag.String("addr", ":8344", "listen address")
+		debugAddr    = flag.String("debug-addr", "", "debug listen address for pprof + metrics (empty = disabled; bind to loopback)")
 		workers      = flag.Int("workers", 2, "sweep worker goroutines")
 		queue        = flag.Int("queue", 16, "sweep queue depth")
 		simConc      = flag.Int("sim-concurrency", 0, "concurrent simulate requests (0 = GOMAXPROCS)")
@@ -45,24 +50,50 @@ func main() {
 		sweepTimeout = flag.Duration("sweep-timeout", 10*time.Minute, "per-sweep time limit")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
 	)
+	var logOpts obs.LogOptions
+	logOpts.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	logger, err := logOpts.NewLogger(os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rtdvs-serve: %v\n", err)
+		os.Exit(2)
+	}
+	logger = logger.With("component", "rtdvs-serve")
 	if err := run(*addr, serve.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		SimConcurrency: *simConc,
 		SimTimeout:     *simTimeout,
 		SweepTimeout:   *sweepTimeout,
-	}, *drainTimeout, nil); err != nil {
-		log.Fatal(err)
+	}, runOptions{DrainTimeout: *drainTimeout, DebugAddr: *debugAddr, Logger: logger}, nil); err != nil {
+		logger.Error("server failed", "err", err)
+		os.Exit(1)
 	}
+}
+
+// runOptions holds the operational knobs of run that are not part of the
+// serve.Config resource bounds.
+type runOptions struct {
+	DrainTimeout time.Duration
+	DebugAddr    string
+	Logger       *slog.Logger
 }
 
 // run serves until a termination signal or a listener error. When ready
 // is non-nil the bound address is sent to it once the listener is up
 // (used by tests that listen on port 0).
-func run(addr string, cfg serve.Config, drainTimeout time.Duration, ready chan<- net.Addr) error {
-	if err := validateFlags(cfg, drainTimeout); err != nil {
+func run(addr string, cfg serve.Config, opts runOptions, ready chan<- net.Addr) error {
+	if err := validateFlags(cfg, opts.DrainTimeout); err != nil {
 		return err
+	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(format string, args ...any) {
+			logger.Info(fmt.Sprintf(format, args...))
+		}
 	}
 	srv := serve.New(cfg)
 	srv.Start()
@@ -78,7 +109,26 @@ func run(addr string, cfg serve.Config, drainTimeout time.Duration, ready chan<-
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
-	log.Printf("listening on %s", ln.Addr())
+	logger.Info("listening", "addr", ln.Addr().String())
+
+	// The debug listener is opt-in and serves pprof + metrics only; its
+	// lifecycle is subordinate to the main server (closed on drain, and a
+	// debug listener failure is logged, not fatal).
+	var debugSrv *http.Server
+	if opts.DebugAddr != "" {
+		dln, err := net.Listen("tcp", opts.DebugAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		debugSrv = &http.Server{Handler: srv.DebugMux()}
+		go func() {
+			if err := debugSrv.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Warn("debug server stopped", "err", err)
+			}
+		}()
+		logger.Info("debug listening", "addr", dln.Addr().String())
+	}
 	if ready != nil {
 		ready <- ln.Addr()
 	}
@@ -88,18 +138,23 @@ func run(addr string, cfg serve.Config, drainTimeout time.Duration, ready chan<-
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("draining (budget %v)", drainTimeout)
-	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	logger.Info("draining", "budget", opts.DrainTimeout.String())
+	dctx, cancel := context.WithTimeout(context.Background(), opts.DrainTimeout)
 	defer cancel()
 	// Stop accepting connections and finish in-flight requests, then
 	// drain the sweep workers within the same budget.
 	if err := httpSrv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err
 	}
+	if debugSrv != nil {
+		if err := debugSrv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+	}
 	if err := srv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err
 	}
-	log.Printf("drained")
+	logger.Info("drained")
 	return nil
 }
 

@@ -2,6 +2,8 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"syscall"
@@ -17,8 +19,13 @@ import (
 func TestRunDrainsOnSIGTERM(t *testing.T) {
 	ready := make(chan net.Addr, 1)
 	done := make(chan error, 1)
+	opts := runOptions{
+		DrainTimeout: 10 * time.Second,
+		DebugAddr:    "127.0.0.1:0",
+		Logger:       slog.New(slog.NewTextHandler(io.Discard, nil)),
+	}
 	go func() {
-		done <- run("127.0.0.1:0", serve.Config{Workers: 1, QueueDepth: 2}, 10*time.Second, ready)
+		done <- run("127.0.0.1:0", serve.Config{Workers: 1, QueueDepth: 2}, opts, ready)
 	}()
 
 	var addr net.Addr

@@ -16,7 +16,6 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
 	"math"
 	"math/rand"
 	"os"
@@ -25,14 +24,13 @@ import (
 
 	"rtdvs/internal/core"
 	"rtdvs/internal/machine"
+	"rtdvs/internal/obs"
 	"rtdvs/internal/sim"
 	"rtdvs/internal/task"
 	"rtdvs/internal/trace"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("rtdvs-sim: ")
 	var (
 		file     = flag.String("file", "", "JSON file with the task set")
 		inline   = flag.String("set", "", `inline task set, e.g. "3:8,3:10,1:14" (WCET:period)`)
@@ -49,27 +47,39 @@ func main() {
 		asJSON   = flag.Bool("json", false, "emit the result as JSON")
 		check    = flag.Bool("check", false, "enable the runtime invariant checker (see internal/sim/invariant.go)")
 	)
+	var logOpts obs.LogOptions
+	logOpts.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	logger, err := logOpts.NewLogger(os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rtdvs-sim: %v\n", err)
+		os.Exit(2)
+	}
+	logger = logger.With("component", "rtdvs-sim")
+	fatal := func(err error) {
+		logger.Error("fatal", "err", err)
+		os.Exit(1)
+	}
 	if err := validateFlags(*n, *u, *idle, *horizon); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	ts, err := loadTaskSet(*file, *inline, *n, *u, *seed)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	spec := machine.ByName(*mname)
 	if spec == nil {
-		log.Fatalf("unknown machine %q (have: %s)", *mname, strings.Join(machine.Names(), ", "))
+		fatal(fmt.Errorf("unknown machine %q (have: %s)", *mname, strings.Join(machine.Names(), ", ")))
 	}
 	spec = spec.WithIdleLevel(*idle)
 	p, err := core.ByName(*policy)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	exec, err := parseExec(*execSpec, *seed)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	cfg := sim.Config{Tasks: ts, Machine: spec, Policy: p, Exec: exec, Horizon: *horizon, CheckInvariants: *check}
@@ -83,14 +93,16 @@ func main() {
 	}
 	res, err := sim.Run(cfg)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
+	logger.Debug("simulation complete",
+		"policy", res.Policy, "events", res.Events, "misses", res.MissCount())
 
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(res); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		return
 	}

@@ -23,6 +23,8 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
+	"runtime"
 )
 
 // frameHeader is the fixed per-record framing overhead.
@@ -44,10 +46,18 @@ type Log struct {
 }
 
 // Create truncates (or creates) the journal at path and returns an
-// empty log.
+// empty log. The parent directory is fsync'd so the journal's directory
+// entry itself survives a crash: fsyncing the file pins its contents,
+// but a newly created name lives in the directory, and without this a
+// post-crash resume could find no journal at all and silently redo (or
+// worse, double-report) completed work.
 func Create(path string) (*Log, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
+		return nil, err
+	}
+	if err := syncDir(path); err != nil {
+		f.Close()
 		return nil, err
 	}
 	return &Log{f: f, path: path}, nil
@@ -60,6 +70,14 @@ func Create(path string) (*Log, error) {
 func Open(path string) (*Log, [][]byte, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
+		return nil, nil, err
+	}
+	// Open may have just created the file; durably record the directory
+	// entry for the same reason Create does. Fsyncing an unchanged
+	// directory is cheap, so this is unconditional rather than stat'ing
+	// first.
+	if err := syncDir(path); err != nil {
+		f.Close()
 		return nil, nil, err
 	}
 	data, err := io.ReadAll(f)
@@ -120,6 +138,25 @@ func (l *Log) Append(payload []byte) error {
 		return err
 	}
 	return l.f.Sync()
+}
+
+// syncDir fsyncs the directory containing path, making a create or
+// truncate of the file durable. On platforms where directories cannot be
+// fsync'd (notably Windows) it is a no-op; the journal's contents are
+// still protected by the per-record file fsync.
+func syncDir(path string) error {
+	if runtime.GOOS == "windows" {
+		return nil
+	}
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return fmt.Errorf("checkpoint: opening parent directory: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: fsyncing parent directory: %w", err)
+	}
+	return nil
 }
 
 // Path returns the journal's file path.

@@ -174,3 +174,49 @@ func TestAppendRejectsOversizedRecord(t *testing.T) {
 		t.Fatal("oversized record accepted")
 	}
 }
+
+// Create and Open must fail loudly, not lazily, when the journal's
+// parent directory is missing: the parent-directory fsync needs the
+// directory to exist, and a sweep that only discovered the bad path on
+// its first completed job would lose that job.
+func TestMissingParentDirFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "no-such-dir", "journal.ckpt")
+	if _, err := Create(path); err == nil {
+		t.Error("Create in a missing directory succeeded")
+	}
+	if _, _, err := Open(path); err == nil {
+		t.Error("Open in a missing directory succeeded")
+	}
+}
+
+// The crash the directory fsync guards against: the journal name is
+// durable but the very first append tore. Open must recover an empty
+// journal (not error, not invent records) and accept appends — resuming
+// from "nothing completed yet" instead of "no journal, redo everything".
+func TestTornFirstRecord(t *testing.T) {
+	ref := tempLog(t)
+	l, err := Create(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := []byte("only-record")
+	mustAppend(t, l, a)
+	l.Close()
+	full, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := 0; cut < len(full); cut++ {
+		torn := filepath.Join(t.TempDir(), "torn-first.ckpt")
+		if err := os.WriteFile(torn, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l2, recs := mustOpen(t, torn)
+		wantRecords(t, recs)
+		mustAppend(t, l2, a)
+		l2.Close()
+		_, recs2 := mustOpen(t, torn)
+		wantRecords(t, recs2, a)
+	}
+}

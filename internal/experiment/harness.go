@@ -75,6 +75,10 @@ type Config struct {
 	// jobs it records. Per-job seeding is deterministic, so a resumed
 	// sweep is bit-identical to an uninterrupted one.
 	Resume bool
+	// Metrics optionally reports sweep progress (jobs scheduled, done,
+	// replayed; simulations and misses) to an obs registry. Nil disables
+	// reporting; results are identical either way.
+	Metrics *Metrics
 }
 
 // harnessOut is one job's scalar outputs: each worker writes only its
@@ -202,7 +206,11 @@ func RunContext(ctx context.Context, cfg Config) (*Sweep, error) {
 	skip := make([]bool, len(outs))
 	for i := range outs {
 		skip[i] = outs[i].ok
+		if skip[i] {
+			cfg.Metrics.jobReplayed()
+		}
 	}
+	cfg.Metrics.jobsPlanned(len(outs))
 
 	jobs := make(chan int)
 	var mu sync.Mutex
@@ -279,6 +287,7 @@ func RunContext(ctx context.Context, cfg Config) (*Sweep, error) {
 					}
 					// The result aliases the runner's buffers; pull out the
 					// scalars before the next run clobbers it.
+					cfg.Metrics.simRun(res.MissCount())
 					out.energy[pi] = res.TotalEnergy
 					out.misses[pi] = res.MissCount()
 					if pi == baseIdx {
@@ -295,6 +304,7 @@ func RunContext(ctx context.Context, cfg Config) (*Sweep, error) {
 				}
 				out.bnd = bnd
 				out.ok = true
+				cfg.Metrics.jobDone()
 				if journal != nil {
 					if err := journal.record(ui, si, out); err != nil {
 						fail(err)

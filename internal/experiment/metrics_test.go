@@ -1,0 +1,118 @@
+package experiment
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rtdvs/internal/obs"
+)
+
+// TestHarnessMetrics runs a small sweep twice — fresh, then resumed from
+// its checkpoint — and checks the progress counters the registry
+// reports.
+func TestHarnessMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	ckpt := filepath.Join(t.TempDir(), "sweep.ckpt")
+	cfg := Config{
+		Policies:     []string{"none", "ccEDF"},
+		NTasks:       3,
+		Utilizations: []float64{0.3, 0.6},
+		Sets:         2,
+		Seed:         42,
+		Horizon:      500,
+		Workers:      2,
+		Checkpoint:   ckpt,
+		Metrics:      m,
+	}
+	sw, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const jobs = 4 // 2 utilizations x 2 sets
+	if got := m.jobsScheduled.Value(); got != jobs {
+		t.Errorf("jobsScheduled = %v, want %d", got, jobs)
+	}
+	if got := m.jobsDone.Value(); got != jobs {
+		t.Errorf("jobsDone = %v, want %d", got, jobs)
+	}
+	if got := m.jobsReplayed.Value(); got != 0 {
+		t.Errorf("jobsReplayed = %v, want 0 on a fresh sweep", got)
+	}
+	// Every job runs every policy once.
+	if got := m.simRuns.Value(); got != jobs*2 {
+		t.Errorf("simRuns = %v, want %d", got, jobs*2)
+	}
+
+	// Resuming a complete journal replays everything and computes nothing.
+	cfg.Resume = true
+	sw2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.jobsReplayed.Value(); got != jobs {
+		t.Errorf("jobsReplayed after resume = %v, want %d", got, jobs)
+	}
+	if got := m.jobsDone.Value(); got != jobs {
+		t.Errorf("jobsDone after full replay = %v, want still %d", got, jobs)
+	}
+	for _, p := range []string{"none", "ccEDF"} {
+		for i := range sw.Utilizations {
+			if sw.Energy[p][i] != sw2.Energy[p][i] {
+				t.Errorf("resume changed %s energy at %v", p, sw.Utilizations[i])
+			}
+		}
+	}
+
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateText([]byte(sb.String())); err != nil {
+		t.Fatalf("experiment scrape invalid: %v", err)
+	}
+}
+
+// TestRobustnessMetrics checks the fault/containment totals of a small
+// robustness sweep reach the registry, and that disabling metrics (nil)
+// yields the identical sweep.
+func TestRobustnessMetrics(t *testing.T) {
+	cfg := RobustnessConfig{
+		Policies: []string{"none", "ccEDF+contain"},
+		Rates:    []float64{0, 0.2},
+		NTasks:   4,
+		Sets:     2,
+		Seed:     7,
+		Workers:  2,
+	}
+	bare, err := Robustness(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	cfg.Metrics = m
+	sw, err := Robustness(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"none", "ccEDF+contain"} {
+		for i := range sw.Rates {
+			if sw.MissRate[p][i] != bare.MissRate[p][i] || sw.EnergyNorm[p][i] != bare.EnergyNorm[p][i] {
+				t.Errorf("metrics changed the %s sweep at rate %v", p, sw.Rates[i])
+			}
+		}
+	}
+	const jobs = 4 // 2 rates x 2 sets
+	if got := m.jobsDone.Value(); got != jobs {
+		t.Errorf("jobsDone = %v, want %d", got, jobs)
+	}
+	if m.overruns.Value() <= 0 {
+		t.Error("no overruns counted despite a 0.2 injection rate")
+	}
+	if m.containments.Value() <= 0 {
+		t.Error("no containments counted for ccEDF+contain")
+	}
+}

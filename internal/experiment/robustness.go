@@ -59,6 +59,10 @@ type RobustnessConfig struct {
 	Horizon float64
 	// Workers bounds concurrency; 0 means GOMAXPROCS.
 	Workers int
+	// Metrics optionally reports sweep progress and fault/containment
+	// totals to an obs registry. Nil disables reporting; results are
+	// identical either way.
+	Metrics *Metrics
 }
 
 // RobustnessPolicies are the default policies of the robustness sweep.
@@ -182,6 +186,7 @@ func RobustnessContext(ctx context.Context, cfg RobustnessConfig) (*RobustnessSw
 		outs[i] = jobOut{pol: make([]polOut, np)}
 	}
 
+	cfg.Metrics.jobsPlanned(len(outs))
 	jobs := make(chan int)
 	var mu sync.Mutex
 	var wg sync.WaitGroup
@@ -271,8 +276,13 @@ func RobustnessContext(ctx context.Context, cfg RobustnessConfig) (*RobustnessSw
 						po.containments = cr.Containments()
 						po.latSum, po.latN = cr.ContainmentLatency()
 					}
+					cfg.Metrics.simRun(po.missCount)
+					cfg.Metrics.faultTotals(po.overruns, po.containments)
 				}
 				out.ok = ok
+				if ok {
+					cfg.Metrics.jobDone()
+				}
 			}
 		}()
 	}

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// LogOptions carries the structured-logging flags shared by every cmd/
+// binary: -log-level (debug|info|warn|error) and -log-format
+// (text|json). Zero value defaults to info-level text logs.
+type LogOptions struct {
+	Level  string
+	Format string
+}
+
+// RegisterFlags installs the -log-level and -log-format flags on fs.
+func (o *LogOptions) RegisterFlags(fs *flag.FlagSet) {
+	if o.Level == "" {
+		o.Level = "info"
+	}
+	if o.Format == "" {
+		o.Format = "text"
+	}
+	fs.StringVar(&o.Level, "log-level", o.Level, "log level: debug, info, warn, or error")
+	fs.StringVar(&o.Format, "log-format", o.Format, "log format: text or json")
+}
+
+// NewLogger builds a slog.Logger writing to w per the options. Invalid
+// level or format values are reported as errors so binaries can fail
+// fast with a usage message instead of logging at a surprise level.
+func (o LogOptions) NewLogger(w io.Writer) (*slog.Logger, error) {
+	var level slog.Level
+	switch strings.ToLower(o.Level) {
+	case "", "info":
+		level = slog.LevelInfo
+	case "debug":
+		level = slog.LevelDebug
+	case "warn", "warning":
+		level = slog.LevelWarn
+	case "error":
+		level = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q (want debug, info, warn, or error)", o.Level)
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	switch strings.ToLower(o.Format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q (want text or json)", o.Format)
+	}
+}

@@ -1,0 +1,423 @@
+// Package obs is the repository's observability layer: a dependency-free
+// metrics registry (counters, gauges, fixed-bucket histograms) with
+// Prometheus text-format exposition, plus the structured-logging flag
+// helpers shared by the cmd/ binaries.
+//
+// Design constraints, in order:
+//
+//  1. Zero allocation on the hot path. Counter.Add, Gauge.Set and
+//     Histogram.Observe are single atomic operations (a CAS loop for the
+//     float fields) on pre-registered instruments; the simulator calls
+//     them once per run and the serving layer once per request, and
+//     neither may disturb the 0 allocs/op steady state the benchmarks
+//     pin (see TestInstrumentOpsAllocate in obs_test.go).
+//  2. Stdlib only. The container has no Prometheus client library, so
+//     the exposition format is produced (and validated, see
+//     ValidateText) by this package itself.
+//  3. Deterministic output. WriteText renders families in sorted name
+//     order and children in registration order, so scrapes diff cleanly
+//     and tests can pin them.
+//
+// Registration is programmer-controlled and happens at setup time, so
+// invalid names, duplicate instruments, and malformed label sets panic
+// rather than returning errors nobody checks.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Instrument kinds, as exposed in the "# TYPE" comment.
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// atomicFloat is a float64 updated with CAS on its bit pattern: the
+// building block for float-valued counters, gauges and histogram sums.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) store(v float64) { f.bits.Store(math.Float64bits(v)) }
+func (f *atomicFloat) load() float64   { return math.Float64frombits(f.bits.Load()) }
+
+// Counter is a monotonically increasing float value. The zero value is
+// usable but unregistered; obtain registered instances from
+// Registry.Counter or CounterVec.With.
+type Counter struct {
+	v atomicFloat
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.add(1) }
+
+// Add increases the counter. Negative deltas panic: a counter that goes
+// down renders rate() queries meaningless, and every caller in this
+// repository adds event counts or non-negative durations.
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		panic(fmt.Sprintf("obs: counter decreased by %v", v))
+	}
+	c.v.add(v)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return c.v.load() }
+
+// Gauge is a float value that may go up and down.
+type Gauge struct {
+	v atomicFloat
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.v.store(v) }
+
+// Add adjusts the gauge by v (negative deltas allowed).
+func (g *Gauge) Add(v float64) { g.v.add(v) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v.load() }
+
+// Histogram counts observations into fixed cumulative buckets. Buckets
+// are chosen at registration; Observe is a bucket search plus two atomic
+// updates, with no allocation and no locks.
+type Histogram struct {
+	bounds []float64       // upper bounds, strictly increasing; +Inf implied
+	counts []atomic.Uint64 // len(bounds)+1, last is the +Inf bucket
+	sum    atomicFloat
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.sum.add(v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.load() }
+
+// DefBuckets is the default latency histogram layout in seconds,
+// spanning sub-millisecond simulator runs to multi-second sweep jobs.
+func DefBuckets() []float64 {
+	return []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+}
+
+// child is one registered instrument of a family: a label signature plus
+// the value-rendering closure.
+type child struct {
+	labels string // rendered {k="v",...} suffix, "" for unlabeled
+	write  func(sb *strings.Builder, name, labels string)
+}
+
+// family groups every instrument sharing one metric name (differing only
+// in label values), rendered under a single HELP/TYPE header.
+type family struct {
+	name, help, typ string
+	children        []child
+	sigs            map[string]bool // label signatures already registered
+}
+
+// Registry holds metric families and renders them in the Prometheus text
+// exposition format. Methods are safe for concurrent use; instrument
+// updates are lock-free.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	names    []string // sorted registration keys
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// Counter registers (or extends) a counter family. labels are optional
+// constant key/value pairs: Counter("x_total", "...", "policy", "ccEDF").
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	c := &Counter{}
+	r.register(name, help, typeCounter, labels, func(sb *strings.Builder, n, l string) {
+		sampleLine(sb, n, l, c.Value())
+	})
+	return c
+}
+
+// Gauge registers (or extends) a gauge family.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, typeGauge, labels, func(sb *strings.Builder, n, l string) {
+		sampleLine(sb, n, l, g.Value())
+	})
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is sampled from fn at scrape
+// time — for values the owner already tracks (queue depth, pool sizes).
+// fn must be safe to call concurrently with the owner's updates.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	r.register(name, help, typeGauge, labels, func(sb *strings.Builder, n, l string) {
+		sampleLine(sb, n, l, fn())
+	})
+}
+
+// Histogram registers a histogram family with the given bucket upper
+// bounds (strictly increasing; the +Inf bucket is implicit). nil selects
+// DefBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets()
+	}
+	for i := 1; i < len(buckets); i++ {
+		if !(buckets[i] > buckets[i-1]) {
+			panic(fmt.Sprintf("obs: histogram %q buckets not strictly increasing at %d", name, i))
+		}
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), buckets...),
+		counts: make([]atomic.Uint64, len(buckets)+1),
+	}
+	r.register(name, help, typeHistogram, labels, func(sb *strings.Builder, n, l string) {
+		writeHistogram(sb, n, l, h)
+	})
+	return h
+}
+
+// CounterVec is a counter family with runtime-chosen label values
+// (e.g. HTTP status codes). With caches children, so steady-state
+// lookups cost one mutex acquisition and a map read — fine for request
+// paths, not for the simulator hot path (use plain Counters there).
+type CounterVec struct {
+	reg        *Registry
+	name, help string
+	keys       []string
+
+	mu       sync.Mutex
+	children map[string]*Counter
+}
+
+// CounterVec registers a labeled counter family. Children materialize on
+// first With call.
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	if len(labelNames) == 0 {
+		panic(fmt.Sprintf("obs: CounterVec %q needs at least one label", name))
+	}
+	// Reserve the family (and validate the name) even before any child
+	// exists, so the metric appears in scrapes from the start.
+	r.reserve(name, help, typeCounter)
+	return &CounterVec{reg: r, name: name, help: help, keys: labelNames, children: map[string]*Counter{}}
+}
+
+// With returns the child counter for the given label values (one per
+// label name, in order), creating and registering it on first use.
+func (v *CounterVec) With(values ...string) *Counter {
+	if len(values) != len(v.keys) {
+		panic(fmt.Sprintf("obs: CounterVec %q got %d label values, want %d", v.name, len(values), len(v.keys)))
+	}
+	key := strings.Join(values, "\x00")
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c := v.children[key]; c != nil {
+		return c
+	}
+	pairs := make([]string, 0, 2*len(v.keys))
+	for i, k := range v.keys {
+		pairs = append(pairs, k, values[i])
+	}
+	c := v.reg.Counter(v.name, v.help, pairs...)
+	v.children[key] = c
+	return c
+}
+
+// reserve creates an empty family so the name is claimed and typed.
+func (r *Registry) reserve(name, help, typ string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.familyLocked(name, help, typ)
+}
+
+// register validates and installs one instrument.
+func (r *Registry) register(name, help, typ string, labels []string, write func(*strings.Builder, string, string)) {
+	sig := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, typ)
+	if f.sigs[sig] {
+		panic(fmt.Sprintf("obs: duplicate instrument %s%s", name, sig))
+	}
+	f.sigs[sig] = true
+	f.children = append(f.children, child{labels: sig, write: write})
+}
+
+func (r *Registry) familyLocked(name, help, typ string) *family {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ, sigs: map[string]bool{}}
+		r.families[name] = f
+		i := sort.SearchStrings(r.names, name)
+		r.names = append(r.names, "")
+		copy(r.names[i+1:], r.names[i:])
+		r.names[i] = name
+		return f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s, was %s", name, typ, f.typ))
+	}
+	return f
+}
+
+// renderLabels turns k/v pairs into the canonical `{k="v",...}` suffix.
+func renderLabels(pairs []string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	if len(pairs)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label list %q", pairs))
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i := 0; i < len(pairs); i += 2 {
+		if !validLabelName(pairs[i]) {
+			panic(fmt.Sprintf("obs: invalid label name %q", pairs[i]))
+		}
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(pairs[i])
+		sb.WriteString(`="`)
+		escapeLabelValue(&sb, pairs[i+1])
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func escapeLabelValue(sb *strings.Builder, v string) {
+	for _, r := range v {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+}
+
+// validMetricName implements the Prometheus data-model grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r == '_' || r == ':'
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName is the same grammar minus the colon.
+func validLabelName(s string) bool {
+	if s == "" || strings.ContainsRune(s, ':') {
+		return false
+	}
+	return validMetricName(s)
+}
+
+// sampleLine appends `name{labels} value\n`.
+func sampleLine(sb *strings.Builder, name, labels string, v float64) {
+	sb.WriteString(name)
+	sb.WriteString(labels)
+	sb.WriteByte(' ')
+	sb.WriteString(formatValue(v))
+	sb.WriteByte('\n')
+}
+
+// formatValue renders a sample value: shortest round-trip float, with
+// the special values Prometheus expects.
+func formatValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// writeHistogram renders the cumulative bucket series plus _sum/_count.
+// The extra "le" label is appended to the instrument's constant labels.
+func writeHistogram(sb *strings.Builder, name, labels string, h *Histogram) {
+	base := strings.TrimSuffix(labels, "}")
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		bucketLine(sb, name, base, formatValue(b), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	bucketLine(sb, name, base, "+Inf", cum)
+	sb.WriteString(name)
+	sb.WriteString("_sum")
+	sb.WriteString(labels)
+	sb.WriteByte(' ')
+	sb.WriteString(formatValue(h.Sum()))
+	sb.WriteByte('\n')
+	sb.WriteString(name)
+	sb.WriteString("_count")
+	sb.WriteString(labels)
+	sb.WriteByte(' ')
+	sb.WriteString(strconv.FormatUint(cum, 10))
+	sb.WriteByte('\n')
+}
+
+func bucketLine(sb *strings.Builder, name, baseLabels, le string, cum uint64) {
+	sb.WriteString(name)
+	sb.WriteString("_bucket")
+	if baseLabels == "" {
+		sb.WriteString(`{le="`)
+	} else {
+		sb.WriteString(baseLabels)
+		sb.WriteString(`,le="`)
+	}
+	sb.WriteString(le)
+	sb.WriteString(`"} `)
+	sb.WriteString(strconv.FormatUint(cum, 10))
+	sb.WriteByte('\n')
+}

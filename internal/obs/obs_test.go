@@ -1,0 +1,386 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("events_total", "Total events.")
+	c.Inc()
+	c.Add(2.5)
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter value = %v, want 3.5", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add did not panic")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth", "Queue depth.")
+	g.Set(4)
+	g.Add(-1.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge value = %v, want 2.5", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "Latency.", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	if got := h.Sum(); got != 106 {
+		t.Fatalf("sum = %v, want 106", got)
+	}
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// Boundary value 1 lands in the le="1" bucket (cumulative counts:
+	// 2, 3, 4, 5).
+	for _, want := range []string{
+		`lat_bucket{le="1"} 2`,
+		`lat_bucket{le="2"} 3`,
+		`lat_bucket{le="4"} 4`,
+		`lat_bucket{le="+Inf"} 5`,
+		`lat_sum 106`,
+		`lat_count 5`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteTextDeterministicAndValid(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "Second family.").Add(2)
+	r.Gauge("a_gauge", "First family.", "kind", "x").Set(1.25)
+	r.Gauge("a_gauge", "First family.", "kind", "y").Set(-3)
+	r.Histogram("c_seconds", "Latencies.", nil, "route", "simulate").Observe(0.004)
+	r.GaugeFunc("d_func", "Sampled at scrape.", func() float64 { return 7 })
+
+	var first, second strings.Builder
+	if err := r.WriteText(&first); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteText(&second); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Error("two scrapes of an unchanged registry differ")
+	}
+	if err := ValidateText([]byte(first.String())); err != nil {
+		t.Fatalf("self-validation failed: %v\n%s", err, first.String())
+	}
+	// Families must appear in sorted name order.
+	out := first.String()
+	ia := strings.Index(out, "# TYPE a_gauge")
+	ib := strings.Index(out, "# TYPE b_total")
+	ic := strings.Index(out, "# TYPE c_seconds")
+	if ia < 0 || ib < 0 || ic < 0 || !(ia < ib && ib < ic) {
+		t.Errorf("families not in sorted order:\n%s", out)
+	}
+	if !strings.Contains(out, `a_gauge{kind="x"} 1.25`) || !strings.Contains(out, `a_gauge{kind="y"} -3`) {
+		t.Errorf("labeled gauge samples missing:\n%s", out)
+	}
+	if !strings.Contains(out, "d_func 7") {
+		t.Errorf("GaugeFunc sample missing:\n%s", out)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "Escapes.", "v", "a\\b\"c\nd").Inc()
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `esc_total{v="a\\b\"c\nd"} 1`
+	if !strings.Contains(sb.String(), want+"\n") {
+		t.Fatalf("escaped sample %q missing:\n%s", want, sb.String())
+	}
+	if err := ValidateText([]byte(sb.String())); err != nil {
+		t.Fatalf("validator rejected escaped labels: %v", err)
+	}
+}
+
+func TestSpecialValues(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("weird", "Special floats.", "k", "nan").Set(math.NaN())
+	r.Gauge("weird", "Special floats.", "k", "inf").Set(math.Inf(1))
+	r.Gauge("weird", "Special floats.", "k", "ninf").Set(math.Inf(-1))
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`{k="nan"} NaN`, `{k="inf"} +Inf`, `{k="ninf"} -Inf`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if err := ValidateText([]byte(out)); err != nil {
+		t.Fatalf("validator rejected special values: %v", err)
+	}
+}
+
+func TestHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("h_total", "line one\nline \\ two").Inc()
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP h_total line one\nline \\ two`
+	if !strings.Contains(sb.String(), want+"\n") {
+		t.Fatalf("help not escaped, want %q in:\n%s", want, sb.String())
+	}
+}
+
+func TestCounterVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("http_requests_total", "Requests.", "route", "code")
+	v.With("simulate", "200").Add(3)
+	v.With("simulate", "429").Inc()
+	if c := v.With("simulate", "200"); c.Value() != 3 {
+		t.Fatalf("cached child lost its value: %v", c.Value())
+	}
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`http_requests_total{route="simulate",code="200"} 3`,
+		`http_requests_total{route="simulate",code="429"} 1`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// A vec with no children yet still claims its family header.
+	r2 := NewRegistry()
+	r2.CounterVec("empty_total", "No children yet.", "k")
+	var sb2 strings.Builder
+	if err := r2.WriteText(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb2.String(), "# TYPE empty_total counter") {
+		t.Errorf("reserved family header missing:\n%s", sb2.String())
+	}
+	if err := ValidateText([]byte(sb2.String())); err != nil {
+		t.Fatalf("validator rejected childless family: %v", err)
+	}
+}
+
+func TestRegistrationPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(r *Registry)
+	}{
+		{"invalid metric name", func(r *Registry) { r.Counter("1bad", "x") }},
+		{"invalid label name", func(r *Registry) { r.Counter("ok_total", "x", "1bad", "v") }},
+		{"colon label name", func(r *Registry) { r.Counter("ok_total", "x", "a:b", "v") }},
+		{"odd label list", func(r *Registry) { r.Counter("ok_total", "x", "only-key") }},
+		{"duplicate instrument", func(r *Registry) {
+			r.Counter("dup_total", "x")
+			r.Counter("dup_total", "x")
+		}},
+		{"type mismatch", func(r *Registry) {
+			r.Counter("mix", "x")
+			r.Gauge("mix", "x")
+		}},
+		{"non-increasing buckets", func(r *Registry) { r.Histogram("h", "x", []float64{1, 1}) }},
+		{"vec without labels", func(r *Registry) { r.CounterVec("v_total", "x") }},
+		{"vec arity mismatch", func(r *Registry) {
+			r.CounterVec("w_total", "x", "a", "b").With("only-one")
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", tc.name)
+				}
+			}()
+			tc.f(NewRegistry())
+		})
+	}
+}
+
+// TestInstrumentOpsAllocate pins the tentpole's core promise: updating a
+// registered instrument allocates nothing, so metrics can sit on the
+// simulator and serving hot paths without disturbing the 0 allocs/op
+// benchmarks.
+func TestInstrumentOpsAllocate(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hot_total", "x")
+	g := r.Gauge("hot_gauge", "x")
+	h := r.Histogram("hot_seconds", "x", nil)
+	ops := map[string]func(){
+		"Counter.Inc":       func() { c.Inc() },
+		"Counter.Add":       func() { c.Add(2) },
+		"Gauge.Set":         func() { g.Set(1) },
+		"Gauge.Add":         func() { g.Add(-1) },
+		"Histogram.Observe": func() { h.Observe(0.003) },
+	}
+	for name, op := range ops {
+		if allocs := testing.AllocsPerRun(1000, op); allocs != 0 {
+			t.Errorf("%s allocates %v per op, want 0", name, allocs)
+		}
+	}
+}
+
+func TestConcurrentUpdatesAndScrapes(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("race_total", "x")
+	g := r.Gauge("race_gauge", "x")
+	h := r.Histogram("race_seconds", "x", []float64{0.5, 1})
+	v := r.CounterVec("race_vec_total", "x", "i")
+	const workers, iters = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			key := string(rune('a' + w))
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%3) / 2)
+				v.With(key).Inc()
+			}
+		}(w)
+	}
+	// Scrape concurrently with the updates.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			if err := r.WriteText(io.Discard); err != nil {
+				t.Errorf("concurrent scrape: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := c.Value(); got != workers*iters {
+		t.Errorf("counter = %v, want %d", got, workers*iters)
+	}
+	if got := h.Count(); got != workers*iters {
+		t.Errorf("histogram count = %d, want %d", got, workers*iters)
+	}
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateText([]byte(sb.String())); err != nil {
+		t.Fatalf("post-race scrape invalid: %v", err)
+	}
+}
+
+func TestValidateTextRejections(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"sample before TYPE", "x_total 1\n"},
+		{"duplicate series", "# TYPE x_total counter\nx_total 1\nx_total 2\n"},
+		{"duplicate TYPE", "# TYPE x counter\n# TYPE x counter\n"},
+		{"TYPE after samples", "# TYPE x counter\nx 1\n# TYPE x counter\n"},
+		{"unknown type", "# TYPE x widget\n"},
+		{"negative counter", "# TYPE x_total counter\nx_total -1\n"},
+		{"bad metric name", "# TYPE x counter\n1x 1\n"},
+		{"bad value", "# TYPE x counter\nx pizza\n"},
+		{"unterminated labels", "# TYPE x counter\nx{a=\"b 1\n"},
+		{"unquoted label value", "# TYPE x counter\nx{a=b} 1\n"},
+		{"missing +Inf bucket", "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n"},
+		{"non-cumulative buckets", "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n"},
+		{"count mismatch", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 4\n"},
+		{"missing count", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\n"},
+		{"missing sum", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_count 3\n"},
+		{"bucket without le", "# TYPE h histogram\nh_bucket{x=\"1\"} 3\nh_sum 1\nh_count 3\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := ValidateText([]byte(tc.in)); err == nil {
+				t.Errorf("ValidateText accepted %q", tc.in)
+			}
+		})
+	}
+}
+
+func TestValidateTextAccepts(t *testing.T) {
+	good := strings.Join([]string{
+		"# A free-form comment.",
+		"# HELP ok_total Fine.",
+		"# TYPE ok_total counter",
+		"ok_total 1",
+		`ok_total{a="b"} 2 1700000000`,
+		"# TYPE g gauge",
+		"g -1.5e-3",
+		"",
+	}, "\n")
+	if err := ValidateText([]byte(good)); err != nil {
+		t.Fatalf("ValidateText rejected valid input: %v", err)
+	}
+}
+
+func TestLogOptions(t *testing.T) {
+	var opts LogOptions
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	opts.RegisterFlags(fs)
+	if err := fs.Parse([]string{"-log-level", "debug", "-log-format", "json"}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	logger, err := opts.NewLogger(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger.Debug("hello", "k", 7)
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("json log line does not parse: %v (%q)", err, buf.String())
+	}
+	if rec["msg"] != "hello" || rec["k"] != float64(7) {
+		t.Errorf("unexpected record: %v", rec)
+	}
+
+	// Text format, default info level: debug suppressed, info passes.
+	buf.Reset()
+	logger, err = LogOptions{}.NewLogger(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger.Debug("quiet")
+	logger.Info("loud")
+	if strings.Contains(buf.String(), "quiet") || !strings.Contains(buf.String(), "loud") {
+		t.Errorf("level filtering wrong: %q", buf.String())
+	}
+
+	for _, bad := range []LogOptions{{Level: "loudest"}, {Format: "xml"}} {
+		if _, err := bad.NewLogger(io.Discard); err == nil {
+			t.Errorf("NewLogger(%+v) accepted invalid options", bad)
+		}
+	}
+}

@@ -1,0 +1,359 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ValidateText checks that data is well-formed Prometheus text
+// exposition format (version 0.0.4): comment and sample grammar, TYPE
+// declarations preceding their samples, no duplicate series, counters
+// non-negative, and — for histogram families — a complete, monotone
+// cumulative bucket series ending at le="+Inf" whose total matches
+// _count. The serve tests run every /metrics response through it, and
+// it doubles as the reference for what this package promises to emit.
+func ValidateText(data []byte) error {
+	types := map[string]string{} // family name -> declared type
+	helped := map[string]bool{}  // family name -> HELP seen
+	seen := map[string]bool{}    // full series key -> present
+	sampled := map[string]bool{} // family name -> any sample emitted
+	type bucket struct{ le, cum float64 }
+	// Histogram series are keyed by family + labels-minus-le, so one
+	// family with several label sets (e.g. per-route latency) is checked
+	// per series, not pooled.
+	buckets := map[string][]bucket{} // series key -> bucket series
+	counts := map[string]float64{}   // series key -> _count value
+	sums := map[string]bool{}        // series key -> _sum present
+
+	for ln, line := range strings.Split(string(data), "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, err := parseComment(line)
+			if err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			switch kind {
+			case "HELP":
+				if helped[name] {
+					return fmt.Errorf("line %d: duplicate HELP for %q", lineNo, name)
+				}
+				helped[name] = true
+			case "TYPE":
+				if _, dup := types[name]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+				}
+				if sampled[name] {
+					return fmt.Errorf("line %d: TYPE for %q after its samples", lineNo, name)
+				}
+				switch rest {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown type %q", lineNo, rest)
+				}
+				types[name] = rest
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		fam := familyOf(name, types)
+		sampled[fam] = true
+		key := name + "{" + labels + "}"
+		if seen[key] {
+			return fmt.Errorf("line %d: duplicate series %s", lineNo, key)
+		}
+		seen[key] = true
+
+		switch types[fam] {
+		case "":
+			return fmt.Errorf("line %d: sample %q without a preceding TYPE", lineNo, name)
+		case "counter":
+			if value < 0 {
+				return fmt.Errorf("line %d: counter %s is negative (%v)", lineNo, key, value)
+			}
+		case "histogram":
+			switch {
+			case name == fam+"_bucket":
+				le, ok := labelValue(labels, "le")
+				if !ok {
+					return fmt.Errorf("line %d: histogram bucket %s without le label", lineNo, key)
+				}
+				lv, err := parseLe(le)
+				if err != nil {
+					return fmt.Errorf("line %d: %w", lineNo, err)
+				}
+				sk := fam + "{" + stripLabel(labels, "le") + "}"
+				buckets[sk] = append(buckets[sk], bucket{lv, value})
+			case name == fam+"_count":
+				counts[fam+"{"+labels+"}"] = value
+			case name == fam+"_sum":
+				sums[fam+"{"+labels+"}"] = true
+			default:
+				return fmt.Errorf("line %d: unexpected sample %q in histogram family %q", lineNo, name, fam)
+			}
+		}
+	}
+
+	hkeys := make([]string, 0, len(buckets))
+	for sk := range buckets {
+		hkeys = append(hkeys, sk)
+	}
+	sort.Strings(hkeys)
+	for _, sk := range hkeys {
+		bs := buckets[sk]
+		sort.SliceStable(bs, func(a, b int) bool { return bs[a].le < bs[b].le })
+		for i := 1; i < len(bs); i++ {
+			if bs[i].cum < bs[i-1].cum {
+				return fmt.Errorf("histogram %s: bucket counts not cumulative (le=%v: %v < %v)",
+					sk, bs[i].le, bs[i].cum, bs[i-1].cum)
+			}
+		}
+		last := bs[len(bs)-1]
+		if !math.IsInf(last.le, 1) {
+			return fmt.Errorf("histogram %s: missing le=\"+Inf\" bucket", sk)
+		}
+		if c, ok := counts[sk]; !ok {
+			return fmt.Errorf("histogram %s: missing _count", sk)
+		} else if math.Abs(c-last.cum) > 0 {
+			return fmt.Errorf("histogram %s: _count %v != +Inf bucket %v", sk, c, last.cum)
+		}
+		if !sums[sk] {
+			return fmt.Errorf("histogram %s: missing _sum", sk)
+		}
+	}
+	return nil
+}
+
+// stripLabel removes one `k="v"` pair from a raw label string, honoring
+// escapes inside quoted values.
+func stripLabel(labels, key string) string {
+	var kept []string
+	rest := labels
+	for rest != "" {
+		eq := strings.Index(rest, "=")
+		if eq < 0 {
+			break
+		}
+		// Scan past the quoted value to find the end of this pair.
+		i := eq + 2 // skip ="
+		for i < len(rest) {
+			if rest[i] == '\\' {
+				i += 2
+				continue
+			}
+			if rest[i] == '"' {
+				break
+			}
+			i++
+		}
+		if i >= len(rest) {
+			break
+		}
+		if rest[:eq] != key {
+			kept = append(kept, rest[:i+1])
+		}
+		rest = strings.TrimPrefix(rest[i+1:], ",")
+	}
+	return strings.Join(kept, ",")
+}
+
+// familyOf strips the histogram sample suffixes when the base name is a
+// declared histogram family.
+func familyOf(name string, types map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name && types[base] == "histogram" {
+			return base
+		}
+	}
+	return name
+}
+
+// parseComment handles `# HELP name text` / `# TYPE name type` and
+// passes other comments through.
+func parseComment(line string) (kind, name, rest string, err error) {
+	body := strings.TrimPrefix(line, "#")
+	body = strings.TrimLeft(body, " ")
+	switch {
+	case strings.HasPrefix(body, "HELP "):
+		fields := strings.SplitN(body[len("HELP "):], " ", 2)
+		if len(fields) == 0 || !validMetricName(fields[0]) {
+			return "", "", "", fmt.Errorf("malformed HELP comment %q", line)
+		}
+		return "HELP", fields[0], "", nil
+	case strings.HasPrefix(body, "TYPE "):
+		fields := strings.Fields(body[len("TYPE "):])
+		if len(fields) != 2 || !validMetricName(fields[0]) {
+			return "", "", "", fmt.Errorf("malformed TYPE comment %q", line)
+		}
+		return "TYPE", fields[0], fields[1], nil
+	}
+	return "", "", "", nil // free-form comment
+}
+
+// parseSample splits `name{labels} value [timestamp]`, checking the
+// name, label and value grammar. The returned labels string is the raw
+// text between the braces ("" when absent).
+func parseSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return "", "", 0, fmt.Errorf("malformed sample %q", line)
+	} else {
+		name, rest = rest[:i], rest[i:]
+	}
+	if !validMetricName(name) {
+		return "", "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := labelsEnd(rest)
+		if end < 0 {
+			return "", "", 0, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels = rest[1:end]
+		if err := checkLabels(labels); err != nil {
+			return "", "", 0, err
+		}
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", "", 0, fmt.Errorf("malformed sample %q", line)
+	}
+	value, err = parseValue(fields[0])
+	if err != nil {
+		return "", "", 0, fmt.Errorf("bad value in %q: %w", line, err)
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", "", 0, fmt.Errorf("bad timestamp in %q", line)
+		}
+	}
+	return name, labels, value, nil
+}
+
+// labelsEnd returns the index of the closing brace, honoring escapes
+// inside quoted label values.
+func labelsEnd(s string) int {
+	inQuotes := false
+	for i := 1; i < len(s); i++ {
+		switch {
+		case inQuotes && s[i] == '\\':
+			i++ // skip the escaped byte
+		case s[i] == '"':
+			inQuotes = !inQuotes
+		case !inQuotes && s[i] == '}':
+			return i
+		}
+	}
+	return -1
+}
+
+// checkLabels validates the `k="v",k="v"` grammar.
+func checkLabels(s string) error {
+	rest := s
+	for rest != "" {
+		eq := strings.Index(rest, "=")
+		if eq < 0 || !validLabelName(rest[:eq]) {
+			return fmt.Errorf("malformed label set %q", s)
+		}
+		rest = rest[eq+1:]
+		if !strings.HasPrefix(rest, `"`) {
+			return fmt.Errorf("unquoted label value in %q", s)
+		}
+		i := 1
+		for i < len(rest) {
+			if rest[i] == '\\' {
+				i += 2
+				continue
+			}
+			if rest[i] == '"' {
+				break
+			}
+			i++
+		}
+		if i >= len(rest) {
+			return fmt.Errorf("unterminated label value in %q", s)
+		}
+		rest = rest[i+1:]
+		if rest != "" {
+			if !strings.HasPrefix(rest, ",") {
+				return fmt.Errorf("missing comma in label set %q", s)
+			}
+			rest = rest[1:]
+		}
+	}
+	return nil
+}
+
+// parseLe parses a bucket upper bound, accepting "+Inf".
+func parseLe(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad le bound %q", s)
+	}
+	return v, nil
+}
+
+// parseValue parses a sample value, accepting the special forms.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// labelValue extracts one label's (unescaped) value from a raw label
+// string, reporting whether it was present.
+func labelValue(labels, key string) (string, bool) {
+	rest := labels
+	for rest != "" {
+		eq := strings.Index(rest, "=")
+		if eq < 0 {
+			return "", false
+		}
+		name := rest[:eq]
+		rest = rest[eq+2:] // skip ="
+		var val strings.Builder
+		i := 0
+		for i < len(rest) {
+			if rest[i] == '\\' && i+1 < len(rest) {
+				switch rest[i+1] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(rest[i+1])
+				}
+				i += 2
+				continue
+			}
+			if rest[i] == '"' {
+				break
+			}
+			val.WriteByte(rest[i])
+			i++
+		}
+		if name == key {
+			return val.String(), true
+		}
+		rest = rest[i+1:]
+		rest = strings.TrimPrefix(rest, ",")
+	}
+	return "", false
+}

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"io"
+	"strings"
+)
+
+// ContentType is the Content-Type header value for the exposition
+// format produced by WriteText.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteText renders every registered family in the Prometheus text
+// exposition format: families in sorted name order, each under a single
+// HELP/TYPE header, children in registration order. Instrument values
+// are read atomically, so scraping concurrently with updates yields a
+// consistent-enough snapshot (per-sample atomicity, as Prometheus
+// clients provide).
+func (r *Registry) WriteText(w io.Writer) error {
+	var sb strings.Builder
+	r.mu.Lock()
+	for _, name := range r.names {
+		f := r.families[name]
+		sb.WriteString("# HELP ")
+		sb.WriteString(f.name)
+		sb.WriteByte(' ')
+		escapeHelp(&sb, f.help)
+		sb.WriteByte('\n')
+		sb.WriteString("# TYPE ")
+		sb.WriteString(f.name)
+		sb.WriteByte(' ')
+		sb.WriteString(f.typ)
+		sb.WriteByte('\n')
+		for _, c := range f.children {
+			c.write(&sb, f.name, c.labels)
+		}
+	}
+	r.mu.Unlock()
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// escapeHelp escapes backslashes and newlines in HELP text, per the
+// exposition format.
+func escapeHelp(sb *strings.Builder, s string) {
+	for _, r := range s {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package rtos
+
+import "rtdvs/internal/obs"
+
+// KernelMetrics exposes a kernel's counters to an obs registry as
+// scrape-time gauges: the kernel already tracks every total itself, so
+// the instruments sample that state on demand and nothing is added to
+// the kernel's execution path.
+//
+// The sampled kernel is not locked during a scrape; Kernel is
+// single-goroutine by contract, so Observe-and-scrape from the driving
+// goroutine (or between Steps) is the supported pattern.
+type KernelMetrics struct {
+	k *Kernel
+}
+
+// ExposeMetrics registers scrape-time gauges for k's counters: virtual
+// time, task count, releases/completions/misses/overruns, fault
+// injections and containments, energy, switches and switch denials.
+func (k *Kernel) ExposeMetrics(reg *obs.Registry) *KernelMetrics {
+	m := &KernelMetrics{k: k}
+	reg.GaugeFunc("rtdvs_rtos_now_ms", "Kernel virtual time in milliseconds.",
+		func() float64 { return k.now })
+	reg.GaugeFunc("rtdvs_rtos_tasks", "Tasks currently registered.",
+		func() float64 { return float64(len(k.tasks)) })
+	reg.GaugeFunc("rtdvs_rtos_releases_total", "Invocations released.",
+		func() float64 { return float64(k.sumTasks(func(t *ktask) int { return t.releases })) })
+	reg.GaugeFunc("rtdvs_rtos_completions_total", "Invocations completed.",
+		func() float64 { return float64(k.sumTasks(func(t *ktask) int { return t.completions })) })
+	reg.GaugeFunc("rtdvs_rtos_misses_total", "Deadline misses observed.",
+		func() float64 { return float64(len(k.misses)) })
+	reg.GaugeFunc("rtdvs_rtos_overruns_total", "WCET overruns observed.",
+		func() float64 { return float64(len(k.overruns)) })
+	reg.GaugeFunc("rtdvs_rtos_faults_injected_total", "Overruns manufactured by the fault injector.",
+		func() float64 { return float64(k.sumTasks(func(t *ktask) int { return t.injected })) })
+	reg.GaugeFunc("rtdvs_rtos_containments_total", "Overrun containment escalations delivered.",
+		func() float64 { return float64(k.sumTasks(func(t *ktask) int { return t.containments })) })
+	reg.GaugeFunc("rtdvs_rtos_energy_total", "CPU energy consumed, in cycle-V^2 units.",
+		func() float64 { return k.cpu.Energy() })
+	reg.GaugeFunc("rtdvs_rtos_switches_total", "Operating-point transitions performed.",
+		func() float64 { return float64(k.cpu.Switches()) })
+	reg.GaugeFunc("rtdvs_rtos_switch_denials_total", "Operating-point transitions refused by injected faults.",
+		func() float64 { return float64(k.switchDenials) })
+	return m
+}
+
+// sumTasks folds a per-task counter over the registry. Removed tasks
+// leave the registry, so these totals cover live tasks only — matching
+// the kernel's own per-task accounting surface.
+func (k *Kernel) sumTasks(f func(*ktask) int) int {
+	var n int
+	for _, t := range k.tasks {
+		n += f(t)
+	}
+	return n
+}

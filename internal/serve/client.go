@@ -177,11 +177,32 @@ type retryAfterError struct {
 }
 
 func retryAfter(resp *http.Response) time.Duration {
-	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
-	if err != nil || secs < 0 {
+	return retryAfterAt(resp.Header.Get("Retry-After"), time.Now())
+}
+
+// retryAfterAt parses a Retry-After header value, which RFC 9110 allows
+// in two forms: delay-seconds ("120") or an HTTP-date ("Fri, 31 Dec 1999
+// 23:59:59 GMT", evaluated against now). Unparseable values and hints in
+// the past yield 0, meaning "no hint" — backoff proceeds on its own
+// schedule.
+func retryAfterAt(value string, now time.Time) time.Duration {
+	if value == "" {
 		return 0
 	}
-	return time.Duration(secs) * time.Second
+	if secs, err := strconv.Atoi(value); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	when, err := http.ParseTime(value)
+	if err != nil {
+		return 0
+	}
+	if d := when.Sub(now); d > 0 {
+		return d
+	}
+	return 0
 }
 
 // sleep blocks for the attempt's backoff delay. A Retry-After hint from

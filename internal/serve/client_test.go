@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Retry-After arrives in two RFC 9110 forms — delay-seconds and
+// HTTP-date — plus whatever garbage a middlebox invents. Everything
+// unparseable or in the past must degrade to "no hint", never to an
+// error or a huge sleep.
+func TestRetryAfterAt(t *testing.T) {
+	now := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		name  string
+		value string
+		want  time.Duration
+	}{
+		{"empty", "", 0},
+		{"seconds", "7", 7 * time.Second},
+		{"zeroSeconds", "0", 0},
+		{"negativeSeconds", "-3", 0},
+		{"httpDateFuture", now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second},
+		{"httpDatePast", now.Add(-time.Hour).Format(http.TimeFormat), 0},
+		{"httpDateNow", now.Format(http.TimeFormat), 0},
+		{"rfc850Date", now.Add(30 * time.Second).Format("Monday, 02-Jan-06 15:04:05 GMT"), 30 * time.Second},
+		{"asciiTimeDate", now.Add(60 * time.Second).Format(time.ANSIC), 60 * time.Second},
+		{"garbageWord", "soon", 0},
+		{"garbageFloat", "1.5", 0},
+		{"garbageUnits", "120s", 0},
+		{"garbageDateish", "Fri, 99 Foo 2026 99:99:99 GMT", 0},
+		{"garbageEmbeddedNul", "12\x000", 0},
+		{"overflowNumber", "99999999999999999999999999", 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := retryAfterAt(tc.value, now); got != tc.want {
+				t.Errorf("retryAfterAt(%q) = %v, want %v", tc.value, got, tc.want)
+			}
+		})
+	}
+}
+
+// A 429 carrying an HTTP-date Retry-After must be retried like the
+// integer form — before the fix the date form parsed as "no hint" only
+// by accident of Atoi failing, and nothing proved the retry happened.
+func TestClientRetriesHTTPDateRetryAfter(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			// A near-future date keeps the test fast: the hint raises the
+			// backoff floor to ~the date's distance from now.
+			w.Header().Set("Retry-After", time.Now().Add(10*time.Millisecond).UTC().Format(http.TimeFormat))
+			http.Error(w, "busy", http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{"id":"j1","status":"done"}`))
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL, 1)
+	c.BaseDelay = time.Millisecond
+	st, err := c.Job(context.Background(), "j1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != "j1" {
+		t.Errorf("job id = %q, want j1", st.ID)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("server saw %d calls, want 2 (one 429, one success)", got)
+	}
+}
+
+// The integer form still drives pacing end to end.
+func TestClientRetriesIntegerRetryAfter(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, "busy", http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{"id":"j2","status":"done"}`))
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL, 1)
+	c.BaseDelay = time.Millisecond
+	if _, err := c.Job(context.Background(), "j2"); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("server saw %d calls, want 2", got)
+	}
+}

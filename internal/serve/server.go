@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"rtdvs/internal/experiment"
+	"rtdvs/internal/obs"
 	"rtdvs/internal/sim"
 )
 
@@ -44,6 +45,10 @@ type Config struct {
 	MaxBody int64
 	// Logf receives operational log lines (default log.Printf).
 	Logf func(format string, args ...any)
+	// Registry receives the server's metrics (default: a fresh private
+	// registry). Share one registry across components to serve a single
+	// /metrics page for the whole process.
+	Registry *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -71,15 +76,24 @@ func (c Config) withDefaults() Config {
 	if c.Logf == nil {
 		c.Logf = log.Printf
 	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
 	return c
 }
 
 // Server is the HTTP simulation service. Create with New, install
 // Handler into an http.Server, call Start, and Shutdown to drain.
 type Server struct {
-	cfg     Config
-	handler http.Handler
-	store   *jobStore
+	cfg      Config
+	handler  http.Handler
+	store    *jobStore
+	registry *obs.Registry
+	metrics  *serverMetrics
+	// sweepMetrics aggregates job progress across every sweep the
+	// workers run, so GET /metrics shows sweep throughput, not just
+	// queue depth.
+	sweepMetrics *experiment.Metrics
 
 	simSem chan struct{} // counting semaphore for simulate slots
 
@@ -97,19 +111,23 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:    cfg,
-		store:  newJobStore(),
-		simSem: make(chan struct{}, cfg.SimConcurrency),
-		queue:  make(chan *job, cfg.QueueDepth),
+		cfg:      cfg,
+		store:    newJobStore(),
+		registry: cfg.Registry,
+		simSem:   make(chan struct{}, cfg.SimConcurrency),
+		queue:    make(chan *job, cfg.QueueDepth),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.metrics = newServerMetrics(s.registry, s)
+	s.sweepMetrics = experiment.NewMetrics(s.registry)
 
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /readyz", s.handleReadyz)
-	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
-	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /readyz", s.instrument("readyz", s.handleReadyz))
+	mux.HandleFunc("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
+	mux.HandleFunc("POST /v1/sweep", s.instrument("sweep", s.handleSweep))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("job", s.handleJob))
+	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	s.handler = s.recoverPanics(mux)
 	return s
 }
@@ -173,6 +191,7 @@ func (s *Server) runJob(j *job) {
 	ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.SweepTimeout)
 	defer cancel()
 	j.setState(JobRunning, nil, nil)
+	j.cfg.Metrics = s.sweepMetrics
 	sw, err := experiment.RunContext(ctx, j.cfg)
 	switch {
 	case err == nil:
@@ -245,6 +264,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		var canceled *sim.Canceled
 		switch {
 		case errors.As(err, &canceled) && errors.Is(err, context.DeadlineExceeded):
+			s.metrics.timeouts.Inc()
 			s.writeError(w, http.StatusGatewayTimeout,
 				fmt.Errorf("simulation exceeded the %v limit (stopped at t=%g of %g)",
 					s.cfg.SimTimeout, canceled.At, cfg.Horizon))
@@ -321,6 +341,7 @@ func (s *Server) readRequest(w http.ResponseWriter, r *http.Request, v any) bool
 // shed answers an over-capacity request: 429 plus the Retry-After hint
 // the backoff client honors.
 func (s *Server) shed(w http.ResponseWriter) {
+	s.metrics.shed.Inc()
 	secs := int(s.cfg.RetryAfter / time.Second)
 	if secs < 1 {
 		secs = 1

@@ -123,6 +123,11 @@ func TestSoakSmoke(t *testing.T) {
 	if sheds.Load() == 0 {
 		t.Error("no request was ever shed with 429; the load test is not exercising backpressure")
 	}
+	// The server's own shed counter must agree exactly with the 429s the
+	// clients observed on the wire — no double counting, none missed.
+	if got := s.metrics.shed.Value(); got != float64(sheds.Load()) {
+		t.Errorf("server shed counter = %v, clients saw %d 429s", got, sheds.Load())
+	}
 	t.Logf("soak: %d requests, %d sheds absorbed by retries", simClients+sweepClients, sheds.Load())
 
 	hs.Close()

@@ -1,0 +1,223 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rtdvs/internal/bound"
+	"rtdvs/internal/core"
+	"rtdvs/internal/machine"
+	"rtdvs/internal/task"
+)
+
+// The conformance suite pins the paper's headline result at sweep level:
+// averaged over seeded random task sets, the policies order as
+//
+//	bound ≤ laEDF ≤ ccEDF ≤ staticEDF ≤ none
+//
+// in normalized energy (Figures 9-13), every run a policy guarantees is
+// miss-free, and the practical policies land within a bounded factor of
+// the theoretical convex lower bound. The per-set, per-run versions of
+// these claims live in property_test.go; this file checks the aggregate
+// curves the paper actually plots.
+
+// conformancePoint holds sweep-averaged normalized energies at one
+// utilization, plus the normalized lower bound.
+type conformancePoint struct {
+	u      float64
+	norm   map[string]float64 // policy -> mean energy / mean none energy
+	bnd    float64            // mean bound energy / mean none energy
+	misses map[string]int     // policy -> total misses over guaranteed runs
+}
+
+// conformanceSweep mirrors the experiment harness in miniature: `sets`
+// seeded task sets per utilization point, every policy on the identical
+// workload, energies averaged then normalized by the no-DVS baseline.
+func conformanceSweep(t *testing.T, seed int64, utils []float64, sets int, exec func(r *rand.Rand) task.ExecModel) []conformancePoint {
+	t.Helper()
+	policies := []string{"none", "staticEDF", "ccEDF", "laEDF"}
+	var runner Runner
+	points := make([]conformancePoint, 0, len(utils))
+	for ui, u := range utils {
+		sum := make(map[string]float64, len(policies))
+		missed := make(map[string]int, len(policies))
+		var bndSum float64
+		for si := 0; si < sets; si++ {
+			// Same derivation as the experiment harness: independent
+			// streams per (utilization, set) cell.
+			caseSeed := seed + int64(ui)*1_000_003 + int64(si)*7919
+			g := task.Generator{N: 6, Utilization: u, Rand: rand.New(rand.NewSource(caseSeed))}
+			ts, err := g.Generate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			horizon := math.Min(10*ts.MaxPeriod(), 4000)
+			var baseCycles float64
+			for _, name := range policies {
+				execR := rand.New(rand.NewSource(caseSeed ^ 0x5DEECE66D))
+				res, err := runner.Run(Config{
+					Tasks:   ts,
+					Machine: machine.Machine0(),
+					Policy:  mustCore(t, name),
+					Exec:    exec(execR),
+					Horizon: horizon,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				sum[name] += res.TotalEnergy
+				if res.Guaranteed {
+					missed[name] += res.MissCount()
+				}
+				if name == "none" {
+					baseCycles = res.CyclesDone
+				}
+			}
+			bnd, err := bound.Energy(machine.Machine0(), baseCycles, horizon)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bndSum += bnd
+		}
+		pt := conformancePoint{u: u, norm: make(map[string]float64, len(policies)), misses: missed}
+		for _, name := range policies {
+			pt.norm[name] = sum[name] / sum["none"]
+		}
+		pt.bnd = bndSum / sum["none"]
+		points = append(points, pt)
+	}
+	return points
+}
+
+func conformanceUtils() []float64 {
+	return []float64{0.2, 0.4, 0.6, 0.8}
+}
+
+// TestConformanceOrderingWCET checks the policy ordering with full-WCET
+// execution (Figure 11's workload): at every utilization point the curve
+// for each more-aggressive policy lies at or below its predecessor, and
+// all curves lie between the bound and 1.
+func TestConformanceOrderingWCET(t *testing.T) {
+	pts := conformanceSweep(t, 42, conformanceUtils(), 12,
+		func(*rand.Rand) task.ExecModel { return task.FullWCET{} })
+	assertConformanceOrdering(t, pts, 0)
+}
+
+// TestConformanceOrderingConstantC repeats the check with tasks using 70%
+// of their WCET (Figure 12, c=0.7) — the regime where the dynamic
+// policies separate from the statically-scaled one.
+func TestConformanceOrderingConstantC(t *testing.T) {
+	pts := conformanceSweep(t, 17, conformanceUtils(), 12,
+		func(*rand.Rand) task.ExecModel { return task.ConstantFraction{C: 0.7} })
+	assertConformanceOrdering(t, pts, 0)
+}
+
+// TestConformanceOrderingUniform repeats the check with uniformly random
+// execution times (Figure 13). The sweep average tolerates a sliver of
+// noise in the laEDF-vs-ccEDF comparison: with stochastic workloads
+// laEDF's deferral can occasionally buy nothing on a particular draw.
+func TestConformanceOrderingUniform(t *testing.T) {
+	pts := conformanceSweep(t, 7, conformanceUtils(), 12,
+		func(r *rand.Rand) task.ExecModel {
+			return task.UniformFraction{Lo: 0, Hi: 1, Rand: r}
+		})
+	assertConformanceOrdering(t, pts, 0.02)
+}
+
+// assertConformanceOrdering enforces bound ≤ laEDF ≤ ccEDF ≤ staticEDF ≤
+// none at every point. laTol loosens only the laEDF-vs-ccEDF link (see
+// TestConformanceOrderingUniform); the other links are theorems and get
+// only float slack.
+func assertConformanceOrdering(t *testing.T, pts []conformancePoint, laTol float64) {
+	t.Helper()
+	const eps = 1e-9
+	for _, pt := range pts {
+		la, cc, se, none := pt.norm["laEDF"], pt.norm["ccEDF"], pt.norm["staticEDF"], pt.norm["none"]
+		t.Logf("u=%.2f: bound=%.4f laEDF=%.4f ccEDF=%.4f staticEDF=%.4f none=%.4f",
+			pt.u, pt.bnd, la, cc, se, none)
+		if none != 1 {
+			t.Errorf("u=%.2f: baseline does not normalize to 1 (got %v)", pt.u, none)
+		}
+		if la > cc+laTol+eps {
+			t.Errorf("u=%.2f: laEDF %.4f above ccEDF %.4f", pt.u, la, cc)
+		}
+		if cc > se+eps {
+			t.Errorf("u=%.2f: ccEDF %.4f above staticEDF %.4f", pt.u, cc, se)
+		}
+		if se > none+eps {
+			t.Errorf("u=%.2f: staticEDF %.4f above baseline %.4f", pt.u, se, none)
+		}
+		// The sweep bound is computed from the baseline's cycle count (as
+		// in the experiment harness), but each policy truncates a slightly
+		// different sliver of in-flight work at the horizon, so its own
+		// cycle count — and thus its minimum energy — can sit a hair
+		// lower. 1% covers that truncation; the strict per-run claim
+		// (bound on the cycles actually executed) is TestBoundDominates.
+		for _, name := range []string{"laEDF", "ccEDF", "staticEDF"} {
+			if pt.norm[name] < pt.bnd*0.99 {
+				t.Errorf("u=%.2f: %s %.4f far below the lower bound %.4f", pt.u, name, pt.norm[name], pt.bnd)
+			}
+		}
+		for name, n := range pt.misses {
+			if n != 0 {
+				t.Errorf("u=%.2f: %s missed %d deadlines on guaranteed sets", pt.u, name, n)
+			}
+		}
+	}
+}
+
+// TestConformanceBoundGap pins how close the best practical policy comes
+// to the unconstrained convex bound: with full-WCET workloads laEDF must
+// land within a factor of 2 of the bound at every swept utilization.
+// (The bound ignores all timing constraints, so a gap is expected; the
+// factor guards against energy-accounting regressions that would widen
+// it.)
+func TestConformanceBoundGap(t *testing.T) {
+	pts := conformanceSweep(t, 42, conformanceUtils(), 12,
+		func(*rand.Rand) task.ExecModel { return task.FullWCET{} })
+	const maxFactor = 2.0
+	for _, pt := range pts {
+		if ratio := pt.norm["laEDF"] / pt.bnd; ratio > maxFactor {
+			t.Errorf("u=%.2f: laEDF %.4f is %.2fx the bound %.4f (budget %.1fx)",
+				pt.u, pt.norm["laEDF"], ratio, pt.bnd, maxFactor)
+		} else {
+			t.Logf("u=%.2f: laEDF/bound = %.3f", pt.u, ratio)
+		}
+	}
+}
+
+// TestConformanceGuaranteedCoverage makes sure the sweeps above actually
+// exercise the zero-miss claim: at the lower utilizations every policy's
+// schedulability test must admit the generated sets.
+func TestConformanceGuaranteedCoverage(t *testing.T) {
+	var runner Runner
+	guaranteed := 0
+	for si := 0; si < 12; si++ {
+		g := task.Generator{N: 6, Utilization: 0.4, Rand: rand.New(rand.NewSource(100 + int64(si)))}
+		ts, err := g.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range core.Names() {
+			res, err := runner.Run(Config{
+				Tasks:   ts,
+				Machine: machine.Machine0(),
+				Policy:  mustCore(t, name),
+				Horizon: math.Min(10*ts.MaxPeriod(), 4000),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Guaranteed {
+				guaranteed++
+				if res.MissCount() != 0 {
+					t.Errorf("set %d: %s guaranteed yet missed %d", si, name, res.MissCount())
+				}
+			}
+		}
+	}
+	if guaranteed < 12 {
+		t.Fatalf("only %d guaranteed runs; conformance sweep under-exercises the miss claim", guaranteed)
+	}
+}

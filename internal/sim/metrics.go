@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"strconv"
+
+	"rtdvs/internal/machine"
+	"rtdvs/internal/obs"
+)
+
+// Metrics aggregates run outcomes into an obs registry. All instruments
+// are registered at construction — including one frequency-residency
+// counter per operating point of the machine the Metrics was built for —
+// so the per-run observe step is a handful of atomic adds, allocation
+// free, and safe to share across Runners on different goroutines.
+//
+// Observation happens once per *successful* run, after the event loop
+// finishes, fed from the same dense residency buffers the Result is
+// folded from: the hot path is untouched and golden traces stay
+// bit-identical whether or not a Metrics is attached.
+type Metrics struct {
+	spec *machine.Spec
+
+	runs        *obs.Counter
+	events      *obs.Counter
+	releases    *obs.Counter
+	completions *obs.Counter
+	preemptions *obs.Counter
+	misses      *obs.Counter
+	switches    *obs.Counter
+	execEnergy  *obs.Counter
+	idleEnergy  *obs.Counter
+
+	// residencyCycles[i] corresponds to spec.Points[i]; cycles rather
+	// than seconds so the paper's frequency-residency figures (cycles
+	// completed at each point, Section 5) fall straight out of a scrape.
+	residencyCycles []*obs.Counter
+	residencyTime   []*obs.Counter
+}
+
+// NewMetrics registers the simulator's observables on reg for runs on
+// the given machine. Runs on a different machine spec still count, but
+// only points present in this spec accumulate residency.
+func NewMetrics(reg *obs.Registry, spec *machine.Spec) *Metrics {
+	m := &Metrics{
+		spec: spec,
+		runs: reg.Counter("rtdvs_sim_runs_total",
+			"Simulation runs completed successfully."),
+		events: reg.Counter("rtdvs_sim_events_total",
+			"Event-loop iterations processed."),
+		releases: reg.Counter("rtdvs_sim_releases_total",
+			"Task invocations released."),
+		completions: reg.Counter("rtdvs_sim_completions_total",
+			"Task invocations completed by their deadline."),
+		preemptions: reg.Counter("rtdvs_sim_preemptions_total",
+			"Context switches that displaced a still-active task."),
+		misses: reg.Counter("rtdvs_sim_misses_total",
+			"Deadline misses recorded."),
+		switches: reg.Counter("rtdvs_sim_switches_total",
+			"Operating-point transitions performed."),
+		execEnergy: reg.Counter("rtdvs_sim_exec_energy_total",
+			"Execution energy charged, in cycle-V^2 units."),
+		idleEnergy: reg.Counter("rtdvs_sim_idle_energy_total",
+			"Idle energy charged, in cycle-V^2 units."),
+	}
+	m.residencyCycles = make([]*obs.Counter, len(spec.Points))
+	m.residencyTime = make([]*obs.Counter, len(spec.Points))
+	for i, p := range spec.Points {
+		labels := []string{
+			"machine", spec.Name,
+			"freq", strconv.FormatFloat(p.Freq, 'g', -1, 64),
+			"voltage", strconv.FormatFloat(p.Voltage, 'g', -1, 64),
+		}
+		m.residencyCycles[i] = reg.Counter("rtdvs_sim_residency_cycles_total",
+			"Cycles spent at each operating point (frequency residency).", labels...)
+		m.residencyTime[i] = reg.Counter("rtdvs_sim_residency_time_total",
+			"Simulated milliseconds spent at each operating point.", labels...)
+	}
+	return m
+}
+
+// observe folds one finished run into the counters. resTime is the
+// runner's dense per-point residency buffer, aligned with
+// cfg.Machine.Points; it is read, never retained.
+func (m *Metrics) observe(res *Result, resTime []float64, spec *machine.Spec) {
+	m.runs.Inc()
+	m.events.Add(float64(res.Events))
+	m.releases.Add(float64(res.Releases))
+	m.completions.Add(float64(res.Completions))
+	m.preemptions.Add(float64(res.Preemptions))
+	m.misses.Add(float64(len(res.Misses)))
+	m.switches.Add(float64(res.Switches))
+	m.execEnergy.Add(res.ExecEnergy)
+	m.idleEnergy.Add(res.IdleEnergy)
+	if spec != m.spec || len(resTime) > len(m.residencyCycles) {
+		// A run on a machine other than the one the instruments were
+		// labeled for: residency indexes would lie, so skip them.
+		return
+	}
+	for i, d := range resTime {
+		if d > 0 {
+			m.residencyTime[i].Add(d)
+			m.residencyCycles[i].Add(d * spec.Points[i].Freq)
+		}
+	}
+}

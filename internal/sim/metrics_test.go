@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"rtdvs/internal/core"
+	"rtdvs/internal/fpx"
+	"rtdvs/internal/machine"
+	"rtdvs/internal/obs"
+	"rtdvs/internal/task"
+)
+
+func metricsConfig(t *testing.T, policy string) Config {
+	t.Helper()
+	ts, err := task.NewSet(
+		task.Task{Period: 8, WCET: 3},
+		task.Task{Period: 12, WCET: 3},
+		task.Task{Period: 20, WCET: 4},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := core.ByName(policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{Tasks: ts, Machine: machine.Machine1(), Policy: pol, Horizon: 400}
+}
+
+// TestMetricsMatchResult runs the same configuration with and without a
+// Metrics attached: the Results must be identical, and the counters must
+// equal the Result's own fields.
+func TestMetricsMatchResult(t *testing.T) {
+	bare, err := Run(metricsConfig(t, "ccEDF"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare = bare.Clone()
+
+	reg := obs.NewRegistry()
+	spec := machine.Machine1()
+	m := NewMetrics(reg, spec)
+	cfg := metricsConfig(t, "ccEDF")
+	cfg.Machine = spec
+	cfg.Metrics = m
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if res.TotalEnergy != bare.TotalEnergy || res.Events != bare.Events ||
+		res.Preemptions != bare.Preemptions || res.Switches != bare.Switches {
+		t.Errorf("metrics changed the result: %+v vs %+v", res, bare)
+	}
+	checks := []struct {
+		name string
+		c    *obs.Counter
+		want float64
+	}{
+		{"runs", m.runs, 1},
+		{"events", m.events, float64(res.Events)},
+		{"releases", m.releases, float64(res.Releases)},
+		{"completions", m.completions, float64(res.Completions)},
+		{"preemptions", m.preemptions, float64(res.Preemptions)},
+		{"misses", m.misses, float64(len(res.Misses))},
+		{"switches", m.switches, float64(res.Switches)},
+	}
+	for _, c := range checks {
+		if got := c.c.Value(); got != c.want {
+			t.Errorf("%s counter = %v, want %v", c.name, got, c.want)
+		}
+	}
+	if got := m.execEnergy.Value(); fpx.Ne(got, res.ExecEnergy) {
+		t.Errorf("execEnergy counter = %v, want %v", got, res.ExecEnergy)
+	}
+
+	// Residency counters must reproduce PointResTime, point by point.
+	var resTimeTotal float64
+	for i, p := range spec.Points {
+		want := res.PointResTime[p]
+		if got := m.residencyTime[i].Value(); fpx.Ne(got, want) {
+			t.Errorf("residency time[%d] = %v, want %v", i, got, want)
+		}
+		if got := m.residencyCycles[i].Value(); fpx.Ne(got, want*p.Freq) {
+			t.Errorf("residency cycles[%d] = %v, want %v", i, got, want*p.Freq)
+		}
+		resTimeTotal += m.residencyTime[i].Value()
+	}
+	if fpx.Ne(resTimeTotal, res.BusyTime+res.IdleTime) {
+		t.Errorf("residency time sums to %v, want busy+idle %v", resTimeTotal, res.BusyTime+res.IdleTime)
+	}
+
+	// And the whole registry must render as valid exposition text.
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateText([]byte(sb.String())); err != nil {
+		t.Fatalf("sim metrics scrape invalid: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), `rtdvs_sim_residency_cycles_total{machine="machine1"`) {
+		t.Errorf("residency family missing machine label:\n%s", sb.String())
+	}
+}
+
+// TestMetricsAccumulateAcrossRuns checks counters add up over a reused
+// Runner and that a failed run contributes nothing.
+func TestMetricsAccumulateAcrossRuns(t *testing.T) {
+	reg := obs.NewRegistry()
+	spec := machine.Machine1()
+	m := NewMetrics(reg, spec)
+	r := NewRunner()
+	var wantEvents float64
+	for i := 0; i < 3; i++ {
+		cfg := metricsConfig(t, "laEDF")
+		cfg.Machine = spec
+		cfg.Metrics = m
+		res, err := r.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantEvents += float64(res.Events)
+	}
+	if got := m.runs.Value(); got != 3 {
+		t.Errorf("runs = %v, want 3", got)
+	}
+	if got := m.events.Value(); got != wantEvents {
+		t.Errorf("events = %v, want %v", got, wantEvents)
+	}
+
+	// An invalid config errors out before observation.
+	bad := metricsConfig(t, "laEDF")
+	bad.Machine = &machine.Spec{Name: "broken"}
+	bad.Metrics = m
+	if _, err := r.Run(bad); err == nil {
+		t.Fatal("broken machine accepted")
+	}
+	if got := m.runs.Value(); got != 3 {
+		t.Errorf("failed run was observed: runs = %v", got)
+	}
+}
+
+// TestPreemptionCounting pins the preemption counter on a hand-checked
+// two-task schedule: T1=(period 10, wcet 6), T2=(period 25, wcet 9),
+// full WCET, no DVS. Under EDF, T2's first invocation runs in T1's slack
+// and is displaced at t=10 and t=20 by T1's earlier deadlines.
+func TestPreemptionCounting(t *testing.T) {
+	ts, err := task.NewSet(task.Task{Period: 10, WCET: 6}, task.Task{Period: 25, WCET: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := core.ByName("none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Tasks: ts, Machine: machine.Machine1(), Policy: pol, Horizon: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Timeline: T1 runs [0,6), T2 [6,10) — preempted by T1 [10,16) — T2
+	// [16,20) — preempted by T1 [20,26) — T2 finishes [26,27). Second T2
+	// invocation at t=25 runs [27,36) inside T1's slack: no further
+	// preemption before t=50 (T1 releases at 30 and 40 find T2... T2
+	// deadline 50 vs T1 deadline 40: T1 wins at t=30, preempting T2).
+	if res.Preemptions < 2 {
+		t.Errorf("preemptions = %d, want at least the two hand-checked displacements", res.Preemptions)
+	}
+	if res.MissCount() != 0 {
+		t.Errorf("unexpected misses: %+v", res.Misses)
+	}
+	if res.Events <= 0 {
+		t.Error("events counter never advanced")
+	}
+}

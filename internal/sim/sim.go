@@ -64,6 +64,11 @@ type Config struct {
 	// simulator without the injection hooks. Injectors are stateful:
 	// create one per run.
 	Faults *fault.Injector
+	// Metrics optionally accumulates run observables (see NewMetrics)
+	// into an obs registry. Observation happens once per successful run,
+	// off the event loop, so the hot path stays allocation-free and run
+	// results are bit-identical with or without it.
+	Metrics *Metrics
 }
 
 // Miss records one deadline miss: invocation inv of task Task was still
@@ -94,18 +99,24 @@ type Result struct {
 	Horizon float64 `json:"horizon"`
 
 	// Energy components, in cycle·V² units.
-	ExecEnergy   float64 `json:"execEnergy"`
-	IdleEnergy   float64 `json:"idleEnergy"`
-	TotalEnergy  float64 `json:"totalEnergy"`
-	CyclesDone   float64 `json:"cyclesDone"`
-	BusyTime     float64 `json:"busyTime"`
-	IdleTime     float64 `json:"idleTime"`
-	HaltTime     float64 `json:"haltTime"` // switch stop intervals
-	Switches     int     `json:"switches"`
-	Releases     int     `json:"releases"`
-	Completions  int     `json:"completions"`
-	Misses       []Miss  `json:"misses,omitempty"`
-	Guaranteed   bool    `json:"guaranteed"`
+	ExecEnergy  float64 `json:"execEnergy"`
+	IdleEnergy  float64 `json:"idleEnergy"`
+	TotalEnergy float64 `json:"totalEnergy"`
+	CyclesDone  float64 `json:"cyclesDone"`
+	BusyTime    float64 `json:"busyTime"`
+	IdleTime    float64 `json:"idleTime"`
+	HaltTime    float64 `json:"haltTime"` // switch stop intervals
+	Switches    int     `json:"switches"`
+	Releases    int     `json:"releases"`
+	Completions int     `json:"completions"`
+	// Events counts event-loop iterations: the work the simulator did to
+	// produce this result, independent of wall clock.
+	Events int `json:"events"`
+	// Preemptions counts scheduling decisions that displaced a
+	// still-active invocation in favor of another task.
+	Preemptions  int    `json:"preemptions"`
+	Misses       []Miss `json:"misses,omitempty"`
+	Guaranteed   bool   `json:"guaranteed"`
 	PerTask      []TaskStats
 	PointResTime map[machine.OperatingPoint]float64 `json:"-"`
 	// Faults is the injector's fired-fault record; nil when the run was
@@ -230,6 +241,10 @@ type simulator struct {
 	released []int     // scratch: release events pending policy callbacks
 	resTime  []float64 // per machine-table point index: residency time
 
+	// lastRun is the task index executed by the most recent execution
+	// segment (-1 before any), for preemption counting.
+	lastRun int
+
 	// Cooperative cancellation: ctx is nil when the run is not
 	// cancellable (plain Run), so the hot path pays one nil check per
 	// event. ctxTick counts events down to the next poll.
@@ -324,6 +339,7 @@ func (r *Runner) run(ctx context.Context, cfg Config) (*Result, error) {
 	s.released = s.released[:0]
 	s.timers.Reset(n)
 	s.ready.Reset(n)
+	s.lastRun = -1
 	s.ctx = ctx
 	s.ctxTick = 0 // poll before the first event: an expired ctx does no work
 	s.ctxErr = nil
@@ -381,6 +397,9 @@ func (r *Runner) run(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	if s.ctxErr != nil {
 		return nil, &Canceled{At: s.now, Partial: &s.res, Cause: s.ctxErr}
+	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.observe(&s.res, s.resTime, cfg.Machine)
 	}
 	return &s.res, nil
 }
@@ -483,6 +502,9 @@ func (s *simulator) processReleases() {
 				s.inv.checkMiss(i, st.inv-1, st.deadline)
 				st.active = false
 				s.ready.Remove(i)
+				if s.lastRun == i {
+					s.lastRun = -1 // aborted, not preempted
+				}
 			}
 			actual := st.nextRelease // possibly delayed fire time
 			rel := st.nominalRel     // nominal tick: the deadline grid
@@ -578,6 +600,9 @@ func (s *simulator) processAborts() {
 			s.inv.checkMiss(i, st.inv-1, st.deadline)
 			st.active = false
 			s.ready.Remove(i)
+			if s.lastRun == i {
+				s.lastRun = -1 // aborted, not preempted
+			}
 		}
 	}
 }
@@ -654,6 +679,7 @@ func (s *simulator) run() {
 		if s.ctx != nil && s.pollCtx() {
 			break
 		}
+		s.res.Events++
 		s.processAborts()
 		s.processReleases()
 
@@ -697,6 +723,14 @@ func (s *simulator) run() {
 		}
 		nextRel = math.Min(s.nextReleaseTime(), s.cfg.Horizon)
 
+		// A different task taking the processor while the previous one is
+		// still mid-invocation is a preemption (under EDF/RM the displaced
+		// task cannot have idled in between: idle implies no active tasks).
+		if s.lastRun >= 0 && s.lastRun != pick && s.states[s.lastRun].active {
+			s.res.Preemptions++
+		}
+		s.lastRun = pick
+
 		st := &s.states[pick]
 		wcet := s.ts.Task(pick).WCET
 		finish := s.now + st.remaining/s.hw.Freq
@@ -739,6 +773,9 @@ func (s *simulator) run() {
 			if resp := s.now - st.releasedAt; resp > s.res.PerTask[pick].MaxResponse {
 				s.res.PerTask[pick].MaxResponse = resp
 			}
+			// The invocation is gone; a later activation of the same task
+			// index must not read as a preemption victim.
+			s.lastRun = -1
 			s.cfg.Policy.OnCompletion(s, pick, st.used)
 			s.inv.checkUtilization()
 		} else if s.cfg.Faults != nil && !st.overNotified && fpx.Ge(st.used, wcet) {
