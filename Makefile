@@ -14,11 +14,17 @@ test:
 	go test ./...
 
 # lint runs standard go vet plus the repository's own analyzer suite
-# (floatcmp, globalrand, policyreg — see internal/analysis).
+# (floatcmp, globalrand, policyreg, maprange, wallclock, hotalloc,
+# ctxpoll, atomicfield, metricname — see internal/analysis and
+# DESIGN.md §12), both as a cmd/go vet backend (per-package, cached)
+# and standalone (whole-module, per-analyzer summary, `-json` for the
+# CI findings artifact). Suppress a finding only with a justified
+# //rtdvs:ignore <analyzer> <reason> on the flagged line.
 lint:
 	go vet ./...
 	go install ./cmd/rtdvs-vet
 	go vet -vettool=$(GOBIN)/rtdvs-vet ./...
+	go run ./cmd/rtdvs-vet ./...
 
 # race exercises the packages with real concurrency: the experiment
 # harness worker pool, the RTOS kernel, and the HTTP serving layer

@@ -1,10 +1,19 @@
 // Command rtdvs-vet runs the repository's custom static-analysis suite
-// (floatcmp, globalrand, policyreg — see internal/analysis).
+// (floatcmp, globalrand, policyreg, maprange, wallclock, hotalloc,
+// ctxpoll, atomicfield, metricname — see internal/analysis). Findings
+// may be suppressed at the flagged line with a justified
+// //rtdvs:ignore <analyzer> <reason> directive; malformed or stale
+// directives are findings themselves.
 //
 // It supports two modes:
 //
-//	rtdvs-vet [./...]                      standalone, loads packages itself
+//	rtdvs-vet [-json] [./...]              standalone, loads packages itself
 //	go vet -vettool=$(which rtdvs-vet) ./...   as a cmd/go vet backend
+//
+// In standalone mode -json writes the findings as a JSON array on
+// stdout (one object per finding: file, line, column, package,
+// analyzer, message) for CI artifact upload; the per-analyzer summary
+// and exit-code contract are unchanged.
 //
 // The vettool mode speaks cmd/go's (unpublished) vet protocol: respond to
 // -V=full with a version line, describe flags as JSON on -flags, and
@@ -35,6 +44,7 @@ const toolVersion = "v1.0.0"
 func main() {
 	versionFlag := flag.String("V", "", "print version and exit (cmd/go passes -V=full)")
 	flagsFlag := flag.Bool("flags", false, "print the tool's analyzer flags as JSON and exit")
+	jsonFlag := flag.Bool("json", false, "standalone mode: write findings as JSON on stdout")
 	enabled := map[string]*bool{}
 	for _, a := range analysis.Analyzers() {
 		doc := a.Doc
@@ -88,7 +98,7 @@ func main() {
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		os.Exit(runVetConfig(args[0], analyzers))
 	}
-	os.Exit(runStandalone(args, analyzers))
+	os.Exit(runStandalone(args, analyzers, *jsonFlag))
 }
 
 // printFlagsJSON implements the -flags handshake: cmd/go registers each
@@ -112,10 +122,22 @@ func printFlagsJSON() {
 	os.Stdout.Write(append(data, '\n'))
 }
 
+// finding is one diagnostic in the machine-readable -json output.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Package  string `json:"package"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 // runStandalone loads the requested package patterns with the module
-// loader and reports findings. Exit codes follow unitchecker: 0 clean,
-// 1 tool failure, 2 findings.
-func runStandalone(patterns []string, analyzers []*analysis.Analyzer) int {
+// loader and reports findings — human-readable lines on stderr, or a
+// JSON array on stdout with jsonOut. A non-clean run ends with a
+// per-analyzer summary on stderr either way. Exit codes follow
+// unitchecker: 0 clean, 1 tool failure, 2 findings.
+func runStandalone(patterns []string, analyzers []*analysis.Analyzer, jsonOut bool) int {
 	loader, err := analysis.NewLoader(".")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rtdvs-vet:", err)
@@ -126,7 +148,8 @@ func runStandalone(patterns []string, analyzers []*analysis.Analyzer) int {
 		fmt.Fprintln(os.Stderr, "rtdvs-vet:", err)
 		return 1
 	}
-	found := false
+	findings := []finding{} // non-nil so -json prints [] on a clean run
+	byAnalyzer := map[string]int{}
 	for _, pkg := range pkgs {
 		diags, err := analysis.RunAnalyzers(pkg, analyzers)
 		if err != nil {
@@ -134,14 +157,45 @@ func runStandalone(patterns []string, analyzers []*analysis.Analyzer) int {
 			return 1
 		}
 		for _, d := range diags {
-			found = true
-			fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
+			pos := pkg.Fset.Position(d.Pos)
+			findings = append(findings, finding{
+				File:     pos.Filename,
+				Line:     pos.Line,
+				Column:   pos.Column,
+				Package:  pkg.Path,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+			byAnalyzer[d.Analyzer]++
+			if !jsonOut {
+				fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", pos, d.Message, d.Analyzer)
+			}
 		}
 	}
-	if found {
-		return 2
+	if jsonOut {
+		data, err := json.MarshalIndent(findings, "", "\t")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rtdvs-vet:", err)
+			return 1
+		}
+		os.Stdout.Write(append(data, '\n'))
 	}
-	return 0
+	if len(findings) == 0 {
+		return 0
+	}
+	// Per-analyzer summary, suite order first, pseudo-analyzer last.
+	var parts []string
+	for _, a := range analyzers {
+		if n := byAnalyzer[a.Name]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%s %d", a.Name, n))
+		}
+	}
+	if n := byAnalyzer[analysis.IgnoreAnalyzerName]; n > 0 {
+		parts = append(parts, fmt.Sprintf("%s %d", analysis.IgnoreAnalyzerName, n))
+	}
+	fmt.Fprintf(os.Stderr, "rtdvs-vet: %d finding(s): %s\n",
+		len(findings), strings.Join(parts, ", "))
+	return 2
 }
 
 // vetConfig mirrors the JSON cmd/go writes to <objdir>/vet.cfg (see

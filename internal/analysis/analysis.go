@@ -1,15 +1,32 @@
 // Package analysis is the repository's static-analysis subsystem: a
 // small, dependency-free reimplementation of the go/analysis model
-// (Analyzer / Pass / Diagnostic) plus the three project-specific
+// (Analyzer / Pass / Diagnostic) plus the nine project-specific
 // analyzers that keep the float-heavy discrete-event code inside its
 // provable envelope:
 //
-//   - floatcmp:   flags direct ==/!= (and switch) comparisons on
+//   - floatcmp:    flags direct ==/!= (and switch) comparisons on
 //     floating-point values outside the internal/fpx epsilon helpers
-//   - globalrand: flags math/rand package-level functions and
+//   - globalrand:  flags math/rand package-level functions and
 //     time-seeded sources that break experiment reproducibility
-//   - policyreg:  flags core.Policy implementations missing from the
+//   - policyreg:   flags core.Policy implementations missing from the
 //     policy registry and constructors that pre-attach policies
+//   - maprange:    flags unsorted map iteration in determinism-pinned
+//     packages unless the body is order-insensitive or keys are sorted
+//   - wallclock:   flags wall-clock reads (time.Now and friends) inside
+//     the deterministic simulation packages
+//   - hotalloc:    flags allocation-introducing constructs in functions
+//     annotated //rtdvs:hotpath, cross-checked against HotpathRegistry
+//   - ctxpoll:     flags unbounded loops in context-carrying functions
+//     that never consult their context.Context
+//   - atomicfield: flags struct fields accessed both through sync/atomic
+//     and with plain reads/writes
+//   - metricname:  flags invalid or repo-wide-duplicate Prometheus
+//     metric/label names at obs registration sites
+//
+// Diagnostics can be suppressed per line with a reviewed, reasoned
+// //rtdvs:ignore <analyzer> <reason> directive (see suppress.go); a
+// directive with no reason, an unknown target, or nothing left to
+// suppress is itself a finding.
 //
 // The suite is wired into cmd/rtdvs-vet, which runs either standalone
 // (rtdvs-vet ./...) or as a `go vet -vettool=` backend. The framework is
@@ -75,14 +92,31 @@ func (p *Pass) InTestFile(pos token.Pos) bool {
 
 // Analyzers returns the full suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{FloatCmpAnalyzer, GlobalRandAnalyzer, PolicyRegAnalyzer}
+	return []*Analyzer{
+		FloatCmpAnalyzer, GlobalRandAnalyzer, PolicyRegAnalyzer,
+		MapRangeAnalyzer, WallClockAnalyzer, HotAllocAnalyzer,
+		CtxPollAnalyzer, AtomicFieldAnalyzer, MetricNameAnalyzer,
+	}
 }
 
-// RunAnalyzers applies each analyzer to the package and returns the
-// findings sorted by position.
+// AnalyzerNames returns the names a //rtdvs:ignore directive may target.
+func AnalyzerNames() map[string]bool {
+	names := map[string]bool{}
+	for _, a := range Analyzers() {
+		names[a.Name] = true
+	}
+	return names
+}
+
+// RunAnalyzers applies each analyzer to the package, filters the
+// findings through the package's //rtdvs:ignore directives (including
+// directive-hygiene findings under the pseudo-analyzer "ignore"), and
+// returns them sorted by position.
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
+	ran := map[string]bool{}
 	for _, a := range analyzers {
+		ran[a.Name] = true
 		pass := &Pass{
 			Analyzer:  a,
 			Fset:      pkg.Fset,
@@ -95,6 +129,40 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			return nil, fmt.Errorf("%s: %v", a.Name, err)
 		}
 	}
+	diags = applySuppressions(pkg.Fset, pkg.Files, diags, ran, AnalyzerNames())
 	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
 	return diags, nil
+}
+
+// deterministicPackages are the import paths whose behavior the golden
+// traces, checkpoint fingerprints, and bit-identity tests pin: inside
+// them iteration order and wall-clock reads are correctness bugs, not
+// style. Shared by the maprange and wallclock analyzers.
+var deterministicPackages = map[string]bool{
+	"rtdvs/internal/sim":        true,
+	"rtdvs/internal/sched":      true,
+	"rtdvs/internal/core":       true,
+	"rtdvs/internal/experiment": true,
+	"rtdvs/internal/checkpoint": true,
+	"rtdvs/internal/task":       true,
+	"rtdvs/internal/machine":    true,
+	"rtdvs/internal/bound":      true,
+	"rtdvs/internal/yds":        true,
+	"rtdvs/internal/trace":      true,
+	"rtdvs/internal/fault":      true,
+	"rtdvs/internal/stats":      true,
+	"rtdvs/internal/fpx":        true,
+	"rtdvs/internal/rtos":       true,
+}
+
+// inDeterministicScope reports whether the pass's package is pinned
+// deterministic. Corpus packages under testdata load with a bare,
+// slash-free path ("maprange"), and are always in scope so the
+// analyzers can be exercised outside the real tree.
+func inDeterministicScope(pass *Pass) bool {
+	path := pass.Pkg.Path()
+	if deterministicPackages[path] {
+		return true
+	}
+	return !strings.Contains(path, "/") && !strings.HasPrefix(path, "rtdvs")
 }

@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicFieldAnalyzer enforces the all-or-nothing atomicity contract on
+// struct fields: a field whose address is ever passed to a sync/atomic
+// function (atomic.AddUint64(&s.n, 1), atomic.LoadUint64(&s.n), ...) is
+// part of a lock-free protocol, and every other access to it must go
+// through sync/atomic too. A single plain read or write mixed in — a
+// direct `s.n++`, an innocent-looking `if s.n > 0` — is a data race the
+// race detector only catches on the schedules it happens to see, and on
+// weakly-ordered hardware it can observe torn or stale values even when
+// the race detector stays quiet. The internal/obs registry's CAS-on-
+// Float64bits counters are the motivating case: their correctness is a
+// protocol property of every access site, not of any one call.
+//
+// Fields of the typed atomic wrappers (atomic.Uint64, atomic.Bool, ...)
+// are safe by construction and out of scope: their only access path is
+// already atomic.
+var AtomicFieldAnalyzer = &Analyzer{
+	Name: "atomicfield",
+	Doc: "flag struct fields that are accessed both through sync/atomic " +
+		"functions and with plain reads/writes — mixed access is a data " +
+		"race even when the race detector is quiet",
+	Run: runAtomicField,
+}
+
+func runAtomicField(pass *Pass) error {
+	// Pass 1: collect the fields used atomically — any &x.f argument to a
+	// sync/atomic function — and remember each atomic call's extent so
+	// pass 2 can tell sanctioned accesses apart.
+	atomicFields := map[*types.Var]ast.Node{} // field -> one atomic use (for the report)
+	type span struct{ lo, hi int }
+	var atomicSpans []span
+
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if pkgPath, ok := packageQualifier(pass, sel); !ok || pkgPath != "sync/atomic" {
+				return true
+			}
+			atomicSpans = append(atomicSpans, span{int(call.Pos()), int(call.End())})
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				if f := fieldObject(pass, un.X); f != nil {
+					atomicFields[f] = call
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	inAtomicCall := func(pos int) bool {
+		for _, s := range atomicSpans {
+			if s.lo <= pos && pos < s.hi {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Pass 2: every other selector touching one of those fields must sit
+	// inside a sync/atomic call.
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			f := fieldObject(pass, sel)
+			if f == nil {
+				return true
+			}
+			if _, tracked := atomicFields[f]; !tracked {
+				return true
+			}
+			if inAtomicCall(int(sel.Pos())) {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"field %s.%s is updated through sync/atomic elsewhere; this "+
+					"plain access races with it — use the matching atomic "+
+					"load/store", structName(f), f.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// fieldObject resolves expr to the struct field it selects, or nil.
+func fieldObject(pass *Pass, expr ast.Expr) *types.Var {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return nil
+	}
+	return selection.Obj().(*types.Var)
+}
+
+// structName renders the owner package of a field for diagnostics (the
+// field's parent struct type is not directly recoverable from the Var).
+func structName(f *types.Var) string {
+	if pkg := f.Pkg(); pkg != nil {
+		return pkg.Name()
+	}
+	return "?"
+}

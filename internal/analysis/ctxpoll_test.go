@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"rtdvs/internal/analysis"
+	"rtdvs/internal/analysis/analysistest"
+)
+
+func TestCtxPoll(t *testing.T) {
+	analysistest.Run(t, "testdata/ctxpoll", analysis.CtxPollAnalyzer)
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"rtdvs/internal/analysis"
+	"rtdvs/internal/analysis/analysistest"
+)
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata/hotalloc", analysis.HotAllocAnalyzer)
+}

@@ -1,0 +1,67 @@
+package analysis_test
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"rtdvs/internal/analysis"
+)
+
+// TestHotpathRegistryBenchmarks asserts that every benchmark (or
+// AllocsPerRun test) named in HotpathRegistry still exists somewhere in
+// the module's _test.go files. The hotalloc analyzer enforces the other
+// two legs of the triangle — annotation present, registry row present —
+// so together a hot-path function cannot lose its allocation pin
+// silently.
+func TestHotpathRegistryBenchmarks(t *testing.T) {
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := loader.ModRoot
+
+	// Collect "func <Name>(" declarations from every test file once.
+	declared := map[string]bool{}
+	funcRe := regexp.MustCompile(`(?m)^func ([A-Za-z0-9_]+)\(`)
+	err = filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != root && (name == "testdata" || strings.HasPrefix(name, ".")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(p, "_test.go") {
+			return nil
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		for _, m := range funcRe.FindAllStringSubmatch(string(data), -1) {
+			declared[m[1]] = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for key, bench := range analysis.HotpathRegistry {
+		if !strings.HasPrefix(bench, "Benchmark") && !strings.HasPrefix(bench, "Test") {
+			t.Errorf("HotpathRegistry[%q] = %q: pin must be a Benchmark or Test function", key, bench)
+			continue
+		}
+		if !declared[bench] {
+			t.Errorf("HotpathRegistry[%q] names %s, which no _test.go file declares; "+
+				"the 0-alloc pin is gone", key, bench)
+		}
+	}
+}

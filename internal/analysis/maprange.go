@@ -1,0 +1,211 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapRangeAnalyzer flags `for ... range m` over a map inside the
+// determinism-pinned packages. Go randomizes map iteration order per
+// run, so any map range whose body's effect depends on visit order —
+// appending to output, folding floats, emitting trace rows — silently
+// breaks the bit-identical golden traces, checkpoint replay, and
+// parallel-sweep merge guarantees the repository pins.
+//
+// Two shapes are provably order-insensitive and allowed:
+//
+//   - the copy/rebuild pattern: every statement in the body stores
+//     through the range key into another map (dst[k] = ..., dst[k] op= ...)
+//     or deletes by it — each key is visited exactly once, so the final
+//     map contents cannot depend on order;
+//   - the sort-after pattern: the body only collects keys or values into
+//     a slice that the same function later passes through package sort
+//     or slices — the iteration order is erased before use.
+//
+// Anything else needs an explicit //rtdvs:ignore maprange <reason>.
+var MapRangeAnalyzer = &Analyzer{
+	Name: "maprange",
+	Doc: "flag unsorted map iteration in determinism-pinned packages " +
+		"(sim/sched/core/experiment/checkpoint/...) unless the body is " +
+		"order-insensitive or the collected keys are sorted afterwards",
+	Run: runMapRange,
+}
+
+func runMapRange(pass *Pass) error {
+	if !inDeterministicScope(pass) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkMapRanges(pass, fn.Body)
+		}
+	}
+	return nil
+}
+
+// checkMapRanges walks one function body and reports disallowed map
+// ranges. body is also the scope searched for the sort-after pattern.
+func checkMapRanges(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[rs.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if mapRangeOrderInsensitive(pass, rs) || mapRangeSortedAfter(pass, body, rs) {
+			return true
+		}
+		pass.Reportf(rs.Pos(),
+			"map iteration order is randomized and this range is not provably "+
+				"order-insensitive; sort the keys first, or restructure into a "+
+				"keyed-store/sort-after shape")
+		return true
+	})
+}
+
+// mapRangeOrderInsensitive reports whether every statement of the range
+// body stores through the range key into a map (dst[k] = v, dst[k] op= v)
+// or deletes the key from a map — the copy/rebuild shape.
+func mapRangeOrderInsensitive(pass *Pass, rs *ast.RangeStmt) bool {
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return false
+	}
+	keyObj := pass.TypesInfo.Defs[key]
+	if keyObj == nil {
+		keyObj = pass.TypesInfo.Uses[key]
+	}
+	if keyObj == nil || len(rs.Body.List) == 0 {
+		return false
+	}
+	indexedByKey := func(e ast.Expr) bool {
+		ix, ok := e.(*ast.IndexExpr)
+		if !ok {
+			return false
+		}
+		xt, ok := pass.TypesInfo.Types[ix.X]
+		if !ok {
+			return false
+		}
+		if _, isMap := xt.Type.Underlying().(*types.Map); !isMap {
+			return false
+		}
+		id, ok := ix.Index.(*ast.Ident)
+		return ok && pass.TypesInfo.Uses[id] == keyObj
+	}
+	for _, stmt := range rs.Body.List {
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) != 1 || !indexedByKey(s.Lhs[0]) {
+				return false
+			}
+		case *ast.ExprStmt:
+			call, ok := s.X.(*ast.CallExpr)
+			if !ok || len(call.Args) != 2 {
+				return false
+			}
+			fun, ok := call.Fun.(*ast.Ident)
+			if !ok || fun.Name != "delete" {
+				return false
+			}
+			id, ok := call.Args[1].(*ast.Ident)
+			if !ok || pass.TypesInfo.Uses[id] != keyObj {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// mapRangeSortedAfter reports whether the range body only appends into
+// slices that the enclosing function later hands to package sort or
+// slices: `xs = append(xs, k)` ... `sort.Strings(xs)`.
+func mapRangeSortedAfter(pass *Pass, body *ast.BlockStmt, rs *ast.RangeStmt) bool {
+	// Collect the identifiers appended to; bail on any other statement.
+	var collected []types.Object
+	for _, stmt := range rs.Body.List {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return false
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fun, ok := call.Fun.(*ast.Ident)
+		if !ok || fun.Name != "append" {
+			return false
+		}
+		dst, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj := pass.TypesInfo.Uses[dst]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[dst]
+		}
+		if obj == nil {
+			return false
+		}
+		collected = append(collected, obj)
+	}
+	if len(collected) == 0 {
+		return false
+	}
+	// Every collected slice must flow into a sort/slices call after the
+	// range statement.
+	for _, obj := range collected {
+		sorted := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			if sorted {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok || call.Pos() < rs.End() {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, ok := packageQualifier(pass, sel)
+			if !ok || (pkgPath != "sort" && pkgPath != "slices") {
+				return true
+			}
+			for _, arg := range call.Args {
+				mentioned := false
+				ast.Inspect(arg, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+						mentioned = true
+						return false
+					}
+					return true
+				})
+				if mentioned {
+					sorted = true
+					return false
+				}
+			}
+			return true
+		})
+		if !sorted {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression is the //rtdvs:ignore facility: a comment of the form
+//
+//	//rtdvs:ignore <analyzer> <reason>
+//
+// on (or on the line immediately above) a flagged line suppresses that
+// analyzer's diagnostics for the line. The reason is mandatory — a
+// suppression is a reviewed exception to a repository invariant, and the
+// justification must live next to the code it excuses, not in a commit
+// message. RunAnalyzers enforces the grammar itself: a directive with a
+// missing reason, an unknown analyzer name, or one that matches no
+// diagnostic of an analyzer that actually ran is reported as a finding
+// of the pseudo-analyzer "ignore", so stale or malformed suppressions
+// fail vet exactly like the violations they once excused.
+
+// IgnoreAnalyzerName is the pseudo-analyzer name under which malformed,
+// unknown-target, and stale //rtdvs:ignore directives are reported.
+const IgnoreAnalyzerName = "ignore"
+
+// ignoreDirective is one parsed //rtdvs:ignore comment.
+type ignoreDirective struct {
+	pos      token.Pos
+	file     string
+	line     int
+	analyzer string
+	reason   string
+	used     bool
+}
+
+// ignorePrefix introduces a suppression directive.
+const ignorePrefix = "rtdvs:ignore"
+
+// parseIgnores extracts every //rtdvs:ignore directive from the files.
+// Malformed directives (no analyzer name) are returned with an empty
+// analyzer field and diagnosed by applySuppressions.
+func parseIgnores(fset *token.FileSet, files []*ast.File) []*ignoreDirective {
+	var dirs []*ignoreDirective
+	for _, file := range files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				switch {
+				case strings.HasPrefix(text, "//"):
+					text = text[2:]
+				case strings.HasPrefix(text, "/*"):
+					text = strings.TrimSuffix(text[2:], "*/")
+				}
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, ignorePrefix)
+				if !ok {
+					continue
+				}
+				// "rtdvs:ignored" or similar is not a directive.
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				d := &ignoreDirective{pos: c.Pos(), file: pos.Filename, line: pos.Line}
+				fields := strings.Fields(rest)
+				if len(fields) > 0 {
+					d.analyzer = fields[0]
+					d.reason = strings.TrimSpace(strings.Join(fields[1:], " "))
+				}
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	return dirs
+}
+
+// applySuppressions filters diags through the files' //rtdvs:ignore
+// directives and appends the directive-hygiene findings: missing reason,
+// unknown analyzer, and (for analyzers that ran) directives that
+// suppressed nothing. ran is the set of analyzer names that produced
+// diags; known is the full suite roster a directive may name.
+func applySuppressions(fset *token.FileSet, files []*ast.File, diags []Diagnostic, ran, known map[string]bool) []Diagnostic {
+	dirs := parseIgnores(fset, files)
+	if len(dirs) == 0 {
+		return diags
+	}
+
+	// index: file -> line -> directives covering that line. A directive
+	// covers its own line and the one below it (comment-above style).
+	index := map[string]map[int][]*ignoreDirective{}
+	add := func(d *ignoreDirective, line int) {
+		byLine := index[d.file]
+		if byLine == nil {
+			byLine = map[int][]*ignoreDirective{}
+			index[d.file] = byLine
+		}
+		byLine[line] = append(byLine[line], d)
+	}
+	for _, d := range dirs {
+		if d.analyzer == "" || d.reason == "" || !known[d.analyzer] {
+			continue // hygiene finding below; never suppresses
+		}
+		add(d, d.line)
+		add(d, d.line+1)
+	}
+
+	kept := diags[:0]
+	for _, diag := range diags {
+		pos := fset.Position(diag.Pos)
+		suppressed := false
+		for _, d := range index[pos.Filename][pos.Line] {
+			if d.analyzer == diag.Analyzer {
+				d.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, diag)
+		}
+	}
+
+	report := func(d *ignoreDirective, format string, args ...interface{}) {
+		kept = append(kept, Diagnostic{
+			Pos:      d.pos,
+			Analyzer: IgnoreAnalyzerName,
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, d := range dirs {
+		switch {
+		case d.analyzer == "":
+			report(d, "rtdvs:ignore needs an analyzer name and a reason: //rtdvs:ignore <analyzer> <reason>")
+		case !known[d.analyzer]:
+			report(d, "rtdvs:ignore names unknown analyzer %q", d.analyzer)
+		case d.reason == "":
+			report(d, "rtdvs:ignore %s needs a reason: a suppression must say why the invariant does not apply", d.analyzer)
+		case !d.used && ran[d.analyzer]:
+			report(d, "rtdvs:ignore %s suppresses no diagnostic; remove the stale directive", d.analyzer)
+		}
+	}
+	return kept
+}

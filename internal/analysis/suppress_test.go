@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseSource parses one synthetic file for the white-box parser tests.
+func parseSource(t *testing.T, src string) (*token.FileSet, []*ignoreDirective) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, parseIgnores(fset, []*ast.File{f})
+}
+
+func TestParseIgnores(t *testing.T) {
+	src := `package x
+
+//rtdvs:ignore hotalloc cold error path, never taken in steady state
+var a int
+
+//rtdvs:ignore wallclock
+var b int
+
+//rtdvs:ignore
+var c int
+
+/*rtdvs:ignore maprange block form with a reason*/
+var d int
+
+// rtdvs:ignored is not a directive (no separating space).
+var e int
+`
+	_, dirs := parseSource(t, src)
+	if len(dirs) != 4 {
+		t.Fatalf("parsed %d directives, want 4: %+v", len(dirs), dirs)
+	}
+	want := []struct {
+		analyzer, reason string
+	}{
+		{"hotalloc", "cold error path, never taken in steady state"},
+		{"wallclock", ""},
+		{"", ""},
+		{"maprange", "block form with a reason"},
+	}
+	for i, w := range want {
+		if dirs[i].analyzer != w.analyzer || dirs[i].reason != w.reason {
+			t.Errorf("directive %d: got (%q, %q), want (%q, %q)",
+				i, dirs[i].analyzer, dirs[i].reason, w.analyzer, w.reason)
+		}
+	}
+}
+
+// TestApplySuppressionsMissingReason pins the satellite requirement
+// directly: a reasonless directive is rejected as a hygiene finding and
+// the diagnostic it sits next to is NOT suppressed.
+func TestApplySuppressionsMissingReason(t *testing.T) {
+	src := `package x
+
+//rtdvs:ignore wallclock
+var a int
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A diagnostic on the line below the directive (line 4).
+	diagPos := f.Decls[0].Pos()
+	diags := []Diagnostic{{Pos: diagPos, Analyzer: "wallclock", Message: "synthetic"}}
+	out := applySuppressions(fset, []*ast.File{f}, diags,
+		map[string]bool{"wallclock": true}, AnalyzerNames())
+
+	var keptOriginal, hygiene bool
+	for _, d := range out {
+		switch d.Analyzer {
+		case "wallclock":
+			keptOriginal = true
+		case IgnoreAnalyzerName:
+			hygiene = true
+		}
+	}
+	if !keptOriginal {
+		t.Error("reasonless directive suppressed the diagnostic; it must not")
+	}
+	if !hygiene {
+		t.Error("reasonless directive produced no hygiene finding")
+	}
+}
+
+// TestApplySuppressionsValid covers the reasoned happy path and the
+// stale-directive finding in one pass.
+func TestApplySuppressionsValid(t *testing.T) {
+	src := `package x
+
+//rtdvs:ignore wallclock deliberate for the test
+var a int
+
+//rtdvs:ignore wallclock this one matches nothing
+var b int
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := []Diagnostic{{Pos: f.Decls[0].Pos(), Analyzer: "wallclock", Message: "synthetic"}}
+	out := applySuppressions(fset, []*ast.File{f}, diags,
+		map[string]bool{"wallclock": true}, AnalyzerNames())
+
+	if len(out) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly the stale finding: %+v", len(out), out)
+	}
+	if out[0].Analyzer != IgnoreAnalyzerName {
+		t.Errorf("surviving diagnostic is %s, want %s", out[0].Analyzer, IgnoreAnalyzerName)
+	}
+}

@@ -1,0 +1,41 @@
+// Package atomicfield is the corpus for the atomicfield analyzer.
+package atomicfield
+
+import "sync/atomic"
+
+type counters struct {
+	hits  uint64 // accessed through sync/atomic — every access must be
+	total uint64 // plain everywhere — no protocol, no constraint
+}
+
+// bump is the sanctioned atomic access.
+func bump(c *counters) {
+	atomic.AddUint64(&c.hits, 1)
+	c.total++ // never atomic elsewhere: allowed
+}
+
+// read mixes a plain load into the atomic protocol.
+func read(c *counters) uint64 {
+	return c.hits // want `field atomicfield\.hits is updated through sync/atomic elsewhere`
+}
+
+// reset mixes a plain store in.
+func reset(c *counters) {
+	c.hits = 0 // want `field atomicfield\.hits is updated through sync/atomic elsewhere`
+}
+
+// readAtomic is the matching sanctioned load.
+func readAtomic(c *counters) uint64 {
+	return atomic.LoadUint64(&c.hits)
+}
+
+// typed uses the atomic wrapper types: safe by construction, out of
+// scope for the analyzer.
+type typed struct {
+	n atomic.Uint64
+}
+
+func (t *typed) inc() uint64 {
+	t.n.Add(1)
+	return t.n.Load()
+}

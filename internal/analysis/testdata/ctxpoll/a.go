@@ -1,0 +1,81 @@
+// Package ctxpoll is the corpus for the ctxpoll analyzer.
+package ctxpoll
+
+import "context"
+
+type sim struct {
+	now, horizon float64
+	done         bool
+}
+
+func (s *sim) step() { s.now++ }
+
+// spin never consults the context: a cancelled caller hangs until the
+// horizon regardless.
+func spin(ctx context.Context, s *sim) {
+	for s.now < s.horizon { // want `for-loop in context-accepting function spin never consults the context`
+		s.step()
+	}
+}
+
+// forever is the unbounded worst case.
+func forever(ctx context.Context, s *sim) {
+	for { // want `for-loop in context-accepting function forever never consults the context`
+		if s.done {
+			return
+		}
+		s.step()
+	}
+}
+
+// polled consults ctx.Err() on a stride: the sanctioned shape.
+func polled(ctx context.Context, s *sim) error {
+	n := 0
+	for s.now < s.horizon {
+		if n++; n%64 == 0 && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		s.step()
+	}
+	return nil
+}
+
+// selects blocks on ctx.Done directly.
+func selects(ctx context.Context, ch <-chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ch:
+		}
+	}
+}
+
+// delegates passes ctx to a helper that polls: also allowed — the
+// analyzer only requires that the loop mention the context.
+func delegates(ctx context.Context, s *sim) {
+	for s.now < s.horizon {
+		helper(ctx, s)
+	}
+}
+
+func helper(ctx context.Context, s *sim) { s.step() }
+
+// counted loops and range loops are bounded by construction.
+func bounded(ctx context.Context, xs []float64) float64 {
+	var sum float64
+	for i := 0; i < len(xs); i++ {
+		sum += xs[i]
+	}
+	for _, v := range xs {
+		sum += v
+	}
+	return sum
+}
+
+// noCtx takes no context, so it makes no cancellation promise.
+func noCtx(s *sim) {
+	for s.now < s.horizon {
+		s.step()
+	}
+}

@@ -1,0 +1,89 @@
+// Package hotalloc is the corpus for the hotalloc analyzer. The package
+// path is outside the rtdvs module, so the HotpathRegistry cross-check
+// is inactive and only the body checks apply.
+package hotalloc
+
+import "fmt"
+
+type buf struct {
+	xs   []float64
+	tmp  []int
+	next *buf
+}
+
+type adder interface{ Add(float64) }
+
+//rtdvs:hotpath
+func closures(xs []float64) float64 {
+	f := func(v float64) float64 { return v * v } // want `function literal in //rtdvs:hotpath function closures allocates a closure`
+	return f(xs[0])
+}
+
+//rtdvs:hotpath
+func formatting(n int) string {
+	return fmt.Sprintf("n=%d", n) // want `fmt\.Sprintf in //rtdvs:hotpath function formatting boxes its arguments`
+}
+
+//rtdvs:hotpath
+func maker(n int) []float64 {
+	return make([]float64, n) // want `make in //rtdvs:hotpath function maker allocates`
+}
+
+//rtdvs:hotpath
+func newer() *buf {
+	return new(buf) // want `new in //rtdvs:hotpath function newer allocates`
+}
+
+//rtdvs:hotpath
+func literalMap() map[int]int {
+	return map[int]int{} // want `map literal in //rtdvs:hotpath function literalMap allocates`
+}
+
+//rtdvs:hotpath
+func literalSlice() []int {
+	return []int{1, 2, 3} // want `slice literal in //rtdvs:hotpath function literalSlice allocates`
+}
+
+//rtdvs:hotpath
+func literalPtr() *buf {
+	return &buf{} // want `&-composite literal in //rtdvs:hotpath function literalPtr allocates`
+}
+
+//rtdvs:hotpath
+func appendFresh(b *buf, v float64) []float64 {
+	out := append(b.xs, v) // want `append in //rtdvs:hotpath function appendFresh does not reassign to its own first operand`
+	return out
+}
+
+//rtdvs:hotpath
+func boxing(g adder, v float64) adder {
+	return adder(g) // interface-to-interface: no boxing, allowed
+}
+
+//rtdvs:hotpath
+func boxes(c *buf) interface{} {
+	return interface{}(c) // want `conversion to interface type interface\{\} in //rtdvs:hotpath function boxes`
+}
+
+// selfAppend is the sanctioned amortized-growth shape.
+//
+//rtdvs:hotpath
+func selfAppend(b *buf, v float64) {
+	b.xs = append(b.xs, v)
+}
+
+// valueLiteral builds a struct by value: stack-allocated, allowed.
+//
+//rtdvs:hotpath
+func valueLiteral(v float64) buf {
+	return buf{xs: nil}
+}
+
+// coldPath is unannotated: the same constructs are fine here.
+func coldPath(n int) []float64 {
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, float64(i))
+	}
+	return out
+}

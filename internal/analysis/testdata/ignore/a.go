@@ -1,0 +1,57 @@
+// Package ignore is the corpus for the //rtdvs:ignore directive
+// hygiene checks (run under the wallclock analyzer, so `ran` contains
+// exactly that analyzer). Block-comment directives are used where a
+// want expectation must share the line.
+package ignore
+
+import "time"
+
+// missingReason: a directive without a reason is rejected AND does not
+// suppress — the diagnostic it meant to excuse survives.
+func missingReason() int64 {
+	/*rtdvs:ignore wallclock*/   // want `rtdvs:ignore wallclock needs a reason`
+	return time.Now().UnixNano() // want `time\.Now reads the wall clock`
+}
+
+// unknownAnalyzer: the directive must name a real analyzer.
+func unknownAnalyzer() int64 {
+	/*rtdvs:ignore nosuch sounded plausible*/ // want `rtdvs:ignore names unknown analyzer "nosuch"`
+	return time.Now().UnixNano()              // want `time\.Now reads the wall clock`
+}
+
+// bareDirective: no analyzer, no reason.
+func bareDirective() {
+	/*rtdvs:ignore*/ // want `rtdvs:ignore needs an analyzer name and a reason`
+}
+
+// stale: a well-formed directive for an analyzer that ran but matched
+// nothing is itself a finding, so suppressions cannot outlive the code
+// they excused.
+func stale() int64 {
+	/*rtdvs:ignore wallclock nothing on the next line reads the clock*/ // want `rtdvs:ignore wallclock suppresses no diagnostic`
+	return 42
+}
+
+// suppressedAbove: the comment-above form, with a reason — the
+// wall-clock diagnostic on the next line is filtered.
+func suppressedAbove() int64 {
+	//rtdvs:ignore wallclock corpus demonstration of a justified read
+	return time.Now().UnixNano()
+}
+
+// suppressedSameLine: the same-line form.
+func suppressedSameLine() int64 {
+	return time.Now().UnixNano() //rtdvs:ignore wallclock same-line form works too
+}
+
+// notRun: a directive for an analyzer that did not run in this pass is
+// left alone — per-analyzer corpus runs must not flag each other's
+// suppressions as stale.
+func notRun() float64 {
+	//rtdvs:ignore floatcmp the comparison below is exact by construction
+	return 0.1 + 0.2
+}
+
+// rtdvs:ignored is not a directive (prefix match requires a following
+// space), so this comment is inert.
+func lookalike() {}

@@ -1,0 +1,61 @@
+// Package maprange is the corpus for the maprange analyzer.
+package maprange
+
+import (
+	"sort"
+	"strings"
+)
+
+// sumValues folds map values in iteration order: with float accumulation
+// the result depends on the order, so this is a determinism bug.
+func sumValues(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m { // want `map iteration order is randomized`
+		s += v
+	}
+	return s
+}
+
+// firstKey leaks iteration order directly.
+func firstKey(m map[int]string) int {
+	for k := range m { // want `map iteration order is randomized`
+		return k
+	}
+	return -1
+}
+
+// rebuild copies into another keyed store: order-insensitive, allowed.
+func rebuild(src map[string]int) map[string]int {
+	dst := make(map[string]int, len(src))
+	for k, v := range src {
+		dst[k] = v
+	}
+	return dst
+}
+
+// prune deletes by key: order-insensitive, allowed.
+func prune(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// sortedKeys collects keys and sorts before use: allowed.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// unsortedKeys collects keys but never sorts them, so the slice leaks
+// the randomized order.
+func unsortedKeys(m map[string]int) string {
+	var keys []string
+	for k := range m { // want `map iteration order is randomized`
+		keys = append(keys, k)
+	}
+	return strings.Join(keys, ",")
+}

@@ -1,0 +1,25 @@
+// Package metricname is the corpus for the metricname analyzer. It
+// registers against the real internal/obs registry so the receiver-type
+// detection matches production call sites.
+package metricname
+
+import "rtdvs/internal/obs"
+
+func register(r *obs.Registry) {
+	// Valid names and labels pass.
+	r.Counter("corpus_events_total", "events processed")
+	r.Gauge("corpus_depth", "queue depth", "policy", "ccEDF")
+	r.Histogram("corpus_latency_seconds", "latency", []float64{0.1, 1}, "machine", "k62")
+	r.CounterVec("corpus_misses_total", "deadline misses", "policy", "machine")
+
+	r.Counter("corpus-bad-name", "dashes are not legal")     // want `metric name "corpus-bad-name" does not match the Prometheus grammar`
+	r.Counter("0starts_with_digit", "bad first character")   // want `metric name "0starts_with_digit" does not match the Prometheus grammar`
+	r.Counter("corpus_events_total", "duplicate of line 10") // want `metric "corpus_events_total" is already registered at .*a\.go`
+	r.Gauge("corpus_util", "utilization", "bad-label", "x")  // want `label name "bad-label" does not match the Prometheus grammar`
+	r.CounterVec("corpus_faults_total", "faults", "__name")  // want `label name "__name" uses the double-underscore prefix`
+}
+
+// dynamic names are out of scope: only literals are checked.
+func dynamic(r *obs.Registry, name string) {
+	r.Counter(name, "runtime-built name")
+}

@@ -1,0 +1,43 @@
+// Package wallclock is the corpus for the wallclock analyzer.
+package wallclock
+
+import "time"
+
+// stamp reads the wall clock in a deterministic package.
+func stamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now reads the wall clock`
+}
+
+// elapsed measures real elapsed time — nondeterministic by definition.
+func elapsed(start time.Time) float64 {
+	return time.Since(start).Seconds() // want `time\.Since reads the wall clock`
+}
+
+// throttle sleeps on the OS scheduler.
+func throttle() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+}
+
+// await arms an OS timer.
+func await() {
+	<-time.After(time.Second) // want `time\.After reads the wall clock`
+}
+
+// durations uses time.Duration as plain arithmetic — no clock involved,
+// allowed.
+func durations(d time.Duration) time.Duration {
+	return d * 2
+}
+
+// simClock advances simulated time passed in by the caller: the
+// deterministic pattern the analyzer is steering toward.
+func simClock(now, dt float64) float64 {
+	return now + dt
+}
+
+// suppressed shows the escape hatch: the directive names the analyzer
+// and carries a reason, so the diagnostic is filtered.
+func suppressed() int64 {
+	//rtdvs:ignore wallclock corpus demonstration of a justified wall-clock read
+	return time.Now().UnixNano()
+}

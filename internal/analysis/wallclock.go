@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// WallClockAnalyzer flags wall-clock reads inside the deterministic
+// simulation packages. Simulated time is the only clock those packages
+// may observe: a time.Now (or any derived read — Since, Until, sleeps,
+// timers) hidden in sim/sched/core/experiment/checkpoint makes a run's
+// output depend on the host machine's scheduler and load, which is
+// exactly the nondeterminism the golden traces, checkpoint fingerprints
+// and bit-identity tests exist to rule out. The serving and
+// observability layers (internal/serve, internal/obs, cmd/...) measure
+// real latencies and are deliberately out of scope.
+//
+// Unseeded randomness, the other wall-clock-shaped leak, is covered by
+// the globalrand analyzer; together the two fence every source of
+// run-to-run variation out of the simulation core.
+var WallClockAnalyzer = &Analyzer{
+	Name: "wallclock",
+	Doc: "flag time.Now/time.Since and other wall-clock reads inside the " +
+		"deterministic simulation packages; only serve/obs/cmd may touch " +
+		"the wall clock",
+	Run: runWallClock,
+}
+
+// wallClockFuncs are the package time functions that read or depend on
+// the wall clock (or the process's monotonic clock — equally
+// nondeterministic for simulation purposes).
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+func runWallClock(pass *Pass) error {
+	if !inDeterministicScope(pass) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, ok := packageQualifier(pass, sel)
+			if !ok || pkgPath != "time" {
+				return true
+			}
+			if wallClockFuncs[sel.Sel.Name] {
+				pass.Reportf(sel.Pos(),
+					"time.%s reads the wall clock inside a deterministic "+
+						"package; simulated time is the only clock allowed here "+
+						"(thread it from the simulator or move the read to "+
+						"serve/obs/cmd)", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

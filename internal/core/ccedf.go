@@ -51,16 +51,20 @@ func (p *ccEDF) Attach(ts *task.Set, m *machine.Spec) error {
 
 // adjust moves U_i to u, updates the running sum, and re-selects the
 // lowest frequency covering it (Figure 4's select_frequency).
+//
+//rtdvs:hotpath
 func (p *ccEDF) adjust(i int, u float64) {
 	p.sum += u - p.util[i]
 	p.util[i] = u
 	p.setLowestAtLeast(p.sum)
 }
 
+//rtdvs:hotpath
 func (p *ccEDF) OnRelease(_ System, i int) {
 	p.adjust(i, p.ts.Task(i).Utilization())
 }
 
+//rtdvs:hotpath
 func (p *ccEDF) OnCompletion(_ System, i int, used float64) {
 	p.adjust(i, used/p.ts.Task(i).Period)
 }

@@ -87,6 +87,8 @@ func (p *ccRM) rmBefore(a, b int) bool {
 // nextDeadline returns the earliest current deadline in the system.
 // Because deadline = end of period = next release, this is well defined
 // for completed tasks too.
+//
+//rtdvs:hotpath
 func (p *ccRM) nextDeadline(sys System) float64 {
 	nd := sys.Deadline(0)
 	for i := 1; i < p.ts.Len(); i++ {
@@ -99,6 +101,8 @@ func (p *ccRM) nextDeadline(sys System) float64 {
 
 // allocateCycles implements Figure 6's allocate_cycles(k): hand out the
 // statically-scaled schedule's cycle budget to tasks in RM priority order.
+//
+//rtdvs:hotpath
 func (p *ccRM) allocateCycles(budget float64) {
 	for _, i := range p.rmOrder {
 		if p.cleft[i] <= budget {
@@ -114,6 +118,8 @@ func (p *ccRM) allocateCycles(budget float64) {
 // selectFrequency implements Figure 6's select_frequency(): the lowest fi
 // with Σd_j/s_m ≤ fi/fm, where s_m is the full-speed cycle capacity to the
 // next deadline.
+//
+//rtdvs:hotpath
 func (p *ccRM) selectFrequency(sys System) {
 	interval := p.nextDeadline(sys) - sys.Now()
 	var sum float64
@@ -132,6 +138,7 @@ func (p *ccRM) selectFrequency(sys System) {
 	}
 }
 
+//rtdvs:hotpath
 func (p *ccRM) OnRelease(sys System, i int) {
 	p.cleft[i] = p.ts.Task(i).WCET
 	// Progress to match: what the statically-scaled RM schedule would
@@ -141,12 +148,14 @@ func (p *ccRM) OnRelease(sys System, i int) {
 	p.selectFrequency(sys)
 }
 
+//rtdvs:hotpath
 func (p *ccRM) OnCompletion(sys System, i int, _ float64) {
 	p.cleft[i] = 0
 	p.d[i] = 0
 	p.selectFrequency(sys)
 }
 
+//rtdvs:hotpath
 func (p *ccRM) OnExecute(i int, cycles float64) {
 	p.cleft[i] -= cycles
 	if p.cleft[i] < 0 {

@@ -80,6 +80,8 @@ func (p *laEDF) Attach(ts *task.Set, m *machine.Spec) error {
 // order, so the sorted permutation is unique — identical to what the
 // original identity-initialized stable sort produced — no matter what
 // order the repair starts from.
+//
+//rtdvs:hotpath
 func (p *laEDF) laterDeadline(a, b int) bool {
 	switch {
 	case p.dl[a] > p.dl[b]:
@@ -93,6 +95,8 @@ func (p *laEDF) laterDeadline(a, b int) bool {
 // defer_ implements Figure 8's defer(): compute s, the minimum number of
 // cycles that must execute before the next deadline D_n, and set the
 // frequency to pace s over the remaining window.
+//
+//rtdvs:hotpath
 func (p *laEDF) defer_(sys System) {
 	n := p.ts.Len()
 	now := sys.Now()
@@ -166,16 +170,19 @@ func (p *laEDF) defer_(sys System) {
 	}
 }
 
+//rtdvs:hotpath
 func (p *laEDF) OnRelease(sys System, i int) {
 	p.cleft[i] = p.ts.Task(i).WCET
 	p.defer_(sys)
 }
 
+//rtdvs:hotpath
 func (p *laEDF) OnCompletion(sys System, i int, _ float64) {
 	p.cleft[i] = 0
 	p.defer_(sys)
 }
 
+//rtdvs:hotpath
 func (p *laEDF) OnExecute(i int, cycles float64) {
 	p.cleft[i] -= cycles
 	if p.cleft[i] < 0 {

@@ -227,6 +227,8 @@ func (b *base) Point() machine.OperatingPoint { return b.point }
 // the required relative frequency, saturating at full speed. The cached
 // selector keeps this allocation- and closure-free: it runs on every
 // release and completion of the dynamic policies.
+//
+//rtdvs:hotpath
 func (b *base) setLowestAtLeast(f float64) {
 	op, _ := b.sel.AtLeast(f) // saturates at max when unreachable
 	b.point = op

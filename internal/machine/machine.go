@@ -141,6 +141,8 @@ func (s *Spec) Selector() PointSelector {
 // f, using the same fpx boundary tolerance as Spec.LowestAtLeast. When
 // no point satisfies f it returns the maximum point and ok=false — the
 // saturating behavior every policy wants once committed to a task set.
+//
+//rtdvs:hotpath
 func (sel PointSelector) AtLeast(f float64) (op OperatingPoint, ok bool) {
 	// Point tables are tiny (3–5 rows), so a branch-predictable linear
 	// scan beats binary search and avoids sort.Search's closure call.
@@ -155,6 +157,8 @@ func (sel PointSelector) AtLeast(f float64) (op OperatingPoint, ok bool) {
 // Index returns the table index of op, or -1 if op is not a point of
 // this spec. Used to accumulate per-point statistics in dense arrays
 // instead of maps on the simulator hot path.
+//
+//rtdvs:hotpath
 func (sel PointSelector) Index(op OperatingPoint) int {
 	for i, p := range sel.points {
 		if p == op {
@@ -165,6 +169,8 @@ func (sel PointSelector) Index(op OperatingPoint) int {
 }
 
 // Len returns the number of operating points in the table.
+//
+//rtdvs:hotpath
 func (sel PointSelector) Len() int { return len(sel.points) }
 
 // IdlePower returns the power drawn while halted at the given point.

@@ -46,6 +46,7 @@ type atomicFloat struct {
 	bits atomic.Uint64
 }
 
+//rtdvs:hotpath
 func (f *atomicFloat) add(v float64) {
 	for {
 		old := f.bits.Load()
@@ -56,8 +57,11 @@ func (f *atomicFloat) add(v float64) {
 	}
 }
 
+//rtdvs:hotpath
 func (f *atomicFloat) store(v float64) { f.bits.Store(math.Float64bits(v)) }
-func (f *atomicFloat) load() float64   { return math.Float64frombits(f.bits.Load()) }
+
+//rtdvs:hotpath
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
 
 // Counter is a monotonically increasing float value. The zero value is
 // usable but unregistered; obtain registered instances from
@@ -67,13 +71,18 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//rtdvs:hotpath
 func (c *Counter) Inc() { c.v.add(1) }
 
 // Add increases the counter. Negative deltas panic: a counter that goes
 // down renders rate() queries meaningless, and every caller in this
 // repository adds event counts or non-negative durations.
+//
+//rtdvs:hotpath
 func (c *Counter) Add(v float64) {
 	if v < 0 {
+		//rtdvs:ignore hotalloc misuse panic on a cold path; never taken by a correct caller
 		panic(fmt.Sprintf("obs: counter decreased by %v", v))
 	}
 	c.v.add(v)
@@ -88,9 +97,13 @@ type Gauge struct {
 }
 
 // Set replaces the gauge's value.
+//
+//rtdvs:hotpath
 func (g *Gauge) Set(v float64) { g.v.store(v) }
 
 // Add adjusts the gauge by v (negative deltas allowed).
+//
+//rtdvs:hotpath
 func (g *Gauge) Add(v float64) { g.v.add(v) }
 
 // Value returns the current value.
@@ -106,6 +119,8 @@ type Histogram struct {
 }
 
 // Observe records one value.
+//
+//rtdvs:hotpath
 func (h *Histogram) Observe(v float64) {
 	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
 	h.counts[i].Add(1)

@@ -51,6 +51,8 @@ func (q *ReadyQueue) Reset(n int) {
 }
 
 // growPos extends the position index to cover task ids [0, n).
+//
+//rtdvs:hotpath
 func (q *ReadyQueue) growPos(n int) {
 	for len(q.pos) < n {
 		q.pos = append(q.pos, -1)
@@ -64,6 +66,8 @@ func (q *ReadyQueue) Len() int { return len(q.items) }
 // task index. Exact ordering, no epsilon: a comparator must stay
 // transitive, and restructuring as two ordered tests avoids float
 // equality entirely.
+//
+//rtdvs:hotpath
 func (q *ReadyQueue) less(a, b int) bool {
 	switch {
 	case q.items[a].key < q.items[b].key:
@@ -74,12 +78,14 @@ func (q *ReadyQueue) less(a, b int) bool {
 	return q.items[a].task < q.items[b].task
 }
 
+//rtdvs:hotpath
 func (q *ReadyQueue) swap(a, b int) {
 	q.items[a], q.items[b] = q.items[b], q.items[a]
 	q.pos[q.items[a].task] = a
 	q.pos[q.items[b].task] = b
 }
 
+//rtdvs:hotpath
 func (q *ReadyQueue) siftUp(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -91,6 +97,7 @@ func (q *ReadyQueue) siftUp(i int) {
 	}
 }
 
+//rtdvs:hotpath
 func (q *ReadyQueue) siftDown(i int) {
 	n := len(q.items)
 	for {
@@ -112,12 +119,16 @@ func (q *ReadyQueue) siftDown(i int) {
 
 // Push adds task ti with the given priority key. Pushing a task already
 // in the queue is an error (an invocation is released once).
+//
+//rtdvs:hotpath
 func (q *ReadyQueue) Push(ti int, key float64) error {
 	if ti < 0 {
+		//rtdvs:ignore hotalloc engine-misuse error on a cold path; steady-state pushes never take it
 		return fmt.Errorf("sched: negative task index %d", ti)
 	}
 	q.growPos(ti + 1)
 	if q.pos[ti] >= 0 {
+		//rtdvs:ignore hotalloc double-release is an engine bug; correct runs never format this error
 		return fmt.Errorf("sched: task %d already queued", ti)
 	}
 	q.pos[ti] = len(q.items)
@@ -127,6 +138,8 @@ func (q *ReadyQueue) Push(ti int, key float64) error {
 }
 
 // Peek returns the highest-priority task without removing it, or -1.
+//
+//rtdvs:hotpath
 func (q *ReadyQueue) Peek() int {
 	if len(q.items) == 0 {
 		return -1
@@ -135,6 +148,8 @@ func (q *ReadyQueue) Peek() int {
 }
 
 // PeekKey returns the highest-priority key, or +Inf when empty.
+//
+//rtdvs:hotpath
 func (q *ReadyQueue) PeekKey() float64 {
 	if len(q.items) == 0 {
 		return math.Inf(1)
@@ -143,6 +158,8 @@ func (q *ReadyQueue) PeekKey() float64 {
 }
 
 // Pop removes and returns the highest-priority task, or -1.
+//
+//rtdvs:hotpath
 func (q *ReadyQueue) Pop() int {
 	if len(q.items) == 0 {
 		return -1
@@ -153,6 +170,8 @@ func (q *ReadyQueue) Pop() int {
 }
 
 // removeAt deletes the item at heap position i.
+//
+//rtdvs:hotpath
 func (q *ReadyQueue) removeAt(i int) {
 	last := len(q.items) - 1
 	q.pos[q.items[i].task] = -1
@@ -169,6 +188,8 @@ func (q *ReadyQueue) removeAt(i int) {
 
 // Remove deletes task ti from the queue (a completion or abort). It
 // reports whether the task was present.
+//
+//rtdvs:hotpath
 func (q *ReadyQueue) Remove(ti int) bool {
 	if ti < 0 || ti >= len(q.pos) || q.pos[ti] < 0 {
 		return false
@@ -179,6 +200,8 @@ func (q *ReadyQueue) Remove(ti int) bool {
 
 // Update changes task ti's key in place (e.g. a deadline recomputation),
 // reporting whether the task was present.
+//
+//rtdvs:hotpath
 func (q *ReadyQueue) Update(ti int, key float64) bool {
 	if ti < 0 || ti >= len(q.pos) || q.pos[ti] < 0 {
 		return false
@@ -191,6 +214,8 @@ func (q *ReadyQueue) Update(ti int, key float64) bool {
 }
 
 // Contains reports whether task ti is queued.
+//
+//rtdvs:hotpath
 func (q *ReadyQueue) Contains(ti int) bool {
 	return ti >= 0 && ti < len(q.pos) && q.pos[ti] >= 0
 }

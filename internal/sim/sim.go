@@ -442,6 +442,8 @@ func (s *simulator) Ready(i int) bool     { return s.states[i].active }
 // timerAdd enqueues task i's next release. The timer heap holds every
 // task exactly once outside processReleases, so a failed push is an
 // engine bug, not a recoverable condition.
+//
+//rtdvs:hotpath
 func (s *simulator) timerAdd(i int, at float64) {
 	if err := s.timers.Push(i, at); err != nil {
 		panic(err)
@@ -451,6 +453,8 @@ func (s *simulator) timerAdd(i int, at float64) {
 // readyKey returns task i's run-queue priority under the attached
 // scheduling discipline: absolute deadline for EDF, period for RM —
 // exactly the orderings of sched.New(kind).Pick.
+//
+//rtdvs:hotpath
 func (s *simulator) readyKey(i int) float64 {
 	if s.kind == sched.RM {
 		return s.ts.Task(i).Period
@@ -461,6 +465,8 @@ func (s *simulator) readyKey(i int) float64 {
 // readyAdd enqueues a newly activated task. Activation is always paired
 // with deactivation (completion, miss, abort), so a duplicate is an
 // engine bug.
+//
+//rtdvs:hotpath
 func (s *simulator) readyAdd(i int) {
 	if err := s.ready.Push(i, s.readyKey(i)); err != nil {
 		panic(err)
@@ -468,6 +474,8 @@ func (s *simulator) readyAdd(i int) {
 }
 
 // nextReleaseTime returns the earliest pending release.
+//
+//rtdvs:hotpath
 func (s *simulator) nextReleaseTime() float64 {
 	return s.timers.PeekKey()
 }
@@ -479,6 +487,8 @@ func (s *simulator) nextReleaseTime() float64 {
 // the timer heap and replayed in ascending task-index order — the event
 // order of the original full-scan implementation — so miss records,
 // release counters, and policy callbacks are bit-identical to it.
+//
+//rtdvs:hotpath
 func (s *simulator) processReleases() {
 	if !fpx.Le(s.timers.PeekKey(), s.now) {
 		return
@@ -551,6 +561,8 @@ func (s *simulator) processReleases() {
 
 // sortIndexes insertion-sorts a (short) batch of task indexes drained
 // from the timer heap into ascending order.
+//
+//rtdvs:hotpath
 func sortIndexes(xs []int) {
 	for i := 1; i < len(xs); i++ {
 		v := xs[i]
@@ -568,6 +580,8 @@ func sortIndexes(xs []int) {
 // next (delayed) release. Only injected release delays open such a gap —
 // fault-free, deadline == next release and the miss is handled by
 // processReleases — so this is called only when faults are enabled.
+//
+//rtdvs:hotpath
 func (s *simulator) nextAbortTime() float64 {
 	t := math.Inf(1)
 	for i := range s.states {
@@ -586,6 +600,8 @@ func (s *simulator) nextAbortTime() float64 {
 // policy gets no callback for an aborted job — exactly like the
 // fault-free abort-at-release path — so its bookkeeping resets at the
 // task's next OnRelease.
+//
+//rtdvs:hotpath
 func (s *simulator) processAborts() {
 	if s.cfg.Faults == nil {
 		return
@@ -614,6 +630,8 @@ func (s *simulator) processAborts() {
 // the transition may be denied or stuck — the hardware then silently
 // stays put and the main loop retries at the next scheduling event — or
 // its stop interval inflated.
+//
+//rtdvs:hotpath
 func (s *simulator) switchTo(op machine.OperatingPoint) {
 	if op == s.hw {
 		return
@@ -646,6 +664,8 @@ func (s *simulator) switchTo(op machine.OperatingPoint) {
 // array on that index, falling back to the result map for a foreign
 // point (only reachable when a buggy policy fabricates one — the
 // invariant checker flags it, but accounting must not crash first).
+//
+//rtdvs:hotpath
 func (s *simulator) record(taskIdx int, start, end float64, op machine.OperatingPoint, opIdx int) {
 	if s.cfg.Recorder != nil {
 		s.cfg.Recorder.Add(trace.Segment{Task: taskIdx, Start: start, End: end, Point: op})
@@ -660,6 +680,8 @@ func (s *simulator) record(taskIdx int, start, end float64, op machine.Operating
 // pollCtx reports whether the run's context has ended, checking it only
 // every cancelCheckInterval calls so the interface call stays off the
 // per-event fast path. Must only be called with a non-nil s.ctx.
+//
+//rtdvs:hotpath
 func (s *simulator) pollCtx() bool {
 	if s.ctxTick--; s.ctxTick > 0 {
 		return false
@@ -674,6 +696,8 @@ func (s *simulator) pollCtx() bool {
 
 // run is the main loop: process releases due now, pick a task, execute it
 // until completion or the next release, and account energy along the way.
+//
+//rtdvs:hotpath
 func (s *simulator) run() {
 	for fpx.Lt(s.now, s.cfg.Horizon) {
 		if s.ctx != nil && s.pollCtx() {
