@@ -3,9 +3,9 @@
 
 GOBIN := $(shell go env GOPATH)/bin
 
-.PHONY: all build test lint race fuzz bench bench-raw cover
+.PHONY: all build test lint race chaos fuzz bench bench-raw cover
 
-all: build test lint race fuzz
+all: build test lint race chaos fuzz
 
 build:
 	go build ./...
@@ -31,6 +31,14 @@ lint:
 # (including the soak-smoke load test and its clean-drain assertion).
 race:
 	go test -race ./internal/experiment/... ./internal/rtos/... ./internal/serve/... ./cmd/rtdvs-serve/...
+
+# chaos soaks the distributed sweep fabric under the race detector:
+# seeded fault-injecting transports (drop / 500 / dup / truncate /
+# delay), worker-kill-mid-shard recovery, straggler hedging, all-workers
+# -ejected degradation, and the bit-identity table across chaos seeds
+# (DESIGN.md §13). Bounded wall clock via -timeout.
+chaos:
+	go test -race -timeout 5m ./internal/fabric/... ./cmd/rtdvs-sweep/...
 
 # fuzz gives the kernel op interpreter and the HTTP API's decode+
 # validate+run path a short coverage-guided budget on every run; raise

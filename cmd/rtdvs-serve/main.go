@@ -6,6 +6,7 @@
 //
 //	POST /v1/simulate   run one simulation synchronously
 //	POST /v1/sweep      submit an asynchronous utilization sweep (202 + job ID)
+//	POST /v1/shard      run a shard of a sweep's job grid synchronously (fabric worker)
 //	GET  /v1/jobs/{id}  poll a sweep job
 //	GET  /healthz       liveness
 //	GET  /readyz        readiness (503 while draining)
@@ -48,6 +49,8 @@ func main() {
 		simConc      = flag.Int("sim-concurrency", 0, "concurrent simulate requests (0 = GOMAXPROCS)")
 		simTimeout   = flag.Duration("sim-timeout", 30*time.Second, "per-simulate time limit")
 		sweepTimeout = flag.Duration("sweep-timeout", 10*time.Minute, "per-sweep time limit")
+		shardConc    = flag.Int("shard-concurrency", 0, "concurrent shard requests (0 = GOMAXPROCS)")
+		shardTimeout = flag.Duration("shard-timeout", 2*time.Minute, "per-shard time limit")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
 	)
 	var logOpts obs.LogOptions
@@ -60,11 +63,13 @@ func main() {
 	}
 	logger = logger.With("component", "rtdvs-serve")
 	if err := run(*addr, serve.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		SimConcurrency: *simConc,
-		SimTimeout:     *simTimeout,
-		SweepTimeout:   *sweepTimeout,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		SimConcurrency:   *simConc,
+		SimTimeout:       *simTimeout,
+		SweepTimeout:     *sweepTimeout,
+		ShardConcurrency: *shardConc,
+		ShardTimeout:     *shardTimeout,
 	}, runOptions{DrainTimeout: *drainTimeout, DebugAddr: *debugAddr, Logger: logger}, nil); err != nil {
 		logger.Error("server failed", "err", err)
 		os.Exit(1)
@@ -172,6 +177,10 @@ func validateFlags(cfg serve.Config, drainTimeout time.Duration) error {
 		return fmt.Errorf("-sim-timeout must be non-negative, got %v", cfg.SimTimeout)
 	case cfg.SweepTimeout < 0:
 		return fmt.Errorf("-sweep-timeout must be non-negative, got %v", cfg.SweepTimeout)
+	case cfg.ShardConcurrency < 0:
+		return fmt.Errorf("-shard-concurrency must be non-negative, got %d", cfg.ShardConcurrency)
+	case cfg.ShardTimeout < 0:
+		return fmt.Errorf("-shard-timeout must be non-negative, got %v", cfg.ShardTimeout)
 	case drainTimeout <= 0:
 		return fmt.Errorf("-drain-timeout must be positive, got %v", drainTimeout)
 	}

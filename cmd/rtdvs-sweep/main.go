@@ -1,0 +1,148 @@
+// Command rtdvs-sweep runs a utilization sweep across a fleet of
+// rtdvs-serve workers via the distributed sweep fabric, or locally when
+// no workers are given. The folded result is bit-identical either way:
+// per-job seeds are pure functions of the configuration, so worker
+// count, shard size, retries, and hedging cannot change a single bit.
+//
+//	rtdvs-sweep -ntasks 10 -sets 20 -seed 1 -o sweep.json
+//	rtdvs-sweep -ntasks 10 -workers http://h1:8344,http://h2:8344 -o sweep.json
+//
+// With -metrics-out the coordinator's shard/retry/hedge/eject counters
+// are written in Prometheus text form after the run (CI archives them
+// as the chaos-soak artifact).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"rtdvs/internal/fabric"
+	"rtdvs/internal/obs"
+	"rtdvs/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "rtdvs-sweep: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("rtdvs-sweep", flag.ContinueOnError)
+	var (
+		workers      = fs.String("workers", "", "comma-separated worker base URLs (empty = run locally)")
+		policies     = fs.String("policies", "", "comma-separated policy names (empty = all registered)")
+		ntasks       = fs.Int("ntasks", 0, "tasks per generated set (required)")
+		machine      = fs.String("machine", "", "predefined machine spec name (default machine0)")
+		exec         = fs.String("exec", "", `execution model: "wcet", "uniform", or "c=<frac>"`)
+		sets         = fs.Int("sets", 20, "random task sets per utilization point")
+		seed         = fs.Int64("seed", 1, "sweep base seed (drives task generation)")
+		horizon      = fs.Float64("horizon", 0, "simulated ms per run (0 = 10x the longest period)")
+		utils        = fs.String("utilizations", "", "comma-separated utilization points (empty = 0.05..1.00)")
+		shardSize    = fs.Int("shard-size", 4, "grid jobs per shard")
+		shardTimeout = fs.Duration("shard-timeout", 2*time.Minute, "per-dispatch time limit")
+		maxAttempts  = fs.Int("max-attempts", 3, "remote dispatch attempts per shard before local fallback")
+		hedgeAfter   = fs.Duration("hedge-after", 30*time.Second, "duplicate an in-flight shard after this long")
+		ejectAfter   = fs.Int("eject-after", 3, "consecutive failures before a worker is ejected")
+		probeEvery   = fs.Duration("probe-interval", 2*time.Second, "health-probe pacing for ejected workers")
+		timeout      = fs.Duration("timeout", 0, "abort the whole sweep after this long (0 = no limit)")
+		out          = fs.String("o", "", "write the sweep as JSON to this file (default stdout)")
+		metricsOut   = fs.String("metrics-out", "", "write coordinator metrics (Prometheus text) to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *ntasks <= 0 {
+		return fmt.Errorf("-ntasks must be positive, got %d", *ntasks)
+	}
+
+	req := serve.SweepRequest{
+		Policies: splitList(*policies),
+		NTasks:   *ntasks,
+		Machine:  *machine,
+		Exec:     *exec,
+		Sets:     *sets,
+		Seed:     *seed,
+		Horizon:  *horizon,
+	}
+	for _, f := range splitList(*utils) {
+		var u float64
+		if _, err := fmt.Sscanf(f, "%g", &u); err != nil {
+			return fmt.Errorf("bad -utilizations entry %q: %w", f, err)
+		}
+		req.Utilizations = append(req.Utilizations, u)
+	}
+
+	reg := obs.NewRegistry()
+	cfg := fabric.Config{
+		Sweep:         req,
+		Workers:       splitList(*workers),
+		ShardSize:     *shardSize,
+		ShardTimeout:  *shardTimeout,
+		MaxAttempts:   *maxAttempts,
+		HedgeAfter:    *hedgeAfter,
+		EjectAfter:    *ejectAfter,
+		ProbeInterval: *probeEvery,
+		Seed:          *seed,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "rtdvs-sweep: "+format+"\n", args...)
+		},
+		Registry: reg,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	sw, err := fabric.Run(ctx, cfg)
+	if err != nil {
+		return err
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := sw.WriteJSON(w); err != nil {
+		return err
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := reg.WriteText(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// splitList parses a comma-separated flag into its non-empty elements.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

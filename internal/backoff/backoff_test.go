@@ -1,0 +1,154 @@
+package backoff
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestExpSchedule(t *testing.T) {
+	cases := []struct {
+		base, max float64
+		n         int
+		want      float64
+	}{
+		{50, 2000, 1, 50},
+		{50, 2000, 2, 100},
+		{50, 2000, 3, 200},
+		{50, 2000, 6, 1600},
+		{50, 2000, 7, 2000}, // capped
+		{50, 2000, 100, 2000},
+		{50, 2000, 0, 50}, // attempts below 1 behave as 1
+		{50, 2000, -3, 50},
+		{3000, 2000, 1, 2000}, // base above max is clamped
+	}
+	for _, tc := range cases {
+		if got := Exp(tc.base, tc.max, tc.n); got != tc.want {
+			t.Errorf("Exp(%g, %g, %d) = %g, want %g", tc.base, tc.max, tc.n, got, tc.want)
+		}
+	}
+}
+
+// Seq must reproduce the kernel's historical doubling behavior exactly:
+// first failure waits base, each consecutive failure doubles, capped at
+// max, and a success resets the episode.
+func TestSeqMatchesKernelSchedule(t *testing.T) {
+	const base, max = 0.05, 2.0
+	var s Seq
+	if s.Active() {
+		t.Fatal("zero Seq reports active")
+	}
+	want := []float64{0.05, 0.1, 0.2, 0.4, 0.8, 1.6, 2.0, 2.0}
+	for i, w := range want {
+		if got := s.Next(base, max); got != w {
+			t.Fatalf("failure %d: delay %g, want %g", i+1, got, w)
+		}
+		if !s.Active() {
+			t.Fatalf("failure %d: Seq not active mid-episode", i+1)
+		}
+	}
+	s.Reset()
+	if s.Active() {
+		t.Fatal("Seq active after Reset")
+	}
+	if got := s.Next(base, max); got != base {
+		t.Fatalf("first delay after Reset = %g, want %g", got, base)
+	}
+}
+
+// Seq never allocates: it sits inside the kernel, one arithmetic step
+// per refused switch.
+func TestSeqAllocs(t *testing.T) {
+	var s Seq
+	allocs := testing.AllocsPerRun(100, func() {
+		s.Next(0.05, 2.0)
+		s.Reset()
+	})
+	if allocs != 0 {
+		t.Errorf("Seq.Next/Reset allocate %v per run, want 0", allocs)
+	}
+}
+
+// The same seed must yield the same jittered delay sequence — that is
+// the whole point of threading seeds through retry clients under test.
+func TestBackoffDeterministicUnderSeed(t *testing.T) {
+	a, b := New(42), New(42)
+	for n := 1; n <= 8; n++ {
+		da, db := a.Delay(n, 0), b.Delay(n, 0)
+		if da != db {
+			t.Fatalf("attempt %d: seeds diverge (%v vs %v)", n, da, db)
+		}
+	}
+	c := New(43)
+	diverged := false
+	for n := 1; n <= 8; n++ {
+		if a.Delay(n, 0) != c.Delay(n, 0) {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Error("different seeds produced identical 8-delay sequences")
+	}
+}
+
+// Jittered delays stay inside [1−Jitter, 1.0)·Exp, and the floor raises
+// the pre-jitter delay.
+func TestBackoffBoundsAndFloor(t *testing.T) {
+	b := New(7)
+	b.Base = 10 * time.Millisecond
+	b.Max = 80 * time.Millisecond
+	for n := 1; n <= 10; n++ {
+		raw := time.Duration(Exp(float64(b.Base), float64(b.Max), n))
+		d := b.Delay(n, 0)
+		if d < raw/2 || d >= raw {
+			t.Errorf("attempt %d: delay %v outside [%v, %v)", n, d, raw/2, raw)
+		}
+	}
+	// A floor above the exponential delay becomes the pre-jitter base.
+	floor := 500 * time.Millisecond
+	d := b.Delay(1, floor)
+	if d < floor/2 || d >= floor {
+		t.Errorf("floored delay %v outside [%v, %v)", d, floor/2, floor)
+	}
+}
+
+// NoJitter makes delays exactly the exponential schedule.
+func TestBackoffNoJitter(t *testing.T) {
+	b := &Backoff{Base: 10 * time.Millisecond, Max: 40 * time.Millisecond, NoJitter: true}
+	want := []time.Duration{10, 20, 40, 40}
+	for i, w := range want {
+		if got := b.Delay(i+1, 0); got != w*time.Millisecond {
+			t.Errorf("attempt %d: %v, want %v", i+1, got, w*time.Millisecond)
+		}
+	}
+}
+
+// The zero-value Backoff is usable: defaults apply and the lazily
+// seeded rng does not panic.
+func TestBackoffZeroValue(t *testing.T) {
+	var b Backoff
+	d := b.Delay(1, 0)
+	if d < DefaultBase/2 || d >= DefaultBase {
+		t.Errorf("zero-value first delay %v outside [%v, %v)", d, DefaultBase/2, DefaultBase)
+	}
+}
+
+// Sleep returns promptly with the context's error when cancelled.
+func TestBackoffSleepCancel(t *testing.T) {
+	b := New(1)
+	b.Base = 10 * time.Second // would sleep far longer than the test budget
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if err := b.Sleep(ctx, 1, 0); err != context.Canceled {
+		t.Fatalf("Sleep = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("cancelled Sleep took %v", elapsed)
+	}
+	// And completes normally when the delay elapses first.
+	b2 := &Backoff{Base: time.Millisecond, Max: time.Millisecond, NoJitter: true}
+	if err := b2.Sleep(context.Background(), 1, 0); err != nil {
+		t.Fatalf("Sleep = %v, want nil", err)
+	}
+}

@@ -19,8 +19,10 @@ package checkpoint
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"hash/crc32"
+	"hash/fnv"
 	"io"
 	"os"
 	"path/filepath"
@@ -157,6 +159,28 @@ func syncDir(path string) error {
 		return fmt.Errorf("checkpoint: fsyncing parent directory: %w", err)
 	}
 	return nil
+}
+
+// Fingerprint returns a stable content hash of a configuration header:
+// the value is canonicalized through encoding/json (struct fields in
+// declaration order, floats in shortest round-trip form) and hashed
+// with FNV-64a, rendered as 16 lowercase hex digits.
+//
+// It is the single definition of "same configuration" shared by the
+// sweep journal header (internal/experiment refuses to resume a journal
+// whose header fingerprint differs) and the distributed-sweep result
+// cache (internal/serve keys shard results by the fingerprint of the
+// sweep header plus the shard's job list). v must not contain maps with
+// more than one key unless their order is canonical — encoding/json
+// sorts map keys, so plain maps are safe too.
+func Fingerprint(v any) (string, error) {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return "", fmt.Errorf("checkpoint: fingerprinting %T: %w", v, err)
+	}
+	h := fnv.New64a()
+	h.Write(payload)
+	return fmt.Sprintf("%016x", h.Sum64()), nil
 }
 
 // Path returns the journal's file path.

@@ -2,6 +2,8 @@ package checkpoint
 
 import (
 	"bytes"
+	"fmt"
+	"hash/fnv"
 	"os"
 	"path/filepath"
 	"testing"
@@ -218,5 +220,82 @@ func TestTornFirstRecord(t *testing.T) {
 		l2.Close()
 		_, recs2 := mustOpen(t, torn)
 		wantRecords(t, recs2, a)
+	}
+}
+
+// Fingerprint is the shared "same configuration" definition for journal
+// headers and the distributed-sweep result cache, so its stability
+// properties matter: equal values hash equal, any field change hashes
+// different, and the encoding is pinned so a hash computed by one
+// process matches one computed by another.
+func TestFingerprint(t *testing.T) {
+	type header struct {
+		Kind         string    `json:"kind"`
+		Seed         int64     `json:"seed"`
+		Horizon      float64   `json:"horizon"`
+		Utilizations []float64 `json:"utilizations"`
+		Policies     []string  `json:"policies"`
+	}
+	base := header{Kind: "harness", Seed: 7, Horizon: 150.5,
+		Utilizations: []float64{0.25, 0.5}, Policies: []string{"none", "ccEDF"}}
+
+	fp1, err := Fingerprint(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fp1) != 16 {
+		t.Fatalf("fingerprint %q is not 16 hex digits", fp1)
+	}
+	for _, r := range fp1 {
+		if !(r >= '0' && r <= '9' || r >= 'a' && r <= 'f') {
+			t.Fatalf("fingerprint %q contains non-hex rune %q", fp1, r)
+		}
+	}
+	fp2, err := Fingerprint(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp1 != fp2 {
+		t.Errorf("identical headers hash differently: %s vs %s", fp1, fp2)
+	}
+
+	// Every single-field perturbation must change the hash.
+	perturbed := []header{
+		{Kind: "robustness", Seed: 7, Horizon: 150.5, Utilizations: []float64{0.25, 0.5}, Policies: []string{"none", "ccEDF"}},
+		{Kind: "harness", Seed: 8, Horizon: 150.5, Utilizations: []float64{0.25, 0.5}, Policies: []string{"none", "ccEDF"}},
+		{Kind: "harness", Seed: 7, Horizon: 150.5000001, Utilizations: []float64{0.25, 0.5}, Policies: []string{"none", "ccEDF"}},
+		{Kind: "harness", Seed: 7, Horizon: 150.5, Utilizations: []float64{0.5, 0.25}, Policies: []string{"none", "ccEDF"}},
+		{Kind: "harness", Seed: 7, Horizon: 150.5, Utilizations: []float64{0.25, 0.5}, Policies: []string{"ccEDF", "none"}},
+	}
+	for i, p := range perturbed {
+		fp, err := Fingerprint(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fp == fp1 {
+			t.Errorf("perturbation %d did not change the fingerprint", i)
+		}
+	}
+
+	// Pin the encoding itself: the hash is FNV-64a over the value's
+	// encoding/json form. If either half of that definition drifts,
+	// every cache and journal in the field silently invalidates, so the
+	// test recomputes the hash from the literal JSON bytes.
+	pin, err := Fingerprint(header{Kind: "pin"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := fnv.New64a()
+	h.Write([]byte(`{"kind":"pin","seed":0,"horizon":0,"utilizations":null,"policies":null}`))
+	if want := fmt.Sprintf("%016x", h.Sum64()); pin != want {
+		t.Fatalf("pinned fingerprint = %s, want %s (encoding drifted)", pin, want)
+	}
+}
+
+// Values JSON cannot encode (channels, cycles) surface as errors, not
+// panics.
+func TestFingerprintUnencodable(t *testing.T) {
+	if _, err := Fingerprint(make(chan int)); err == nil {
+		t.Fatal("Fingerprint(chan) succeeded, want error")
 	}
 }

@@ -3,29 +3,16 @@ package experiment
 import (
 	"encoding/json"
 	"fmt"
-	"math/rand"
-	"reflect"
 	"sync"
 
 	"rtdvs/internal/checkpoint"
 )
 
-// harnessHeader is the journal's first record: a fingerprint of every
+// The journal's first record is the SweepHeader (see shard.go): every
 // parameter that determines a sweep's per-job results. Resume refuses a
-// journal whose fingerprint differs — silently mixing results from a
-// differently-parameterized sweep would corrupt the fold while looking
-// like a successful resume.
-type harnessHeader struct {
-	Kind         string    `json:"kind"`
-	Machine      string    `json:"machine"`
-	NTasks       int       `json:"nTasks"`
-	Sets         int       `json:"sets"`
-	Seed         int64     `json:"seed"`
-	Horizon      float64   `json:"horizon"`
-	Utilizations []float64 `json:"utilizations"`
-	Policies     []string  `json:"policies"`
-	ExecDesc     string    `json:"execDesc"`
-}
+// journal whose header fingerprint differs — silently mixing results
+// from a differently-parameterized sweep would corrupt the fold while
+// looking like a successful resume.
 
 // harnessRecord journals one completed (utilization, set) job: the
 // total energy and miss count of every policy, plus the theoretical
@@ -47,25 +34,11 @@ type harnessJournal struct {
 	log *checkpoint.Log
 }
 
-func harnessFingerprint(cfg Config, policies []string) harnessHeader {
-	return harnessHeader{
-		Kind:         "harness",
-		Machine:      cfg.Machine.String(), // full spec, not just the name
-		NTasks:       cfg.NTasks,
-		Sets:         cfg.Sets,
-		Seed:         cfg.Seed,
-		Horizon:      cfg.Horizon,
-		Utilizations: cfg.Utilizations,
-		Policies:     policies,
-		ExecDesc:     cfg.Exec(rand.New(rand.NewSource(1))).String(),
-	}
-}
-
 // openHarnessJournal opens cfg.Checkpoint — resuming the existing
 // journal when cfg.Resume is set, starting fresh otherwise — verifies
-// the fingerprint, and replays completed job records into outs.
+// the header fingerprint, and replays completed job records into outs.
 func openHarnessJournal(cfg Config, policies []string, outs []harnessOut) (*harnessJournal, error) {
-	want := harnessFingerprint(cfg, policies)
+	want := sweepHeader(cfg, policies)
 	if !cfg.Resume {
 		log, err := checkpoint.Create(cfg.Checkpoint)
 		if err != nil {
@@ -93,12 +66,24 @@ func openHarnessJournal(cfg Config, policies []string, outs []harnessOut) (*harn
 		}
 		return j, nil
 	}
-	var got harnessHeader
+	var got SweepHeader
 	if err := json.Unmarshal(records[0], &got); err != nil {
 		log.Close()
 		return nil, fmt.Errorf("experiment: checkpoint %s: bad header: %w", cfg.Checkpoint, err)
 	}
-	if !reflect.DeepEqual(got, want) {
+	// Compare by fingerprint — the same definition of "same
+	// configuration" the distributed-sweep result cache keys on.
+	gotFP, err := checkpoint.Fingerprint(got)
+	if err != nil {
+		log.Close()
+		return nil, err
+	}
+	wantFP, err := checkpoint.Fingerprint(want)
+	if err != nil {
+		log.Close()
+		return nil, err
+	}
+	if gotFP != wantFP {
 		log.Close()
 		return nil, fmt.Errorf("experiment: checkpoint %s was written by a differently-parameterized sweep; "+
 			"use a fresh checkpoint file (journal %+v, sweep %+v)", cfg.Checkpoint, got, want)

@@ -131,17 +131,17 @@ func Run(cfg Config) (*Sweep, error) {
 	return RunContext(context.Background(), cfg)
 }
 
-// RunContext executes the sweep under ctx. Cancellation drains the
-// worker pool promptly (each in-flight simulation stops at its next
-// cooperative check), leaks no goroutines, and returns a *PartialError;
-// with checkpointing enabled the completed jobs are already journaled,
-// so a later Resume run picks up where the cancelled one stopped.
-func RunContext(ctx context.Context, cfg Config) (*Sweep, error) {
+// normalize applies Config defaults and validates the fields every
+// entry point (RunContext, RunJobs, FoldJobs, Header) depends on, so
+// the grid geometry and per-job seeding are identical no matter which
+// entry point — local pool, checkpoint replay, or remote shard —
+// executes a job.
+func normalize(cfg Config) (Config, error) {
 	if cfg.Policies == nil {
 		cfg.Policies = core.Names()
 	}
 	if cfg.NTasks <= 0 {
-		return nil, fmt.Errorf("experiment: NTasks must be positive, got %d", cfg.NTasks)
+		return cfg, fmt.Errorf("experiment: NTasks must be positive, got %d", cfg.NTasks)
 	}
 	if cfg.Machine == nil {
 		cfg.Machine = machine.Machine0()
@@ -155,39 +155,103 @@ func RunContext(ctx context.Context, cfg Config) (*Sweep, error) {
 	if cfg.Sets <= 0 {
 		cfg.Sets = 20
 	}
+	return cfg, nil
+}
+
+// jobRunner bundles the reusable per-worker simulation state: one
+// simulator and one instance of each policy, reset via Runner reuse and
+// Policy.Attach between runs, so a sweep of hundreds of simulations
+// allocates per worker (or per shard), not per run.
+type jobRunner struct {
+	runner *sim.Runner
+	pcache map[string]core.Policy
+}
+
+func newJobRunner() *jobRunner {
+	return &jobRunner{runner: sim.NewRunner(), pcache: map[string]core.Policy{}}
+}
+
+// runOne executes flat job j (= ui*Sets+si) of cfg's grid into out.
+// cfg must be normalized and policies must include the baseline. The
+// computation — per-job seeding included — is a pure function of
+// (cfg, j), which is what makes local, checkpoint-replayed, and
+// remotely-sharded executions of the same job bit-identical.
+func (jr *jobRunner) runOne(ctx context.Context, cfg Config, policies []string, baseIdx, j int, out *harnessOut) error {
+	ui, si := j/cfg.Sets, j%cfg.Sets
+	u := cfg.Utilizations[ui]
+	seed := cfg.Seed + int64(ui)*1_000_003 + int64(si)*7919
+	r := rand.New(rand.NewSource(seed))
+	g := task.Generator{N: cfg.NTasks, Utilization: u, Rand: r}
+	ts, err := g.Generate()
+	if err != nil {
+		return err
+	}
+	horizon := cfg.Horizon
+	if horizon <= 0 {
+		horizon = 10 * ts.MaxPeriod()
+	}
+
+	var baseCycles float64
+	for pi, pname := range policies {
+		p := jr.pcache[pname]
+		if p == nil {
+			p, err = core.ByName(pname)
+			if err != nil {
+				return err
+			}
+			jr.pcache[pname] = p
+		}
+		// Each policy sees the same per-set randomness for its
+		// execution-time draws.
+		execR := rand.New(rand.NewSource(seed ^ 0x5DEECE66D))
+		res, err := jr.runner.RunContext(ctx, sim.Config{
+			Tasks:   ts,
+			Machine: cfg.Machine,
+			Policy:  p,
+			Exec:    cfg.Exec(execR),
+			Horizon: horizon,
+		})
+		if err != nil {
+			return err
+		}
+		// The result aliases the runner's buffers; pull out the
+		// scalars before the next run clobbers it.
+		cfg.Metrics.simRun(res.MissCount())
+		out.energy[pi] = res.TotalEnergy
+		out.misses[pi] = res.MissCount()
+		if pi == baseIdx {
+			baseCycles = res.CyclesDone
+		}
+	}
+	bnd, err := bound.Energy(cfg.Machine, baseCycles, horizon)
+	if err != nil {
+		return err
+	}
+	out.bnd = bnd
+	out.ok = true
+	return nil
+}
+
+// RunContext executes the sweep under ctx. Cancellation drains the
+// worker pool promptly (each in-flight simulation stops at its next
+// cooperative check), leaks no goroutines, and returns a *PartialError;
+// with checkpointing enabled the completed jobs are already journaled,
+// so a later Resume run picks up where the cancelled one stopped.
+func RunContext(ctx context.Context, cfg Config) (*Sweep, error) {
+	cfg, err := normalize(cfg)
+	if err != nil {
+		return nil, err
+	}
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
 	policies := ensureBaseline(cfg.Policies)
-	nu := len(cfg.Utilizations)
 	np := len(policies)
 	baseIdx := policyIndex(policies, "none")
 
-	type cell struct {
-		energy map[string]*stats.Accumulator
-		norm   map[string]*stats.Accumulator
-		bnd    *stats.Accumulator
-		bndN   *stats.Accumulator
-		misses map[string]int
-	}
-	cells := make([]cell, nu)
-	for i := range cells {
-		cells[i] = cell{
-			energy: map[string]*stats.Accumulator{},
-			norm:   map[string]*stats.Accumulator{},
-			bnd:    &stats.Accumulator{},
-			bndN:   &stats.Accumulator{},
-			misses: map[string]int{},
-		}
-		for _, p := range policies {
-			cells[i].energy[p] = &stats.Accumulator{}
-			cells[i].norm[p] = &stats.Accumulator{}
-		}
-	}
-
-	outs := make([]harnessOut, nu*cfg.Sets)
+	outs := make([]harnessOut, len(cfg.Utilizations)*cfg.Sets)
 	for i := range outs {
 		outs[i] = harnessOut{energy: make([]float64, np), misses: make([]int, np)}
 	}
@@ -229,84 +293,21 @@ func RunContext(ctx context.Context, cfg Config) (*Sweep, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			// One simulator and one instance of each policy per worker,
-			// reset via Runner reuse and Policy.Attach between runs, so a
-			// sweep of hundreds of simulations allocates per worker, not
-			// per run.
-			runner := sim.NewRunner()
-			pcache := map[string]core.Policy{}
+			jr := newJobRunner()
 			for j := range jobs {
 				if ctx.Err() != nil {
 					continue // drain the channel without doing work
 				}
-				ui, si := j/cfg.Sets, j%cfg.Sets
-				u := cfg.Utilizations[ui]
-				seed := cfg.Seed + int64(ui)*1_000_003 + int64(si)*7919
-				r := rand.New(rand.NewSource(seed))
-				g := task.Generator{N: cfg.NTasks, Utilization: u, Rand: r}
-				ts, err := g.Generate()
-				if err != nil {
-					fail(err)
-					continue
-				}
-				horizon := cfg.Horizon
-				if horizon <= 0 {
-					horizon = 10 * ts.MaxPeriod()
-				}
-
 				out := &outs[j]
-				var baseCycles float64
-				ok := true
-				for pi, pname := range policies {
-					p := pcache[pname]
-					if p == nil {
-						p, err = core.ByName(pname)
-						if err != nil {
-							fail(err)
-							ok = false
-							break
-						}
-						pcache[pname] = p
+				if err := jr.runOne(ctx, cfg, policies, baseIdx, j, out); err != nil {
+					if !skippable(err) {
+						fail(err)
 					}
-					// Each policy sees the same per-set randomness for
-					// its execution-time draws.
-					execR := rand.New(rand.NewSource(seed ^ 0x5DEECE66D))
-					res, err := runner.RunContext(ctx, sim.Config{
-						Tasks:   ts,
-						Machine: cfg.Machine,
-						Policy:  p,
-						Exec:    cfg.Exec(execR),
-						Horizon: horizon,
-					})
-					if err != nil {
-						if !skippable(err) {
-							fail(err)
-						}
-						ok = false
-						break
-					}
-					// The result aliases the runner's buffers; pull out the
-					// scalars before the next run clobbers it.
-					cfg.Metrics.simRun(res.MissCount())
-					out.energy[pi] = res.TotalEnergy
-					out.misses[pi] = res.MissCount()
-					if pi == baseIdx {
-						baseCycles = res.CyclesDone
-					}
-				}
-				if !ok {
 					continue
 				}
-				bnd, err := bound.Energy(cfg.Machine, baseCycles, horizon)
-				if err != nil {
-					fail(err)
-					continue
-				}
-				out.bnd = bnd
-				out.ok = true
 				cfg.Metrics.jobDone()
 				if journal != nil {
-					if err := journal.record(ui, si, out); err != nil {
+					if err := journal.record(j/cfg.Sets, j%cfg.Sets, out); err != nil {
 						fail(err)
 					}
 				}
@@ -327,6 +328,39 @@ func RunContext(ctx context.Context, cfg Config) (*Sweep, error) {
 			}
 		}
 		return nil, &PartialError{Done: done, Total: len(outs), Cause: err}
+	}
+
+	return fold(cfg, policies, baseIdx, outs), nil
+}
+
+// fold adds the completed job slots in (utilization, set, policy)
+// order — exactly what one worker draining the job channel produces —
+// so the streaming means are bit-identical for any worker count, when
+// slots are replayed from a checkpoint journal, and when they were
+// computed by remote shard workers (internal/fabric). cfg must be
+// normalized.
+func fold(cfg Config, policies []string, baseIdx int, outs []harnessOut) *Sweep {
+	nu := len(cfg.Utilizations)
+	type cell struct {
+		energy map[string]*stats.Accumulator
+		norm   map[string]*stats.Accumulator
+		bnd    *stats.Accumulator
+		bndN   *stats.Accumulator
+		misses map[string]int
+	}
+	cells := make([]cell, nu)
+	for i := range cells {
+		cells[i] = cell{
+			energy: map[string]*stats.Accumulator{},
+			norm:   map[string]*stats.Accumulator{},
+			bnd:    &stats.Accumulator{},
+			bndN:   &stats.Accumulator{},
+			misses: map[string]int{},
+		}
+		for _, p := range policies {
+			cells[i].energy[p] = &stats.Accumulator{}
+			cells[i].norm[p] = &stats.Accumulator{}
+		}
 	}
 
 	for ui := 0; ui < nu; ui++ {
@@ -377,7 +411,7 @@ func RunContext(ctx context.Context, cfg Config) (*Sweep, error) {
 		sw.Bound[i] = cells[i].bnd.Mean()
 		sw.BoundNorm[i] = cells[i].bndN.Mean()
 	}
-	return sw, nil
+	return sw
 }
 
 // ensureBaseline returns the policy list with "none" included.

@@ -1,0 +1,159 @@
+// Package chaostest provides a seeded fault-injecting http.RoundTripper
+// for exercising the distributed sweep fabric: per request it may drop
+// the connection, delay the response, duplicate the request, truncate
+// the response body, or replace the response with a synthetic 500 —
+// each with configurable probability, all driven by a splitmix64 stream
+// so a chaos run is exactly reproducible from its seed.
+package chaostest
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Transport wraps an inner RoundTripper with seeded faults. Configure
+// the probability fields (each in [0, 1]) before first use; they are
+// read per request in the fixed order Drop, Err500, Dup, Truncate,
+// Delay, so a given seed always yields the same fault schedule.
+type Transport struct {
+	// Inner performs real requests (default http.DefaultTransport).
+	Inner http.RoundTripper
+
+	// DropProb aborts the request with a connection-level error before
+	// it is sent — the coordinator cannot tell a dropped request from a
+	// dead worker.
+	DropProb float64
+	// Err500Prob replaces the response with a synthetic 500 without
+	// contacting the worker.
+	Err500Prob float64
+	// DupProb sends the request twice, sequentially, and returns the
+	// second response — the first execution still happened on the
+	// worker, exercising its result cache and the fold's dedup.
+	DupProb float64
+	// TruncateProb cuts the response body in half, corrupting the JSON
+	// so the client's decode fails like a torn connection would.
+	TruncateProb float64
+	// DelayProb sleeps up to MaxDelay before forwarding.
+	DelayProb float64
+	// MaxDelay bounds injected delays (default 20ms).
+	MaxDelay time.Duration
+
+	mu    sync.Mutex
+	seed  uint64
+	state uint64
+	init  bool
+}
+
+// New builds a Transport with the given fault seed; the zero
+// probability fields make it a transparent proxy until configured.
+func New(seed uint64, inner http.RoundTripper) *Transport {
+	return &Transport{Inner: inner, seed: seed}
+}
+
+// next draws the next splitmix64 value. The generator is the same
+// construction internal/fault uses for per-entity hash streams: strong
+// enough mixing for independent-looking draws, trivially seedable, and
+// allocation-free.
+func (t *Transport) next() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.init {
+		t.state = t.seed
+		t.init = true
+	}
+	t.state += 0x9E3779B97F4A7C15
+	z := t.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// u01 maps a draw onto [0, 1) with 53-bit resolution.
+func (t *Transport) u01() float64 {
+	return float64(t.next()>>11) / (1 << 53)
+}
+
+// RoundTrip applies the fault schedule to one request.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	inner := t.Inner
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+
+	// Snapshot the body so the request can be replayed (duplication) —
+	// shard requests are small JSON payloads.
+	var body []byte
+	if req.Body != nil {
+		var err error
+		body, err = io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	fresh := func() *http.Request {
+		r := req.Clone(req.Context())
+		if body != nil {
+			r.Body = io.NopCloser(bytes.NewReader(body))
+			r.ContentLength = int64(len(body))
+		}
+		return r
+	}
+
+	if t.u01() < t.DropProb {
+		return nil, fmt.Errorf("chaostest: injected connection drop for %s %s", req.Method, req.URL.Path)
+	}
+	if t.u01() < t.Err500Prob {
+		return &http.Response{
+			Status:     "500 Internal Server Error",
+			StatusCode: http.StatusInternalServerError,
+			Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header:  http.Header{"Content-Type": []string{"application/json"}},
+			Body:    io.NopCloser(strings.NewReader(`{"error":"chaostest: injected 500"}`)),
+			Request: req,
+		}, nil
+	}
+	dup := t.u01() < t.DupProb
+	truncate := t.u01() < t.TruncateProb
+	if t.u01() < t.DelayProb {
+		max := t.MaxDelay
+		if max <= 0 {
+			max = 20 * time.Millisecond
+		}
+		delay := time.Duration(t.u01() * float64(max))
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(delay):
+		}
+	}
+
+	if dup {
+		// First execution: real, but its response is thrown away — as if
+		// the reply was lost and the caller retried.
+		if resp, err := inner.RoundTrip(fresh()); err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+	resp, err := inner.RoundTrip(fresh())
+	if err != nil {
+		return nil, err
+	}
+	if truncate {
+		full, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		cut := len(full) / 2
+		resp.Body = io.NopCloser(bytes.NewReader(full[:cut]))
+		resp.ContentLength = int64(cut)
+	}
+	return resp, nil
+}

@@ -1,0 +1,180 @@
+package chaostest
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// echoServer answers every POST with its request body, so tests can
+// see duplication and truncation end to end.
+func echoServer(t *testing.T) (*httptest.Server, *int) {
+	t.Helper()
+	hits := new(int)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		*hits++
+		body, _ := io.ReadAll(r.Body)
+		w.Write(body)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, hits
+}
+
+func post(t *testing.T, client *http.Client, url, body string) (*http.Response, error) {
+	t.Helper()
+	return client.Post(url, "application/json", strings.NewReader(body))
+}
+
+func TestTransparentByDefault(t *testing.T) {
+	ts, hits := echoServer(t)
+	client := &http.Client{Transport: New(1, nil)}
+	resp, err := post(t, client, ts.URL, `{"x":1}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got, _ := io.ReadAll(resp.Body)
+	if string(got) != `{"x":1}` {
+		t.Fatalf("echo = %q", got)
+	}
+	if *hits != 1 {
+		t.Fatalf("server hit %d times, want 1", *hits)
+	}
+}
+
+func TestDropInjection(t *testing.T) {
+	ts, hits := echoServer(t)
+	tr := New(1, nil)
+	tr.DropProb = 1
+	client := &http.Client{Transport: tr}
+	if _, err := post(t, client, ts.URL, `{}`); err == nil {
+		t.Fatal("dropped request succeeded")
+	}
+	if *hits != 0 {
+		t.Fatalf("dropped request reached the server %d times", *hits)
+	}
+}
+
+func TestErr500Injection(t *testing.T) {
+	ts, hits := echoServer(t)
+	tr := New(1, nil)
+	tr.Err500Prob = 1
+	client := &http.Client{Transport: tr}
+	resp, err := post(t, client, ts.URL, `{}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", resp.StatusCode)
+	}
+	if *hits != 0 {
+		t.Fatalf("synthetic 500 reached the server %d times", *hits)
+	}
+}
+
+func TestDupInjection(t *testing.T) {
+	ts, hits := echoServer(t)
+	tr := New(1, nil)
+	tr.DupProb = 1
+	client := &http.Client{Transport: tr}
+	resp, err := post(t, client, ts.URL, `{"payload":"abc"}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got, _ := io.ReadAll(resp.Body)
+	if string(got) != `{"payload":"abc"}` {
+		t.Fatalf("echo after dup = %q (body not replayed)", got)
+	}
+	if *hits != 2 {
+		t.Fatalf("server hit %d times, want 2", *hits)
+	}
+}
+
+func TestTruncateInjection(t *testing.T) {
+	ts, _ := echoServer(t)
+	tr := New(1, nil)
+	tr.TruncateProb = 1
+	client := &http.Client{Transport: tr}
+	resp, err := post(t, client, ts.URL, `{"k":"0123456789"}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got, _ := io.ReadAll(resp.Body)
+	if len(got) != len(`{"k":"0123456789"}`)/2 {
+		t.Fatalf("truncated body has %d bytes, want half of %d", len(got), len(`{"k":"0123456789"}`))
+	}
+}
+
+func TestDelayInjection(t *testing.T) {
+	ts, _ := echoServer(t)
+	tr := New(1, nil)
+	tr.DelayProb = 1
+	tr.MaxDelay = 5 * time.Millisecond
+	client := &http.Client{Transport: tr}
+	resp, err := post(t, client, ts.URL, `{}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+}
+
+// The fault schedule is a pure function of the seed: two transports
+// with the same seed make identical decisions, a different seed
+// diverges.
+func TestSeededDeterminism(t *testing.T) {
+	ts, _ := echoServer(t)
+	schedule := func(seed uint64) string {
+		tr := New(seed, nil)
+		tr.DropProb, tr.Err500Prob = 0.3, 0.3
+		client := &http.Client{Transport: tr}
+		var sb strings.Builder
+		for i := 0; i < 40; i++ {
+			resp, err := post(t, client, ts.URL, `{}`)
+			switch {
+			case err != nil:
+				sb.WriteByte('d') // dropped
+			case resp.StatusCode == http.StatusInternalServerError:
+				sb.WriteByte('5')
+				resp.Body.Close()
+			default:
+				sb.WriteByte('.')
+				resp.Body.Close()
+			}
+		}
+		return sb.String()
+	}
+	a, b := schedule(42), schedule(42)
+	if a != b {
+		t.Fatalf("same seed, different schedules:\n%s\n%s", a, b)
+	}
+	if c := schedule(43); c == a {
+		t.Fatalf("different seeds produced the identical schedule %s", a)
+	}
+	if !strings.ContainsAny(a, "d5") || !strings.Contains(a, ".") {
+		t.Fatalf("schedule %s lacks fault diversity", a)
+	}
+}
+
+// Drawing from many goroutines must be race-free (the transport is
+// shared by every worker client in a chaos run).
+func TestConcurrentDraws(t *testing.T) {
+	tr := New(7, nil)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 1000; i++ {
+				_ = tr.u01()
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}

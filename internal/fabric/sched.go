@@ -1,0 +1,262 @@
+package fabric
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"rtdvs/internal/experiment"
+)
+
+// scheduler tracks every shard's lifecycle — pending, in flight,
+// done, or exhausted — and hands work to worker loops. It is the one
+// piece of shared mutable state in a run; everything else flows through
+// it under a single mutex.
+//
+// Shard state machine:
+//
+//	pending --next()--> in flight --complete()--> done
+//	                        |  \--fail(), still in flight elsewhere--> in flight
+//	                        \--fail(), last flight--> pending (requeue)
+//	                        \--next() after HedgeAfter--> in flight ×2 (hedge)
+//	  attempts exhausted --> exhausted (local phase picks it up)
+//
+// complete() is first-result-wins: a hedged or duplicated shard's
+// second result is dropped, which is safe because both computed the
+// identical bytes.
+type scheduler struct {
+	mu         sync.Mutex
+	wake       chan struct{} // best-effort doorbell for blocked next() calls
+	shards     [][]int
+	results    [][]experiment.JobResult
+	done       []bool
+	inflight   []int       // concurrent dispatches per shard
+	attempts   []int       // total dispatches per shard
+	started    []time.Time // first dispatch, for the hedge clock
+	holders    []map[int]bool
+	pending    []int // shard indexes awaiting (re)dispatch, FIFO
+	remaining  int   // shards not yet done
+	maxAttempt int
+	hedgeAfter time.Duration
+
+	totalWorkers   int
+	ejectedWorkers int
+	// degraded is latched when every worker is ejected at once: the
+	// remote phase ends and the local phase finishes the sweep. Without
+	// this latch, ejected workers would probe forever while pending
+	// shards starve.
+	degraded bool
+}
+
+func newScheduler(shards [][]int, workers, maxAttempts int, hedgeAfter time.Duration) *scheduler {
+	s := &scheduler{
+		totalWorkers: workers,
+		wake:         make(chan struct{}, 1),
+		shards:       shards,
+		results:      make([][]experiment.JobResult, len(shards)),
+		done:         make([]bool, len(shards)),
+		inflight:     make([]int, len(shards)),
+		attempts:     make([]int, len(shards)),
+		started:      make([]time.Time, len(shards)),
+		holders:      make([]map[int]bool, len(shards)),
+		remaining:    len(shards),
+		maxAttempt:   maxAttempts,
+		hedgeAfter:   hedgeAfter,
+	}
+	for i := range shards {
+		s.pending = append(s.pending, i)
+		s.holders[i] = make(map[int]bool)
+	}
+	return s
+}
+
+// ring rings the doorbell without blocking.
+func (s *scheduler) ring() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// next blocks until there is a shard for the given worker to run — a
+// pending shard, or a straggler eligible for hedging — and claims it.
+// ok=false means this worker will never receive more work: every shard
+// is done, exhausted, or permanently held elsewhere, or ctx expired.
+func (s *scheduler) next(ctx context.Context, worker int) (idx int, jobs []int, hedge bool, ok bool) {
+	for {
+		s.mu.Lock()
+		if s.remaining == 0 || s.degraded {
+			s.mu.Unlock()
+			return 0, nil, false, false
+		}
+		// Pending queue first; requeued shards that completed elsewhere
+		// in the meantime are discarded as they surface.
+		for i, cand := range s.pending {
+			if s.done[cand] {
+				continue
+			}
+			s.pending = s.pending[i+1:]
+			s.claim(cand, worker)
+			jobs = s.shards[cand]
+			s.mu.Unlock()
+			return cand, jobs, false, true
+		}
+		s.pending = s.pending[:0]
+		// Hedge: the longest-suffering straggler this worker isn't
+		// already running, at most two flights per shard.
+		if idx, found := s.hedgeCandidate(worker, time.Now()); found {
+			s.claim(idx, worker)
+			jobs = s.shards[idx]
+			s.mu.Unlock()
+			return idx, jobs, true, true
+		}
+		// Nothing now — but will there ever be? A shard in flight
+		// elsewhere may yet fail back onto the queue, and one not done
+		// with attempts left may be requeued, so only an empty horizon
+		// lets the worker leave.
+		if !s.remoteEligibleLocked() {
+			s.mu.Unlock()
+			return 0, nil, false, false
+		}
+		s.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return 0, nil, false, false
+		case <-s.wake:
+		case <-time.After(s.hedgeWait()):
+			// Re-check: a straggler may have crossed the hedge threshold.
+		}
+	}
+}
+
+// hedgeWait is the polling interval for the hedge clock — fine-grained
+// enough to hedge promptly, coarse enough to cost nothing.
+func (s *scheduler) hedgeWait() time.Duration {
+	w := s.hedgeAfter / 4
+	if w < time.Millisecond {
+		w = time.Millisecond
+	}
+	if w > 250*time.Millisecond {
+		w = 250 * time.Millisecond
+	}
+	return w
+}
+
+// claim marks a dispatch of shard idx by worker. Caller holds mu.
+func (s *scheduler) claim(idx, worker int) {
+	s.inflight[idx]++
+	s.attempts[idx]++
+	s.holders[idx][worker] = true
+	if s.started[idx].IsZero() {
+		s.started[idx] = time.Now()
+	}
+}
+
+// hedgeCandidate finds the oldest in-flight shard past the hedge
+// threshold that the worker isn't already running. Caller holds mu.
+func (s *scheduler) hedgeCandidate(worker int, now time.Time) (int, bool) {
+	best, bestAge := -1, time.Duration(0)
+	for i := range s.shards {
+		if s.done[i] || s.inflight[i] == 0 || s.inflight[i] >= 2 {
+			continue
+		}
+		if s.holders[i][worker] || s.attempts[i] >= s.maxAttempt {
+			continue
+		}
+		if age := now.Sub(s.started[i]); age >= s.hedgeAfter && age > bestAge {
+			best, bestAge = i, age
+		}
+	}
+	return best, best >= 0
+}
+
+// remoteEligibleLocked reports whether any shard might still need a
+// worker: not done, and either dispatchable now or in flight (a flight
+// can fail and requeue — unless its attempts are spent, in which case
+// only the local phase can finish it). Caller holds mu.
+func (s *scheduler) remoteEligibleLocked() bool {
+	for i := range s.shards {
+		if s.done[i] {
+			continue
+		}
+		if s.inflight[i] > 0 || s.attempts[i] < s.maxAttempt {
+			return true
+		}
+	}
+	return false
+}
+
+// hasRemoteWork is remoteEligible for the re-admission prober: an
+// ejected worker keeps probing only while rejoining could still help.
+func (s *scheduler) hasRemoteWork() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.remaining > 0 && !s.degraded && s.remoteEligibleLocked()
+}
+
+// workerEjected records an ejection and reports whether the run just
+// degraded — every worker out of the rotation at once — in which case
+// the caller exits instead of probing and the local phase takes over.
+func (s *scheduler) workerEjected() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ejectedWorkers++
+	if s.ejectedWorkers >= s.totalWorkers {
+		s.degraded = true
+	}
+	s.ring()
+	return s.degraded
+}
+
+// workerReadmitted returns a probed-healthy worker to the rotation.
+func (s *scheduler) workerReadmitted() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ejectedWorkers--
+	s.ring()
+}
+
+// complete records a shard result. The first result wins; a duplicate
+// (hedge loser, retried shard that already landed) reports false and is
+// dropped.
+func (s *scheduler) complete(idx int, res []experiment.JobResult) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.inflight[idx] > 0 {
+		s.inflight[idx]--
+	}
+	if s.done[idx] {
+		s.ring()
+		return false
+	}
+	s.done[idx] = true
+	s.results[idx] = res
+	s.remaining--
+	s.ring()
+	return true
+}
+
+// fail records a failed dispatch. The shard is requeued when no other
+// flight of it remains and its attempt budget allows another try;
+// reports whether it was requeued.
+func (s *scheduler) fail(idx, worker int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.inflight[idx] > 0 {
+		s.inflight[idx]--
+	}
+	delete(s.holders[idx], worker)
+	requeue := !s.done[idx] && s.inflight[idx] == 0 && s.attempts[idx] < s.maxAttempt
+	if requeue {
+		s.pending = append(s.pending, idx)
+	}
+	s.ring()
+	return requeue
+}
+
+// isDone reports whether a shard completed remotely.
+func (s *scheduler) isDone(idx int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.done[idx]
+}

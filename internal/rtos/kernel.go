@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"rtdvs/internal/backoff"
 	"rtdvs/internal/core"
 	"rtdvs/internal/fault"
 	"rtdvs/internal/machine"
@@ -127,12 +128,14 @@ type Kernel struct {
 	// faults, when set, filters demand, release timing and operating-point
 	// transitions through the injector.
 	faults *fault.Injector
-	// switchRetryAt/switchBackoff implement retry-with-backoff for refused
+	// switchRetryAt/switchSeq implement retry-with-backoff for refused
 	// operating-point transitions: after a denial the kernel holds its
-	// point until switchRetryAt, then asks again, doubling the backoff on
-	// each consecutive refusal.
+	// point until switchRetryAt, then asks again, with the shared
+	// internal/backoff schedule doubling the delay on each consecutive
+	// refusal. switchSeq advances in simulated milliseconds — the kernel
+	// never reads the wall clock.
 	switchRetryAt float64
-	switchBackoff float64
+	switchSeq     backoff.Seq
 	switchDenials int
 	switchRetries int
 	// overrunThreshold arms the overrun watchdog (0 = disabled).
@@ -527,7 +530,8 @@ func (k *Kernel) processReleases() {
 
 // Backoff bounds (ms) for retrying operating-point transitions the
 // hardware refused: start small (one stop-interval-ish), double per
-// consecutive refusal, cap well under typical task periods.
+// consecutive refusal (backoff.Seq), cap well under typical task
+// periods.
 const (
 	switchBackoffInit = 0.05
 	switchBackoffMax  = 2.0
@@ -546,7 +550,7 @@ func (k *Kernel) setPoint(op machine.OperatingPoint) float64 {
 	if k.now < k.switchRetryAt-timeEps {
 		return 0 // backing off after a refusal: hold the current point
 	}
-	retrying := k.switchBackoff > 0
+	retrying := k.switchSeq.Active()
 	halt, ok := k.cpu.SetPoint(op)
 	if retrying {
 		k.switchRetries++
@@ -554,14 +558,10 @@ func (k *Kernel) setPoint(op machine.OperatingPoint) float64 {
 	if !ok {
 		k.switchDenials++
 		k.logEvent(Event{Kind: EvSwitchDenied, Value: op.Freq})
-		if k.switchBackoff < switchBackoffInit {
-			k.switchBackoff = switchBackoffInit
-		}
-		k.switchRetryAt = k.now + k.switchBackoff
-		k.switchBackoff = math.Min(k.switchBackoff*2, switchBackoffMax)
+		k.switchRetryAt = k.now + k.switchSeq.Next(switchBackoffInit, switchBackoffMax)
 		return 0
 	}
-	k.switchBackoff = 0
+	k.switchSeq.Reset()
 	k.switchRetryAt = 0
 	k.logEvent(Event{Kind: EvSwitch, Value: op.Freq})
 	if halt > 0 {

@@ -6,18 +6,19 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"math/rand"
 	"net/http"
 	"strconv"
 	"sync"
 	"time"
 
+	"rtdvs/internal/backoff"
 	"rtdvs/internal/sim"
 )
 
-// Client talks to a serve.Server with jittered exponential backoff: 429
-// (honoring Retry-After), 5xx, and connection errors are retried;
-// validation failures (4xx) are not.
+// Client talks to a serve.Server with jittered exponential backoff
+// (the shared internal/backoff schedule): 429 (honoring Retry-After),
+// 5xx, and connection errors are retried; validation failures (4xx)
+// are not.
 type Client struct {
 	// Base is the server root, e.g. "http://127.0.0.1:8344".
 	Base string
@@ -28,17 +29,20 @@ type Client struct {
 	// BaseDelay seeds the exponential backoff (default 50ms); the delay
 	// doubles per attempt up to MaxDelay (default 2s), each scaled by a
 	// uniform jitter in [0.5, 1.0) to decorrelate competing clients.
+	// Both are captured by the backoff schedule at the first retry, so
+	// set them before issuing calls.
 	BaseDelay time.Duration
 	MaxDelay  time.Duration
 
-	mu  sync.Mutex
-	rng *rand.Rand
+	seed int64
+	mu   sync.Mutex
+	bo   *backoff.Backoff
 }
 
 // NewClient builds a client. The seed drives backoff jitter only; any
 // value is fine, but an explicit one keeps test runs reproducible.
 func NewClient(base string, seed int64) *Client {
-	return &Client{Base: base, rng: rand.New(rand.NewSource(seed))}
+	return &Client{Base: base, seed: seed}
 }
 
 // StatusError is a non-retried HTTP failure (or retries exhausted).
@@ -67,6 +71,12 @@ func (c *Client) StartSweep(ctx context.Context, req SweepRequest) (string, erro
 		return "", err
 	}
 	return st.ID, nil
+}
+
+// Healthz checks the server's liveness endpoint. The fabric
+// coordinator uses it to probe ejected workers for re-admission.
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.call(ctx, "GET", "/healthz", nil, nil)
 }
 
 // Job fetches a job's current status.
@@ -209,35 +219,16 @@ func retryAfterAt(value string, now time.Time) time.Duration {
 // the server raises the floor; the jitter then scales whichever is
 // larger so competing clients still decorrelate.
 func (c *Client) sleep(ctx context.Context, attempt int, lastErr error) error {
-	base := c.BaseDelay
-	if base <= 0 {
-		base = 50 * time.Millisecond
-	}
-	max := c.MaxDelay
-	if max <= 0 {
-		max = 2 * time.Second
-	}
-	d := base << (attempt - 1)
-	if d > max || d <= 0 {
-		d = max
-	}
-	if rae, ok := lastErr.(*retryAfterError); ok && rae.after > d {
-		d = rae.after
+	var floor time.Duration
+	if rae, ok := lastErr.(*retryAfterError); ok {
+		floor = rae.after
 	}
 	c.mu.Lock()
-	if c.rng == nil {
-		c.rng = rand.New(rand.NewSource(1))
+	if c.bo == nil {
+		c.bo = backoff.New(c.seed)
+		c.bo.Base, c.bo.Max = c.BaseDelay, c.MaxDelay
 	}
-	jitter := 0.5 + 0.5*c.rng.Float64()
+	bo := c.bo
 	c.mu.Unlock()
-	d = time.Duration(float64(d) * jitter)
-
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-t.C:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
+	return bo.Sleep(ctx, attempt, floor)
 }

@@ -14,17 +14,19 @@ import (
 // map-free Observe; only the (route, code) counter goes through a vec,
 // since status codes are runtime values.
 type serverMetrics struct {
-	requests *obs.CounterVec
-	latency  map[string]*obs.Histogram
-	inflight *obs.Gauge
-	shed     *obs.Counter
-	timeouts *obs.Counter
+	requests         *obs.CounterVec
+	latency          map[string]*obs.Histogram
+	inflight         *obs.Gauge
+	shed             *obs.Counter
+	timeouts         *obs.Counter
+	shardCacheHits   *obs.Counter
+	shardCacheMisses *obs.Counter
 }
 
 // metricRoutes are the label values used for the per-route instruments;
 // the middleware is always given one of these, never a raw URL path, so
 // label cardinality stays fixed.
-var metricRoutes = []string{"healthz", "readyz", "simulate", "sweep", "job", "metrics"}
+var metricRoutes = []string{"healthz", "readyz", "simulate", "sweep", "shard", "job", "metrics"}
 
 func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 	m := &serverMetrics{
@@ -36,6 +38,10 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 			"Requests shed with 429 because a capacity bound was hit."),
 		timeouts: reg.Counter("rtdvs_http_timeout_total",
 			"Simulate requests answered 504 after exceeding the time limit."),
+		shardCacheHits: reg.Counter("rtdvs_shard_cache_hits_total",
+			"Shard requests answered from the worker's result cache."),
+		shardCacheMisses: reg.Counter("rtdvs_shard_cache_misses_total",
+			"Shard requests that missed the result cache."),
 	}
 	for _, route := range metricRoutes {
 		m.latency[route] = reg.Histogram("rtdvs_http_request_duration_seconds",
@@ -45,6 +51,8 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 		func() float64 { return float64(len(s.queue)) })
 	reg.GaugeFunc("rtdvs_sim_slots_in_use", "Simulate concurrency slots currently held.",
 		func() float64 { return float64(len(s.simSem)) })
+	reg.GaugeFunc("rtdvs_shard_slots_in_use", "Shard concurrency slots currently held.",
+		func() float64 { return float64(len(s.shardSem)) })
 	return m
 }
 

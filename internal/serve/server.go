@@ -39,6 +39,16 @@ type Config struct {
 	SimTimeout time.Duration
 	// SweepTimeout caps one sweep job (default 10m).
 	SweepTimeout time.Duration
+	// ShardConcurrency bounds concurrent /v1/shard runs (default
+	// GOMAXPROCS). Requests beyond the bound are shed with 429; the
+	// fabric coordinator's backoff paces itself off the hint.
+	ShardConcurrency int
+	// ShardTimeout caps one shard request (default 2m).
+	ShardTimeout time.Duration
+	// ShardCacheSize bounds the shard result cache (default 128
+	// entries). Retried and hedged shards replay from the cache instead
+	// of recomputing.
+	ShardCacheSize int
 	// RetryAfter is the hint attached to 429 responses (default 1s).
 	RetryAfter time.Duration
 	// MaxBody caps request bodies in bytes (default 1 MiB).
@@ -66,6 +76,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SweepTimeout <= 0 {
 		c.SweepTimeout = 10 * time.Minute
+	}
+	if c.ShardConcurrency <= 0 {
+		c.ShardConcurrency = runtime.GOMAXPROCS(0)
+	}
+	if c.ShardTimeout <= 0 {
+		c.ShardTimeout = 2 * time.Minute
+	}
+	if c.ShardCacheSize <= 0 {
+		c.ShardCacheSize = 128
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
@@ -95,14 +114,23 @@ type Server struct {
 	// queue depth.
 	sweepMetrics *experiment.Metrics
 
-	simSem chan struct{} // counting semaphore for simulate slots
+	simSem     chan struct{} // counting semaphore for simulate slots
+	shardSem   chan struct{} // counting semaphore for shard slots
+	shardCache *shardCache
 
 	queueMu sync.RWMutex // guards queue sends against close on Shutdown
 	queue   chan *job
 	closed  bool
 
-	draining   atomic.Bool
-	wg         sync.WaitGroup
+	draining atomic.Bool
+	wg       sync.WaitGroup
+	// inflight counts synchronous shard work. inflightMu orders its
+	// Add against the draining flag: beginShard only Adds while holding
+	// the mutex with draining unset, and Shutdown passes through the
+	// mutex after setting the flag, so no Add-from-zero can race the
+	// Wait (the sync.WaitGroup contract).
+	inflightMu sync.Mutex
+	inflight   sync.WaitGroup
 	baseCtx    context.Context // parent of every sweep job's context
 	baseCancel context.CancelFunc
 }
@@ -111,11 +139,13 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:      cfg,
-		store:    newJobStore(),
-		registry: cfg.Registry,
-		simSem:   make(chan struct{}, cfg.SimConcurrency),
-		queue:    make(chan *job, cfg.QueueDepth),
+		cfg:        cfg,
+		store:      newJobStore(),
+		registry:   cfg.Registry,
+		simSem:     make(chan struct{}, cfg.SimConcurrency),
+		shardSem:   make(chan struct{}, cfg.ShardConcurrency),
+		shardCache: newShardCache(cfg.ShardCacheSize),
+		queue:      make(chan *job, cfg.QueueDepth),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.metrics = newServerMetrics(s.registry, s)
@@ -126,6 +156,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /readyz", s.instrument("readyz", s.handleReadyz))
 	mux.HandleFunc("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
 	mux.HandleFunc("POST /v1/sweep", s.instrument("sweep", s.handleSweep))
+	mux.HandleFunc("POST /v1/shard", s.instrument("shard", s.handleShard))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("job", s.handleJob))
 	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	s.handler = s.recoverPanics(mux)
@@ -143,12 +174,17 @@ func (s *Server) Start() {
 	}
 }
 
-// Shutdown drains the server: readiness flips to 503, new sweep
-// submissions are refused, queued and running jobs are given until ctx
-// expires to finish, then their contexts are cancelled and the workers
-// are awaited unconditionally. Idempotent.
+// Shutdown drains the server: readiness flips to 503, new sweep and
+// shard submissions are refused, queued and running work — including
+// synchronous shard requests in flight — is given until ctx expires to
+// finish, then every context is cancelled and the stragglers are
+// awaited unconditionally. Idempotent.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	// Barrier: any beginShard that saw draining unset has finished its
+	// Add once we pass here; later ones refuse. See inflightMu.
+	s.inflightMu.Lock()
+	s.inflightMu.Unlock()
 	s.queueMu.Lock()
 	if !s.closed {
 		s.closed = true
@@ -159,14 +195,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
+		s.inflight.Wait()
 		close(done)
 	}()
 	var err error
 	select {
 	case <-done:
 	case <-ctx.Done():
-		// Deadline hit: cancel in-flight sweeps. Their runs stop at the
-		// next cooperative check and the workers exit promptly.
+		// Deadline hit: cancel in-flight sweeps and shards. Their runs
+		// stop at the next cooperative check and the workers exit
+		// promptly.
 		err = ctx.Err()
 	}
 	s.baseCancel()
@@ -177,6 +215,18 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		j.setState(JobCancelled, errors.New("server shut down before the job ran"), nil)
 	})
 	return err
+}
+
+// beginShard registers one in-flight shard, refusing when the server
+// is draining. Balanced by s.inflight.Done() in the caller.
+func (s *Server) beginShard() bool {
+	s.inflightMu.Lock()
+	defer s.inflightMu.Unlock()
+	if s.draining.Load() {
+		return false
+	}
+	s.inflight.Add(1)
+	return true
 }
 
 // worker drains the sweep queue until Shutdown closes it.
