@@ -67,6 +67,39 @@ var HotpathRegistry = map[string]string{
 	"rtdvs/internal/machine.PointSelector.Index":   "TestSelectorMatchesLowestAtLeast",
 	"rtdvs/internal/machine.PointSelector.Len":     "TestSelectorMatchesLowestAtLeast",
 
+	// Batched lockstep engine: a reused BatchRunner pass over 64 lanes
+	// must stay at 0 allocs/op (also pinned by sim's
+	// TestBatchRunnerSteadyStateAllocs AllocsPerRun check).
+	"rtdvs/internal/sim.lane.step":                 "BenchmarkBatchThroughput",
+	"rtdvs/internal/sim.lane.fireReleases":         "BenchmarkBatchThroughput",
+	"rtdvs/internal/sim.lane.processReleasesHeap":  "BenchmarkBatchThroughput",
+	"rtdvs/internal/sim.lane.processReleasesTable": "BenchmarkBatchThroughput",
+	"rtdvs/internal/sim.lane.switchTo":             "BenchmarkBatchThroughput",
+	"rtdvs/internal/sim.lane.record":               "BenchmarkBatchThroughput",
+	"rtdvs/internal/sim.lane.timerAdd":             "BenchmarkBatchThroughput",
+	"rtdvs/internal/sim.lane.readyAdd":             "BenchmarkBatchThroughput",
+	"rtdvs/internal/sim.lane.readyPeek":            "BenchmarkBatchThroughput",
+	"rtdvs/internal/sim.lane.readyRemove":          "BenchmarkBatchThroughput",
+	"rtdvs/internal/sim.lane.readyKey":             "BenchmarkBatchThroughput",
+	"rtdvs/internal/sim.lane.selIndex":             "BenchmarkBatchThroughput",
+	"rtdvs/internal/sim.lane.nextReleaseTime":      "BenchmarkBatchThroughput",
+
+	// Flattened lane-strided heaps backing the batch engine's timer and
+	// ready queues: steady-state push/pop churn allocates nothing.
+	"rtdvs/internal/sched.LaneHeaps.Push":     "BenchmarkLaneHeaps",
+	"rtdvs/internal/sched.LaneHeaps.Pop":      "BenchmarkLaneHeaps",
+	"rtdvs/internal/sched.LaneHeaps.Peek":     "BenchmarkLaneHeaps",
+	"rtdvs/internal/sched.LaneHeaps.PeekKey":  "BenchmarkLaneHeaps",
+	"rtdvs/internal/sched.LaneHeaps.Remove":   "BenchmarkLaneHeaps",
+	"rtdvs/internal/sched.LaneHeaps.Update":   "BenchmarkLaneHeaps",
+	"rtdvs/internal/sched.LaneHeaps.Contains": "BenchmarkLaneHeaps",
+	"rtdvs/internal/sched.LaneHeaps.Len":      "BenchmarkLaneHeaps",
+	"rtdvs/internal/sched.LaneHeaps.removeAt": "BenchmarkLaneHeaps",
+	"rtdvs/internal/sched.LaneHeaps.siftUp":   "BenchmarkLaneHeaps",
+	"rtdvs/internal/sched.LaneHeaps.siftDown": "BenchmarkLaneHeaps",
+	"rtdvs/internal/sched.LaneHeaps.swap":     "BenchmarkLaneHeaps",
+	"rtdvs/internal/sched.LaneHeaps.less":     "BenchmarkLaneHeaps",
+
 	// Metrics instrument updates: one atomic op each, pinned at exactly
 	// zero allocations so instruments may sit on the simulator hot path.
 	"rtdvs/internal/obs.atomicFloat.add":   "TestInstrumentOpsAllocate",

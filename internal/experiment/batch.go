@@ -1,0 +1,166 @@
+package experiment
+
+import (
+	"math/rand"
+
+	"context"
+
+	"rtdvs/internal/bound"
+	"rtdvs/internal/core"
+	"rtdvs/internal/sim"
+	"rtdvs/internal/task"
+)
+
+// batchLaneTarget is the lane count a worker's chunk aims for: enough
+// lanes that the BatchRunner's lockstep loop amortizes its dispatch and
+// keeps the cross-lane selector busy, small enough that a chunk's
+// working set (K lanes × per-lane heaps and task state) stays cache
+// resident.
+const batchLaneTarget = 64
+
+// batchChunkJobs returns how many grid jobs one chunk should carry when
+// every job expands to np policy lanes.
+func batchChunkJobs(np int) int {
+	n := batchLaneTarget / np
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// poolPolicy returns the ci-th instance of the named policy, creating
+// and caching instances on demand. Batch lanes run interleaved, so two
+// lanes may never share a policy instance — the pool hands out one per
+// chunk-local job index, and instances are reused across chunks
+// (Policy.Attach resets them, exactly as the scalar path relies on).
+func (jr *jobRunner) poolPolicy(pname string, ci int) (core.Policy, error) {
+	pool := jr.ppool[pname]
+	for len(pool) <= ci {
+		p, err := core.ByName(pname)
+		if err != nil {
+			return nil, err
+		}
+		pool = append(pool, p)
+	}
+	jr.ppool[pname] = pool
+	return pool[ci], nil
+}
+
+// runChunk executes the grid jobs js as one lockstep batch: every job
+// expands to one lane per policy, all lanes advance together through
+// the shared BatchRunner, and each job's scalar outputs land in the
+// corresponding outs slot. It returns one error per job (aligned with
+// js, nil on success); outs[i].ok is set only for error-free jobs.
+//
+// Per-job seeding, policy order, and execution-time randomness are
+// identical to runOne's, and BatchRunner lanes are bit-identical to the
+// scalar Runner, so a chunked sweep folds to exactly the same Sweep as
+// a per-job one. Metrics accounting also mirrors runOne: a job that
+// fails at policy pi records simulation counts only for the policies
+// before pi, which is precisely what the sequential scalar path would
+// have run.
+func (jr *jobRunner) runChunk(ctx context.Context, cfg Config, policies []string, baseIdx int, js []int, outs []*harnessOut) []error {
+	np := len(policies)
+	jr.cfgs = jr.cfgs[:0]
+	jr.laneOK = jr.laneOK[:0]
+	if cap(jr.jobErrs) < len(js) {
+		jr.jobErrs = make([]error, len(js))
+	} else {
+		jr.jobErrs = jr.jobErrs[:len(js)]
+		for i := range jr.jobErrs {
+			jr.jobErrs[i] = nil
+		}
+	}
+
+	// Pass 1: generate each job's task set and expand it into lanes.
+	// laneOK marks jobs whose lanes made it into the batch; a generation
+	// failure records the error and contributes no lanes.
+	for ci, j := range js {
+		ui, si := j/cfg.Sets, j%cfg.Sets
+		u := cfg.Utilizations[ui]
+		seed := cfg.Seed + int64(ui)*1_000_003 + int64(si)*7919
+		r := rand.New(rand.NewSource(seed))
+		g := task.Generator{N: cfg.NTasks, Utilization: u, Rand: r}
+		ts, err := g.Generate()
+		if err != nil {
+			jr.jobErrs[ci] = err
+			jr.laneOK = append(jr.laneOK, false)
+			continue
+		}
+		horizon := cfg.Horizon
+		if horizon <= 0 {
+			horizon = 10 * ts.MaxPeriod()
+		}
+		ok := true
+		for _, pname := range policies {
+			p, err := jr.poolPolicy(pname, ci)
+			if err != nil {
+				jr.jobErrs[ci] = err
+				ok = false
+				break
+			}
+			// Each policy sees the same per-set randomness for its
+			// execution-time draws — one fresh source per lane, exactly
+			// as the scalar path seeds one per policy run.
+			execR := rand.New(rand.NewSource(seed ^ 0x5DEECE66D))
+			jr.cfgs = append(jr.cfgs, sim.Config{
+				Tasks:   ts,
+				Machine: cfg.Machine,
+				Policy:  p,
+				Exec:    cfg.Exec(execR),
+				Horizon: horizon,
+			})
+		}
+		if !ok {
+			// Drop this job's partial lanes so the batch stays rectangular.
+			jr.cfgs = jr.cfgs[:len(jr.cfgs)-len(jr.cfgs)%np]
+			jr.laneOK = append(jr.laneOK, false)
+			continue
+		}
+		jr.laneOK = append(jr.laneOK, true)
+	}
+
+	// Pass 2: one lockstep run for every lane of every viable job.
+	results, errs := jr.batch.RunContext(ctx, jr.cfgs)
+
+	// Pass 3: per-job extraction in (job, policy) order.
+	lane := 0
+	for ci := range js {
+		if !jr.laneOK[ci] {
+			continue
+		}
+		out := outs[ci]
+		var baseCycles float64
+		failed := false
+		for pi := range policies {
+			res, err := results[lane], errs[lane]
+			lane++
+			if failed {
+				continue
+			}
+			if err != nil {
+				jr.jobErrs[ci] = err
+				failed = true
+				continue
+			}
+			cfg.Metrics.simRun(res.MissCount())
+			out.energy[pi] = res.TotalEnergy
+			out.misses[pi] = res.MissCount()
+			if pi == baseIdx {
+				baseCycles = res.CyclesDone
+			}
+		}
+		if failed {
+			continue
+		}
+		horizon := jr.cfgs[lane-1].Horizon
+		bnd, err := bound.Energy(cfg.Machine, baseCycles, horizon)
+		if err != nil {
+			jr.jobErrs[ci] = err
+			continue
+		}
+		out.bnd = bnd
+		out.ok = true
+	}
+	return jr.jobErrs
+}

@@ -1,0 +1,87 @@
+package experiment
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"rtdvs/internal/machine"
+)
+
+// The batched chunk executor must produce exactly the per-job results
+// the sequential scalar path does: same energies, same miss counts,
+// same bounds, bit for bit. This is the experiment-layer face of the
+// BatchRunner identity contract.
+func TestRunJobsChunkedMatchesScalarPerJob(t *testing.T) {
+	cfg := Config{
+		NTasks:       4,
+		Machine:      machine.Machine1(),
+		Exec:         UniformExec(),
+		Utilizations: []float64{0.3, 0.6, 0.9},
+		Sets:         5,
+		Seed:         77,
+	}
+	ncfg, err := normalize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	policies := ensureBaseline(ncfg.Policies)
+	np := len(policies)
+	baseIdx := policyIndex(policies, "none")
+
+	njobs, err := NumJobs(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := make([]int, njobs)
+	for i := range jobs {
+		jobs[i] = i
+	}
+
+	got, err := RunJobs(context.Background(), cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	jr := newJobRunner()
+	for i, j := range jobs {
+		out := harnessOut{energy: make([]float64, np), misses: make([]int, np)}
+		if err := jr.runOne(context.Background(), ncfg, policies, baseIdx, j, &out); err != nil {
+			t.Fatalf("scalar job %d: %v", j, err)
+		}
+		want := JobResult{Index: j, Energy: out.energy, Misses: out.misses, Bound: out.bnd}
+		if !reflect.DeepEqual(got[i], want) {
+			t.Errorf("job %d: chunked %+v, scalar %+v", j, got[i], want)
+		}
+	}
+}
+
+// A full sweep folded from batched workers must be DeepEqual to one run
+// with a single worker (which flushes in strict job order) — the batch
+// engine may change only speed, never results.
+func TestSweepBatchedWorkersBitIdentical(t *testing.T) {
+	base := Config{
+		NTasks:       3,
+		Machine:      machine.Machine0(),
+		Exec:         ConstantExec(0.6),
+		Utilizations: []float64{0.25, 0.5, 0.75},
+		Sets:         4,
+		Seed:         5,
+	}
+	one := base
+	one.Workers = 1
+	many := base
+	many.Workers = 4
+
+	swOne, err := Run(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swMany, err := Run(many)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(swOne, swMany) {
+		t.Error("sweep diverges between 1 and 4 batched workers")
+	}
+}

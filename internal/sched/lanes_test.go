@@ -1,0 +1,143 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Every LaneHeaps lane must behave exactly like an independent
+// ReadyQueue: drive both with the same randomized operation stream and
+// compare every observable after every step.
+func TestLaneHeapsMatchesReadyQueues(t *testing.T) {
+	const lanes, stride, steps = 7, 9, 20000
+	r := rand.New(rand.NewSource(42))
+	lh := NewLaneHeaps()
+	lh.Reset(lanes, stride)
+	refs := make([]*ReadyQueue, lanes)
+	for l := range refs {
+		refs[l] = NewReadyQueue()
+		refs[l].Reset(stride)
+	}
+	for step := 0; step < steps; step++ {
+		l := r.Intn(lanes)
+		ti := r.Intn(stride)
+		key := float64(r.Intn(50)) / 2 // deliberate key collisions
+		ref := refs[l]
+		switch r.Intn(5) {
+		case 0:
+			gotErr := lh.Push(l, ti, key)
+			wantErr := ref.Push(ti, key)
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("step %d: Push(%d,%d,%g) err=%v, ReadyQueue err=%v", step, l, ti, key, gotErr, wantErr)
+			}
+		case 1:
+			if got, want := lh.Pop(l), ref.Pop(); got != want {
+				t.Fatalf("step %d: Pop(%d)=%d, want %d", step, l, got, want)
+			}
+		case 2:
+			if got, want := lh.Remove(l, ti), ref.Remove(ti); got != want {
+				t.Fatalf("step %d: Remove(%d,%d)=%v, want %v", step, l, ti, got, want)
+			}
+		case 3:
+			if got, want := lh.Update(l, ti, key), ref.Update(ti, key); got != want {
+				t.Fatalf("step %d: Update(%d,%d,%g)=%v, want %v", step, l, ti, key, got, want)
+			}
+		case 4:
+			if got, want := lh.Contains(l, ti), ref.Contains(ti); got != want {
+				t.Fatalf("step %d: Contains(%d,%d)=%v, want %v", step, l, ti, got, want)
+			}
+		}
+		for ll := 0; ll < lanes; ll++ {
+			if got, want := lh.Len(ll), refs[ll].Len(); got != want {
+				t.Fatalf("step %d: Len(%d)=%d, want %d", step, ll, got, want)
+			}
+			if got, want := lh.Peek(ll), refs[ll].Peek(); got != want {
+				t.Fatalf("step %d: Peek(%d)=%d, want %d", step, ll, got, want)
+			}
+			gk, wk := lh.PeekKey(ll), refs[ll].PeekKey()
+			if gk != wk && !(math.IsInf(gk, 1) && math.IsInf(wk, 1)) {
+				t.Fatalf("step %d: PeekKey(%d)=%g, want %g", step, ll, gk, wk)
+			}
+		}
+	}
+	// Drain every lane and verify full pop order agreement.
+	for l := 0; l < lanes; l++ {
+		for refs[l].Len() > 0 {
+			if got, want := lh.Pop(l), refs[l].Pop(); got != want {
+				t.Fatalf("drain lane %d: Pop=%d, want %d", l, got, want)
+			}
+		}
+		if got := lh.Pop(l); got != -1 {
+			t.Fatalf("drain lane %d: Pop on empty = %d, want -1", l, got)
+		}
+	}
+}
+
+// Push must reject out-of-stride task ids and duplicates without
+// corrupting the lane.
+func TestLaneHeapsPushErrors(t *testing.T) {
+	lh := NewLaneHeaps()
+	lh.Reset(2, 3)
+	if err := lh.Push(0, -1, 1); err == nil {
+		t.Error("Push with negative task index: want error")
+	}
+	if err := lh.Push(0, 3, 1); err == nil {
+		t.Error("Push beyond stride: want error")
+	}
+	if err := lh.Push(0, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := lh.Push(0, 1, 6); err == nil {
+		t.Error("duplicate Push: want error")
+	}
+	// The same task id in a different lane is independent.
+	if err := lh.Push(1, 1, 7); err != nil {
+		t.Errorf("same task id in another lane: %v", err)
+	}
+	if got := lh.Pop(0); got != 1 {
+		t.Errorf("Pop(0)=%d, want 1", got)
+	}
+	if got := lh.Pop(1); got != 1 {
+		t.Errorf("Pop(1)=%d, want 1", got)
+	}
+}
+
+// Reset must empty every lane, adapt to a new shape, and perform no
+// allocation once the largest shape has been seen.
+func TestLaneHeapsResetReuse(t *testing.T) {
+	lh := NewLaneHeaps()
+	lh.Reset(4, 8)
+	for l := 0; l < 4; l++ {
+		for ti := 0; ti < 8; ti++ {
+			if err := lh.Push(l, ti, float64(ti)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	lh.Reset(2, 4)
+	for l := 0; l < 2; l++ {
+		if lh.Len(l) != 0 {
+			t.Fatalf("lane %d not empty after Reset", l)
+		}
+		if lh.Peek(l) != -1 {
+			t.Fatalf("lane %d Peek after Reset = %d, want -1", l, lh.Peek(l))
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		lh.Reset(4, 8)
+		for l := 0; l < 4; l++ {
+			for ti := 0; ti < 8; ti++ {
+				if err := lh.Push(l, ti, float64(ti^5)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for lh.Len(l) > 0 {
+				lh.Pop(l)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Reset/Push/Pop allocated %v times per run, want 0", allocs)
+	}
+}

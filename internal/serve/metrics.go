@@ -21,12 +21,14 @@ type serverMetrics struct {
 	timeouts         *obs.Counter
 	shardCacheHits   *obs.Counter
 	shardCacheMisses *obs.Counter
+	batchSize        *obs.Histogram
+	batchItems       *obs.CounterVec
 }
 
 // metricRoutes are the label values used for the per-route instruments;
 // the middleware is always given one of these, never a raw URL path, so
 // label cardinality stays fixed.
-var metricRoutes = []string{"healthz", "readyz", "simulate", "sweep", "shard", "job", "metrics"}
+var metricRoutes = []string{"healthz", "readyz", "simulate", "simulateBatch", "sweep", "shard", "job", "metrics"}
 
 func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 	m := &serverMetrics{
@@ -42,6 +44,11 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 			"Shard requests answered from the worker's result cache."),
 		shardCacheMisses: reg.Counter("rtdvs_shard_cache_misses_total",
 			"Shard requests that missed the result cache."),
+		batchSize: reg.Histogram("rtdvs_http_batch_size",
+			"Item count of each /v1/simulate:batch request.",
+			[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256}),
+		batchItems: reg.CounterVec("rtdvs_http_batch_items_total",
+			"Batch simulation items processed, by outcome.", "outcome"),
 	}
 	for _, route := range metricRoutes {
 		m.latency[route] = reg.Histogram("rtdvs_http_request_duration_seconds",

@@ -49,6 +49,9 @@ type Config struct {
 	// entries). Retried and hedged shards replay from the cache instead
 	// of recomputing.
 	ShardCacheSize int
+	// MaxBatchItems caps the item count of one /v1/simulate:batch
+	// request (default 256). Larger batches are refused with 400.
+	MaxBatchItems int
 	// RetryAfter is the hint attached to 429 responses (default 1s).
 	RetryAfter time.Duration
 	// MaxBody caps request bodies in bytes (default 1 MiB).
@@ -85,6 +88,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ShardCacheSize <= 0 {
 		c.ShardCacheSize = 128
+	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 256
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
@@ -155,6 +161,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /readyz", s.instrument("readyz", s.handleReadyz))
 	mux.HandleFunc("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
+	mux.HandleFunc("POST /v1/simulate:batch", s.instrument("simulateBatch", s.handleSimulateBatch))
 	mux.HandleFunc("POST /v1/sweep", s.instrument("sweep", s.handleSweep))
 	mux.HandleFunc("POST /v1/shard", s.instrument("shard", s.handleShard))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("job", s.handleJob))
