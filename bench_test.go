@@ -317,7 +317,7 @@ func benchPolicyOverhead(b *testing.B, policy string, n int) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	p, err := core.ByName(policy)
+	p, err := core.ExtendedByName(policy)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -345,6 +345,14 @@ func BenchmarkPolicyOverheadLAEDF8(b *testing.B)   { benchPolicyOverhead(b, "laE
 func BenchmarkPolicyOverheadLAEDF64(b *testing.B)  { benchPolicyOverhead(b, "laEDF", 64) }
 func BenchmarkPolicyOverheadStatic8(b *testing.B)  { benchPolicyOverhead(b, "staticEDF", 8) }
 func BenchmarkPolicyOverheadStatic64(b *testing.B) { benchPolicyOverhead(b, "staticEDF", 64) }
+
+// The adaptive extension policies (PR 9) carry the same 0 allocs/op
+// steady-state contract as the paper set; these pin the HotpathRegistry
+// rows for fbEDF and stSelect.
+func BenchmarkPolicyOverheadFBEDF8(b *testing.B)     { benchPolicyOverhead(b, "fbEDF", 8) }
+func BenchmarkPolicyOverheadFBEDF64(b *testing.B)    { benchPolicyOverhead(b, "fbEDF", 64) }
+func BenchmarkPolicyOverheadSTSelect8(b *testing.B)  { benchPolicyOverhead(b, "stSelect", 8) }
+func BenchmarkPolicyOverheadSTSelect64(b *testing.B) { benchPolicyOverhead(b, "stSelect", 64) }
 
 // --- Simulator throughput ---
 

@@ -14,7 +14,9 @@
 // The robustness experiment is not a figure from the paper: it sweeps the
 // injected WCET-overrun probability and reports miss rate, normalized
 // energy and containment behavior per policy (see internal/fault and the
-// Robustness section of README.md).
+// Robustness section of README.md), then runs the policy × fault-regime
+// grid on the rtos kernel with the load shedder armed (miss rate, energy,
+// containment latency, shed counts per regime).
 //
 // Each figure's rows are averaged over -sets random task sets per
 // utilization point (the paper averages hundreds; the default here is 20
@@ -259,6 +261,25 @@ func main() {
 				}
 			default:
 				fmt.Println(sw.Render(nil))
+			}
+			grid, err := experiment.GridContext(ctx, experiment.GridConfig{
+				Sets: *sets, Seed: *seed, Workers: *workers,
+			})
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println()
+			switch *format {
+			case "csv":
+				if err := grid.WriteCSV(os.Stdout); err != nil {
+					fatal(err)
+				}
+			case "json":
+				if err := grid.WriteJSON(os.Stdout); err != nil {
+					fatal(err)
+				}
+			default:
+				fmt.Println(grid.Render())
 			}
 
 		default:

@@ -37,7 +37,7 @@ func main() {
 		n        = flag.Int("n", 0, "generate a random set with this many tasks")
 		u        = flag.Float64("u", 0.7, "target utilization for -n")
 		seed     = flag.Int64("seed", 1, "RNG seed for -n and uniform execution")
-		policy   = flag.String("policy", "laEDF", "policy: "+strings.Join(core.Names(), ", "))
+		policy   = flag.String("policy", "laEDF", "policy: "+strings.Join(core.ExtendedNames(), ", "))
 		mname    = flag.String("machine", "machine0", "machine spec: "+strings.Join(machine.Names(), ", "))
 		idle     = flag.Float64("idle", 0, "idle level factor in [0,1]")
 		execSpec = flag.String("exec", "wcet", `execution model: "wcet", "c=<frac>", or "uniform"`)
@@ -73,7 +73,7 @@ func main() {
 		fatal(fmt.Errorf("unknown machine %q (have: %s)", *mname, strings.Join(machine.Names(), ", ")))
 	}
 	spec = spec.WithIdleLevel(*idle)
-	p, err := core.ByName(*policy)
+	p, err := core.ExtendedByName(*policy)
 	if err != nil {
 		fatal(err)
 	}

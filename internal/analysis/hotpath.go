@@ -61,6 +61,13 @@ var HotpathRegistry = map[string]string{
 	"rtdvs/internal/core.ccRM.OnRelease":        "BenchmarkPolicyOverheadCCRM64",
 	"rtdvs/internal/core.ccRM.OnCompletion":     "BenchmarkPolicyOverheadCCRM64",
 	"rtdvs/internal/core.ccRM.OnExecute":        "BenchmarkPolicyOverheadCCRM64",
+	"rtdvs/internal/core.fbEDF.control":         "BenchmarkPolicyOverheadFBEDF64",
+	"rtdvs/internal/core.fbEDF.OnRelease":       "BenchmarkPolicyOverheadFBEDF64",
+	"rtdvs/internal/core.fbEDF.OnCompletion":    "BenchmarkPolicyOverheadFBEDF64",
+	"rtdvs/internal/core.stSelect.adjust":       "BenchmarkPolicyOverheadSTSelect64",
+	"rtdvs/internal/core.stSelect.OnRelease":    "BenchmarkPolicyOverheadSTSelect64",
+	"rtdvs/internal/core.stSelect.OnCompletion": "BenchmarkPolicyOverheadSTSelect64",
+	"rtdvs/internal/core.stSelect.OnExecute":    "BenchmarkPolicyOverheadSTSelect64",
 
 	// Closure-free operating-point lookup used by every dynamic policy.
 	"rtdvs/internal/machine.PointSelector.AtLeast": "TestSelectorMatchesLowestAtLeast",

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"testing"
+
+	"rtdvs/internal/fpx"
+	"rtdvs/internal/machine"
+	"rtdvs/internal/sched"
+	"rtdvs/internal/task"
+)
+
+// --- fbEDF: feedback miss-rate control ---
+
+func TestFeedbackEDFValidation(t *testing.T) {
+	for _, sp := range []float64{0, 1, -0.1, 1.5} {
+		if _, err := FeedbackEDF(sp); err == nil {
+			t.Errorf("setpoint %v accepted", sp)
+		}
+	}
+}
+
+func TestFeedbackEDFNeverGuaranteed(t *testing.T) {
+	p, err := FeedbackEDF(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Attach(task.PaperExample(), machine.Machine0()); err != nil {
+		t.Fatal(err)
+	}
+	if p.Guaranteed() {
+		t.Error("a rate controller must never claim per-deadline guarantees")
+	}
+	if p.Scheduler() != sched.EDF {
+		t.Errorf("scheduler = %v", p.Scheduler())
+	}
+	if p.IdlePoint() != machine.Machine0().Min() {
+		t.Errorf("idle point = %v, want min", p.IdlePoint())
+	}
+}
+
+func TestFeedbackEDFLearnsUtilizationDown(t *testing.T) {
+	// Declared U = 0.8 needs full speed on machine 0, but the task only
+	// ever uses 2 of its 8 cycles: with no misses the controller is a
+	// pure feedforward utilization governor and must settle at 0.5.
+	ts := task.MustSet(task.Task{Period: 10, WCET: 8})
+	p, err := FeedbackEDF(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Attach(ts, machine.Machine0()); err != nil {
+		t.Fatal(err)
+	}
+	if p.Point().Freq != 1.0 {
+		t.Fatalf("attach frequency = %v, want 1.0 (declared worst case)", p.Point().Freq)
+	}
+	sys := &fakeSystem{deadlines: []float64{10}}
+	for i := 0; i < 50; i++ {
+		p.OnRelease(sys, 0)
+		p.OnExecute(0, 2)
+		p.OnCompletion(sys, 0, 2)
+	}
+	if p.Point().Freq != 0.5 {
+		t.Errorf("settled frequency = %v, want 0.5 (û learned to 0.2)", p.Point().Freq)
+	}
+	fb := p.(*fbEDF)
+	if fb.MissesObserved() != 0 {
+		t.Errorf("misses = %d under nominal load", fb.MissesObserved())
+	}
+	if fb.out != 0 {
+		t.Errorf("PID correction = %v with zero miss rate, want 0", fb.out)
+	}
+}
+
+func TestFeedbackEDFEscalatesOnMissesAndRecovers(t *testing.T) {
+	ts := task.MustSet(task.Task{Period: 10, WCET: 4})
+	p, err := FeedbackEDF(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Attach(ts, machine.Machine0()); err != nil {
+		t.Fatal(err)
+	}
+	if p.Point().Freq != 0.5 {
+		t.Fatalf("attach frequency = %v, want 0.5 (U = 0.4)", p.Point().Freq)
+	}
+	sys := &fakeSystem{deadlines: []float64{10}}
+	fb := p.(*fbEDF)
+
+	// Overload: every release finds the previous invocation in flight.
+	for i := 0; i < 30; i++ {
+		p.OnRelease(sys, 0)
+		if fb.integ < 0 || fb.integ > fbIntegMax+fpx.Tiny {
+			t.Fatalf("integrator %v escaped [0, %v]", fb.integ, fbIntegMax)
+		}
+	}
+	if p.Point().Freq != 1.0 {
+		t.Errorf("overload frequency = %v, want 1.0", p.Point().Freq)
+	}
+	if fb.MissesObserved() == 0 {
+		t.Error("structural misses not observed")
+	}
+
+	// Recovery: the anti-windup clamp bounds the corrective backlog, so a
+	// bounded run of clean releases must bring the frequency back down.
+	p.OnCompletion(sys, 0, 4)
+	for i := 0; i < 200; i++ {
+		p.OnRelease(sys, 0)
+		p.OnExecute(0, 4)
+		p.OnCompletion(sys, 0, 4)
+	}
+	if p.Point().Freq != 0.5 {
+		t.Errorf("post-overload frequency = %v, want 0.5 (controller stuck high)", p.Point().Freq)
+	}
+}
+
+func TestFeedbackEDFSetpointAccessor(t *testing.T) {
+	p, err := FeedbackEDF(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp := p.(*fbEDF).Setpoint(); sp != 0.1 {
+		t.Errorf("Setpoint() = %v", sp)
+	}
+}
+
+// --- stSelect: stochastic expected-energy frequency selection ---
+
+// lightDist is a Beta(2, 8) demand model: mean 0.2 of WCET, with the
+// 99.9th percentile well under 0.8 — a workload where reserving less
+// than the worst case is clearly worth the occasional escalation.
+func lightDist(t *testing.T) task.Dist {
+	t.Helper()
+	d, err := task.NewBeta(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestStochasticSelectWithoutModelIsWorstCase(t *testing.T) {
+	ts := task.MustSet(task.Task{Period: 10, WCET: 8})
+	p := StochasticSelect(nil)
+	if err := p.Attach(ts, machine.Machine0()); err != nil {
+		t.Fatal(err)
+	}
+	st := p.(*stSelect)
+	if got := st.PlannedBudget(0); got != 8 {
+		t.Errorf("planned budget without model = %v, want WCET 8", got)
+	}
+	// Full worst-case budgets degenerate to ccEDF: the classical
+	// guarantee holds for a feasible set.
+	if !p.Guaranteed() {
+		t.Error("worst-case degenerate form should keep the EDF guarantee")
+	}
+}
+
+func TestStochasticSelectPlansBelowWorstCase(t *testing.T) {
+	ts := task.MustSet(task.Task{Period: 10, WCET: 8})
+	p := StochasticSelect(task.DistExec{D: lightDist(t), Seed: 1})
+	if err := p.Attach(ts, machine.Machine0()); err != nil {
+		t.Fatal(err)
+	}
+	st := p.(*stSelect)
+	b := st.PlannedBudget(0)
+	if !(b > 0 && b < 8) {
+		t.Fatalf("planned budget = %v, want strictly inside (0, 8)", b)
+	}
+	if p.Guaranteed() {
+		t.Error("partial budgets must drop the absolute guarantee")
+	}
+	// Budgets sit on grid boundaries: b = f·P for some grid frequency.
+	sys := &fakeSystem{deadlines: []float64{10}}
+	p.OnRelease(sys, 0)
+	if got, want := p.Point().Freq, b/10; !fpx.Eq(got, want) {
+		t.Errorf("release frequency = %v, want budget/period = %v", got, want)
+	}
+}
+
+func TestStochasticSelectEscalatesOnBudgetExhaustion(t *testing.T) {
+	ts := task.MustSet(task.Task{Period: 10, WCET: 8})
+	p := StochasticSelect(task.DistExec{D: lightDist(t), Seed: 1})
+	if err := p.Attach(ts, machine.Machine0()); err != nil {
+		t.Fatal(err)
+	}
+	st := p.(*stSelect)
+	sys := &fakeSystem{deadlines: []float64{10}}
+	p.OnRelease(sys, 0)
+	low := p.Point().Freq
+
+	// Consume past the planned budget: the reservation escalates to the
+	// declared worst case on the spot (U = 0.8 → full speed).
+	p.OnExecute(0, st.PlannedBudget(0)+0.5)
+	if p.Point().Freq != 1.0 {
+		t.Errorf("post-exhaustion frequency = %v, want 1.0", p.Point().Freq)
+	}
+
+	// Completion returns to cycle-conserving accounting, and the next
+	// release re-reserves the *planned* budget, not the escalated one.
+	p.OnCompletion(sys, 0, 7)
+	p.OnRelease(sys, 0)
+	if p.Point().Freq != low {
+		t.Errorf("next-release frequency = %v, want %v (plan must not stay escalated)", p.Point().Freq, low)
+	}
+}
+
+func TestStochasticSelectCompletionIsCycleConserving(t *testing.T) {
+	ts := task.MustSet(task.Task{Period: 10, WCET: 8})
+	p := StochasticSelect(task.DistExec{D: lightDist(t), Seed: 1})
+	if err := p.Attach(ts, machine.Machine0()); err != nil {
+		t.Fatal(err)
+	}
+	sys := &fakeSystem{deadlines: []float64{10}}
+	p.OnRelease(sys, 0)
+	p.OnExecute(0, 1)
+	p.OnCompletion(sys, 0, 1)
+	// Actual use 1 cycle → U = 0.1 → minimum frequency.
+	if p.Point().Freq != 0.5 {
+		t.Errorf("post-completion frequency = %v, want 0.5", p.Point().Freq)
+	}
+	if ru := p.(*stSelect).ReservedUtilization(); !fpx.Eq(ru, 0.1) {
+		t.Errorf("ReservedUtilization = %v, want 0.1", ru)
+	}
+}
+
+func TestStochasticSelectSetDistributionsTakesEffectAtAttach(t *testing.T) {
+	ts := task.MustSet(task.Task{Period: 10, WCET: 8})
+	p := StochasticSelect(nil)
+	var dp DistributionPlanner = p.(*stSelect)
+	dp.SetDistributions(task.DistExec{D: lightDist(t), Seed: 1})
+	if err := p.Attach(ts, machine.Machine0()); err != nil {
+		t.Fatal(err)
+	}
+	if b := p.(*stSelect).PlannedBudget(0); b >= 8 {
+		t.Errorf("planned budget = %v after SetDistributions, want < WCET", b)
+	}
+	// Clearing the model restores worst-case planning at the next Attach.
+	dp.SetDistributions(nil)
+	if err := p.Attach(ts, machine.Machine0()); err != nil {
+		t.Fatal(err)
+	}
+	if b := p.(*stSelect).PlannedBudget(0); b != 8 {
+		t.Errorf("planned budget = %v after clearing model, want WCET", b)
+	}
+}
+
+func TestContainedForwardsDistributions(t *testing.T) {
+	ts := task.MustSet(task.Task{Period: 10, WCET: 8})
+	p := Contained(StochasticSelect(nil))
+	if p.Name() != "stSelect+contain" {
+		t.Fatalf("name = %q", p.Name())
+	}
+	dp, ok := p.(DistributionPlanner)
+	if !ok {
+		t.Fatal("contained wrapper does not forward SetDistributions")
+	}
+	dp.SetDistributions(task.DistExec{D: lightDist(t), Seed: 1})
+	if err := p.Attach(ts, machine.Machine0()); err != nil {
+		t.Fatal(err)
+	}
+	inner := p.(*contained).inner.(*stSelect)
+	if b := inner.PlannedBudget(0); b >= 8 {
+		t.Errorf("inner planned budget = %v, want < WCET (model not forwarded)", b)
+	}
+}
+
+func TestAdaptiveExtensionRegistryEntries(t *testing.T) {
+	for _, name := range []string{"fbEDF", "stSelect", "fbEDF+contain", "stSelect+contain"} {
+		p, err := ExtendedByName(name)
+		if err != nil {
+			t.Fatalf("ExtendedByName(%q): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Errorf("ExtendedByName(%q).Name() = %q", name, p.Name())
+		}
+	}
+}

@@ -47,6 +47,15 @@ type ContainmentReporter interface {
 // normal DVS resumes. Under a fault-free workload the wrapper is
 // behaviorally identical to the inner policy.
 //
+// A containment normally ends at the task's own completion or next
+// release. When neither arrives — the kernel shed or removed the task,
+// or a sporadic source went quiet after an aborted job — the escalation
+// used to be sticky: Point() pinned f_max forever on behalf of a job
+// that could no longer be running (the substrate aborts at the
+// deadline). recoverStale fixes that with a hysteresis: any callback can
+// release a containment whose job deadline lies more than one period of
+// the task in the past.
+//
 // The inner policy's model only covers demand up to the declared WCET,
 // so the wrapper forwards at most WCET worth of execution progress and
 // completion usage per invocation — beyond-budget cycles are the
@@ -71,7 +80,22 @@ type contained struct {
 	overAt []float64
 	latSum float64
 	latN   int
+
+	// dl pins each task's current-invocation deadline at release (NaN
+	// before the first release). The substrate's Deadline() keeps moving
+	// for inactive tasks, so stale-containment recovery needs the
+	// wrapper's own copy of the deadline the contained job actually had.
+	dl []float64
 }
+
+// containRecoverHysteresis scales the stale-containment recovery delay:
+// a containment is released once now exceeds the contained job's
+// deadline by this many periods of its task. One full period is
+// conservatively late — the substrate aborted the job at its deadline,
+// so the escalation serves nobody after that — while still letting the
+// ordinary settle paths (completion, next release) do the accounting in
+// every live-task schedule.
+const containRecoverHysteresis = 1.0
 
 // Contained wraps inner with overrun containment. The wrapped policy's
 // name is the inner name with a "+contain" suffix.
@@ -82,6 +106,15 @@ func Contained(inner Policy) Policy {
 func (p *contained) Name() string          { return p.name }
 func (p *contained) Scheduler() sched.Kind { return p.inner.Scheduler() }
 func (p *contained) Guaranteed() bool      { return p.inner.Guaranteed() }
+
+// SetDistributions forwards the planning model to the wrapped policy
+// when it plans against distributions, so "stSelect+contain" sees the
+// same model "stSelect" would.
+func (p *contained) SetDistributions(d task.Distributions) {
+	if dp, ok := p.inner.(DistributionPlanner); ok {
+		dp.SetDistributions(d)
+	}
+}
 
 func (p *contained) Attach(ts *task.Set, m *machine.Spec) error {
 	if err := p.inner.Attach(ts, m); err != nil {
@@ -94,11 +127,38 @@ func (p *contained) Attach(ts *task.Set, m *machine.Spec) error {
 	p.perTk = growZeroed(p.perTk, n)
 	p.total, p.nOver = 0, 0
 	p.overAt = growZeroed(p.overAt, n)
+	p.dl = growZeroed(p.dl, n)
 	for i := range p.overAt {
 		p.overAt[i] = math.NaN()
+		p.dl[i] = math.NaN()
 	}
 	p.latSum, p.latN = 0, 0
 	return nil
+}
+
+// recoverStale releases containments whose job can no longer exist: the
+// pinned deadline plus the hysteresis period has passed. Latency is
+// folded up to the deadline — the abort point — not to now, so a late
+// sweep does not inflate the containment-latency metric.
+func (p *contained) recoverStale(sys System) {
+	if p.nOver == 0 {
+		return
+	}
+	now := sys.Now()
+	for i := range p.over {
+		if !p.over[i] || math.IsNaN(p.dl[i]) {
+			continue
+		}
+		if now <= p.dl[i]+containRecoverHysteresis*p.ts.Task(i).Period {
+			continue
+		}
+		if !math.IsNaN(p.overAt[i]) && p.dl[i] > p.overAt[i] {
+			p.latSum += p.dl[i] - p.overAt[i]
+			p.latN++
+		}
+		p.overAt[i] = math.NaN()
+		p.release(i)
+	}
 }
 
 // contain flips task i into containment (idempotently).
@@ -142,15 +202,18 @@ func (p *contained) OnOverrun(sys System, i int) {
 }
 
 func (p *contained) OnRelease(sys System, i int) {
+	p.recoverStale(sys)
 	// A new release supersedes whatever the previous invocation did: if
 	// it was still contained (aborted at its deadline without a
 	// completion callback), the containment ends here.
 	p.settle(sys, i)
 	p.used[i] = 0
+	p.dl[i] = sys.Deadline(i)
 	p.inner.OnRelease(sys, i)
 }
 
 func (p *contained) OnCompletion(sys System, i int, used float64) {
+	p.recoverStale(sys)
 	p.settle(sys, i)
 	// Clamp to the declared bound: the inner policy reserved at most
 	// C_i/P_i, and crediting more would push e.g. ccEDF's utilization

@@ -221,3 +221,58 @@ func TestContainedReservedUtilizationFallback(t *testing.T) {
 		t.Error("out-of-range TaskContainments not zero")
 	}
 }
+
+// Regression test for the sticky-escalation bug: before stale-containment
+// recovery existed, a containment ended only at the contained task's own
+// completion or next release. A task the kernel sheds or removes after an
+// aborted overrun gets neither, so Point() stayed pinned at f_max for the
+// rest of the run — maximum energy on behalf of a job that the substrate
+// had already aborted at its deadline. The fix (recoverStale) releases
+// such a containment once the pinned deadline lies more than one period
+// of the task in the past, from any other task's callback.
+func TestContainedStaleEscalationRecovers(t *testing.T) {
+	m := machine.Machine0()
+	p := attach(t, "ccEDF+contain", task.PaperExample(), m)
+	cr := p.(ContainmentReporter)
+	sys := &fakeSystem{now: 0, deadlines: []float64{8, 10, 14}}
+	for i := 0; i < 3; i++ {
+		p.OnRelease(sys, i)
+	}
+	sys.now = 2
+	p.(OverrunAware).OnOverrun(sys, 0)
+	if p.Point() != m.Max() {
+		t.Fatal("overrun did not escalate to f_max")
+	}
+
+	// Task 0 is never heard from again (shed/removed after the abort).
+	// The other tasks keep the schedule alive. Its deadline was 8 and its
+	// period is 8: within deadline + one period the escalation must hold
+	// — this is the hysteresis, not the bug.
+	sys.now = 10
+	p.OnCompletion(sys, 1, 3)
+	sys.deadlines[1] = 20
+	p.OnRelease(sys, 1)
+	if p.Point() != m.Max() {
+		t.Error("containment released inside the hysteresis window")
+	}
+
+	// Past deadline (8) + one period (8), any callback sweeps it. The old
+	// sticky behavior kept ContainedNow() true and Point() at m.Max()
+	// forever from this point on.
+	sys.now = 16.5
+	p.OnCompletion(sys, 2, 1)
+	if cr.ContainedNow() {
+		t.Error("stale containment survived past deadline + period (sticky-escalation bug)")
+	}
+	if p.Point() == m.Max() {
+		t.Errorf("point still pinned at f_max: %v (sticky-escalation bug)", p.Point())
+	}
+	// The latency fold credits the span up to the abort (deadline), not
+	// the sweep time.
+	if lat, n := cr.ContainmentLatency(); n != 1 || lat != 6 {
+		t.Errorf("containment latency = %v over %d, want 6 over 1 (2 → deadline 8)", lat, n)
+	}
+	if cr.Containments() != 1 {
+		t.Errorf("history lost: %d containments", cr.Containments())
+	}
+}

@@ -151,7 +151,7 @@ func TestExtendedByName(t *testing.T) {
 	if _, err := ExtendedByName("bogus"); err == nil {
 		t.Error("unknown extension accepted")
 	}
-	if len(ExtendedNames()) != len(Names())+2 {
+	if len(ExtendedNames()) != len(Names())+len(extensionFactories) {
 		t.Errorf("ExtendedNames = %v", ExtendedNames())
 	}
 }

@@ -137,8 +137,12 @@ func (p *stEDF) IdlePoint() machine.OperatingPoint { return p.m.Min() }
 
 // extensionFactories registers the extension policies that are not part
 // of the paper's Table 4 set, with their default parameterizations:
-// "interval" (average-throughput governor, 20 ms window, 0.7 target) and
-// "stEDF" (statistical EDF at the 95th percentile). Like
+// "interval" (average-throughput governor, 20 ms window, 0.7 target),
+// "stEDF" (statistical EDF at the 95th percentile), "fbEDF" (feedback
+// miss-rate control at the default setpoint), and "stSelect"
+// (expected-energy-optimal stochastic frequency selection; the planning
+// model is wired by the substrates when the exec model carries one).
+// The adaptive extensions also come in "+contain" variants. Like
 // policyFactories, this is a policy registry the policyreg analyzer
 // checks implementations against.
 //
@@ -146,6 +150,16 @@ func (p *stEDF) IdlePoint() machine.OperatingPoint { return p.m.Min() }
 var extensionFactories = map[string]func() (Policy, error){
 	"interval": func() (Policy, error) { return IntervalDVS(20, 0.7) },
 	"stEDF":    func() (Policy, error) { return StatisticalEDF(0.95) },
+	"fbEDF":    func() (Policy, error) { return FeedbackEDF(fbDefaultSetpoint) },
+	"stSelect": func() (Policy, error) { return StochasticSelect(nil), nil },
+	"fbEDF+contain": func() (Policy, error) {
+		p, err := FeedbackEDF(fbDefaultSetpoint)
+		if err != nil {
+			return nil, err
+		}
+		return Contained(p), nil
+	},
+	"stSelect+contain": func() (Policy, error) { return Contained(StochasticSelect(nil)), nil },
 }
 
 // ExtendedByName resolves the extension policies by name; paper policies
@@ -160,5 +174,6 @@ func ExtendedByName(name string) (Policy, error) {
 // ExtendedNames lists every available policy: the Table 4 set plus the
 // extensions.
 func ExtendedNames() []string {
-	return append(Names(), "interval", "stEDF")
+	return append(Names(), "interval", "stEDF", "fbEDF", "stSelect",
+		"fbEDF+contain", "stSelect+contain")
 }

@@ -15,6 +15,9 @@ type Metrics struct {
 	misses        *obs.Counter
 	overruns      *obs.Counter
 	containments  *obs.Counter
+	policyRuns    *obs.Counter
+	policyMisses  *obs.Counter
+	policySheds   *obs.Counter
 }
 
 // NewMetrics registers the experiment harness's instruments on reg.
@@ -34,6 +37,12 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"WCET overruns injected across all robustness simulations."),
 		containments: reg.Counter("rtdvs_sweep_containments_total",
 			"Overrun containments reported by containment-aware policies."),
+		policyRuns: reg.Counter("rtdvs_policy_grid_runs_total",
+			"Kernel runs executed by the policy × fault-regime grid."),
+		policyMisses: reg.Counter("rtdvs_policy_grid_misses_total",
+			"Deadline misses observed across grid kernel runs."),
+		policySheds: reg.Counter("rtdvs_policy_grid_sheds_total",
+			"Load-shed demotions performed across grid kernel runs."),
 	}
 }
 
@@ -59,6 +68,14 @@ func (m *Metrics) simRun(missCount int) {
 	if m != nil {
 		m.simRuns.Inc()
 		m.misses.Add(float64(missCount))
+	}
+}
+
+func (m *Metrics) gridRun(missCount, sheds int) {
+	if m != nil {
+		m.policyRuns.Inc()
+		m.policyMisses.Add(float64(missCount))
+		m.policySheds.Add(float64(sheds))
 	}
 }
 

@@ -238,7 +238,7 @@ func RobustnessContext(ctx context.Context, cfg RobustnessConfig) (*RobustnessSw
 				for pi, pname := range policies {
 					p := pcache[pname]
 					if p == nil {
-						p, err = core.ByName(pname)
+						p, err = core.ExtendedByName(pname)
 						if err != nil {
 							fail(err)
 							ok = false

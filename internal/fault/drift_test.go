@@ -1,0 +1,109 @@
+package fault
+
+import (
+	"testing"
+
+	"rtdvs/internal/fpx"
+)
+
+// TestDriftCrossesReleaseBoundary drives the random walk with a step
+// amplitude larger than a task period, so the accumulated lateness can
+// push a release past the *next* nominal tick. The contract under test:
+// the walk is keyed to the nominal grid (one step per invocation, state
+// a pure function of the invocation index), so a boundary crossing never
+// compounds — lateness is always measured from the invocation's own
+// nominal release, and a fresh injector replaying the same invocation
+// sequence reproduces the history bit for bit.
+func TestDriftCrossesReleaseBoundary(t *testing.T) {
+	const period = 10.0
+	plan := Plan{Seed: 11, DriftProb: 1, DriftMax: 4 * period}
+	in := MustNew(plan)
+
+	crossed := false
+	delays := make([]float64, 0, 64)
+	for inv := 0; inv < 64; inv++ {
+		d := in.ReleaseDelay(float64(inv)*period, 0, inv)
+		if d < 0 {
+			t.Fatalf("negative delay %v at inv %d", d, inv)
+		}
+		if d > period {
+			crossed = true
+		}
+		delays = append(delays, d)
+	}
+	if !crossed {
+		t.Fatal("walk with DriftMax = 4×period never crossed a release boundary")
+	}
+
+	// Replay on a fresh injector: the walk state must be a pure function
+	// of (seed, task, inv), boundary crossings included.
+	re := MustNew(plan)
+	for inv, want := range delays {
+		if got := re.ReleaseDelay(float64(inv)*period, 0, inv); got != want {
+			t.Fatalf("replay diverged at inv %d: %v != %v", inv, got, want)
+		}
+	}
+
+	// Re-querying an already-stepped invocation must not advance the walk:
+	// the delay for the latest inv is stable under repeated calls.
+	last := len(delays) - 1
+	if got := in.ReleaseDelay(float64(last)*period, 0, last); got != delays[last] {
+		t.Errorf("re-query advanced the walk: %v != %v", got, delays[last])
+	}
+}
+
+// TestDriftZeroAmplitudeWalk pins the degenerate plan: a drift
+// probability with zero amplitude is valid but inert — no events, no
+// delay, no model violation, regardless of how often it is consulted.
+func TestDriftZeroAmplitudeWalk(t *testing.T) {
+	plan := Plan{Seed: 3, DriftProb: 1, DriftMax: 0}
+	if err := plan.Validate(); err != nil {
+		t.Fatalf("zero-amplitude plan rejected: %v", err)
+	}
+	in := MustNew(plan)
+	for inv := 0; inv < 200; inv++ {
+		if d := in.ReleaseDelay(float64(inv), 0, inv); !fpx.Eq(d, 0) {
+			t.Fatalf("zero-amplitude walk produced delay %v at inv %d", d, inv)
+		}
+	}
+	if r := in.Record(); r.Drifts != 0 || r.Total() != 0 {
+		t.Errorf("zero-amplitude walk recorded events: %+v", r)
+	}
+	if in.ModelViolated() {
+		t.Error("zero-amplitude walk marked the model violated")
+	}
+}
+
+// TestDriftComposesWithJitter asserts exact decomposition: jitter and
+// drift draw from independent key classes, so an injector running both
+// produces, at every invocation, precisely the sum of what jitter-only
+// and drift-only injectors with the same seed produce — the two fault
+// mechanisms cannot perturb each other's histories.
+func TestDriftComposesWithJitter(t *testing.T) {
+	const seed = 29
+	jOnly := MustNew(Plan{Seed: seed, JitterProb: 0.4, JitterMax: 3})
+	dOnly := MustNew(Plan{Seed: seed, DriftProb: 0.4, DriftMax: 2})
+	both := MustNew(Plan{Seed: seed, JitterProb: 0.4, JitterMax: 3, DriftProb: 0.4, DriftMax: 2})
+
+	var sawJitter, sawDrift bool
+	for ti := 0; ti < 3; ti++ {
+		for inv := 0; inv < 400; inv++ {
+			now := float64(inv)
+			j := jOnly.ReleaseDelay(now, ti, inv)
+			d := dOnly.ReleaseDelay(now, ti, inv)
+			c := both.ReleaseDelay(now, ti, inv)
+			if c != j+d {
+				t.Fatalf("composition broke at (%d,%d): both=%v, jitter=%v + drift=%v", ti, inv, c, j, d)
+			}
+			sawJitter = sawJitter || j > 0
+			sawDrift = sawDrift || d > 0
+		}
+	}
+	if !sawJitter || !sawDrift {
+		t.Fatalf("degenerate run: jitter fired=%v drift fired=%v", sawJitter, sawDrift)
+	}
+	rb, rj, rd := both.Record(), jOnly.Record(), dOnly.Record()
+	if rb.Jitters != rj.Jitters || rb.Drifts != rd.Drifts {
+		t.Errorf("event counts diverged: both=%+v jitterOnly=%+v driftOnly=%+v", rb, rj, rd)
+	}
+}

@@ -28,6 +28,10 @@
 //   - Frequency-switch failures: a requested transition is denied
 //     outright, the operating point gets stuck for StuckSpan ms, or the
 //     mandatory stop interval is inflated by OverheadFactor.
+//   - Overload regimes: a per-task on/off Markov chain under which every
+//     release in an "on" phase overruns to OverloadFactor×WCET — the
+//     sustained-overload and burst scenarios (see SustainedOverload and
+//     Burst) that iid overruns cannot express.
 //
 // Draws are keyed by a splitmix64 hash of (seed, fault class, task,
 // invocation) rather than consumed from a shared stream, so the overrun
@@ -56,6 +60,7 @@ const (
 	KindSwitchDenied
 	KindSwitchStuck
 	KindOverheadInflated
+	KindOverload
 )
 
 // String implements fmt.Stringer.
@@ -73,6 +78,8 @@ func (k Kind) String() string {
 		return "switch-stuck"
 	case KindOverheadInflated:
 		return "overhead-inflated"
+	case KindOverload:
+		return "overload"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -132,12 +139,48 @@ type Plan struct {
 	// transition by OverheadFactor (> 1).
 	OverheadProb   float64 `json:"overheadProb,omitempty"`
 	OverheadFactor float64 `json:"overheadFactor,omitempty"`
+
+	// Overload regimes: a per-task two-state Markov (on/off) chain,
+	// advanced one step per invocation. While a task's chain is "on",
+	// *every* release overruns to OverloadFactor×WCET (plus an optional
+	// exponential tail) — the sustained-overload and burst scenarios the
+	// iid OverrunProb model cannot express. OverloadOnProb is the
+	// per-invocation off→on transition probability, OverloadOffProb the
+	// on→off probability; their ratio sets the duty cycle, their
+	// magnitudes the regime dwell times. The chain is a pure function of
+	// (Seed, task, invocation), so the overload history is identical
+	// across policies and unaffected by skipped invocations.
+	OverloadOnProb  float64 `json:"overloadOnProb,omitempty"`
+	OverloadOffProb float64 `json:"overloadOffProb,omitempty"`
+	// OverloadFactor is the demand multiplier while the regime is on
+	// (zero selects 1.8); OverloadTail adds OverloadTail·Exp(1) on top.
+	OverloadFactor float64 `json:"overloadFactor,omitempty"`
+	OverloadTail   float64 `json:"overloadTail,omitempty"`
 }
 
 // Default is the repository's default fault scenario: 5% of releases
 // overrun to 1.5× their declared worst case, nothing else misbehaves.
 func Default(seed int64) Plan {
 	return Plan{Seed: seed, OverrunProb: 0.05, OverrunFactor: 1.5}
+}
+
+// SustainedOverload is the persistent-overload regime: the Markov chain
+// flips on almost immediately (off→on 0.9 per invocation) and stays on
+// for ~50 invocations at a time (on→off 0.02), overrunning every release
+// in the regime to 1.6×WCET. This is the scenario feedback control is
+// for — a declared-WCET policy pins f_max and still misses, while a
+// rate controller converges to its setpoint.
+func SustainedOverload(seed int64) Plan {
+	return Plan{Seed: seed, OverloadOnProb: 0.9, OverloadOffProb: 0.02, OverloadFactor: 1.6}
+}
+
+// Burst is the bursty-overload regime: short heavy episodes (mean dwell
+// 4 invocations at 2×WCET with a 0.3·Exp(1) tail) separated by ~20
+// quiet invocations — the shape that stresses containment latency and
+// recovery hysteresis rather than steady-state tracking.
+func Burst(seed int64) Plan {
+	return Plan{Seed: seed, OverloadOnProb: 0.05, OverloadOffProb: 0.25,
+		OverloadFactor: 2.0, OverloadTail: 0.3}
 }
 
 // Validate checks the plan's structural invariants.
@@ -149,6 +192,7 @@ func (p Plan) Validate() error {
 		{"OverrunProb", p.OverrunProb}, {"JitterProb", p.JitterProb},
 		{"DriftProb", p.DriftProb}, {"SwitchDenyProb", p.SwitchDenyProb},
 		{"StuckProb", p.StuckProb}, {"OverheadProb", p.OverheadProb},
+		{"OverloadOnProb", p.OverloadOnProb}, {"OverloadOffProb", p.OverloadOffProb},
 	} {
 		if pr.v < 0 || pr.v > 1 || math.IsNaN(pr.v) {
 			return fmt.Errorf("fault: %s must lie in [0, 1], got %v", pr.name, pr.v)
@@ -159,6 +203,12 @@ func (p Plan) Validate() error {
 	}
 	if p.OverrunTail < 0 {
 		return fmt.Errorf("fault: OverrunTail must be non-negative, got %v", p.OverrunTail)
+	}
+	if p.OverloadFactor < 0 || (fpx.Ne(p.OverloadFactor, 0) && p.OverloadFactor < 1) {
+		return fmt.Errorf("fault: OverloadFactor must be ≥ 1 (or 0 for the default), got %v", p.OverloadFactor)
+	}
+	if p.OverloadTail < 0 {
+		return fmt.Errorf("fault: OverloadTail must be non-negative, got %v", p.OverloadTail)
 	}
 	if p.JitterMax < 0 || p.DriftMax < 0 || p.StuckSpan < 0 {
 		return fmt.Errorf("fault: JitterMax, DriftMax and StuckSpan must be non-negative")
@@ -178,6 +228,7 @@ type Record struct {
 	SwitchesDenied    int `json:"switchesDenied"`
 	SwitchesStuck     int `json:"switchesStuck"`
 	OverheadsInflated int `json:"overheadsInflated"`
+	Overloads         int `json:"overloads,omitempty"`
 	// TaskOverruns counts injected overruns per task index.
 	TaskOverruns map[int]int `json:"taskOverruns,omitempty"`
 	// Events holds the first maxEvents fired faults in order.
@@ -189,7 +240,7 @@ type Record struct {
 // Total returns the total number of fired faults.
 func (r Record) Total() int {
 	return r.Overruns + r.Jitters + r.Drifts +
-		r.SwitchesDenied + r.SwitchesStuck + r.OverheadsInflated
+		r.SwitchesDenied + r.SwitchesStuck + r.OverheadsInflated + r.Overloads
 }
 
 // maxEvents bounds the per-injector event list (the counters keep full
@@ -207,9 +258,20 @@ type Injector struct {
 	// admission guarantee was computed against (see noteViolation).
 	violated bool
 
-	stuckUntil float64      // operating point stuck until this time
-	switchSeq  uint64       // transition attempt counter (draw key)
-	drift      map[int]walk // per-task random-walk lateness state
+	stuckUntil float64        // operating point stuck until this time
+	switchSeq  uint64         // transition attempt counter (draw key)
+	drift      map[int]walk   // per-task random-walk lateness state
+	regimes    map[int]regime // per-task overload Markov-chain state
+}
+
+// regime is one task's overload-chain state. The chain is advanced
+// exactly once per invocation index (skipped invocations are stepped
+// through on the next call), so the on/off history is a pure function of
+// (seed, task, invocation) regardless of call order.
+type regime struct {
+	on      bool
+	lastInv int
+	seen    bool
 }
 
 // walk is one task's timer-drift state: the current lateness and the
@@ -227,7 +289,10 @@ func New(plan Plan) (*Injector, error) {
 	if fpx.Eq(plan.OverrunFactor, 0) {
 		plan.OverrunFactor = 1.5
 	}
-	return &Injector{plan: plan, drift: map[int]walk{}}, nil
+	if fpx.Eq(plan.OverloadFactor, 0) {
+		plan.OverloadFactor = 1.8
+	}
+	return &Injector{plan: plan, drift: map[int]walk{}, regimes: map[int]regime{}}, nil
 }
 
 // MustNew is New that panics on error; intended for tests and literal
@@ -284,6 +349,8 @@ func (in *Injector) fire(e Event) {
 		in.rec.SwitchesStuck++
 	case KindOverheadInflated:
 		in.rec.OverheadsInflated++
+	case KindOverload:
+		in.rec.Overloads++
 	}
 	if len(in.rec.Events) < maxEvents {
 		in.rec.Events = append(in.rec.Events, e)
@@ -293,30 +360,74 @@ func (in *Injector) fire(e Event) {
 }
 
 // Demand possibly inflates the actual demand of invocation inv of task
-// ti beyond its declared worst case. nominal is the demand the execution
-// model drew (already clamped to (0, wcet]); the result is either
-// nominal (no fault) or a value strictly above wcet.
+// ti beyond its declared worst case: the iid overrun model and the
+// Markov overload regime are evaluated independently and the larger
+// injected demand wins. nominal is the demand the execution model drew
+// (already clamped to (0, wcet]); the result is either nominal (no
+// fault) or a value strictly above wcet.
 func (in *Injector) Demand(now float64, ti, inv int, wcet, nominal float64) float64 {
-	if in == nil || in.plan.OverrunProb <= 0 {
+	if in == nil {
 		return nominal
 	}
-	if u01(in.plan.Seed, KindOverrun, ti, inv) >= in.plan.OverrunProb {
-		return nominal
-	}
-	factor := in.plan.OverrunFactor
-	if in.plan.OverrunTail > 0 {
-		u := u01(in.plan.Seed, kindOverrunTail, ti, inv)
-		factor += in.plan.OverrunTail * -math.Log(1-u)
-	}
-	d := wcet * factor
-	if d <= wcet {
+	d := nominal
+	if in.plan.OverrunProb > 0 &&
+		u01(in.plan.Seed, KindOverrun, ti, inv) < in.plan.OverrunProb {
+		factor := in.plan.OverrunFactor
+		if in.plan.OverrunTail > 0 {
+			u := u01(in.plan.Seed, kindOverrunTail, ti, inv)
+			factor += in.plan.OverrunTail * -math.Log(1-u)
+		}
 		// Factor 1 (or numeric degeneration) is not an overrun: the
 		// demand still fits the declared bound, so nothing fired.
-		return nominal
+		if od := wcet * factor; od > wcet {
+			in.fire(Event{Time: now, Kind: KindOverrun, Task: ti, Value: od})
+			in.noteViolation()
+			if od > d {
+				d = od
+			}
+		}
 	}
-	in.fire(Event{Time: now, Kind: KindOverrun, Task: ti, Value: d})
-	in.noteViolation()
+	if in.plan.OverloadOnProb > 0 && in.overloadOn(ti, inv) {
+		factor := in.plan.OverloadFactor
+		if in.plan.OverloadTail > 0 {
+			u := u01(in.plan.Seed, kindOverloadTail, ti, inv)
+			factor += in.plan.OverloadTail * -math.Log(1-u)
+		}
+		if od := wcet * factor; od > wcet {
+			in.fire(Event{Time: now, Kind: KindOverload, Task: ti, Value: od})
+			in.noteViolation()
+			if od > d {
+				d = od
+			}
+		}
+	}
 	return d
+}
+
+// overloadOn advances task ti's overload chain through every invocation
+// up to inv and reports whether the regime is on at inv. Stepping
+// through skipped invocations keeps the state a pure function of the
+// invocation index: a single per-invocation draw decides both
+// transitions (off→on below OverloadOnProb, on→off below
+// OverloadOffProb), interpreted by the current state.
+func (in *Injector) overloadOn(ti, inv int) bool {
+	r := in.regimes[ti]
+	if !r.seen {
+		r.lastInv, r.seen = -1, true
+	}
+	for k := r.lastInv + 1; k <= inv; k++ {
+		u := u01(in.plan.Seed, KindOverload, ti, k)
+		if r.on {
+			r.on = u >= in.plan.OverloadOffProb
+		} else {
+			r.on = u < in.plan.OverloadOnProb
+		}
+	}
+	if inv > r.lastInv {
+		r.lastInv = inv
+	}
+	in.regimes[ti] = r
+	return r.on
 }
 
 // kindOverrunTail is a private draw class for the tail magnitude, kept
@@ -368,8 +479,9 @@ func (in *Injector) ReleaseDelay(now float64, ti, inv int) float64 {
 // Private draw classes for fault magnitudes (distinct from the firing
 // decisions so magnitude and probability are independent draws).
 const (
-	kindJitterMag Kind = 101
-	kindDriftMag  Kind = 102
+	kindJitterMag    Kind = 101
+	kindDriftMag     Kind = 102
+	kindOverloadTail Kind = 103
 )
 
 // Switch adjudicates a transition attempt from -> to whose nominal stop

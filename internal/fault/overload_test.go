@@ -1,0 +1,122 @@
+package fault
+
+import "testing"
+
+func TestOverloadValidation(t *testing.T) {
+	for _, p := range []Plan{
+		{OverloadOnProb: -0.1},
+		{OverloadOnProb: 1.5},
+		{OverloadOffProb: 2},
+		{OverloadOnProb: 0.5, OverloadFactor: 0.5},
+		{OverloadOnProb: 0.5, OverloadTail: -1},
+	} {
+		if err := p.Validate(); err == nil {
+			t.Errorf("plan %+v accepted", p)
+		}
+	}
+	if err := SustainedOverload(1).Validate(); err != nil {
+		t.Errorf("SustainedOverload invalid: %v", err)
+	}
+	if err := Burst(1).Validate(); err != nil {
+		t.Errorf("Burst invalid: %v", err)
+	}
+}
+
+func TestOverloadRegimeDeterministic(t *testing.T) {
+	a := MustNew(SustainedOverload(7))
+	b := MustNew(SustainedOverload(7))
+	for inv := 0; inv < 200; inv++ {
+		da := a.Demand(float64(inv), 0, inv, 10, 8)
+		db := b.Demand(float64(inv), 0, inv, 10, 8)
+		if da != db {
+			t.Fatalf("inv %d: demands diverge (%v vs %v) for equal plans", inv, da, db)
+		}
+	}
+	if a.Record().Overloads == 0 {
+		t.Fatal("sustained overload never fired in 200 invocations")
+	}
+	if !a.ModelViolated() {
+		t.Error("overload demand above WCET did not latch a model violation")
+	}
+}
+
+func TestOverloadRegimeSkipIndependent(t *testing.T) {
+	// The chain state at invocation inv is a pure function of inv: an
+	// injector that only ever sees inv (a shed task skipped everything
+	// before it) must agree with one that walked every invocation.
+	walked := MustNew(Burst(42))
+	var want []float64
+	for inv := 0; inv < 100; inv++ {
+		want = append(want, walked.Demand(0, 3, inv, 10, 8))
+	}
+	for _, inv := range []int{0, 17, 50, 99} {
+		fresh := MustNew(Burst(42))
+		if got := fresh.Demand(0, 3, inv, 10, 8); got != want[inv] {
+			t.Errorf("inv %d: demand %v after skipping ahead, %v when walked", inv, got, want[inv])
+		}
+	}
+}
+
+func TestOverloadRegimeDwellTimes(t *testing.T) {
+	// SustainedOverload should spend most invocations in the on regime;
+	// Burst should spend most off with episodes mixed in. Both must
+	// visit both regimes over a long horizon.
+	count := func(plan Plan) (on int) {
+		in := MustNew(plan)
+		for inv := 0; inv < 2000; inv++ {
+			if in.Demand(0, 0, inv, 10, 8) > 10 {
+				on++
+			}
+		}
+		return on
+	}
+	if on := count(SustainedOverload(3)); on < 1600 {
+		t.Errorf("SustainedOverload on-fraction %d/2000, want ≥ 1600", on)
+	}
+	on := count(Burst(3))
+	if on == 0 || on > 1000 {
+		t.Errorf("Burst on-fraction %d/2000, want bursty (0 < on ≤ 1000)", on)
+	}
+}
+
+func TestOverloadComposesWithIIDOverrun(t *testing.T) {
+	// Both models enabled: the larger injected demand wins, and both
+	// counters advance independently.
+	plan := SustainedOverload(9)
+	plan.OverrunProb = 0.5
+	plan.OverrunFactor = 3 // above the 1.6 overload factor
+	in := MustNew(plan)
+	sawOverrunWin := false
+	for inv := 0; inv < 500; inv++ {
+		d := in.Demand(0, 0, inv, 10, 8)
+		if d > 10*2.9 {
+			sawOverrunWin = true
+		}
+		if d != 8 && d <= 10 {
+			t.Fatalf("inv %d: injected demand %v not above WCET", inv, d)
+		}
+	}
+	rec := in.Record()
+	if rec.Overruns == 0 || rec.Overloads == 0 {
+		t.Errorf("counters: overruns %d, overloads %d; want both > 0", rec.Overruns, rec.Overloads)
+	}
+	if !sawOverrunWin {
+		t.Error("3× iid overrun never exceeded the overload factor in 500 invocations")
+	}
+	if rec.Total() != rec.Overruns+rec.Overloads {
+		t.Errorf("Total() = %d, want %d", rec.Total(), rec.Overruns+rec.Overloads)
+	}
+}
+
+func TestOverloadDefaultFactor(t *testing.T) {
+	in := MustNew(Plan{OverloadOnProb: 1, OverloadOffProb: 0})
+	if f := in.Plan().OverloadFactor; f != 1.8 {
+		t.Errorf("normalized OverloadFactor = %v, want 1.8", f)
+	}
+	// OnProb 1, OffProb 0: permanently on from the first invocation.
+	for inv := 0; inv < 10; inv++ {
+		if d := in.Demand(0, 0, inv, 10, 10); d != 18 {
+			t.Fatalf("inv %d: demand %v, want 18", inv, d)
+		}
+	}
+}

@@ -30,6 +30,14 @@ const (
 	// EvDemote records the overrun watchdog shedding a task's hard
 	// guarantee (demotion to soft) when redeclaration is unschedulable.
 	EvDemote
+	// EvShed records the load shedder demoting a task to m-k firm
+	// degraded service (skipping a fraction of its jobs) under sustained
+	// overload; EvUnshed records the hysteresis recovery restoring it.
+	EvShed
+	EvUnshed
+	// EvSkip records one job of a shed task being dropped at its release
+	// instant (never run, never counted as released or missed).
+	EvSkip
 )
 
 // String implements fmt.Stringer.
@@ -59,6 +67,12 @@ func (k EventKind) String() string {
 		return "redeclare"
 	case EvDemote:
 		return "DEMOTE"
+	case EvShed:
+		return "SHED"
+	case EvUnshed:
+		return "unshed"
+	case EvSkip:
+		return "skip"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }

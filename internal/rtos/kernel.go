@@ -47,6 +47,10 @@ type TaskConfig struct {
 	// end is quietly abandoned — its backlog rolls into the next period's
 	// plan — instead of being recorded as a deadline miss.
 	Soft bool
+	// Value ranks the task for load shedding (see SetLoadShedding):
+	// under sustained overload the shedder degrades the lowest-value
+	// tasks first. Zero is the default (least valuable) rank.
+	Value float64
 }
 
 // MissEvent records a deadline miss observed by the kernel.
@@ -98,6 +102,11 @@ type ktask struct {
 	// sinceAdapt counts overruns since the watchdog last adapted this task.
 	sinceAdapt int
 
+	// shed marks the task demoted to m-k firm degraded service by the
+	// load shedder; skips counts its dropped jobs.
+	shed  bool
+	skips int
+
 	// sporadic tasks are released by Trigger, never by the clock;
 	// lastRelease enforces the minimum inter-arrival time.
 	sporadic    bool
@@ -140,6 +149,21 @@ type Kernel struct {
 	switchRetries int
 	// overrunThreshold arms the overrun watchdog (0 = disabled).
 	overrunThreshold int
+
+	// Load-shedder state (see shed.go): the active configuration, the
+	// LIFO order tasks were shed in, the consecutive hot/calm window
+	// counters, the current window's end and opening snapshots, and the
+	// lifetime shed/recovery totals.
+	shedCfg   ShedConfig
+	shedOrder []TaskID
+	hotWins   int
+	calmWins  int
+	winEnd    float64
+	winRel0   int
+	winMiss0  int
+
+	shedsTotal   int
+	unshedsTotal int
 }
 
 // NewKernel creates a kernel on the given platform with the given initial
@@ -493,6 +517,22 @@ func (k *Kernel) processReleases() {
 				}
 				t.active = false
 			}
+			if t.shed && !t.sporadic && k.shedSkips(t.inv) {
+				// Degraded service: this job is dropped whole at its release
+				// instant — never released, never run, never a miss. The slot
+				// it would have occupied is the relief the shedder traded for
+				// the rest of the set's deadlines.
+				t.skips++
+				t.inv++
+				rel := t.nominalRel
+				t.nominalRel = rel + t.cfg.Period
+				t.nextRelease = t.nominalRel
+				if k.faults != nil {
+					t.nextRelease += k.faults.ReleaseDelay(t.nominalRel, int(t.id), t.inv)
+				}
+				k.logEvent(Event{Kind: EvSkip, Task: t.id, Name: t.cfg.Name, Value: float64(t.inv - 1)})
+				continue
+			}
 			actual := t.nextRelease
 			// Deadlines derive from the nominal period grid; only the
 			// release instant itself is subject to injected delay.
@@ -526,6 +566,7 @@ func (k *Kernel) processReleases() {
 		k.policy.OnRelease(k, i)
 	}
 	k.enforceOverrunPolicy()
+	k.evalShedWindow()
 }
 
 // Backoff bounds (ms) for retrying operating-point transitions the
@@ -791,6 +832,10 @@ type TaskStatus struct {
 	// escalations delivered for this task.
 	Injected     int `json:"injected,omitempty"`
 	Containments int `json:"containments,omitempty"`
+	// Shed marks a task currently demoted to m-k firm degraded service
+	// by the load shedder; Skips counts the jobs dropped while shed.
+	Shed  bool `json:"shed,omitempty"`
+	Skips int  `json:"skips,omitempty"`
 }
 
 // Tasks returns the status of every registered task, sorted by id.
@@ -803,6 +848,7 @@ func (k *Kernel) Tasks() []TaskStatus {
 			Releases: t.releases, Completions: t.completions,
 			Misses: t.misses, Overruns: t.overruns,
 			Injected: t.injected, Containments: t.containments,
+			Shed: t.shed, Skips: t.skips,
 		})
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })

@@ -41,6 +41,14 @@ func (k *Kernel) ExposeMetrics(reg *obs.Registry) *KernelMetrics {
 		func() float64 { return float64(k.cpu.Switches()) })
 	reg.GaugeFunc("rtdvs_rtos_switch_denials_total", "Operating-point transitions refused by injected faults.",
 		func() float64 { return float64(k.switchDenials) })
+	reg.GaugeFunc("rtdvs_overload_shed_tasks", "Tasks currently demoted to degraded service by the load shedder.",
+		func() float64 { return float64(k.ShedActive()) })
+	reg.GaugeFunc("rtdvs_overload_sheds_total", "Load-shed demotions performed.",
+		func() float64 { return float64(k.Sheds()) })
+	reg.GaugeFunc("rtdvs_overload_recoveries_total", "Shed tasks restored by recovery hysteresis.",
+		func() float64 { return float64(k.ShedRecoveries()) })
+	reg.GaugeFunc("rtdvs_overload_skipped_jobs_total", "Jobs dropped whole by shed tasks.",
+		func() float64 { return float64(k.JobsSkipped()) })
 	return m
 }
 

@@ -22,6 +22,10 @@ func (k *Kernel) Status() string {
 	fmt.Fprintf(&b, "energy: %.4g (exec %.4g, idle %.4g)  cycles: %.4g\n",
 		k.cpu.Energy(), k.cpu.execEnergy, k.cpu.idleEnergy, k.cpu.Cycles())
 	fmt.Fprintf(&b, "misses: %d  overruns: %d\n", len(k.misses), len(k.overruns))
+	if k.shedCfg.Window > 0 || k.shedsTotal > 0 {
+		fmt.Fprintf(&b, "shed: %d active  %d sheds  %d recoveries  %d jobs skipped\n",
+			k.ShedActive(), k.Sheds(), k.ShedRecoveries(), k.JobsSkipped())
+	}
 	if k.faults != nil {
 		rec := k.faults.Record()
 		fmt.Fprintf(&b, "faults: %d injected (%d overruns, %d jitters, %d drifts)  switch denials: %d  retries: %d\n",
@@ -29,7 +33,7 @@ func (k *Kernel) Status() string {
 	}
 
 	var t stats.Table
-	t.Header("id", "name", "period", "wcet", "state", "deadline", "rel", "done", "miss", "ovr", "inj", "cont")
+	t.Header("id", "name", "period", "wcet", "state", "deadline", "rel", "done", "miss", "ovr", "inj", "cont", "skip")
 	for _, ts := range k.Tasks() {
 		state := "idle"
 		if ts.Active {
@@ -38,6 +42,9 @@ func (k *Kernel) Status() string {
 		if ts.Soft {
 			state += "/soft"
 		}
+		if ts.Shed {
+			state += "/shed"
+		}
 		t.Rowf(
 			strconv.Itoa(int(ts.ID)), ts.Name,
 			fmt.Sprintf("%g", ts.Period), fmt.Sprintf("%g", ts.WCET),
@@ -45,6 +52,7 @@ func (k *Kernel) Status() string {
 			strconv.Itoa(ts.Releases), strconv.Itoa(ts.Completions),
 			strconv.Itoa(ts.Misses), strconv.Itoa(ts.Overruns),
 			strconv.Itoa(ts.Injected), strconv.Itoa(ts.Containments),
+			strconv.Itoa(ts.Skips),
 		)
 	}
 	b.WriteString(t.String())
@@ -58,6 +66,8 @@ func (k *Kernel) Status() string {
 //	add <name> <period> <wcet>    register a task (deferred release)
 //	add! <name> <period> <wcet>   register a task (immediate release)
 //	rm <name>                     deregister a task
+//	shed <window> <missfrac>      arm the load shedder (defaults otherwise)
+//	shed off                      disarm it and restore shed tasks
 //
 // It returns a short confirmation line.
 func (k *Kernel) Command(line string) (string, error) {
@@ -70,7 +80,7 @@ func (k *Kernel) Command(line string) (string, error) {
 		if len(fields) != 2 {
 			return "", fmt.Errorf("rtos: usage: policy <name>")
 		}
-		p, err := core.ByName(fields[1])
+		p, err := core.ExtendedByName(fields[1])
 		if err != nil {
 			return "", err
 		}
@@ -99,6 +109,30 @@ func (k *Kernel) Command(line string) (string, error) {
 			return "", err
 		}
 		return fmt.Sprintf("task %s registered with id %d", fields[1], id), nil
+
+	case "shed":
+		if len(fields) == 2 && fields[1] == "off" {
+			if err := k.SetLoadShedding(ShedConfig{}); err != nil {
+				return "", err
+			}
+			return "load shedding off", nil
+		}
+		if len(fields) != 3 {
+			return "", fmt.Errorf("rtos: usage: shed <window> <missfrac> | shed off")
+		}
+		window, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil || window <= 0 {
+			return "", fmt.Errorf("rtos: bad shed window %q", fields[1])
+		}
+		missFrac, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return "", fmt.Errorf("rtos: bad shed missfrac %q: %v", fields[2], err)
+		}
+		if err := k.SetLoadShedding(ShedConfig{Window: window, MissFrac: missFrac}); err != nil {
+			return "", err
+		}
+		cfg := k.LoadShedding()
+		return fmt.Sprintf("load shedding armed: window %g ms, trigger %g, recover %g", cfg.Window, cfg.MissFrac, cfg.CalmFrac), nil
 
 	case "rm":
 		if len(fields) != 2 {

@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"testing"
+
+	"rtdvs/internal/sim"
+)
+
+// The adaptive extension policies and distribution exec specs must work
+// through both service paths, and the batch endpoint must stay
+// bit-identical to the scalar one for them — including the
+// distribution wiring stSelect plans against.
+func TestServeAdaptivePolicies(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	items := []SimulateRequest{
+		{Tasks: paperTasks(), Policy: "fbEDF", Horizon: 280},
+		{Tasks: paperTasks(), Policy: "stSelect", Exec: "beta=2,6", Seed: 5, Horizon: 280},
+		{Tasks: paperTasks(), Policy: "stSelect+contain", Exec: "bimodal=0.2,0.9,0.1", Seed: 7, Horizon: 280},
+		{Tasks: paperTasks(), Policy: "fbEDF+contain", Exec: "hist=1,2,1", Seed: 3, Horizon: 280},
+	}
+	for i, item := range items {
+		body, _ := json.Marshal(item)
+		resp := postJSON(t, ts.URL+"/v1/simulate", string(body))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("item %d (%s): status %d", i, item.Policy, resp.StatusCode)
+		}
+		got := decodeBody[sim.Result](t, resp)
+		cfg, err := item.Config()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := sim.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.TotalEnergy != want.TotalEnergy || got.Completions != want.Completions ||
+			got.Policy != want.Policy {
+			t.Errorf("item %d (%s): endpoint %+v differs from direct run %+v", i, item.Policy, got, want)
+		}
+	}
+
+	body, _ := json.Marshal(SimulateBatchRequest{Items: items})
+	resp := postJSON(t, ts.URL+"/v1/simulate:batch", string(body))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+	got := decodeBody[SimulateBatchResponse](t, resp)
+	if len(got.Items) != len(items) {
+		t.Fatalf("%d batch items back, want %d", len(got.Items), len(items))
+	}
+	for i, item := range items {
+		if got.Items[i].Error != "" {
+			t.Fatalf("batch item %d: %s", i, got.Items[i].Error)
+		}
+		cfg, err := item.Config()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := sim.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantJSON, _ := json.Marshal(want)
+		gotJSON, _ := json.Marshal(got.Items[i].Result)
+		if !reflect.DeepEqual(wantJSON, gotJSON) {
+			t.Errorf("batch item %d (%s): batch %s, scalar %s", i, item.Policy, gotJSON, wantJSON)
+		}
+	}
+}

@@ -33,12 +33,16 @@ type SimulateRequest struct {
 	MachineSpec *machine.Spec `json:"machineSpec,omitempty"`
 	// IdleLevel overrides the spec's idle-level factor when set.
 	IdleLevel *float64 `json:"idleLevel,omitempty"`
-	// Policy is the scaling policy name (core.Names); default laEDF.
+	// Policy is the scaling policy name (core.ExtendedNames, which
+	// includes the adaptive extension family); default laEDF.
 	Policy string `json:"policy,omitempty"`
 	// Exec is the execution model spec (task.ParseExec): "wcet",
-	// "c=<frac>", or "uniform".
+	// "c=<frac>", "uniform", or a distribution spec ("beta=<a>,<b>",
+	// "bimodal=<lo>,<hi>,<p>", "hist=<w1>,...") — the latter also feed
+	// the distribution-planning policies (stSelect).
 	Exec string `json:"exec,omitempty"`
-	// Seed feeds the "uniform" execution model.
+	// Seed feeds the "uniform" execution model and keys the
+	// distribution models' per-invocation draws.
 	Seed int64 `json:"seed,omitempty"`
 	// Horizon is the simulated duration in ms; 0 selects 20× the longest
 	// period.
@@ -63,7 +67,7 @@ func (r *SimulateRequest) Config() (sim.Config, error) {
 	if pname == "" {
 		pname = "laEDF"
 	}
-	p, err := core.ByName(pname)
+	p, err := core.ExtendedByName(pname)
 	if err != nil {
 		return zero, err
 	}
@@ -126,7 +130,7 @@ func (r *SweepRequest) Config() (experiment.Config, error) {
 		return zero, fmt.Errorf("serve: sets must be non-negative, got %d", r.Sets)
 	}
 	for _, p := range r.Policies {
-		if _, err := core.ByName(p); err != nil {
+		if _, err := core.ExtendedByName(p); err != nil {
 			return zero, err
 		}
 	}

@@ -374,6 +374,7 @@ func (b *BatchRunner) validateLane(l int, cfg Config) (Config, error) {
 	if cfg.Horizon <= 0 {
 		cfg.Horizon = 20 * cfg.Tasks.MaxPeriod()
 	}
+	wireDistributions(cfg.Policy, cfg.Exec)
 	if err := cfg.Policy.Attach(cfg.Tasks, cfg.Machine); err != nil {
 		return cfg, err
 	}

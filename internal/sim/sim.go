@@ -34,6 +34,20 @@ import (
 	"rtdvs/internal/trace"
 )
 
+// wireDistributions hands the run's execution model to the policy when
+// both sides speak distributions: a core.DistributionPlanner policy
+// (stSelect, possibly wrapped in containment) plans against exactly the
+// task.Distributions model driving the simulation. Policies and models
+// outside those interfaces are untouched.
+func wireDistributions(p core.Policy, exec task.ExecModel) {
+	dp, ok := p.(core.DistributionPlanner)
+	if !ok {
+		return
+	}
+	d, _ := exec.(task.Distributions)
+	dp.SetDistributions(d) // nil clears a stale model from a prior run
+}
+
 // Config describes one simulation run.
 type Config struct {
 	// Tasks is the periodic task set; each task is first released at its
@@ -322,6 +336,7 @@ func (r *Runner) run(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.Horizon <= 0 {
 		cfg.Horizon = 20 * cfg.Tasks.MaxPeriod()
 	}
+	wireDistributions(cfg.Policy, cfg.Exec)
 	if err := cfg.Policy.Attach(cfg.Tasks, cfg.Machine); err != nil {
 		return nil, err
 	}

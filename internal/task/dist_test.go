@@ -1,0 +1,389 @@
+package task
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"rtdvs/internal/machine"
+)
+
+func TestBetaMomentsAndInverse(t *testing.T) {
+	cases := []struct{ a, b float64 }{
+		{1, 1}, {2, 2}, {2, 5}, {5, 2}, {0.5, 0.5}, {8, 1}, {1, 8},
+	}
+	for _, c := range cases {
+		d, err := NewBeta(c.a, c.b)
+		if err != nil {
+			t.Fatalf("NewBeta(%v,%v): %v", c.a, c.b, err)
+		}
+		if got, want := d.Mean(), c.a/(c.a+c.b); math.Abs(got-want) > 1e-12 {
+			t.Errorf("Beta(%v,%v).Mean() = %v, want %v", c.a, c.b, got, want)
+		}
+		// CDF∘Quantile is identity (to the CDF's own accuracy).
+		for _, p := range []float64{0.01, 0.1, 0.5, 0.9, 0.99} {
+			x := d.Quantile(p)
+			if got := d.CDF(x); math.Abs(got-p) > 1e-9 {
+				t.Errorf("Beta(%v,%v): CDF(Quantile(%v)) = %v", c.a, c.b, p, got)
+			}
+		}
+		// CDF is monotone over the support.
+		prev := -1.0
+		for x := 0.0; x <= 1.0+1e-12; x += 1.0 / 64 {
+			v := d.CDF(x)
+			if v < prev-1e-12 {
+				t.Fatalf("Beta(%v,%v): CDF not monotone at %v", c.a, c.b, x)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestBetaUniformSpecialCase(t *testing.T) {
+	// Beta(1,1) is uniform: CDF(x) = x exactly (to numerical accuracy).
+	d, _ := NewBeta(1, 1)
+	for _, x := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		if got := d.CDF(x); math.Abs(got-x) > 1e-10 {
+			t.Errorf("Beta(1,1).CDF(%v) = %v", x, got)
+		}
+	}
+}
+
+func TestNewBetaRejectsBadShapes(t *testing.T) {
+	for _, c := range []struct{ a, b float64 }{
+		{0, 1}, {1, 0}, {-1, 1}, {math.NaN(), 1}, {1, math.Inf(1)}, {1e7, 1},
+	} {
+		if _, err := NewBeta(c.a, c.b); err == nil {
+			t.Errorf("NewBeta(%v,%v): want error", c.a, c.b)
+		}
+	}
+}
+
+func TestBimodalQuantileAndMass(t *testing.T) {
+	d, err := NewBimodal(0.2, 0.9, 0.1, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 90% of draws land in the low mode, 10% in the high mode.
+	if q := d.Quantile(0.5); q < 0.15 || q > 0.25 {
+		t.Errorf("median %v outside low mode", q)
+	}
+	if q := d.Quantile(0.95); q < 0.85 || q > 0.95 {
+		t.Errorf("p95 %v outside high mode", q)
+	}
+	want := 0.9*0.2 + 0.1*0.9
+	if got := d.Mean(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Mean() = %v, want %v", got, want)
+	}
+	for _, p := range []float64{0.05, 0.5, 0.89, 0.91, 0.99} {
+		x := d.Quantile(p)
+		if got := d.CDF(x); math.Abs(got-p) > 1e-9 {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, got)
+		}
+	}
+}
+
+func TestBimodalDegenerateWidths(t *testing.T) {
+	// Width 0 makes both modes point masses; the quantile must still
+	// partition the probability space between them.
+	d, err := NewBimodal(0.3, 0.8, 0.25, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := d.Quantile(0.5); q != 0.3 {
+		t.Errorf("Quantile(0.5) = %v, want 0.3", q)
+	}
+	if q := d.Quantile(0.9); q != 0.8 {
+		t.Errorf("Quantile(0.9) = %v, want 0.8", q)
+	}
+	// HiProb 1 routes everything to the high mode.
+	d2, err := NewBimodal(0.3, 0.8, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := d2.Quantile(0.1); q != 0.8 {
+		t.Errorf("HiProb=1: Quantile(0.1) = %v, want 0.8", q)
+	}
+}
+
+func TestNewBimodalRejectsBadParams(t *testing.T) {
+	for _, c := range []struct{ lo, hi, p, w float64 }{
+		{0, 0.5, 0.1, 0.05}, {0.5, 1.1, 0.1, 0.05}, {0.8, 0.2, 0.1, 0.05},
+		{0.2, 0.8, -0.1, 0.05}, {0.2, 0.8, 1.1, 0.05}, {0.2, 0.8, 0.5, 0.6},
+		{math.NaN(), 0.8, 0.5, 0.05}, {0.2, 0.8, 0.5, math.NaN()},
+	} {
+		if _, err := NewBimodal(c.lo, c.hi, c.p, c.w); err == nil {
+			t.Errorf("NewBimodal(%v,%v,%v,%v): want error", c.lo, c.hi, c.p, c.w)
+		}
+	}
+}
+
+func TestHistogramQuantileCDF(t *testing.T) {
+	// Four equal-width bins with weights 1,0,0,3: 25% of mass in
+	// (0, .25], 75% in (.75, 1].
+	d, err := NewHistogram([]float64{1, 0, 0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := d.Quantile(0.125); math.Abs(q-0.125) > 1e-12 {
+		t.Errorf("Quantile(0.125) = %v, want 0.125", q)
+	}
+	if q := d.Quantile(0.5); q < 0.75 || q > 1 {
+		t.Errorf("Quantile(0.5) = %v, want in high bin", q)
+	}
+	want := (1*0.125 + 3*0.875) / 4
+	if got := d.Mean(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Mean() = %v, want %v", got, want)
+	}
+	for _, p := range []float64{0.1, 0.25, 0.5, 0.9} {
+		x := d.Quantile(p)
+		if got := d.CDF(x); math.Abs(got-p) > 1e-9 {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, got)
+		}
+	}
+}
+
+func TestNewHistogramRejectsBadWeights(t *testing.T) {
+	cases := [][]float64{
+		nil,
+		{},
+		{0, 0},
+		{-1, 2},
+		{math.NaN()},
+		{math.Inf(1)},
+		make([]float64, maxHistBins+1),
+	}
+	cases[len(cases)-1][0] = 1 // over-long but otherwise valid
+	for _, ws := range cases {
+		if _, err := NewHistogram(ws); err == nil {
+			t.Errorf("NewHistogram(%v): want error", ws)
+		}
+	}
+}
+
+func TestDistExecDeterministicAndOrderIndependent(t *testing.T) {
+	d, _ := NewBeta(2, 5)
+	m := DistExec{D: d, Seed: 42}
+	// Same key, same draw — regardless of everything drawn in between.
+	a := m.Cycles(3, 7, 10)
+	for i := 0; i < 100; i++ {
+		_ = m.Cycles(i, i*3, 5)
+	}
+	if b := m.Cycles(3, 7, 10); b != a {
+		t.Fatalf("draw depends on call order: %v then %v", a, b)
+	}
+	// Different seeds decorrelate.
+	m2 := DistExec{D: d, Seed: 43}
+	if m2.Cycles(3, 7, 10) == a {
+		t.Fatalf("seed 42 and 43 gave the identical draw")
+	}
+	// Support: (0, wcet] for a spread of keys.
+	for ti := 0; ti < 8; ti++ {
+		for inv := 0; inv < 64; inv++ {
+			c := m.Cycles(ti, inv, 10)
+			if !(c > 0) || c > 10 {
+				t.Fatalf("Cycles(%d,%d) = %v outside (0, 10]", ti, inv, c)
+			}
+		}
+	}
+}
+
+func TestDistExecMatchesDistributionStatistics(t *testing.T) {
+	// The empirical mean over many keyed draws approaches the
+	// distribution mean (inverse-CDF sampling is unbiased).
+	d, _ := NewBeta(2, 2)
+	m := DistExec{D: d, Seed: 7}
+	var sum float64
+	const n = 4000
+	for inv := 0; inv < n; inv++ {
+		sum += m.Cycles(0, inv, 1)
+	}
+	if got, want := sum/n, d.Mean(); math.Abs(got-want) > 0.02 {
+		t.Fatalf("empirical mean %v, distribution mean %v", got, want)
+	}
+}
+
+func TestParseExecDistributions(t *testing.T) {
+	for _, spec := range []string{"beta=2,5", "bimodal=0.2,0.9,0.1", "hist=1,2,3"} {
+		m, err := ParseExec(spec, 11)
+		if err != nil {
+			t.Fatalf("ParseExec(%q): %v", spec, err)
+		}
+		if got := m.String(); got != spec {
+			t.Errorf("ParseExec(%q).String() = %q", spec, got)
+		}
+		if _, ok := m.(Distributions); !ok {
+			t.Errorf("ParseExec(%q) does not expose Distributions", spec)
+		}
+		if c := m.Cycles(0, 0, 10); !(c > 0) || c > 10 {
+			t.Errorf("ParseExec(%q).Cycles = %v outside (0, 10]", spec, c)
+		}
+	}
+	for _, spec := range []string{
+		"beta=", "beta=1", "beta=0,1", "beta=1,2,3", "beta=x,y",
+		"bimodal=0.2,0.9", "bimodal=2,3,4", "hist=", "hist=0,0", "hist=a",
+	} {
+		if _, err := ParseExec(spec, 0); err == nil {
+			t.Errorf("ParseExec(%q): want error", spec)
+		}
+	}
+}
+
+func TestPartialMeanFrac(t *testing.T) {
+	// For uniform (Beta(1,1)): E[min(X, b)] = b − b²/2.
+	d, _ := NewBeta(1, 1)
+	for _, b := range []float64{0.25, 0.5, 0.75, 1} {
+		want := b - b*b/2
+		if got := partialMeanFrac(d, b); math.Abs(got-want) > 1e-3 {
+			t.Errorf("partialMeanFrac(U, %v) = %v, want %v", b, got, want)
+		}
+	}
+	if got := partialMeanFrac(d, 0); got != 0 {
+		t.Errorf("partialMeanFrac(U, 0) = %v", got)
+	}
+}
+
+func TestOptimalBudgetPrefersQuantileReservation(t *testing.T) {
+	// A strongly low-skewed demand on a multi-point machine: reserving
+	// near the common case must beat the worst-case reservation.
+	m := machine.Machine1()
+	d, _ := NewBeta(2, 8) // mean 0.2, p99 well under 0.7
+	plan := OptimalBudget(d, 10, 40, 0.3, m)
+	full := OptimalBudget(nil, 10, 40, 0.3, m)
+	if plan.Budget >= full.Budget {
+		t.Fatalf("skewed demand kept the full reservation: %+v", plan)
+	}
+	if !(plan.Budget > 0) || plan.Budget > 10 {
+		t.Fatalf("budget %v outside (0, wcet]", plan.Budget)
+	}
+	if plan.Energy <= 0 {
+		t.Fatalf("plan energy %v not positive", plan.Energy)
+	}
+}
+
+func TestOptimalBudgetFallsBackToWorstCase(t *testing.T) {
+	m := machine.Machine1()
+	// Demand pinned at the worst case: no budget below WCET helps.
+	d, _ := NewBeta(50, 1) // mass near 1
+	plan := OptimalBudget(d, 10, 40, 0.0, m)
+	if plan.Budget != 10 {
+		t.Fatalf("near-WCET demand should reserve the worst case, got %+v", plan)
+	}
+	// Nil distribution and degenerate inputs: full reservation.
+	for _, plan := range []BudgetPlan{
+		OptimalBudget(nil, 10, 40, 0, m),
+		OptimalBudget(d, 0, 40, 0, m),
+		OptimalBudget(d, 10, 0, 0, m),
+		OptimalBudget(d, 10, 40, -1, m),
+		OptimalBudget(d, 10, 40, 0, nil),
+	} {
+		if plan.Budget != 10 && plan.Budget != 0 {
+			t.Fatalf("degenerate input gave partial budget %+v", plan)
+		}
+	}
+}
+
+func TestOptimalBudgetRespectsRestUtilization(t *testing.T) {
+	// With the rest of the set loading the processor heavily, low grid
+	// points are out of reach and the budget can only sit higher (or at
+	// the worst case).
+	m := machine.Machine1()
+	d, _ := NewBeta(2, 8)
+	light := OptimalBudget(d, 10, 40, 0.0, m)
+	heavy := OptimalBudget(d, 10, 40, 0.7, m)
+	if heavy.Freq < light.Freq {
+		t.Fatalf("heavier rest utilization selected a lower frequency: light=%+v heavy=%+v", light, heavy)
+	}
+}
+
+func TestDistStrings(t *testing.T) {
+	d1, _ := NewBeta(2, 5)
+	d2, _ := NewBimodal(0.2, 0.9, 0.1, 0.05)
+	d3, _ := NewHistogram([]float64{1, 2})
+	for _, c := range []struct {
+		d    Dist
+		want string
+	}{
+		{d1, "beta=2,5"}, {d2, "bimodal=0.2,0.9,0.1"}, {d3, "hist=1,2"},
+	} {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+// FuzzDistributionSampler asserts the keyed sampler's hard contract: for
+// any seed, key and accepted distribution parameters, a sampled demand
+// is finite, strictly positive and never exceeds the worst case.
+func FuzzDistributionSampler(f *testing.F) {
+	f.Add(int64(1), uint8(0), 2.0, 5.0, 0.1, 3, 7, 10.0)
+	f.Add(int64(-9), uint8(1), 0.2, 0.9, 0.5, 0, 0, 1.0)
+	f.Add(int64(1<<40), uint8(2), 1.0, 2.0, 3.0, 100, 100000, 0.001)
+	f.Add(int64(0), uint8(0), 0.5, 0.5, 0.0, -1, -1, 5.0)
+	f.Fuzz(func(t *testing.T, seed int64, kind uint8, a, b, c float64, ti, inv int, wcet float64) {
+		if !(wcet > 0) || math.IsInf(wcet, 0) || wcet > 1e12 {
+			t.Skip()
+		}
+		var d Dist
+		var err error
+		switch kind % 3 {
+		case 0:
+			d, err = NewBeta(a, b)
+		case 1:
+			d, err = NewBimodal(a, b, clamp01(c), 0.05)
+		case 2:
+			d, err = NewHistogram([]float64{abs1e6(a), abs1e6(b), abs1e6(c)})
+		}
+		if err != nil {
+			t.Skip() // constructor rejected the params: nothing to sample
+		}
+		m := DistExec{D: d, Seed: seed}
+		got := m.Cycles(ti, inv, wcet)
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Fatalf("%s: Cycles(%d,%d,%v) = %v", d, ti, inv, wcet, got)
+		}
+		if !(got > 0) || got > wcet {
+			t.Fatalf("%s: Cycles(%d,%d,%v) = %v outside (0, wcet]", d, ti, inv, wcet, got)
+		}
+	})
+}
+
+func clamp01(v float64) float64 {
+	if math.IsNaN(v) || v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func abs1e6(v float64) float64 {
+	v = math.Abs(v)
+	if math.IsNaN(v) || v > 1e6 {
+		return 1
+	}
+	return v
+}
+
+func TestDistSpecRoundTripThroughParse(t *testing.T) {
+	// Every distribution's String() is re-parseable to an equal model.
+	for _, spec := range []string{"beta=2,5", "bimodal=0.25,0.75,0.2", "hist=1,0,2"} {
+		m1, err := ParseExec(spec, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2, err := ParseExec(m1.String(), 5)
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", m1.String(), err)
+		}
+		for inv := 0; inv < 16; inv++ {
+			if a, b := m1.Cycles(1, inv, 7), m2.Cycles(1, inv, 7); a != b {
+				t.Fatalf("%q: round-trip draw differs at inv %d: %v vs %v", spec, inv, a, b)
+			}
+		}
+		if !strings.Contains(m1.String(), "=") {
+			t.Fatalf("spec %q lost parse syntax", m1.String())
+		}
+	}
+}

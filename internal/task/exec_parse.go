@@ -9,9 +9,13 @@ import (
 
 // ParseExec parses the textual execution-model spec shared by the CLI
 // tools and the HTTP API: "wcet" (or empty) for full worst case,
-// "c=<frac>" for a constant fraction in (0, 1], and "uniform" for
-// per-invocation draws from (0, WCET]. The uniform model is seeded
-// deterministically from seed, so equal specs replay identically.
+// "c=<frac>" for a constant fraction in (0, 1], "uniform" for
+// per-invocation draws from (0, WCET], and the distribution-backed
+// models "beta=<a>,<b>", "bimodal=<lo>,<hi>,<hiProb>" and
+// "hist=<w1>,<w2>,...". The uniform model is seeded deterministically
+// from seed; the distribution models key every draw by
+// (seed, task, invocation), so equal specs replay identically and are
+// independent of call order.
 func ParseExec(spec string, seed int64) (ExecModel, error) {
 	switch {
 	case spec == "wcet" || spec == "":
@@ -24,6 +28,61 @@ func ParseExec(spec string, seed int64) (ExecModel, error) {
 			return nil, fmt.Errorf("task: bad execution fraction %q (want c=<frac> with frac in (0,1])", spec)
 		}
 		return ConstantFraction{C: c}, nil
+	case strings.HasPrefix(spec, "beta="):
+		fs, err := parseFloats(spec[len("beta="):], 2)
+		if err != nil {
+			return nil, fmt.Errorf("task: bad beta spec %q (want beta=<a>,<b>): %v", spec, err)
+		}
+		d, err := NewBeta(fs[0], fs[1])
+		if err != nil {
+			return nil, err
+		}
+		return DistExec{D: d, Seed: seed}, nil
+	case strings.HasPrefix(spec, "bimodal="):
+		fs, err := parseFloats(spec[len("bimodal="):], 3)
+		if err != nil {
+			return nil, fmt.Errorf("task: bad bimodal spec %q (want bimodal=<lo>,<hi>,<hiProb>): %v", spec, err)
+		}
+		d, err := NewBimodal(fs[0], fs[1], fs[2], defaultBimodalWidth)
+		if err != nil {
+			return nil, err
+		}
+		return DistExec{D: d, Seed: seed}, nil
+	case strings.HasPrefix(spec, "hist="):
+		fs, err := parseFloats(spec[len("hist="):], 0)
+		if err != nil {
+			return nil, fmt.Errorf("task: bad histogram spec %q (want hist=<w1>,<w2>,...): %v", spec, err)
+		}
+		d, err := NewHistogram(fs)
+		if err != nil {
+			return nil, err
+		}
+		return DistExec{D: d, Seed: seed}, nil
 	}
-	return nil, fmt.Errorf("task: unknown execution model %q (want \"wcet\", \"c=<frac>\", or \"uniform\")", spec)
+	return nil, fmt.Errorf("task: unknown execution model %q (want \"wcet\", \"c=<frac>\", \"uniform\", \"beta=<a>,<b>\", \"bimodal=<lo>,<hi>,<p>\", or \"hist=<w1>,...\")", spec)
+}
+
+// defaultBimodalWidth is the half-width of each bimodal mode when parsed
+// from the 3-argument textual spec.
+const defaultBimodalWidth = 0.05
+
+// parseFloats splits a comma-separated float list; want > 0 pins the
+// arity, want == 0 accepts any non-empty list.
+func parseFloats(s string, want int) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	if want > 0 && len(parts) != want {
+		return nil, fmt.Errorf("want %d comma-separated values, got %d", want, len(parts))
+	}
+	if len(parts) == 0 || (len(parts) == 1 && strings.TrimSpace(parts[0]) == "") {
+		return nil, fmt.Errorf("empty value list")
+	}
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("value %d: %v", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
 }

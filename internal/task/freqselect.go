@@ -1,0 +1,117 @@
+package task
+
+import (
+	"math"
+
+	"rtdvs/internal/machine"
+)
+
+// Expected-energy-optimal discrete frequency selection for frame-based
+// stochastic workloads, after Berten et al.: a frame task whose demand
+// follows a known distribution need not reserve its full worst case at
+// release. Reserving a budget b < WCET lets the processor run at the
+// lower grid frequency that budget implies; only when the job actually
+// exceeds b does the reservation escalate to the worst case (and the
+// frequency to the escalation point). The optimal b minimizes
+//
+//	E[energy] = E[min(C, b)]·e(f_run(b)) + (E[C] − E[min(C, b)])·e(f_esc)
+//
+// over the *discrete* budgets the frequency grid distinguishes, where
+// e(f) is the platform's energy per cycle at the grid point f and f_esc
+// is the point a worst-case reservation needs. Because the frequency
+// grid is discrete, only budgets that sit exactly at a grid boundary are
+// ever optimal — any budget strictly inside a grid step reserves cycles
+// the frequency cannot get cheaper for — so the search space is the grid
+// itself plus the worst case.
+
+// BudgetPlan is one evaluated reservation choice for a frame task.
+type BudgetPlan struct {
+	// Budget is the cycles (ms at full speed) to reserve at release;
+	// always in (0, WCET].
+	Budget float64
+	// Freq is the grid frequency the reservation implies while the job
+	// stays within budget.
+	Freq float64
+	// Energy is the expected energy per invocation (cycle·V² units) the
+	// plan was scored with.
+	Energy float64
+}
+
+// meanGridSteps is the trapezoid resolution for E[min(C, b)]; selection
+// is a cold-path computation (once per Attach), so accuracy wins.
+const meanGridSteps = 256
+
+// partialMeanFrac returns E[min(X, β)] for a fraction distribution d,
+// via E[min(X, β)] = ∫₀^β (1 − CDF(x)) dx (trapezoid rule).
+func partialMeanFrac(d Dist, beta float64) float64 {
+	if beta <= 0 {
+		return 0
+	}
+	if beta > 1 {
+		beta = 1
+	}
+	h := beta / meanGridSteps
+	sum := 0.5 * ((1 - d.CDF(0)) + (1 - d.CDF(beta)))
+	for i := 1; i < meanGridSteps; i++ {
+		sum += 1 - d.CDF(float64(i)*h)
+	}
+	return sum * h
+}
+
+// OptimalBudget selects the expected-energy-optimal reservation budget
+// for a frame-based task with demand distribution d, worst case wcet
+// (cycles) and frame length period (ms), sharing the processor with
+// other work reserving uRest utilization. A nil distribution (or a
+// degenerate machine) falls back to the full worst-case reservation —
+// the paper's deterministic policies.
+func OptimalBudget(d Dist, wcet, period, uRest float64, m *machine.Spec) BudgetPlan {
+	esc := opAtLeast(m, uRest+wcet/period)
+	full := BudgetPlan{Budget: wcet, Freq: esc.Freq, Energy: 0}
+	if d == nil || m == nil || !(wcet > 0) || !(period > 0) || uRest < 0 {
+		return full
+	}
+	mean := d.Mean() * wcet
+	full.Energy = mean * esc.EnergyPerCycle()
+
+	best := full
+	for _, op := range m.Points {
+		// The largest budget this grid point can serve: run-frequency
+		// op.Freq covers reservations up to (op.Freq − uRest)·period.
+		b := (op.Freq - uRest) * period
+		if !(b > 0) {
+			continue
+		}
+		if b >= wcet {
+			// Indistinguishable from the full worst-case reservation.
+			continue
+		}
+		within := partialMeanFrac(d, b/wcet) * wcet
+		tail := mean - within
+		if tail < 0 {
+			tail = 0
+		}
+		e := within*op.EnergyPerCycle() + tail*esc.EnergyPerCycle()
+		// Strict improvement only: ties keep the larger budget (fewer
+		// escalations, fewer switches) already held by best.
+		if e < best.Energy {
+			best = BudgetPlan{Budget: b, Freq: op.Freq, Energy: e}
+		}
+	}
+	return best
+}
+
+// opAtLeast is spec.LowestAtLeast saturating at the maximum point (and
+// at full speed for a nil spec).
+func opAtLeast(m *machine.Spec, f float64) machine.OperatingPoint {
+	if m == nil || len(m.Points) == 0 {
+		return machine.OperatingPoint{Freq: 1, Voltage: 1}
+	}
+	if math.IsNaN(f) {
+		return m.Max()
+	}
+	op, err := m.LowestAtLeast(f)
+	if err != nil {
+		return m.Max()
+	}
+	return op
+}
