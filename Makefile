@@ -48,13 +48,14 @@ fuzz:
 	go test ./internal/serve/ -run='^$$' -fuzz=FuzzSimulateRequest -fuzztime=20s
 	go test ./internal/serve/ -run='^$$' -fuzz=FuzzSimulateBatchRequest -fuzztime=20s
 	go test ./internal/task/ -run='^$$' -fuzz=FuzzDistributionSampler -fuzztime=20s
+	go test ./internal/serve/ -run='^$$' -fuzz=FuzzMultiCoreConfig -fuzztime=20s
 
 # bench runs the suite through cmd/rtdvs-bench: it parses ns/op, B/op
 # and allocs/op, writes the JSON report (BENCH_OUT), and fails if a
 # simulator/kernel throughput benchmark regressed more than 15% in
 # ns/op against the newest prior committed BENCH_*.json baseline.
 # Override BENCH_OUT when recording the baseline for a new PR.
-BENCH_OUT ?= BENCH_PR9.json
+BENCH_OUT ?= BENCH_PR10.json
 bench:
 	go run ./cmd/rtdvs-bench -out $(BENCH_OUT)
 

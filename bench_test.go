@@ -354,6 +354,41 @@ func BenchmarkPolicyOverheadFBEDF64(b *testing.B)    { benchPolicyOverhead(b, "f
 func BenchmarkPolicyOverheadSTSelect8(b *testing.B)  { benchPolicyOverhead(b, "stSelect", 8) }
 func BenchmarkPolicyOverheadSTSelect64(b *testing.B) { benchPolicyOverhead(b, "stSelect", 64) }
 
+// The gang multiprocessor policies (PR 10) keep the same 0 allocs/op
+// steady-state contract, attached to a 4-core spec so the GFB bound and
+// aggregate-capacity walks run their multiprocessor paths; these pin the
+// HotpathRegistry rows for gangCCEDF and gangLAEDF.
+func benchGangOverhead(b *testing.B, policy string, n int) {
+	b.ReportAllocs()
+	r := rand.New(rand.NewSource(1))
+	g := task.Generator{N: n, Utilization: 2.8, Rand: r}
+	ts, err := g.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := core.ExtendedByName(policy)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := p.Attach(ts, machine.Machine2().WithCores(4)); err != nil {
+		b.Fatal(err)
+	}
+	sys := &benchSystem{deadlines: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		sys.deadlines[i] = ts.Task(i).Period
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ti := i % n
+		p.OnRelease(sys, ti)
+		p.OnExecute(ti, 0.001)
+		p.OnCompletion(sys, ti, ts.Task(ti).WCET/2)
+	}
+}
+
+func BenchmarkPolicyOverheadGangCCEDF64(b *testing.B) { benchGangOverhead(b, "gangCCEDF", 64) }
+func BenchmarkPolicyOverheadGangLAEDF64(b *testing.B) { benchGangOverhead(b, "gangLAEDF", 64) }
+
 // --- Simulator throughput ---
 
 // BenchmarkSimulatorThroughput measures the steady-state cost of whole
@@ -379,6 +414,40 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		Tasks: ts, Machine: spec, Policy: p,
 		Exec: task.ConstantFraction{C: 0.7}, Horizon: 2000,
 		Metrics: sim.NewMetrics(obs.NewRegistry(), spec),
+	}
+	var events int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := runner.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = res.Releases + res.Completions
+	}
+	b.ReportMetric(float64(events), "events/run")
+}
+
+// BenchmarkMultiCoreThroughput measures the steady-state cost of whole
+// multi-core runs on a reused sim.MultiRunner — the global-EDF gang
+// engine on a 4-core platform, the multiprocessor counterpart of
+// BenchmarkSimulatorThroughput. In steady state this must report
+// 0 allocs/op with metrics enabled.
+func BenchmarkMultiCoreThroughput(b *testing.B) {
+	b.ReportAllocs()
+	r := rand.New(rand.NewSource(2))
+	g := task.Generator{N: 8, Utilization: 2.0, Rand: r}
+	ts, err := g.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	runner := sim.NewMultiRunner()
+	cfg := sim.MultiConfig{
+		Tasks:     ts,
+		Machine:   machine.Machine0().WithCores(4),
+		Policy:    "gangLAEDF",
+		Placement: sched.Global,
+		Horizon:   2000,
+		Metrics:   sim.NewMultiMetrics(obs.NewRegistry(), 4),
 	}
 	var events int
 	b.ResetTimer()

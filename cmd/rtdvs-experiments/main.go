@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	rtdvs-experiments [-exp all|table1|table4|fig9|fig10|fig11|fig12|fig13|fig16|fig17|robustness]
+//	rtdvs-experiments [-exp all|table1|table4|fig9|fig10|fig11|fig12|fig13|fig16|fig17|robustness|multicore]
 //	                  [-sets N] [-seed S] [-workers W] [-step U]
 //	                  [-cpuprofile f] [-memprofile f]
 //
@@ -243,6 +243,15 @@ func main() {
 			}
 			emitPower(ps)
 
+		case "multicore":
+			for _, m := range []int{2, 4} {
+				sw, err := experiment.MulticoreContext(ctx, m, panel(fmt.Sprintf("multicore-m%d", m)))
+				if err != nil {
+					fail(err)
+				}
+				emit(sw, fmt.Sprintf("Multicore: normalized energy, %d cores, partitioned-EDF (worst-fit)", m), true)
+			}
+
 		case "robustness":
 			sw, err := experiment.RobustnessContext(ctx, experiment.RobustnessConfig{
 				Sets: *sets, Seed: *seed, Workers: *workers,
@@ -288,7 +297,7 @@ func main() {
 	}
 
 	if *exp == "all" {
-		for _, name := range strings.Split("table1 table4 fig9 fig10 fig11 fig12 fig13 fig16 fig17 robustness", " ") {
+		for _, name := range strings.Split("table1 table4 fig9 fig10 fig11 fig12 fig13 fig16 fig17 robustness multicore", " ") {
 			run(name)
 			fmt.Println()
 		}

@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"math"
 	"math/rand"
 	"os"
@@ -25,6 +26,7 @@ import (
 	"rtdvs/internal/core"
 	"rtdvs/internal/machine"
 	"rtdvs/internal/obs"
+	"rtdvs/internal/sched"
 	"rtdvs/internal/sim"
 	"rtdvs/internal/task"
 	"rtdvs/internal/trace"
@@ -46,6 +48,8 @@ func main() {
 		showTr   = flag.Bool("trace", false, "print the execution trace")
 		asJSON   = flag.Bool("json", false, "emit the result as JSON")
 		check    = flag.Bool("check", false, "enable the runtime invariant checker (see internal/sim/invariant.go)")
+		cores    = flag.Int("cores", 1, "number of identical cores (>1 selects the multi-core engine)")
+		place    = flag.String("placement", "", "multi-core placement: "+strings.Join(sched.PlacementNames(), ", "))
 	)
 	var logOpts obs.LogOptions
 	logOpts.RegisterFlags(flag.CommandLine)
@@ -60,7 +64,7 @@ func main() {
 		logger.Error("fatal", "err", err)
 		os.Exit(1)
 	}
-	if err := validateFlags(*n, *u, *idle, *horizon); err != nil {
+	if err := validateFlags(*n, *cores, *u, *idle, *horizon); err != nil {
 		fatal(err)
 	}
 
@@ -77,6 +81,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	if *cores > 1 {
+		if err := runMulti(logger, ts, spec, *cores, *policy, *place, *execSpec, *seed, *horizon, *overhead, *check, *showTr, *asJSON); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	exec, err := parseExec(*execSpec, *seed)
 	if err != nil {
 		fatal(err)
@@ -131,6 +143,73 @@ func main() {
 	}
 }
 
+// runMulti executes one multi-core simulation and reports per-core and
+// aggregate outcomes. The policy travels by name: partitioned
+// placements instantiate it once per core, global placement requires a
+// gang policy (gangStaticEDF, gangCCEDF, gangLAEDF).
+func runMulti(logger *slog.Logger, ts *task.Set, spec *machine.Spec, cores int, policy, place, execSpec string, seed int64, horizon float64, overhead, check, showTr, asJSON bool) error {
+	plc, err := sched.ParsePlacement(place)
+	if err != nil {
+		return err
+	}
+	if showTr {
+		return fmt.Errorf("-trace supports uniprocessor runs only (a multi-core trace would interleave per-core segments)")
+	}
+	cfg := sim.MultiConfig{
+		Tasks:           ts,
+		Machine:         spec.WithCores(cores),
+		Policy:          policy,
+		Placement:       plc,
+		Exec:            execSpec,
+		Seed:            seed,
+		Horizon:         horizon,
+		CheckInvariants: check,
+	}
+	if overhead {
+		oh := machine.K62SwitchOverhead
+		cfg.Overhead = &oh
+	}
+	res, err := sim.RunMulti(cfg)
+	if err != nil {
+		return err
+	}
+	logger.Debug("simulation complete",
+		"policy", res.Policy, "cores", cores, "misses", res.MissCount())
+
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+
+	fmt.Printf("task set:  %s\n", ts)
+	fmt.Printf("machine:   %s\n", cfg.Machine)
+	fmt.Printf("policy:    %s ×%d cores, placement %s (guaranteed=%v, feasible=%v)\n",
+		res.Policy, cores, plc, res.Guaranteed, res.Feasible)
+	fmt.Printf("horizon:   %.6g ms\n", res.Horizon)
+	fmt.Printf("energy:    %.6g (exec %.6g + idle %.6g), avg power %.4g\n",
+		res.TotalEnergy, res.ExecEnergy, res.IdleEnergy, res.AvgPower())
+	fmt.Printf("cycles:    %.6g in %.6g core·ms busy, %.6g core·ms idle, %d switches, %d migrations\n",
+		res.CyclesDone, res.BusyTime, res.IdleTime, res.Switches, res.Migrations)
+	fmt.Printf("releases:  %d, completions: %d, misses: %d\n",
+		res.Releases, res.Completions, res.MissCount())
+	for c := range res.PerCore {
+		pc := &res.PerCore[c]
+		if pc.Tasks != nil {
+			fmt.Printf("  core %d: tasks %v, U=%.3f, energy %.6g, misses %d\n",
+				c, pc.Tasks, pc.Util, pc.ExecEnergy+pc.IdleEnergy, pc.Misses)
+		} else {
+			fmt.Printf("  core %d: energy %.6g, misses %d\n",
+				c, pc.ExecEnergy+pc.IdleEnergy, pc.Misses)
+		}
+	}
+	for _, m := range res.Misses {
+		fmt.Printf("  MISS task %d invocation %d at deadline %.4g (%.4g cycles left)\n",
+			m.Task, m.Inv, m.Deadline, m.Remaining)
+	}
+	return nil
+}
+
 func loadTaskSet(file, inline string, n int, u float64, seed int64) (*task.Set, error) {
 	switch {
 	case file != "":
@@ -179,12 +258,18 @@ func parseExec(spec string, seed int64) (task.ExecModel, error) {
 // validateFlags rejects NaN, infinite, and out-of-range numeric flags
 // up front with actionable messages rather than failing obscurely deep
 // in the simulator.
-func validateFlags(n int, u, idle, horizon float64) error {
+func validateFlags(n, cores int, u, idle, horizon float64) error {
+	umax := 1.0
+	if cores > 1 {
+		umax = float64(cores)
+	}
 	switch {
 	case n < 0:
 		return fmt.Errorf("-n must be non-negative, got %d", n)
-	case n > 0 && (math.IsNaN(u) || math.IsInf(u, 0) || !(u > 0) || u > 1):
-		return fmt.Errorf("-u must lie in (0, 1], got %v", u)
+	case cores < 1 || cores > machine.MaxCores:
+		return fmt.Errorf("-cores must lie in [1, %d], got %d", machine.MaxCores, cores)
+	case n > 0 && (math.IsNaN(u) || math.IsInf(u, 0) || !(u > 0) || u > umax):
+		return fmt.Errorf("-u must lie in (0, %g], got %v", umax, u)
 	case math.IsNaN(idle) || math.IsInf(idle, 0) || idle < 0 || idle > 1:
 		return fmt.Errorf("-idle must lie in [0, 1], got %v", idle)
 	case math.IsNaN(horizon) || math.IsInf(horizon, 0) || horizon < 0:

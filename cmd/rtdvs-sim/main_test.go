@@ -101,29 +101,36 @@ func TestParseExec(t *testing.T) {
 }
 
 func TestValidateFlags(t *testing.T) {
-	if err := validateFlags(0, 0.7, 0, 0); err != nil {
+	if err := validateFlags(0, 1, 0.7, 0, 0); err != nil {
 		t.Fatalf("defaults rejected: %v", err)
 	}
-	if err := validateFlags(5, 0.7, 0.5, 100); err != nil {
+	if err := validateFlags(5, 1, 0.7, 0.5, 100); err != nil {
 		t.Fatalf("valid flags rejected: %v", err)
+	}
+	if err := validateFlags(5, 4, 2.5, 0, 0); err != nil {
+		t.Fatalf("multi-core -u above 1 rejected: %v", err)
 	}
 	nan, inf := math.NaN(), math.Inf(1)
 	for name, tc := range map[string]struct {
-		n          int
+		n, cores   int
 		u, idle, h float64
 	}{
-		"negativeN":   {-1, 0.7, 0, 0},
-		"zeroU":       {5, 0, 0, 0},
-		"nanU":        {5, nan, 0, 0},
-		"uOverOne":    {5, 1.5, 0, 0},
-		"negIdle":     {0, 0.7, -0.1, 0},
-		"idleOverOne": {0, 0.7, 1.1, 0},
-		"nanIdle":     {0, 0.7, nan, 0},
-		"infHorizon":  {0, 0.7, 0, inf},
-		"nanHorizon":  {0, 0.7, 0, nan},
-		"negHorizon":  {0, 0.7, 0, -5},
+		"negativeN":   {-1, 1, 0.7, 0, 0},
+		"zeroCores":   {0, 0, 0.7, 0, 0},
+		"negCores":    {0, -2, 0.7, 0, 0},
+		"hugeCores":   {0, 1 << 20, 0.7, 0, 0},
+		"zeroU":       {5, 1, 0, 0, 0},
+		"nanU":        {5, 1, nan, 0, 0},
+		"uOverOne":    {5, 1, 1.5, 0, 0},
+		"uOverCores":  {5, 2, 2.5, 0, 0},
+		"negIdle":     {0, 1, 0.7, -0.1, 0},
+		"idleOverOne": {0, 1, 0.7, 1.1, 0},
+		"nanIdle":     {0, 1, 0.7, nan, 0},
+		"infHorizon":  {0, 1, 0.7, 0, inf},
+		"nanHorizon":  {0, 1, 0.7, 0, nan},
+		"negHorizon":  {0, 1, 0.7, 0, -5},
 	} {
-		if err := validateFlags(tc.n, tc.u, tc.idle, tc.h); err == nil {
+		if err := validateFlags(tc.n, tc.cores, tc.u, tc.idle, tc.h); err == nil {
 			t.Errorf("%s: accepted", name)
 		}
 	}

@@ -69,6 +69,29 @@ var HotpathRegistry = map[string]string{
 	"rtdvs/internal/core.stSelect.OnCompletion": "BenchmarkPolicyOverheadSTSelect64",
 	"rtdvs/internal/core.stSelect.OnExecute":    "BenchmarkPolicyOverheadSTSelect64",
 
+	// Gang multiprocessor policy callbacks, invoked once per system-wide
+	// release/completion by the global-EDF engine.
+	"rtdvs/internal/core.gangRequired":         "BenchmarkPolicyOverheadGangCCEDF64",
+	"rtdvs/internal/core.gangCC.adjust":        "BenchmarkPolicyOverheadGangCCEDF64",
+	"rtdvs/internal/core.gangCC.OnRelease":     "BenchmarkPolicyOverheadGangCCEDF64",
+	"rtdvs/internal/core.gangCC.OnCompletion":  "BenchmarkPolicyOverheadGangCCEDF64",
+	"rtdvs/internal/core.gangLA.laterDeadline": "BenchmarkPolicyOverheadGangLAEDF64",
+	"rtdvs/internal/core.gangLA.defer_":        "BenchmarkPolicyOverheadGangLAEDF64",
+	"rtdvs/internal/core.gangLA.OnRelease":     "BenchmarkPolicyOverheadGangLAEDF64",
+	"rtdvs/internal/core.gangLA.OnCompletion":  "BenchmarkPolicyOverheadGangLAEDF64",
+	"rtdvs/internal/core.gangLA.OnExecute":     "BenchmarkPolicyOverheadGangLAEDF64",
+
+	// Global-EDF gang event loop: a reused MultiRunner pass on a 4-core
+	// spec must stay at 0 allocs/op.
+	"rtdvs/internal/sim.multiSim.run":             "BenchmarkMultiCoreThroughput",
+	"rtdvs/internal/sim.multiSim.processReleases": "BenchmarkMultiCoreThroughput",
+	"rtdvs/internal/sim.multiSim.switchTo":        "BenchmarkMultiCoreThroughput",
+	"rtdvs/internal/sim.multiSim.assign":          "BenchmarkMultiCoreThroughput",
+	"rtdvs/internal/sim.multiSim.pollCtx":         "BenchmarkMultiCoreThroughput",
+	"rtdvs/internal/sim.multiSim.timerAdd":        "BenchmarkMultiCoreThroughput",
+	"rtdvs/internal/sim.multiSim.readyAdd":        "BenchmarkMultiCoreThroughput",
+	"rtdvs/internal/sim.multiSim.readyKey":        "BenchmarkMultiCoreThroughput",
+
 	// Closure-free operating-point lookup used by every dynamic policy.
 	"rtdvs/internal/machine.PointSelector.AtLeast": "TestSelectorMatchesLowestAtLeast",
 	"rtdvs/internal/machine.PointSelector.Index":   "TestSelectorMatchesLowestAtLeast",

@@ -106,3 +106,42 @@ func Energy(spec *machine.Spec, cycles, duration float64) (float64, error) {
 	}
 	return p * duration, nil
 }
+
+// PartitionedEnergy returns the theoretical minimum energy for a
+// partitioned multi-core run: coreCycles[c] cycles execute on core c
+// over the shared duration, each core bounded by its own hull — the
+// per-partition generalization of Energy. A statically partitioned
+// system cannot shift work between cores, so the per-core bounds sum;
+// an imbalanced partition therefore has a strictly higher bound than a
+// balanced one for the same total cycles (the hull is convex), which is
+// exactly the effect worst-fit packing reduces.
+func PartitionedEnergy(spec *machine.Spec, coreCycles []float64, duration float64) (float64, error) {
+	if len(coreCycles) == 0 {
+		return 0, fmt.Errorf("bound: no cores")
+	}
+	var total float64
+	for c, cycles := range coreCycles {
+		e, err := Energy(spec, cycles, duration)
+		if err != nil {
+			return 0, fmt.Errorf("bound: core %d: %w", c, err)
+		}
+		total += e
+	}
+	return total, nil
+}
+
+// MultiEnergy returns the theoretical minimum energy for executing
+// `cycles` total cycles over `duration` milliseconds on m identical
+// cores that may share work freely (the global-scheduling bound). The
+// hull is convex, so the optimum balances the rate evenly: m cores each
+// sustaining rate cycles/(m·duration).
+func MultiEnergy(spec *machine.Spec, m int, cycles, duration float64) (float64, error) {
+	if m < 1 {
+		m = 1
+	}
+	e, err := Energy(spec, cycles/float64(m), duration)
+	if err != nil {
+		return 0, err
+	}
+	return float64(m) * e, nil
+}

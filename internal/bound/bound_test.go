@@ -168,3 +168,109 @@ func TestBoundBelowNaiveStaticStrategy(t *testing.T) {
 		}
 	}
 }
+
+// --- multiprocessor bounds ---
+
+func TestPartitionedEnergySumsPerCore(t *testing.T) {
+	m := machine.Machine0()
+	coreCycles := []float64{30, 60, 0, 90}
+	duration := 100.0
+	got, err := PartitionedEnergy(m, coreCycles, duration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for _, c := range coreCycles {
+		e, err := Energy(m, c, duration)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want += e
+	}
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("PartitionedEnergy = %v, want per-core sum %v", got, want)
+	}
+}
+
+func TestPartitionedEnergyErrors(t *testing.T) {
+	m := machine.Machine0()
+	if _, err := PartitionedEnergy(m, nil, 100); err == nil {
+		t.Error("no cores should error")
+	}
+	if _, err := PartitionedEnergy(m, []float64{10, -1}, 100); err == nil {
+		t.Error("negative cycles should error")
+	}
+	if _, err := PartitionedEnergy(m, []float64{10}, 0); err == nil {
+		t.Error("zero duration should error")
+	}
+	// A core demanding more than full speed is infeasible.
+	if _, err := PartitionedEnergy(m, []float64{150}, 100); err == nil {
+		t.Error("rate above 1 should error")
+	}
+}
+
+// TestPartitionedEnergyConvexity: the hull is convex, so for the same
+// total cycles a balanced split never costs more than an imbalanced one
+// — the effect worst-fit packing exploits.
+func TestPartitionedEnergyConvexity(t *testing.T) {
+	m := machine.Machine0()
+	prop := func(aRaw, bRaw uint16) bool {
+		// Two cores sharing a fixed total, duration 100.
+		total := 120.0
+		// Skew keeps both cores at most full speed (rate ≤ 1 over 100ms).
+		skew := float64(aRaw%1000) / 1000 * (100 - total/2)
+		bal, err := PartitionedEnergy(m, []float64{total / 2, total / 2}, 100)
+		if err != nil {
+			return false
+		}
+		imb, err := PartitionedEnergy(m, []float64{total/2 - skew, total/2 + skew}, 100)
+		if err != nil {
+			return false
+		}
+		return bal <= imb+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMultiEnergyBalances: the global bound is the balanced partitioned
+// bound, m=1 reduces to Energy, and allowing migration can only lower
+// the bound relative to any static split of the same cycles.
+func TestMultiEnergyBalances(t *testing.T) {
+	m := machine.Machine0()
+	e1, err := MultiEnergy(m, 1, 70, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, err := Energy(m, 70, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e1-es) > 1e-12 {
+		t.Errorf("MultiEnergy(m=1) = %v, want Energy %v", e1, es)
+	}
+	e4, err := MultiEnergy(m, 4, 280, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bal, err := PartitionedEnergy(m, []float64{70, 70, 70, 70}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e4-bal) > 1e-9 {
+		t.Errorf("MultiEnergy(m=4) = %v, want balanced partition %v", e4, bal)
+	}
+	imb, err := PartitionedEnergy(m, []float64{95, 95, 60, 30}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e4 > imb+1e-9 {
+		t.Errorf("global bound %v above static split %v", e4, imb)
+	}
+	// m < 1 is clamped to 1 rather than rejected.
+	ec, err := MultiEnergy(m, 0, 70, 100)
+	if err != nil || math.Abs(ec-es) > 1e-12 {
+		t.Errorf("MultiEnergy(m=0) = %v, %v; want Energy %v", ec, err, es)
+	}
+}

@@ -160,6 +160,12 @@ var extensionFactories = map[string]func() (Policy, error){
 		return Contained(p), nil
 	},
 	"stSelect+contain": func() (Policy, error) { return Contained(StochasticSelect(nil)), nil },
+	// Gang multiprocessor variants (see gang.go): one instance drives the
+	// shared voltage rail of all cores under global EDF. On a single-core
+	// spec they degenerate to their uniprocessor counterparts.
+	"gangStaticEDF": func() (Policy, error) { return GangStaticEDF(), nil },
+	"gangCCEDF":     func() (Policy, error) { return GangCCEDF(), nil },
+	"gangLAEDF":     func() (Policy, error) { return GangLAEDF(), nil },
 }
 
 // ExtendedByName resolves the extension policies by name; paper policies
@@ -175,5 +181,6 @@ func ExtendedByName(name string) (Policy, error) {
 // extensions.
 func ExtendedNames() []string {
 	return append(Names(), "interval", "stEDF", "fbEDF", "stSelect",
-		"fbEDF+contain", "stSelect+contain")
+		"fbEDF+contain", "stSelect+contain",
+		"gangStaticEDF", "gangCCEDF", "gangLAEDF")
 }

@@ -60,6 +60,9 @@ func (jr *jobRunner) poolPolicy(pname string, ci int) (core.Policy, error) {
 // before pi, which is precisely what the sequential scalar path would
 // have run.
 func (jr *jobRunner) runChunk(ctx context.Context, cfg Config, policies []string, baseIdx int, js []int, outs []*harnessOut) []error {
+	if cfg.Machine.NumCores() > 1 {
+		return jr.runChunkMulti(ctx, cfg, policies, baseIdx, js, outs)
+	}
 	np := len(policies)
 	jr.cfgs = jr.cfgs[:0]
 	jr.laneOK = jr.laneOK[:0]
@@ -155,6 +158,105 @@ func (jr *jobRunner) runChunk(ctx context.Context, cfg Config, policies []string
 		}
 		horizon := jr.cfgs[lane-1].Horizon
 		bnd, err := bound.Energy(cfg.Machine, baseCycles, horizon)
+		if err != nil {
+			jr.jobErrs[ci] = err
+			continue
+		}
+		out.bnd = bnd
+		out.ok = true
+	}
+	return jr.jobErrs
+}
+
+// runChunkMulti is runChunk for multi-core sweeps: each lane is a whole
+// MultiConfig (the BatchRunner expands partitioned items into per-core
+// lockstep lanes internally), policies travel by name because the multi
+// engine constructs its own instances, and the baseline's per-core
+// cycle counts feed the partitioned bound. Everything else — seeding,
+// lane order, metrics accounting, error alignment — mirrors runChunk,
+// so chunked multi-core sweeps fold bit-identically to runOneMulti's.
+func (jr *jobRunner) runChunkMulti(ctx context.Context, cfg Config, policies []string, baseIdx int, js []int, outs []*harnessOut) []error {
+	jr.mcfgs = jr.mcfgs[:0]
+	jr.laneOK = jr.laneOK[:0]
+	if cap(jr.jobErrs) < len(js) {
+		jr.jobErrs = make([]error, len(js))
+	} else {
+		jr.jobErrs = jr.jobErrs[:len(js)]
+		for i := range jr.jobErrs {
+			jr.jobErrs[i] = nil
+		}
+	}
+
+	// Pass 1: generate each job's task set and expand it into one
+	// MultiConfig lane per policy.
+	for ci, j := range js {
+		ui, si := j/cfg.Sets, j%cfg.Sets
+		u := cfg.Utilizations[ui]
+		seed := cfg.Seed + int64(ui)*1_000_003 + int64(si)*7919
+		r := rand.New(rand.NewSource(seed))
+		g := task.Generator{N: cfg.NTasks, Utilization: u, Rand: r}
+		ts, err := g.Generate()
+		if err != nil {
+			jr.jobErrs[ci] = err
+			jr.laneOK = append(jr.laneOK, false)
+			continue
+		}
+		horizon := cfg.Horizon
+		if horizon <= 0 {
+			horizon = 10 * ts.MaxPeriod()
+		}
+		for _, pname := range policies {
+			jr.mcfgs = append(jr.mcfgs, sim.MultiConfig{
+				Tasks:     ts,
+				Machine:   cfg.Machine,
+				Policy:    pname,
+				Placement: cfg.Placement,
+				Exec:      cfg.ExecSpec,
+				Seed:      seed ^ 0x5DEECE66D,
+				Horizon:   horizon,
+			})
+		}
+		jr.laneOK = append(jr.laneOK, true)
+	}
+
+	// Pass 2: one lockstep run for every lane of every viable job.
+	results, errs := jr.batch.RunMultiContext(ctx, jr.mcfgs)
+
+	// Pass 3: per-job extraction in (job, policy) order.
+	lane := 0
+	for ci := range js {
+		if !jr.laneOK[ci] {
+			continue
+		}
+		out := outs[ci]
+		var coreCycles []float64
+		failed := false
+		for pi := range policies {
+			res, err := results[lane], errs[lane]
+			lane++
+			if failed {
+				continue
+			}
+			if err != nil {
+				jr.jobErrs[ci] = err
+				failed = true
+				continue
+			}
+			cfg.Metrics.simRun(res.MissCount())
+			out.energy[pi] = res.TotalEnergy
+			out.misses[pi] = res.MissCount()
+			if pi == baseIdx {
+				coreCycles = make([]float64, len(res.PerCore))
+				for c := range res.PerCore {
+					coreCycles[c] = res.PerCore[c].CyclesDone
+				}
+			}
+		}
+		if failed {
+			continue
+		}
+		horizon := jr.mcfgs[lane-1].Horizon
+		bnd, err := bound.PartitionedEnergy(cfg.Machine, coreCycles, horizon)
 		if err != nil {
 			jr.jobErrs[ci] = err
 			continue

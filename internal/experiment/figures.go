@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"rtdvs/internal/machine"
+	"rtdvs/internal/sched"
 	"rtdvs/internal/stats"
 )
 
@@ -112,6 +113,41 @@ func Figure13Context(ctx context.Context, o Options) (*Sweep, error) {
 		Machine: machine.Machine0(),
 		Exec:    UniformExec(),
 	}))
+}
+
+// Multicore regenerates the multiprocessor panel (an extension, not a
+// figure from the paper): normalized energy versus total worst-case
+// utilization on a `cores`-core machine 0 under partitioned-EDF with
+// worst-fit-decreasing packing, 16 tasks, full WCET. The utilization
+// axis is the uniprocessor axis scaled by the core count — total demand
+// spans (0, m] — and the bound is the per-partition hull bound
+// (bound.PartitionedEnergy). Near U = m the bin packing necessarily
+// fails for some sets and the overflow cores miss deadlines, the
+// multiprocessor analogue of the paper's high-U RM misses.
+func Multicore(cores int, o Options) (*Sweep, error) {
+	return MulticoreContext(context.Background(), cores, o)
+}
+
+// MulticoreContext is Multicore under a context (see RunContext).
+func MulticoreContext(ctx context.Context, cores int, o Options) (*Sweep, error) {
+	cfg := o.config(Config{
+		NTasks:    16,
+		Machine:   machine.Machine0(),
+		Exec:      WCETExec(),
+		Cores:     cores,
+		Placement: sched.PartitionedWF,
+		ExecSpec:  "wcet",
+	})
+	pts := cfg.Utilizations
+	if pts == nil {
+		pts = DefaultUtilizations()
+	}
+	scaled := make([]float64, len(pts))
+	for i, u := range pts {
+		scaled[i] = u * float64(cores)
+	}
+	cfg.Utilizations = scaled
+	return RunContext(ctx, cfg)
 }
 
 // Render formats the sweep as a plain-text table, one row per utilization.

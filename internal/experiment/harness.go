@@ -15,6 +15,7 @@ import (
 	"rtdvs/internal/bound"
 	"rtdvs/internal/core"
 	"rtdvs/internal/machine"
+	"rtdvs/internal/sched"
 	"rtdvs/internal/sim"
 	"rtdvs/internal/stats"
 	"rtdvs/internal/task"
@@ -64,6 +65,20 @@ type Config struct {
 	Horizon float64
 	// Workers bounds concurrency; 0 means GOMAXPROCS.
 	Workers int
+	// Cores, when above 1, runs every simulation on a multi-core copy of
+	// Machine (Machine.WithCores) under the partitioned Placement; 0 or 1
+	// keeps the paper's uniprocessor sweeps byte-identical. Multi-core
+	// sweeps take their execution model from ExecSpec, not Exec.
+	Cores int
+	// Placement selects the partitioned packing for multi-core sweeps
+	// (first-fit or worst-fit decreasing). Global placement needs a gang
+	// policy rail and has no per-policy baseline here; run it through the
+	// sim API instead.
+	Placement sched.Placement
+	// ExecSpec is the task.ParseExec model specification multi-core
+	// sweeps construct per-core execution models from ("" = full WCET).
+	// Ignored when Cores <= 1.
+	ExecSpec string
 	// Checkpoint, when non-empty, is the path of an append-only journal
 	// (internal/checkpoint) that records each completed (utilization,
 	// set) job — every policy's energy and miss count plus the bound —
@@ -155,7 +170,36 @@ func normalize(cfg Config) (Config, error) {
 	if cfg.Sets <= 0 {
 		cfg.Sets = 20
 	}
+	if cfg.Cores > 1 {
+		if cfg.Cores > machine.MaxCores {
+			return cfg, fmt.Errorf("experiment: Cores %d exceeds machine.MaxCores %d", cfg.Cores, machine.MaxCores)
+		}
+		cfg.Machine = cfg.Machine.WithCores(cfg.Cores)
+	}
+	if cfg.Machine.NumCores() > 1 {
+		if cfg.Placement == sched.Global {
+			return cfg, fmt.Errorf("experiment: global placement has no per-policy baseline; sweeps support partitioned placements only")
+		}
+		if _, err := task.ParseExec(cfg.ExecSpec, 1); err != nil {
+			return cfg, err
+		}
+	}
 	return cfg, nil
+}
+
+// execDesc renders the execution model identity for headers and sweep
+// results: the factory's model for uniprocessor sweeps, the parsed
+// ExecSpec model for multi-core sweeps (which never invoke the
+// factory). cfg must be normalized, so the parse cannot fail.
+func execDesc(cfg Config) string {
+	if cfg.Machine.NumCores() > 1 {
+		m, err := task.ParseExec(cfg.ExecSpec, 1)
+		if err != nil {
+			return cfg.ExecSpec
+		}
+		return m.String()
+	}
+	return cfg.Exec(rand.New(rand.NewSource(1))).String()
 }
 
 // jobRunner bundles the reusable per-worker simulation state: one
@@ -175,6 +219,11 @@ type jobRunner struct {
 	cfgs    []sim.Config
 	laneOK  []bool
 	jobErrs []error
+
+	// Multi-core execution state (Cores > 1): the per-worker MultiRunner
+	// and the chunk's expanded multi-core configurations.
+	multi *sim.MultiRunner
+	mcfgs []sim.MultiConfig
 }
 
 func newJobRunner() *jobRunner {
@@ -204,6 +253,9 @@ func (jr *jobRunner) runOne(ctx context.Context, cfg Config, policies []string, 
 	horizon := cfg.Horizon
 	if horizon <= 0 {
 		horizon = 10 * ts.MaxPeriod()
+	}
+	if cfg.Machine.NumCores() > 1 {
+		return jr.runOneMulti(ctx, cfg, policies, baseIdx, seed, ts, horizon, out)
 	}
 
 	var baseCycles float64
@@ -239,6 +291,49 @@ func (jr *jobRunner) runOne(ctx context.Context, cfg Config, policies []string, 
 		}
 	}
 	bnd, err := bound.Energy(cfg.Machine, baseCycles, horizon)
+	if err != nil {
+		return err
+	}
+	out.bnd = bnd
+	out.ok = true
+	return nil
+}
+
+// runOneMulti is runOne's multi-core tail: the same per-job seeding and
+// policy order, each policy simulated as a partitioned multi-core run,
+// and the lower bound computed per partition (the per-core hull bounds
+// sum — a statically partitioned system cannot shift work across
+// cores). Policies are resolved by name inside the MultiRunner, which
+// builds one instance per core.
+func (jr *jobRunner) runOneMulti(ctx context.Context, cfg Config, policies []string, baseIdx int, seed int64, ts *task.Set, horizon float64, out *harnessOut) error {
+	if jr.multi == nil {
+		jr.multi = sim.NewMultiRunner()
+	}
+	var coreCycles []float64
+	for pi, pname := range policies {
+		res, err := jr.multi.RunContext(ctx, sim.MultiConfig{
+			Tasks:     ts,
+			Machine:   cfg.Machine,
+			Policy:    pname,
+			Placement: cfg.Placement,
+			Exec:      cfg.ExecSpec,
+			Seed:      seed ^ 0x5DEECE66D,
+			Horizon:   horizon,
+		})
+		if err != nil {
+			return err
+		}
+		cfg.Metrics.simRun(res.MissCount())
+		out.energy[pi] = res.TotalEnergy
+		out.misses[pi] = res.MissCount()
+		if pi == baseIdx {
+			coreCycles = make([]float64, len(res.PerCore))
+			for c := range res.PerCore {
+				coreCycles[c] = res.PerCore[c].CyclesDone
+			}
+		}
+	}
+	bnd, err := bound.PartitionedEnergy(cfg.Machine, coreCycles, horizon)
 	if err != nil {
 		return err
 	}
@@ -426,7 +521,7 @@ func fold(cfg Config, policies []string, baseIdx int, outs []harnessOut) *Sweep 
 		Machine:      cfg.Machine.Name,
 		NTasks:       cfg.NTasks,
 		Sets:         cfg.Sets,
-		ExecDesc:     cfg.Exec(rand.New(rand.NewSource(1))).String(),
+		ExecDesc:     execDesc(cfg),
 		Utilizations: append([]float64(nil), cfg.Utilizations...),
 		Energy:       map[string][]float64{},
 		Normalized:   map[string][]float64{},

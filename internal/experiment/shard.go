@@ -3,7 +3,6 @@ package experiment
 import (
 	"context"
 	"fmt"
-	"math/rand"
 )
 
 // SweepHeader is the canonical identity of a sweep configuration: every
@@ -22,6 +21,11 @@ type SweepHeader struct {
 	Utilizations []float64 `json:"utilizations"`
 	Policies     []string  `json:"policies"`
 	ExecDesc     string    `json:"execDesc"`
+	// Placement identifies the multiprocessor execution model of
+	// multi-core sweeps. Empty for uniprocessor sweeps (the core count
+	// itself is part of the Machine rendering), so every pre-multicore
+	// journal and shard fingerprint is unchanged.
+	Placement string `json:"placement,omitempty"`
 }
 
 // Header returns the normalized sweep header for cfg: defaults applied,
@@ -38,7 +42,7 @@ func Header(cfg Config) (SweepHeader, error) {
 // sweepHeader builds the header from a normalized config and its
 // baseline-complete policy list.
 func sweepHeader(cfg Config, policies []string) SweepHeader {
-	return SweepHeader{
+	h := SweepHeader{
 		Kind:         "harness",
 		Machine:      cfg.Machine.String(), // full spec, not just the name
 		NTasks:       cfg.NTasks,
@@ -47,8 +51,12 @@ func sweepHeader(cfg Config, policies []string) SweepHeader {
 		Horizon:      cfg.Horizon,
 		Utilizations: cfg.Utilizations,
 		Policies:     policies,
-		ExecDesc:     cfg.Exec(rand.New(rand.NewSource(1))).String(),
+		ExecDesc:     execDesc(cfg),
 	}
+	if cfg.Machine.NumCores() > 1 {
+		h.Placement = cfg.Placement.String()
+	}
+	return h
 }
 
 // JobResult is one (utilization, set) job's scalar outputs, addressed

@@ -47,7 +47,8 @@ func (op OperatingPoint) String() string {
 }
 
 // Spec describes a DVS-capable platform: its operating points sorted by
-// ascending frequency, and the idle-level factor of its halt feature.
+// ascending frequency, the idle-level factor of its halt feature, and
+// the number of identical processor cores.
 type Spec struct {
 	// Name identifies the platform ("machine0", "k6-2+", ...).
 	Name string `json:"name"`
@@ -57,6 +58,34 @@ type Spec struct {
 	// IdleLevel is the ratio of the energy consumed by a halted cycle to
 	// a normal execution cycle (0 = perfect halt, 1 = halt saves nothing).
 	IdleLevel float64 `json:"idleLevel"`
+	// Cores is the number of identical processor cores sharing this
+	// point table (the identical-multiprocessor model of Nélis et al.).
+	// 0 is equivalent to 1 — the paper's uniprocessor platform — so
+	// every pre-multicore spec keeps its meaning (and its JSON encoding,
+	// and with it every checkpoint fingerprint) unchanged.
+	Cores int `json:"cores,omitempty"`
+}
+
+// MaxCores bounds Spec.Cores: large enough for any plausible embedded
+// multiprocessor, small enough that a hostile request cannot make the
+// simulator allocate per-core state without bound.
+const MaxCores = 64
+
+// NumCores returns the effective core count: Cores, with 0 meaning the
+// single-core platform every earlier layer assumed.
+func (s *Spec) NumCores() int {
+	if s.Cores <= 0 {
+		return 1
+	}
+	return s.Cores
+}
+
+// WithCores returns a copy of the spec with the given core count.
+func (s *Spec) WithCores(m int) *Spec {
+	c := *s
+	c.Points = append([]OperatingPoint(nil), s.Points...)
+	c.Cores = m
+	return &c
 }
 
 // Validation errors returned by Spec.Validate.
@@ -66,6 +95,7 @@ var (
 	ErrBadFrequency    = errors.New("machine: frequencies must lie in (0, 1] with the maximum equal to 1")
 	ErrBadVoltage      = errors.New("machine: voltages must be positive and non-decreasing with frequency")
 	ErrBadIdleLevel    = errors.New("machine: idle level must lie in [0, 1]")
+	ErrBadCores        = errors.New("machine: core count must lie in [0, MaxCores]")
 	ErrFreqUnreachable = errors.New("machine: no operating point satisfies the requested frequency")
 )
 
@@ -76,6 +106,9 @@ func (s *Spec) Validate() error {
 	}
 	if s.IdleLevel < 0 || s.IdleLevel > 1 {
 		return fmt.Errorf("%w: got %v", ErrBadIdleLevel, s.IdleLevel)
+	}
+	if s.Cores < 0 || s.Cores > MaxCores {
+		return fmt.Errorf("%w: got %d", ErrBadCores, s.Cores)
 	}
 	for i, p := range s.Points {
 		if p.Freq <= 0 || p.Freq > 1 {
@@ -206,7 +239,11 @@ func (s *Spec) String() string {
 		}
 		b.WriteString(p.String())
 	}
-	fmt.Fprintf(&b, " idle=%g]", s.IdleLevel)
+	if s.NumCores() > 1 {
+		fmt.Fprintf(&b, " idle=%g cores=%d]", s.IdleLevel, s.NumCores())
+	} else {
+		fmt.Fprintf(&b, " idle=%g]", s.IdleLevel)
+	}
 	return b.String()
 }
 

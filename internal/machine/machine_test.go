@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -337,6 +338,48 @@ func TestSpecString(t *testing.T) {
 	for _, want := range []string{"machine0", "0.5@3V", "0.75@4V", "1@5V", "idle=0"} {
 		if !strings.Contains(s, want) {
 			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+// TestCores pins the multi-core surface of the spec: Cores=0 means the
+// paper's uniprocessor platform, WithCores deep-copies the point table,
+// validation bounds the count, and only true multiprocessors mention
+// cores in their fingerprint string.
+func TestCores(t *testing.T) {
+	m := Machine0()
+	if m.NumCores() != 1 {
+		t.Errorf("default NumCores = %d, want 1", m.NumCores())
+	}
+	if s := m.String(); strings.Contains(s, "cores=") {
+		t.Errorf("uniprocessor fingerprint %q must not mention cores", s)
+	}
+
+	m4 := m.WithCores(4)
+	if m4.NumCores() != 4 || m4.Cores != 4 {
+		t.Errorf("WithCores(4): NumCores=%d Cores=%d", m4.NumCores(), m4.Cores)
+	}
+	if m.Cores != 0 {
+		t.Error("WithCores mutated the receiver")
+	}
+	if err := m4.Validate(); err != nil {
+		t.Errorf("WithCores(4) spec invalid: %v", err)
+	}
+	if s := m4.String(); !strings.Contains(s, "cores=4") {
+		t.Errorf("multiprocessor fingerprint %q does not mention cores", s)
+	}
+	// The copy is deep: scaling a point of the copy leaves the original.
+	m4.Points[0].Freq *= 0.5
+	if m.Points[0].Freq == m4.Points[0].Freq {
+		t.Error("WithCores shares the point table with its receiver")
+	}
+
+	if err := m.WithCores(1).Validate(); err != nil {
+		t.Errorf("cores=1 invalid: %v", err)
+	}
+	for _, bad := range []int{-1, MaxCores + 1} {
+		if err := m.WithCores(bad).Validate(); !errors.Is(err, ErrBadCores) {
+			t.Errorf("cores=%d: err = %v, want ErrBadCores", bad, err)
 		}
 	}
 }

@@ -1,0 +1,224 @@
+// Multiprocessor scheduling: task-to-core partitioning for the
+// partitioned-EDF variants and the sufficient schedulability test for
+// global EDF, following the identical-multiprocessor model of Nélis et
+// al. ("Power-Aware Real-Time Scheduling upon Identical Multiprocessor
+// Platforms"). Partitioned scheduling reduces an m-core platform to m
+// independent uniprocessor EDF problems — which is exactly how the
+// simulator executes it — while global EDF keeps a single system-wide
+// ready queue whose m earliest deadlines occupy the m cores.
+
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"rtdvs/internal/fpx"
+	"rtdvs/internal/task"
+)
+
+// Placement selects how tasks are mapped onto the cores of an identical
+// multiprocessor.
+type Placement int
+
+const (
+	// PartitionedFF statically assigns tasks to cores by first-fit
+	// decreasing bin packing; each core then runs its own uniprocessor
+	// EDF (or RM) schedule with its own DVS policy instance.
+	PartitionedFF Placement = iota
+	// PartitionedWF is partitioned scheduling with worst-fit decreasing
+	// packing: each task goes to the least-loaded core that fits it,
+	// balancing per-core utilization (and with it per-core frequency).
+	PartitionedWF
+	// Global keeps one system-wide EDF queue: at every instant the m
+	// ready jobs with the earliest absolute deadlines run, one per core,
+	// and jobs migrate freely. A single gang policy drives the shared
+	// voltage/frequency rail.
+	Global
+)
+
+// String implements fmt.Stringer using the wire names ParsePlacement
+// accepts.
+func (p Placement) String() string {
+	switch p {
+	case PartitionedFF:
+		return "partitioned-ff"
+	case PartitionedWF:
+		return "partitioned-wf"
+	case Global:
+		return "global"
+	}
+	return fmt.Sprintf("Placement(%d)", int(p))
+}
+
+// ParsePlacement resolves a placement name. The empty string selects
+// the default, first-fit partitioned scheduling.
+func ParsePlacement(s string) (Placement, error) {
+	switch s {
+	case "", "partitioned-ff", "ff":
+		return PartitionedFF, nil
+	case "partitioned-wf", "wf":
+		return PartitionedWF, nil
+	case "global":
+		return Global, nil
+	}
+	return PartitionedFF, fmt.Errorf("sched: unknown placement %q (want partitioned-ff, partitioned-wf, or global)", s)
+}
+
+// PlacementNames lists the accepted canonical placement names.
+func PlacementNames() []string {
+	return []string{"partitioned-ff", "partitioned-wf", "global"}
+}
+
+// Partition is a static task-to-core assignment on m identical cores.
+type Partition struct {
+	// Cores is the number of cores partitioned over.
+	Cores int
+	// Assign maps each task index to its core in [0, Cores).
+	Assign []int
+	// Util is the worst-case utilization packed onto each core.
+	Util []float64
+	// Feasible reports whether every core's worst-case utilization is at
+	// most 1, i.e. whether per-core EDF admits every partition at full
+	// speed. An infeasible packing still assigns every task (to the
+	// least-loaded core) so the system degrades rather than fails.
+	Feasible bool
+}
+
+// decreasingUtil returns the task indexes ordered by descending
+// utilization, ties broken by ascending index — the deterministic
+// "decreasing" order both packing heuristics consume.
+func decreasingUtil(ts *task.Set) []int {
+	order := make([]int, ts.Len())
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ua, ub := ts.Task(order[a]).Utilization(), ts.Task(order[b]).Utilization()
+		//rtdvs:ignore floatcmp exact comparison keeps the comparator a strict weak order; a tolerant Ne is not transitive and corrupts the sort
+		if ua != ub {
+			return ua > ub
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
+
+// PartitionFirstFit packs the tasks onto m cores by first-fit
+// decreasing: tasks in descending utilization order, each placed on the
+// lowest-indexed core whose packed utilization stays at most 1. A task
+// that fits nowhere goes to the least-loaded core and the partition is
+// marked infeasible. The result is a pure function of (ts, m).
+func PartitionFirstFit(ts *task.Set, m int) Partition {
+	return pack(ts, m, func(util []float64, u float64) int {
+		for c := range util {
+			if fpx.Le(util[c]+u, 1) {
+				return c
+			}
+		}
+		return -1
+	})
+}
+
+// PartitionWorstFit packs the tasks onto m cores by worst-fit
+// decreasing: tasks in descending utilization order, each placed on the
+// least-loaded core that still fits it (ties to the lowest core index),
+// balancing per-core utilization across the platform. A task that fits
+// nowhere goes to the least-loaded core and the partition is marked
+// infeasible.
+func PartitionWorstFit(ts *task.Set, m int) Partition {
+	return pack(ts, m, func(util []float64, u float64) int {
+		best := -1
+		for c := range util {
+			if !fpx.Le(util[c]+u, 1) {
+				continue
+			}
+			if best < 0 || util[c] < util[best] {
+				best = c
+			}
+		}
+		return best
+	})
+}
+
+// PartitionFor returns the packing for the given placement; Global has
+// no static partition and returns an error.
+func PartitionFor(p Placement, ts *task.Set, m int) (Partition, error) {
+	switch p {
+	case PartitionedFF:
+		return PartitionFirstFit(ts, m), nil
+	case PartitionedWF:
+		return PartitionWorstFit(ts, m), nil
+	}
+	return Partition{}, fmt.Errorf("sched: placement %v has no static partition", p)
+}
+
+// pack runs one decreasing-order packing pass. fit returns the chosen
+// core for a task of utilization u given the current per-core loads, or
+// -1 when no core fits; the overflow fallback (least-loaded core, ties
+// to the lowest index) keeps every task assigned.
+func pack(ts *task.Set, m int, fit func(util []float64, u float64) int) Partition {
+	if m < 1 {
+		m = 1
+	}
+	p := Partition{
+		Cores:    m,
+		Assign:   make([]int, ts.Len()),
+		Util:     make([]float64, m),
+		Feasible: true,
+	}
+	for _, i := range decreasingUtil(ts) {
+		u := ts.Task(i).Utilization()
+		c := fit(p.Util, u)
+		if c < 0 {
+			p.Feasible = false
+			c = 0
+			for k := 1; k < m; k++ {
+				if p.Util[k] < p.Util[c] {
+					c = k
+				}
+			}
+		}
+		p.Assign[i] = c
+		p.Util[c] += u
+	}
+	return p
+}
+
+// CoreTasks returns the task indexes assigned to core c, in ascending
+// index order (the order per-core sub-sets preserve).
+func (p Partition) CoreTasks(c int) []int {
+	var out []int
+	for i, a := range p.Assign {
+		if a == c {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// GlobalEDFTest is the sufficient (GFB, Goossens–Funk–Baruah)
+// schedulability test for global EDF on m identical cores at relative
+// frequency alpha: with λ = max_i u_i,
+//
+//	Σ u_i ≤ m·(alpha − λ) + λ   and   λ ≤ alpha.
+//
+// With m = 1 it reduces exactly to the uniprocessor EDF utilization
+// test Σ u_i ≤ alpha.
+func GlobalEDFTest(s *task.Set, m int, alpha float64) bool {
+	if m < 1 {
+		m = 1
+	}
+	var sum, lmax float64
+	for i := 0; i < s.Len(); i++ {
+		u := s.Task(i).Utilization()
+		sum += u
+		if u > lmax {
+			lmax = u
+		}
+	}
+	if !fpx.Le(lmax, alpha) {
+		return false
+	}
+	return fpx.Le(sum, float64(m)*(alpha-lmax)+lmax)
+}

@@ -16,6 +16,7 @@ import (
 	"rtdvs/internal/core"
 	"rtdvs/internal/experiment"
 	"rtdvs/internal/machine"
+	"rtdvs/internal/sched"
 	"rtdvs/internal/sim"
 	"rtdvs/internal/task"
 )
@@ -49,12 +50,42 @@ type SimulateRequest struct {
 	Horizon float64 `json:"horizon,omitempty"`
 	// Overhead models the K6-2+ switch stop intervals.
 	Overhead bool `json:"overhead,omitempty"`
+	// Cores, when above 1, runs the simulation on a multi-core copy of
+	// the platform under the multi-core engine (sim.RunMulti); the
+	// response is then a sim.MultiResult. 0 and 1 select the scalar
+	// engine.
+	Cores int `json:"cores,omitempty"`
+	// Placement selects the multi-core placement ("partitioned-ff",
+	// "partitioned-wf", "global"); default partitioned-ff. Requires
+	// cores > 1.
+	Placement string `json:"placement,omitempty"`
 }
+
+// validateCores checks the multi-core fields shared by the scalar and
+// multi-core paths.
+func (r *SimulateRequest) validateCores() error {
+	if r.Cores < 0 || r.Cores > machine.MaxCores {
+		return fmt.Errorf("serve: cores must lie in [0, %d], got %d", machine.MaxCores, r.Cores)
+	}
+	if r.Placement != "" && r.Cores <= 1 {
+		return fmt.Errorf("serve: placement requires cores > 1")
+	}
+	return nil
+}
+
+// Multi reports whether the request selects the multi-core engine.
+func (r *SimulateRequest) Multi() bool { return r.Cores > 1 }
 
 // Config builds the validated sim.Config, defaulting Horizon as
 // rtdvs-sim does.
 func (r *SimulateRequest) Config() (sim.Config, error) {
 	var zero sim.Config
+	if err := r.validateCores(); err != nil {
+		return zero, err
+	}
+	if r.Multi() {
+		return zero, fmt.Errorf("serve: cores=%d selects the multi-core engine; use MultiConfig", r.Cores)
+	}
 	ts, err := task.NewSet(r.Tasks...)
 	if err != nil {
 		return zero, err
@@ -93,6 +124,66 @@ func (r *SimulateRequest) Config() (sim.Config, error) {
 	return cfg, nil
 }
 
+// MultiConfig builds the validated sim.MultiConfig for a cores > 1
+// request. The policy travels by name (the multi-core engine builds one
+// instance per core); global placement additionally requires a gang
+// policy, which the engine itself enforces.
+func (r *SimulateRequest) MultiConfig() (sim.MultiConfig, error) {
+	var zero sim.MultiConfig
+	if err := r.validateCores(); err != nil {
+		return zero, err
+	}
+	if !r.Multi() {
+		return zero, fmt.Errorf("serve: cores=%d selects the scalar engine; use Config", r.Cores)
+	}
+	ts, err := task.NewSet(r.Tasks...)
+	if err != nil {
+		return zero, err
+	}
+	spec, err := resolveMachine(r.Machine, r.MachineSpec, r.IdleLevel)
+	if err != nil {
+		return zero, err
+	}
+	pname := r.Policy
+	if pname == "" {
+		pname = "laEDF"
+	}
+	if _, err := core.ExtendedByName(pname); err != nil {
+		return zero, err
+	}
+	plc, err := sched.ParsePlacement(r.Placement)
+	if err != nil {
+		return zero, err
+	}
+	if _, err := task.ParseExec(r.Exec, r.Seed); err != nil {
+		return zero, err
+	}
+	if err := finiteField("horizon", r.Horizon); err != nil {
+		return zero, err
+	}
+	if r.Horizon < 0 {
+		return zero, fmt.Errorf("serve: horizon must be non-negative, got %v", r.Horizon)
+	}
+	horizon := r.Horizon
+	if horizon <= 0 {
+		horizon = 20 * ts.MaxPeriod()
+	}
+	cfg := sim.MultiConfig{
+		Tasks:     ts,
+		Machine:   spec.WithCores(r.Cores),
+		Policy:    pname,
+		Placement: plc,
+		Exec:      r.Exec,
+		Seed:      r.Seed,
+		Horizon:   horizon,
+	}
+	if r.Overhead {
+		oh := machine.K62SwitchOverhead
+		cfg.Overhead = &oh
+	}
+	return cfg, nil
+}
+
 // SweepRequest is the body of POST /v1/sweep: an asynchronous
 // utilization sweep over randomly generated task sets (see
 // experiment.Config).
@@ -118,6 +209,14 @@ type SweepRequest struct {
 	// Horizon is the simulated duration per run; 0 selects 10× the
 	// longest period of each set.
 	Horizon float64 `json:"horizon,omitempty"`
+	// Cores, when above 1, sweeps a multi-core copy of the platform
+	// under partitioned placement; the utilization axis then spans
+	// (0, cores]. 0 and 1 keep the paper's uniprocessor sweeps.
+	Cores int `json:"cores,omitempty"`
+	// Placement selects the partitioned packing for multi-core sweeps
+	// ("partitioned-ff" or "partitioned-wf"; global placement has no
+	// per-policy baseline and is rejected). Requires cores > 1.
+	Placement string `json:"placement,omitempty"`
 }
 
 // Config builds the validated experiment.Config.
@@ -128,6 +227,23 @@ func (r *SweepRequest) Config() (experiment.Config, error) {
 	}
 	if r.Sets < 0 {
 		return zero, fmt.Errorf("serve: sets must be non-negative, got %d", r.Sets)
+	}
+	if r.Cores < 0 || r.Cores > machine.MaxCores {
+		return zero, fmt.Errorf("serve: cores must lie in [0, %d], got %d", machine.MaxCores, r.Cores)
+	}
+	if r.Placement != "" && r.Cores <= 1 {
+		return zero, fmt.Errorf("serve: placement requires cores > 1")
+	}
+	var placement sched.Placement
+	if r.Cores > 1 {
+		var err error
+		placement, err = sched.ParsePlacement(r.Placement)
+		if err != nil {
+			return zero, err
+		}
+		if placement == sched.Global {
+			return zero, fmt.Errorf("serve: global placement has no per-policy baseline; sweeps support partitioned placements only")
+		}
 	}
 	for _, p := range r.Policies {
 		if _, err := core.ExtendedByName(p); err != nil {
@@ -142,12 +258,16 @@ func (r *SweepRequest) Config() (experiment.Config, error) {
 	if err != nil {
 		return zero, err
 	}
+	umax := 1.0
+	if r.Cores > 1 {
+		umax = float64(r.Cores)
+	}
 	for i, u := range r.Utilizations {
 		if err := finiteField(fmt.Sprintf("utilizations[%d]", i), u); err != nil {
 			return zero, err
 		}
-		if !(u > 0) || u > 1 {
-			return zero, fmt.Errorf("serve: utilizations[%d] must lie in (0, 1], got %v", i, u)
+		if !(u > 0) || u > umax {
+			return zero, fmt.Errorf("serve: utilizations[%d] must lie in (0, %g], got %v", i, umax, u)
 		}
 	}
 	if err := finiteField("horizon", r.Horizon); err != nil {
@@ -165,6 +285,9 @@ func (r *SweepRequest) Config() (experiment.Config, error) {
 		Sets:         r.Sets,
 		Seed:         r.Seed,
 		Horizon:      r.Horizon,
+		Cores:        r.Cores,
+		Placement:    placement,
+		ExecSpec:     r.Exec,
 	}, nil
 }
 

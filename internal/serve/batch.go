@@ -19,12 +19,15 @@ type SimulateBatchRequest struct {
 	Items []SimulateRequest `json:"items"`
 }
 
-// SimulateBatchItem is one item's outcome: exactly one of Result and
-// Error is set. Items fail independently — a bad task set in one item
-// never blocks its siblings.
+// SimulateBatchItem is one item's outcome: exactly one of Result,
+// Multi, and Error is set. Items fail independently — a bad task set in
+// one item never blocks its siblings. Multi carries the outcome of a
+// cores > 1 item (see SimulateRequest.Cores); scalar items answer in
+// Result.
 type SimulateBatchItem struct {
-	Result *sim.Result `json:"result,omitempty"`
-	Error  string      `json:"error,omitempty"`
+	Result *sim.Result      `json:"result,omitempty"`
+	Multi  *sim.MultiResult `json:"multi,omitempty"`
+	Error  string           `json:"error,omitempty"`
 }
 
 // SimulateBatchResponse carries per-item outcomes in request order.
@@ -60,7 +63,19 @@ func (s *Server) handleSimulateBatch(w http.ResponseWriter, r *http.Request) {
 	resp := SimulateBatchResponse{Items: make([]SimulateBatchItem, len(req.Items))}
 	cfgs := make([]sim.Config, 0, len(req.Items))
 	laneItem := make([]int, 0, len(req.Items))
+	var mcfgs []sim.MultiConfig
+	var mLaneItem []int
 	for i := range req.Items {
+		if req.Items[i].Multi() {
+			mcfg, err := req.Items[i].MultiConfig()
+			if err != nil {
+				resp.Items[i].Error = err.Error()
+				continue
+			}
+			mcfgs = append(mcfgs, mcfg)
+			mLaneItem = append(mLaneItem, i)
+			continue
+		}
 		cfg, err := req.Items[i].Config()
 		if err != nil {
 			resp.Items[i].Error = err.Error()
@@ -82,25 +97,45 @@ func (s *Server) handleSimulateBatch(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.SimTimeout)
 	defer cancel()
-	if len(cfgs) > 0 {
+	if len(cfgs) > 0 || len(mcfgs) > 0 {
 		br := batchPool.Get().(*sim.BatchRunner)
-		results, errs := br.RunContext(ctx, cfgs)
-		// Lane results alias the runner's reusable buffers; copy each
-		// into the response before the runner returns to the pool.
-		for li, i := range laneItem {
-			if err := errs[li]; err != nil {
-				var canceled *sim.Canceled
-				if errors.As(err, &canceled) && errors.Is(err, context.DeadlineExceeded) {
-					s.metrics.timeouts.Inc()
-					resp.Items[i].Error = fmt.Sprintf(
-						"simulation exceeded the %v batch limit (stopped at t=%g of %g)",
-						s.cfg.SimTimeout, canceled.At, cfgs[li].Horizon)
-				} else {
-					resp.Items[i].Error = err.Error()
+		if len(cfgs) > 0 {
+			results, errs := br.RunContext(ctx, cfgs)
+			// Lane results alias the runner's reusable buffers; copy each
+			// into the response before the runner returns to the pool.
+			for li, i := range laneItem {
+				if err := errs[li]; err != nil {
+					var canceled *sim.Canceled
+					if errors.As(err, &canceled) && errors.Is(err, context.DeadlineExceeded) {
+						s.metrics.timeouts.Inc()
+						resp.Items[i].Error = fmt.Sprintf(
+							"simulation exceeded the %v batch limit (stopped at t=%g of %g)",
+							s.cfg.SimTimeout, canceled.At, cfgs[li].Horizon)
+					} else {
+						resp.Items[i].Error = err.Error()
+					}
+					continue
 				}
-				continue
+				resp.Items[i].Result = results[li].Clone()
 			}
-			resp.Items[i].Result = results[li].Clone()
+		}
+		if len(mcfgs) > 0 {
+			results, errs := br.RunMultiContext(ctx, mcfgs)
+			for li, i := range mLaneItem {
+				if err := errs[li]; err != nil {
+					var canceled *sim.MultiCanceled
+					if errors.As(err, &canceled) && errors.Is(err, context.DeadlineExceeded) {
+						s.metrics.timeouts.Inc()
+						resp.Items[i].Error = fmt.Sprintf(
+							"simulation exceeded the %v batch limit (stopped at t=%g of %g)",
+							s.cfg.SimTimeout, canceled.At, mcfgs[li].Horizon)
+					} else {
+						resp.Items[i].Error = err.Error()
+					}
+					continue
+				}
+				resp.Items[i].Multi = results[li].Clone()
+			}
 		}
 		batchPool.Put(br)
 	}

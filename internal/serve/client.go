@@ -64,6 +64,20 @@ func (c *Client) Simulate(ctx context.Context, req SimulateRequest) (*sim.Result
 	return &res, nil
 }
 
+// SimulateMulti runs one multi-core simulation synchronously. The
+// request must set Cores > 1; the scalar Simulate cannot decode a
+// multi-core response and vice versa.
+func (c *Client) SimulateMulti(ctx context.Context, req SimulateRequest) (*sim.MultiResult, error) {
+	if req.Cores <= 1 {
+		return nil, fmt.Errorf("serve: SimulateMulti requires cores > 1, got %d", req.Cores)
+	}
+	var res sim.MultiResult
+	if err := c.call(ctx, "POST", "/v1/simulate", req, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
 // StartSweep submits an asynchronous sweep and returns its job ID.
 func (c *Client) StartSweep(ctx context.Context, req SweepRequest) (string, error) {
 	var st JobStatus

@@ -297,6 +297,10 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	if !s.readRequest(w, r, &req) {
 		return
 	}
+	if req.Multi() {
+		s.handleSimulateMulti(w, r, &req)
+		return
+	}
 	cfg, err := req.Config()
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
@@ -327,6 +331,45 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 					s.cfg.SimTimeout, canceled.At, cfg.Horizon))
 		case errors.As(err, &canceled):
 			// The client went away; status is for logs only.
+			s.writeError(w, StatusClientClosedRequest, errors.New("client closed request"))
+		default:
+			s.writeError(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	s.writeJSON(w, http.StatusOK, res)
+}
+
+// handleSimulateMulti is handleSimulate for cores > 1 requests: the
+// same concurrency slot, timeout, and error mapping, run on the
+// multi-core engine; the response body is a sim.MultiResult.
+func (s *Server) handleSimulateMulti(w http.ResponseWriter, r *http.Request, req *SimulateRequest) {
+	cfg, err := req.MultiConfig()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	select {
+	case s.simSem <- struct{}{}:
+		defer func() { <-s.simSem }()
+	default:
+		s.shed(w)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.SimTimeout)
+	defer cancel()
+	res, err := sim.RunMultiContext(ctx, cfg)
+	if err != nil {
+		var canceled *sim.MultiCanceled
+		switch {
+		case errors.As(err, &canceled) && errors.Is(err, context.DeadlineExceeded):
+			s.metrics.timeouts.Inc()
+			s.writeError(w, http.StatusGatewayTimeout,
+				fmt.Errorf("simulation exceeded the %v limit (stopped at t=%g of %g)",
+					s.cfg.SimTimeout, canceled.At, cfg.Horizon))
+		case errors.As(err, &canceled):
 			s.writeError(w, StatusClientClosedRequest, errors.New("client closed request"))
 		default:
 			s.writeError(w, http.StatusBadRequest, err)

@@ -99,6 +99,9 @@ type BatchRunner struct {
 
 	fallback []*Runner           // scalar runners for fault/recorder lanes
 	seen     map[core.Policy]int // duplicate policy-instance detection
+
+	// mb is the multi-core expansion state of RunMulti (multibatch.go).
+	mb multiBatch
 }
 
 // NewBatchRunner returns an empty BatchRunner; buffers grow on first use.

@@ -1,0 +1,304 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"rtdvs/internal/core"
+	"rtdvs/internal/sched"
+	"rtdvs/internal/task"
+)
+
+// Batched multi-core execution. A partitioned multi-core run IS a set of
+// independent uniprocessor runs, so RunMulti expands every partitioned
+// item into one scalar lane per loaded core and executes ALL lanes of
+// ALL items in a single lockstep pass — the batch engine's cross-lane
+// locality applies across cores exactly as it does across sweep points.
+// Global items need the migration-aware gang engine and run on embedded
+// MultiRunners (one per such item, retained across batches), mirroring
+// how the scalar batch falls back for fault/recorder lanes.
+
+// multiBatch is the reusable expansion state behind BatchRunner.RunMulti.
+type multiBatch struct {
+	scalar  []Config          // expanded per-core lane configs
+	owner   []int             // lane -> item index
+	tasks   [][]int           // lane -> original task indexes (aliased from parts)
+	parts   []sched.Partition // item -> resolved partition (partitioned items)
+	cores   []int             // item -> core count
+	laneOf  [][2]int          // item -> [first lane, lane count]
+	results []MultiResult     // item result storage, reused
+	out     []*MultiResult    // parallel output slice
+	errs    []error           // parallel error slice
+	globals map[int]*MultiRunner
+
+	// pols hands out one fresh-or-reused policy instance per lane: the
+	// batch engine rejects shared instances, and Attach resets state, so
+	// pooling by name across runs is safe.
+	pols    map[string][]core.Policy
+	polUsed map[string]int
+
+	subTasks []task.Task // scratch: sub-set construction
+}
+
+// polFor returns the next unused pooled instance of the named policy.
+func (mb *multiBatch) polFor(name string) (core.Policy, error) {
+	if mb.pols == nil {
+		mb.pols = make(map[string][]core.Policy)
+		mb.polUsed = make(map[string]int)
+	}
+	i := mb.polUsed[name]
+	mb.polUsed[name] = i + 1
+	pool := mb.pols[name]
+	if i < len(pool) {
+		return pool[i], nil
+	}
+	p, err := core.ExtendedByName(name)
+	if err != nil {
+		return nil, err
+	}
+	mb.pols[name] = append(pool, p)
+	return p, nil
+}
+
+// RunMultiBatch executes the multi-core configurations on a fresh
+// BatchRunner (see BatchRunner.RunMulti).
+func RunMultiBatch(cfgs []MultiConfig) ([]*MultiResult, []error) {
+	return NewBatchRunner().RunMulti(cfgs)
+}
+
+// RunMulti executes every multi-core configuration and returns parallel
+// slices of per-item results and errors: results[i] is non-nil exactly
+// when errs[i] is nil. Partitioned items are expanded into per-core
+// scalar lanes and run in one lockstep pass; global items run on
+// embedded gang engines. The results alias the BatchRunner's buffers
+// and are valid until the next Run or RunMulti call; use
+// MultiResult.Clone to retain one.
+func (b *BatchRunner) RunMulti(cfgs []MultiConfig) ([]*MultiResult, []error) {
+	return b.runMulti(nil, cfgs)
+}
+
+// RunMultiContext is RunMulti with cooperative cancellation: items
+// interrupted before their horizon report a *MultiCanceled carrying the
+// partial fold, like Runner and BatchRunner cancellation.
+func (b *BatchRunner) RunMultiContext(ctx context.Context, cfgs []MultiConfig) ([]*MultiResult, []error) {
+	if ctx != nil && ctx.Done() == nil {
+		ctx = nil
+	}
+	return b.runMulti(ctx, cfgs)
+}
+
+func (b *BatchRunner) runMulti(ctx context.Context, cfgs []MultiConfig) ([]*MultiResult, []error) {
+	mb := &b.mb
+	k := len(cfgs)
+	mb.results = growZeroed(mb.results, k)
+	mb.out = growZeroed(mb.out, k)
+	mb.errs = growZeroed(mb.errs, k)
+	mb.parts = growZeroed(mb.parts, k)
+	mb.cores = growZeroed(mb.cores, k)
+	mb.laneOf = growZeroed(mb.laneOf, k)
+	mb.scalar = mb.scalar[:0]
+	mb.owner = mb.owner[:0]
+	mb.tasks = mb.tasks[:0]
+	for name := range mb.polUsed {
+		mb.polUsed[name] = 0
+	}
+	out, errs := mb.out[:k], mb.errs[:k]
+	for i := range out {
+		out[i], errs[i] = nil, nil
+	}
+
+	// Expand: validate each item, resolve its partition, and emit one
+	// scalar lane per loaded core.
+	for i := range cfgs {
+		cfg := cfgs[i] // copy; validateMulti defaults the horizon in place
+		m, err := validateMulti(&cfg)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		cfgs[i].Horizon = cfg.Horizon // expose the default to the fold
+		mb.cores[i] = m
+		mb.laneOf[i] = [2]int{len(mb.scalar), 0}
+		if cfg.Placement == sched.Global {
+			continue // runs on its embedded gang engine below
+		}
+		part, err := resolvePartition(cfg, m)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		mb.parts[i] = part
+		if err := b.expandItem(i, cfg, m, part); err != nil {
+			errs[i] = err
+			mb.scalar = mb.scalar[:mb.laneOf[i][0]] // drop this item's lanes
+			mb.owner = mb.owner[:mb.laneOf[i][0]]
+			mb.tasks = mb.tasks[:mb.laneOf[i][0]]
+			mb.laneOf[i][1] = 0
+		}
+	}
+
+	// One lockstep pass over every lane of every partitioned item.
+	lres, lerrs := b.run(ctx, mb.scalar)
+
+	// Fold each item's lanes back into a MultiResult.
+	for i := range cfgs {
+		if errs[i] != nil {
+			continue
+		}
+		if cfgs[i].Placement == sched.Global {
+			out[i], errs[i] = b.globalRunner(i).RunContext(ctx, cfgs[i])
+			continue
+		}
+		out[i], errs[i] = mb.foldItem(i, cfgs[i], lres, lerrs)
+	}
+	return out, errs
+}
+
+// expandItem appends one scalar lane per loaded core of item i, in the
+// canonical fold order (ascending first-assigned-task index).
+func (b *BatchRunner) expandItem(i int, cfg MultiConfig, m int, part sched.Partition) error {
+	mb := &b.mb
+	ts := cfg.Tasks
+	for first := 0; first < ts.Len(); first++ {
+		c := part.Assign[first]
+		// first is this core's lowest task index iff no earlier task
+		// shares the core — the canonical order falls out of the task
+		// walk itself.
+		mine := false
+		for j := 0; j < first; j++ {
+			if part.Assign[j] == c {
+				mine = true
+				break
+			}
+		}
+		if mine {
+			continue
+		}
+		coreTasks := part.CoreTasks(c)
+		pol, err := mb.polFor(cfg.Policy)
+		if err != nil {
+			return err
+		}
+		seed := cfg.Seed + execSeedStride*int64(first)
+		exec, err := task.ParseExec(cfg.Exec, seed)
+		if err != nil {
+			return err
+		}
+		subSet := ts
+		if m > 1 {
+			mb.subTasks = mb.subTasks[:0]
+			for _, t := range coreTasks {
+				mb.subTasks = append(mb.subTasks, ts.Task(t))
+			}
+			subSet, err = task.NewSet(mb.subTasks...)
+			if err != nil {
+				return err
+			}
+		}
+		mb.scalar = append(mb.scalar, Config{
+			Tasks:           subSet,
+			Machine:         cfg.Machine,
+			Policy:          pol,
+			Exec:            exec,
+			Horizon:         cfg.Horizon,
+			Overhead:        cfg.Overhead,
+			Recorder:        cfg.Recorder, // nil unless m == 1
+			CheckInvariants: cfg.CheckInvariants,
+		})
+		mb.owner = append(mb.owner, i)
+		mb.tasks = append(mb.tasks, coreTasks)
+		mb.laneOf[i][1]++
+	}
+	return nil
+}
+
+// foldItem merges item i's lane results into its MultiResult, exactly
+// as MultiRunner.runPartitioned folds sequential per-core runs.
+func (mb *multiBatch) foldItem(i int, cfg MultiConfig, lres []*Result, lerrs []error) (*MultiResult, error) {
+	m := mb.cores[i]
+	part := mb.parts[i]
+	res := &mb.results[i]
+	*res = MultiResult{
+		Policy:    cfg.Policy,
+		Placement: cfg.Placement.String(),
+		Cores:     m,
+		Horizon:   cfg.Horizon,
+		Misses:    res.Misses[:0],
+		PerTask:   growZeroed(res.PerTask, cfg.Tasks.Len()),
+		PerCore:   growZeroed(res.PerCore, m),
+	}
+	for c := range res.PerCore {
+		res.PerCore[c].Tasks = res.PerCore[c].Tasks[:0]
+	}
+	res.Feasible = partFeasible(cfg.Tasks, part, m)
+	res.Guaranteed = res.Feasible
+	for t := 0; t < cfg.Tasks.Len(); t++ {
+		c := part.Assign[t]
+		res.PerCore[c].Tasks = append(res.PerCore[c].Tasks, t)
+		res.PerCore[c].Util += cfg.Tasks.Task(t).Utilization()
+	}
+	first, count := mb.laneOf[i][0], mb.laneOf[i][1]
+	var canceled *MultiCanceled
+	for l := first; l < first+count; l++ {
+		coreTasks := mb.tasks[l]
+		c := part.Assign[coreTasks[0]]
+		pc := &res.PerCore[c]
+		sres := lres[l]
+		if err := lerrs[l]; err != nil {
+			cerr, ok := err.(*Canceled)
+			if !ok {
+				return nil, fmt.Errorf("sim: core %d: %w", c, err)
+			}
+			// Fold the partial and keep going: under lockstep every
+			// interrupted lane stopped at the same poll, so the fold
+			// stays a consistent snapshot. Report the earliest At.
+			sres = cerr.Partial
+			if canceled == nil || cerr.At < canceled.At {
+				if canceled == nil {
+					canceled = &MultiCanceled{Partial: res}
+				}
+				canceled.At = cerr.At
+				canceled.Cause = cerr.Cause
+			}
+		} else if !sres.Guaranteed {
+			res.Guaranteed = false
+		}
+		foldCore(res, pc, sres, coreTasks)
+	}
+	// Unloaded cores halt at the platform minimum for the whole horizon.
+	// They fold after the loaded cores, matching the sequential engine's
+	// canonical order (empty cores last) so the float accumulations are
+	// bit-identical across the two engines.
+	for c := 0; c < m; c++ {
+		if len(res.PerCore[c].Tasks) == 0 {
+			e := cfg.Machine.IdlePower(cfg.Machine.Min()) * cfg.Horizon
+			res.PerCore[c].IdleEnergy = e
+			res.PerCore[c].IdleTime = cfg.Horizon
+			res.IdleEnergy += e
+			res.IdleTime += cfg.Horizon
+		}
+	}
+	res.TotalEnergy = res.ExecEnergy + res.IdleEnergy
+	sortMisses(res.Misses)
+	if canceled != nil {
+		return nil, canceled
+	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.observe(res)
+	}
+	return res, nil
+}
+
+// globalRunner returns item i's embedded gang engine, retained across
+// batches like the scalar fallback runners.
+func (b *BatchRunner) globalRunner(i int) *MultiRunner {
+	if b.mb.globals == nil {
+		b.mb.globals = make(map[int]*MultiRunner)
+	}
+	r, ok := b.mb.globals[i]
+	if !ok {
+		r = NewMultiRunner()
+		b.mb.globals[i] = r
+	}
+	return r
+}

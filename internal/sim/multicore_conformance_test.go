@@ -1,0 +1,232 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"rtdvs/internal/bound"
+	"rtdvs/internal/machine"
+	"rtdvs/internal/sched"
+	"rtdvs/internal/task"
+)
+
+// The multi-core conformance suite extends the paper's headline claim
+// to m identical cores: averaged over seeded random task sets under
+// partitioned-EDF, the policies order as
+//
+//	bound ≤ laEDF ≤ ccEDF ≤ staticEDF ≤ none
+//
+// in normalized energy, where the bound is the per-partition convex
+// hull bound. The uniprocessor version lives in conformance_test.go;
+// this file is the same experiment with the utilization axis scaled to
+// the core count.
+
+// multiConformancePoint holds sweep-averaged normalized energies at one
+// total utilization.
+type multiConformancePoint struct {
+	u    float64
+	norm map[string]float64
+	bnd  float64
+}
+
+// multiConformanceSweep mirrors the multi-core experiment harness in
+// miniature: `sets` seeded sets per utilization, every policy on the
+// identical workload and partition, energies averaged then normalized
+// by the no-DVS baseline.
+func multiConformanceSweep(t *testing.T, cores int, seed int64, utils []float64, sets int, execSpec string) []multiConformancePoint {
+	t.Helper()
+	policies := []string{"none", "staticEDF", "ccEDF", "laEDF"}
+	runner := NewMultiRunner()
+	spec := machine.Machine0().WithCores(cores)
+	points := make([]multiConformancePoint, 0, len(utils))
+	for ui, u := range utils {
+		sum := make(map[string]float64, len(policies))
+		var bndSum float64
+		for si := 0; si < sets; si++ {
+			caseSeed := seed + int64(ui)*1_000_003 + int64(si)*7919
+			g := task.Generator{N: 4 * cores, Utilization: u, Rand: rand.New(rand.NewSource(caseSeed))}
+			ts, err := g.Generate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			horizon := min(10*ts.MaxPeriod(), 3000)
+			var coreCycles []float64
+			for _, name := range policies {
+				res, err := runner.Run(MultiConfig{
+					Tasks:     ts,
+					Machine:   spec,
+					Policy:    name,
+					Placement: sched.PartitionedWF,
+					Exec:      execSpec,
+					Seed:      caseSeed ^ 0x5DEECE66D,
+					Horizon:   horizon,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				sum[name] += res.TotalEnergy
+				if res.Guaranteed && res.MissCount() > 0 {
+					t.Fatalf("m=%d u=%.2f set %d: %s guaranteed the set but missed %d deadlines",
+						cores, u, si, name, res.MissCount())
+				}
+				if name == "none" {
+					coreCycles = make([]float64, len(res.PerCore))
+					for c := range res.PerCore {
+						coreCycles[c] = res.PerCore[c].CyclesDone
+					}
+				}
+			}
+			bnd, err := bound.PartitionedEnergy(spec, coreCycles, horizon)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bndSum += bnd
+		}
+		pt := multiConformancePoint{u: u, norm: make(map[string]float64, len(policies))}
+		for _, name := range policies {
+			pt.norm[name] = sum[name] / sum["none"]
+		}
+		pt.bnd = bndSum / sum["none"]
+		points = append(points, pt)
+	}
+	return points
+}
+
+// assertMultiConformance enforces bound ≤ laEDF ≤ ccEDF ≤ staticEDF ≤
+// none at every point; laTol loosens only the laEDF-vs-ccEDF link
+// (stochastic workloads, as in the uniprocessor suite).
+func assertMultiConformance(t *testing.T, cores int, pts []multiConformancePoint, laTol float64) {
+	t.Helper()
+	const eps = 1e-9
+	for _, pt := range pts {
+		la, cc, se, none := pt.norm["laEDF"], pt.norm["ccEDF"], pt.norm["staticEDF"], pt.norm["none"]
+		t.Logf("m=%d u=%.2f: bound=%.4f laEDF=%.4f ccEDF=%.4f staticEDF=%.4f none=%.4f",
+			cores, pt.u, pt.bnd, la, cc, se, none)
+		if none != 1 {
+			t.Errorf("m=%d u=%.2f: baseline does not normalize to 1 (got %v)", cores, pt.u, none)
+		}
+		// As in the uniprocessor suite, the bound is computed from the
+		// baseline's per-core cycle counts while each policy truncates a
+		// slightly different sliver of in-flight work at the horizon, so a
+		// policy's energy can sit a hair below the bound; 1% covers that.
+		for _, name := range []string{"laEDF", "ccEDF", "staticEDF"} {
+			if pt.norm[name] < pt.bnd*0.99 {
+				t.Errorf("m=%d u=%.2f: %s %.4f far below the lower bound %.4f",
+					cores, pt.u, name, pt.norm[name], pt.bnd)
+			}
+		}
+		if la > cc+laTol+eps {
+			t.Errorf("m=%d u=%.2f: laEDF %.4f above ccEDF %.4f", cores, pt.u, la, cc)
+		}
+		if cc > se+eps {
+			t.Errorf("m=%d u=%.2f: ccEDF %.4f above staticEDF %.4f", cores, pt.u, cc, se)
+		}
+		if se > none+eps {
+			t.Errorf("m=%d u=%.2f: staticEDF %.4f above none %.4f", cores, pt.u, se, none)
+		}
+	}
+}
+
+// multiConformanceUtils scales the uniprocessor axis to m cores,
+// stopping at 0.8m where worst-fit packing still succeeds for most
+// sets (the ordering claim is about schedulable workloads).
+func multiConformanceUtils(cores int) []float64 {
+	base := []float64{0.2, 0.4, 0.6, 0.8}
+	out := make([]float64, len(base))
+	for i, u := range base {
+		out[i] = u * float64(cores)
+	}
+	return out
+}
+
+// TestMultiCoreConformanceWCET checks the partitioned-EDF policy
+// ordering with full-WCET execution at 2 and 4 cores.
+func TestMultiCoreConformanceWCET(t *testing.T) {
+	for _, m := range []int{2, 4} {
+		pts := multiConformanceSweep(t, m, 42, multiConformanceUtils(m), 8, "wcet")
+		assertMultiConformance(t, m, pts, 0)
+	}
+}
+
+// TestMultiCoreConformanceConstantC repeats the check with tasks using
+// 70% of their WCET — the regime where the dynamic policies separate
+// from the statically-scaled one.
+func TestMultiCoreConformanceConstantC(t *testing.T) {
+	for _, m := range []int{2, 4} {
+		pts := multiConformanceSweep(t, m, 17, multiConformanceUtils(m), 8, "c=0.7")
+		assertMultiConformance(t, m, pts, 0)
+	}
+}
+
+// TestMultiCoreConformanceUniform repeats the check with uniformly
+// random execution times, tolerating a sliver of laEDF-vs-ccEDF noise
+// as the uniprocessor suite does.
+func TestMultiCoreConformanceUniform(t *testing.T) {
+	for _, m := range []int{2, 4} {
+		pts := multiConformanceSweep(t, m, 7, multiConformanceUtils(m), 8, "uniform")
+		assertMultiConformance(t, m, pts, 0.02)
+	}
+}
+
+// TestPartitionedVsGlobalMissSanity checks the miss-rate relationship
+// on GFB-schedulable sets: workloads the global admission test accepts
+// run miss-free under global gang scheduling, and when the partitioned
+// placement is also feasible, partitioned-EDF is miss-free too. gangLA
+// is deliberately absent: at m > 1 it is an unguaranteed heuristic
+// (Dhall-effect starvation; see core/gang.go).
+func TestPartitionedVsGlobalMissSanity(t *testing.T) {
+	gangs := map[string]string{"gangStaticEDF": "staticEDF", "gangCCEDF": "ccEDF"}
+	for _, m := range []int{2, 4} {
+		checked := 0
+		for seed := int64(1); checked < 6; seed++ {
+			if seed > 200 {
+				t.Fatalf("m=%d: no GFB-schedulable sets in 200 seeds", m)
+			}
+			g := task.Generator{N: 3 * m, Utilization: 0.45 * float64(m), Rand: rand.New(rand.NewSource(seed))}
+			ts, err := g.Generate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sched.GlobalEDFTest(ts, m, 1) {
+				continue
+			}
+			checked++
+			horizon := min(10*ts.MaxPeriod(), 2000)
+			for gang, uni := range gangs {
+				gres, err := RunMulti(MultiConfig{
+					Tasks:     ts,
+					Machine:   machine.Machine0().WithCores(m),
+					Policy:    gang,
+					Placement: sched.Global,
+					Exec:      "wcet",
+					Horizon:   horizon,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !gres.Guaranteed {
+					t.Errorf("m=%d seed %d: %s does not guarantee a GFB-passing set", m, seed, gang)
+				}
+				if gres.MissCount() > 0 {
+					t.Errorf("m=%d seed %d: %s missed %d deadlines on a GFB-schedulable set",
+						m, seed, gang, gres.MissCount())
+				}
+				pres, err := RunMulti(MultiConfig{
+					Tasks:     ts,
+					Machine:   machine.Machine0().WithCores(m),
+					Policy:    uni,
+					Placement: sched.PartitionedWF,
+					Exec:      "wcet",
+					Horizon:   horizon,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if pres.Feasible && pres.MissCount() > 0 {
+					t.Errorf("m=%d seed %d: partitioned %s missed %d deadlines on a feasible partition",
+						m, seed, uni, pres.MissCount())
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"strconv"
+
+	"rtdvs/internal/obs"
+	"rtdvs/internal/sched"
+)
+
+// MultiMetrics aggregates multi-core run outcomes into an obs registry:
+// the rtdvs_core_* family. Like Metrics, every instrument is registered
+// at construction — including one counter per core index up to the
+// configured core count — so the per-run observe step is a handful of
+// atomic adds, allocation free, and safe to share across MultiRunners
+// on different goroutines. Observation happens once per successful run.
+type MultiMetrics struct {
+	cores int
+
+	// runs[p] counts successful runs under placement p.
+	runs [3]*obs.Counter
+
+	migrations  *obs.Counter
+	infeasible  *obs.Counter
+	misses      *obs.Counter
+	preemptions *obs.Counter
+	switches    *obs.Counter
+
+	// Per-core accumulators, indexed by core; runs on machines with more
+	// cores than the metrics were built for fold the overflow into the
+	// last registered core rather than dropping it.
+	busyTime   []*obs.Counter
+	execEnergy []*obs.Counter
+	idleEnergy []*obs.Counter
+}
+
+// NewMultiMetrics registers the multi-core observables on reg for
+// platforms of up to the given core count (values outside [1, MaxCores]
+// are clamped).
+func NewMultiMetrics(reg *obs.Registry, cores int) *MultiMetrics {
+	if cores < 1 {
+		cores = 1
+	}
+	m := &MultiMetrics{
+		cores: cores,
+		migrations: reg.Counter("rtdvs_core_migrations_total",
+			"Jobs resuming on a different core than they last ran on (global EDF)."),
+		infeasible: reg.Counter("rtdvs_core_infeasible_partitions_total",
+			"Multi-core runs whose placement could not admit the task set at full speed."),
+		misses: reg.Counter("rtdvs_core_misses_total",
+			"Deadline misses across all cores of multi-core runs."),
+		preemptions: reg.Counter("rtdvs_core_preemptions_total",
+			"Preemptions across all cores of multi-core runs."),
+		switches: reg.Counter("rtdvs_core_switches_total",
+			"Operating-point transitions across multi-core runs (one per shared-rail change under global EDF)."),
+	}
+	for i, p := range []sched.Placement{sched.PartitionedFF, sched.PartitionedWF, sched.Global} {
+		m.runs[i] = reg.Counter("rtdvs_core_runs_total",
+			"Multi-core simulation runs completed successfully.",
+			"placement", p.String())
+	}
+	m.busyTime = make([]*obs.Counter, cores)
+	m.execEnergy = make([]*obs.Counter, cores)
+	m.idleEnergy = make([]*obs.Counter, cores)
+	for c := 0; c < cores; c++ {
+		label := strconv.Itoa(c)
+		m.busyTime[c] = reg.Counter("rtdvs_core_busy_time_total",
+			"Simulated milliseconds each core spent executing.", "core", label)
+		m.execEnergy[c] = reg.Counter("rtdvs_core_exec_energy_total",
+			"Execution energy charged per core, in cycle-V^2 units.", "core", label)
+		m.idleEnergy[c] = reg.Counter("rtdvs_core_idle_energy_total",
+			"Idle energy charged per core, in cycle-V^2 units.", "core", label)
+	}
+	return m
+}
+
+// observe folds one finished multi-core run into the counters.
+func (m *MultiMetrics) observe(res *MultiResult) {
+	for i, p := range []string{"partitioned-ff", "partitioned-wf", "global"} {
+		if res.Placement == p {
+			m.runs[i].Inc()
+			break
+		}
+	}
+	m.migrations.Add(float64(res.Migrations))
+	if !res.Feasible {
+		m.infeasible.Inc()
+	}
+	m.misses.Add(float64(len(res.Misses)))
+	m.preemptions.Add(float64(res.Preemptions))
+	m.switches.Add(float64(res.Switches))
+	for c := range res.PerCore {
+		k := c
+		if k >= m.cores {
+			k = m.cores - 1
+		}
+		m.busyTime[k].Add(res.PerCore[c].BusyTime)
+		m.execEnergy[k].Add(res.PerCore[c].ExecEnergy)
+		m.idleEnergy[k].Add(res.PerCore[c].IdleEnergy)
+	}
+}

@@ -220,3 +220,52 @@ func LowerBound(spec *machine.Spec, ts *task.Set, exec task.ExecModel, horizon f
 	}
 	return Energy(spec, segs)
 }
+
+// PartitionedLowerBound is the per-partition generalization of
+// LowerBound: assign maps each task index to its core in [0, cores),
+// and each core's clairvoyant optimum is computed over the jobs of its
+// own tasks alone — a statically partitioned system cannot shift work
+// between cores, so the per-core optima sum. Execution-model draws are
+// keyed by the ORIGINAL task indexes, so a stateful-by-index model (a
+// DistExec) produces the same demands it would in an unpartitioned
+// expansion and bounds stay comparable across placements.
+func PartitionedLowerBound(spec *machine.Spec, ts *task.Set, assign []int, cores int, exec task.ExecModel, horizon float64) (float64, error) {
+	if cores < 1 {
+		cores = 1
+	}
+	if len(assign) != ts.Len() {
+		return 0, fmt.Errorf("yds: assignment covers %d tasks, set has %d", len(assign), ts.Len())
+	}
+	if exec == nil {
+		exec = task.FullWCET{}
+	}
+	var total float64
+	for c := 0; c < cores; c++ {
+		var jobs []Job
+		for i := 0; i < ts.Len(); i++ {
+			if assign[i] != c {
+				continue
+			}
+			tk := ts.Task(i)
+			inv := 0
+			for rel := tk.Phase; rel+tk.Period <= horizon+1e-9; rel += tk.Period {
+				w := exec.Cycles(i, inv, tk.WCET)
+				if w > tk.WCET {
+					w = tk.WCET
+				}
+				jobs = append(jobs, Job{Arrival: rel, Deadline: rel + tk.Period, Work: w})
+				inv++
+			}
+		}
+		segs, err := Schedule(jobs)
+		if err != nil {
+			return 0, fmt.Errorf("yds: core %d: %w", c, err)
+		}
+		e, err := Energy(spec, segs)
+		if err != nil {
+			return 0, fmt.Errorf("yds: core %d: %w", c, err)
+		}
+		total += e
+	}
+	return total, nil
+}

@@ -8,6 +8,7 @@ import (
 	"rtdvs/internal/bound"
 	"rtdvs/internal/core"
 	"rtdvs/internal/machine"
+	"rtdvs/internal/sched"
 	"rtdvs/internal/sim"
 	"rtdvs/internal/task"
 )
@@ -285,6 +286,138 @@ func TestYDSMonotoneInWork(t *testing.T) {
 		}
 		if e2 < e1-1e-9 {
 			t.Fatalf("trial %d: adding work reduced optimal energy: %v -> %v", trial, e1, e2)
+		}
+	}
+}
+
+// --- partitioned clairvoyant bound ---
+
+// TestPartitionedLowerBoundM1MatchesLowerBound: with one core and the
+// all-zero assignment, the partitioned bound is exactly LowerBound.
+func TestPartitionedLowerBoundM1MatchesLowerBound(t *testing.T) {
+	g := task.Generator{N: 6, Utilization: 0.7, Rand: rand.New(rand.NewSource(3))}
+	ts, err := g.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A short horizon keeps the O(n²) YDS job count small; the equality
+	// holds at any horizon.
+	horizon := math.Min(3*ts.MaxPeriod(), 600)
+	assign := make([]int, ts.Len())
+	for _, exec := range []task.ExecModel{nil, task.FullWCET{}, task.ConstantFraction{C: 0.6}} {
+		want, err := LowerBound(machine.Machine0(), ts, exec, horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := PartitionedLowerBound(machine.Machine0(), ts, assign, 1, exec, horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("exec %T: PartitionedLowerBound m=1 = %v, want LowerBound %v", exec, got, want)
+		}
+	}
+}
+
+// TestPartitionedLowerBoundSumsPerCore: the bound over a partition is
+// the sum of LowerBound over each core's sub-set (with a per-index
+// deterministic model, sub-set indexes do not disturb the draws).
+func TestPartitionedLowerBoundSumsPerCore(t *testing.T) {
+	ts := func() *task.Set {
+		s, err := task.NewSet(
+			task.Task{WCET: 2, Period: 10},
+			task.Task{WCET: 3, Period: 15},
+			task.Task{WCET: 1, Period: 5},
+			task.Task{WCET: 4, Period: 20},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}()
+	assign := []int{0, 1, 0, 1}
+	horizon := 60.0
+	got, err := PartitionedLowerBound(machine.Machine0(), ts, assign, 2, task.FullWCET{}, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for c := 0; c < 2; c++ {
+		var sub []task.Task
+		for i := 0; i < ts.Len(); i++ {
+			if assign[i] == c {
+				sub = append(sub, ts.Task(i))
+			}
+		}
+		subSet, err := task.NewSet(sub...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := LowerBound(machine.Machine0(), subSet, task.FullWCET{}, horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want += e
+	}
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("PartitionedLowerBound = %v, want per-core sum %v", got, want)
+	}
+}
+
+// TestPartitionedLowerBoundErrors: a wrong-length assignment is
+// rejected; cores < 1 is clamped, not rejected.
+func TestPartitionedLowerBoundErrors(t *testing.T) {
+	g := task.Generator{N: 4, Utilization: 0.5, Rand: rand.New(rand.NewSource(1))}
+	ts, err := g.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PartitionedLowerBound(machine.Machine0(), ts, []int{0, 1}, 2, nil, 100); err == nil {
+		t.Error("short assignment accepted")
+	}
+	if _, err := PartitionedLowerBound(machine.Machine0(), ts, make([]int, ts.Len()), 0, nil, 100); err != nil {
+		t.Errorf("cores=0 should clamp to 1, got %v", err)
+	}
+}
+
+// TestPartitionedLowerBoundUnderPolicyEnergy: the clairvoyant optimum
+// never exceeds what any real policy spends on the same partitioned
+// workload (full-WCET, where the bound's demands equal the engine's).
+func TestPartitionedLowerBoundUnderPolicyEnergy(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		g := task.Generator{N: 8, Utilization: 1.3, Rand: rand.New(rand.NewSource(seed))}
+		ts, err := g.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		horizon := math.Min(5*ts.MaxPeriod(), 1000)
+		res, err := sim.RunMulti(sim.MultiConfig{
+			Tasks:     ts,
+			Machine:   machine.Machine0().WithCores(2),
+			Policy:    "laEDF",
+			Placement: sched.PartitionedWF,
+			Exec:      "wcet",
+			Horizon:   horizon,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Feasible {
+			continue
+		}
+		part, err := sched.PartitionFor(sched.PartitionedWF, ts, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb, err := PartitionedLowerBound(machine.Machine0(), ts, part.Assign, 2, task.FullWCET{}, horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The YDS optimum ignores discrete frequencies and idle floor
+		// power, so it sits at or below any policy's spend; allow only
+		// horizon-truncation slack (in-flight jobs at the cutoff).
+		if lb > res.TotalEnergy*1.01 {
+			t.Errorf("seed %d: clairvoyant bound %v above laEDF energy %v", seed, lb, res.TotalEnergy)
 		}
 	}
 }
